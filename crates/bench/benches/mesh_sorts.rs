@@ -1,0 +1,85 @@
+//! Mesh sorting algorithm performance: Revsort Algorithm 1, full Revsort,
+//! Columnsort steps 1–3 and all 8 steps, Shearsort schedules.
+
+use std::hint::black_box;
+
+use concentrator::verify::SplitMix64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meshsort::{
+    columnsort_full, columnsort_steps123, revsort_algorithm1, revsort_full, shearsort, Grid,
+    ShearsortSchedule, SortOrder,
+};
+
+fn bit_grid(rows: usize, cols: usize, seed: u64) -> Grid<bool> {
+    Grid::from_row_major(rows, cols, SplitMix64(seed).valid_bits(rows * cols, 0.5))
+}
+
+fn bench_revsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revsort");
+    for side in [16usize, 64, 128] {
+        let n = side * side;
+        group.throughput(Throughput::Elements(n as u64));
+        let grid = bit_grid(side, side, 1);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &grid, |b, g| {
+            b.iter(|| {
+                let mut g = g.clone();
+                revsort_algorithm1(&mut g, SortOrder::Descending);
+                black_box(g)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &grid, |b, g| {
+            b.iter(|| {
+                let mut g = g.clone();
+                revsort_full(&mut g, SortOrder::Descending);
+                black_box(g)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_columnsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnsort");
+    // Shapes satisfy the full-sort condition r >= 2(s-1)^2.
+    for (r, s) in [(128usize, 8usize), (512, 8), (2048, 16)] {
+        let n = r * s;
+        group.throughput(Throughput::Elements(n as u64));
+        let grid = bit_grid(r, s, 2);
+        group.bench_with_input(BenchmarkId::new("steps123", n), &grid, |b, g| {
+            b.iter(|| {
+                let mut g = g.clone();
+                columnsort_steps123(&mut g, SortOrder::Descending);
+                black_box(g)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full8", n), &grid, |b, g| {
+            b.iter(|| {
+                let mut g = g.clone();
+                columnsort_full(&mut g, SortOrder::Descending);
+                black_box(g)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shearsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shearsort");
+    for side in [16usize, 64] {
+        let n = side * side;
+        group.throughput(Throughput::Elements(n as u64));
+        let grid = bit_grid(side, side, 3);
+        let schedule = ShearsortSchedule::full_sort(side);
+        group.bench_with_input(BenchmarkId::new("full_sort", n), &grid, |b, g| {
+            b.iter(|| {
+                let mut g = g.clone();
+                shearsort(&mut g, SortOrder::Descending, schedule);
+                black_box(g)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_revsort, bench_columnsort, bench_shearsort);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Gate-level evaluation throughput: scalar vs 64-way bit-parallel block
+//! evaluation of hyperconcentrator chip netlists, and flat multichip
+//! switch netlists.
+
+use std::hint::black_box;
+
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::verify::SplitMix64;
+use concentrator::Hyperconcentrator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_chip_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_eval_chip");
+    for n in [16usize, 64, 256] {
+        let nl = Hyperconcentrator::new(n).build_netlist(false);
+        let valid = SplitMix64(9).valid_bits(n, 0.5);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("scalar", n), &nl, |b, nl| {
+            b.iter(|| black_box(nl.eval(black_box(&valid))))
+        });
+        // 64 vectors at once.
+        let mut rng = SplitMix64(10);
+        let blocks: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("block64", n), &nl, |b, nl| {
+            b.iter(|| black_box(nl.eval_block(black_box(&blocks))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_switch_netlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_eval_switch");
+    for n in [64usize, 256] {
+        let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+        let nl = switch.staged().build_netlist(true);
+        let valid = SplitMix64(11).valid_bits(n, 0.5);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("revsort_flat", n), &nl, |b, nl| {
+            b.iter(|| black_box(nl.eval(black_box(&valid))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_netlist_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_build");
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("hyper_chip", n), &n, |b, &n| {
+            b.iter(|| black_box(Hyperconcentrator::new(n).build_netlist(false)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chip_eval, bench_switch_netlist, bench_netlist_build);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Wall-clock scaling of setup-cycle routing through each switch design.
+//! (Not a paper table — this measures our simulator's own cost so the
+//! verification sweeps stay honest about what they can cover.)
+
+use std::hint::black_box;
+
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::verify::SplitMix64;
+use concentrator::{
+    ColumnsortSwitch, FullColumnsortHyperconcentrator, FullRevsortHyperconcentrator,
+    Hyperconcentrator,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn valid_pattern(n: usize, seed: u64) -> Vec<bool> {
+    SplitMix64(seed).valid_bits(n, 0.5)
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    for n in [64usize, 256, 1024, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        let valid = valid_pattern(n, 0xBEEF);
+
+        let hyper = Hyperconcentrator::new(n);
+        group.bench_with_input(BenchmarkId::new("hyperconcentrator", n), &n, |b, _| {
+            b.iter(|| black_box(hyper.route(black_box(&valid))))
+        });
+
+        let revsort = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+        group.bench_with_input(BenchmarkId::new("revsort_switch", n), &n, |b, _| {
+            b.iter(|| black_box(revsort.route(black_box(&valid))))
+        });
+
+        let columnsort = ColumnsortSwitch::square(n, n / 2);
+        group.bench_with_input(BenchmarkId::new("columnsort_switch", n), &n, |b, _| {
+            b.iter(|| black_box(columnsort.route(black_box(&valid))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_hyper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_full_hyper");
+    for n in [256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        let valid = valid_pattern(n, 0xF00D);
+        let fr = FullRevsortHyperconcentrator::new(n);
+        group.bench_with_input(BenchmarkId::new("full_revsort", n), &n, |b, _| {
+            b.iter(|| black_box(fr.route(black_box(&valid))))
+        });
+        let side = (n as f64).sqrt() as usize;
+        if side >= 2 * (4 - 1) * (4 - 1) {
+            let fc = FullColumnsortHyperconcentrator::new(n / 4, 4);
+            group.bench_with_input(BenchmarkId::new("full_columnsort_s4", n), &n, |b, _| {
+                b.iter(|| black_box(fc.route(black_box(&valid))))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct");
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("revsort_switch", n), &n, |b, &n| {
+            b.iter(|| black_box(RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee)))
+        });
+        group.bench_with_input(BenchmarkId::new("columnsort_switch", n), &n, |b, &n| {
+            b.iter(|| black_box(ColumnsortSwitch::square(n, n / 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route, bench_full_hyper, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Performance of the auxiliary substrates: constant folding, adversarial
+//! search, the cellular lattice, and fairness measurement.
+
+use std::hint::black_box;
+
+use concentrator::search::hill_climb;
+use concentrator::verify::SplitMix64;
+use concentrator::{CellularCompactor, ColumnsortSwitch, FullColumnsortHyperconcentrator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meshsort::{nearsort_epsilon, ComparatorNetwork, SortOrder};
+use switchsim::measure_fairness;
+
+fn bench_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_fold");
+    for (r, s) in [(8usize, 2usize), (32, 4)] {
+        let nl = FullColumnsortHyperconcentrator::new(r, s).staged().build_netlist(false);
+        group.throughput(Throughput::Elements(nl.gate_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("fold_constants", r * s),
+            &nl,
+            |b, nl| b.iter(|| black_box(nl.fold_constants())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hill_climb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hill_climb");
+    let switch = ColumnsortSwitch::new(16, 4, 64);
+    group.bench_function("columnsort_eps_64", |b| {
+        b.iter(|| {
+            black_box(hill_climb(64, 2, 100, 7, |valid| {
+                let bits: Vec<bool> =
+                    switch.staged().trace(valid).iter().map(|&(v, _)| v).collect();
+                nearsort_epsilon(&bits, SortOrder::Descending)
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cellular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellular_lattice");
+    for n in [64usize, 256] {
+        let lattice = CellularCompactor::new(n);
+        let valid = SplitMix64(3).valid_bits(n, 0.5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("settle", n), &lattice, |b, l| {
+            b.iter(|| black_box(l.settle(black_box(&valid))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairness");
+    let switch = ColumnsortSwitch::new(8, 4, 8);
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("measure_100_frames", |b| {
+        b.iter(|| black_box(measure_fairness(&switch, 0.8, 100, 5)))
+    });
+    group.finish();
+}
+
+fn bench_comparator_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator_networks");
+    for width in [64usize, 256] {
+        let network = ComparatorNetwork::batcher(width, 0..width);
+        let mut rng = SplitMix64(11);
+        let values: Vec<u64> = (0..width).map(|_| rng.next_u64()).collect();
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::new("batcher_apply", width), &network, |b, n| {
+            b.iter(|| {
+                let mut v = values.clone();
+                n.apply(&mut v, SortOrder::Ascending);
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fold,
+    bench_hill_climb,
+    bench_cellular,
+    bench_fairness,
+    bench_comparator_networks
+);
+criterion_main!(benches);

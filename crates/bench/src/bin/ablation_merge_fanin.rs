@@ -1,0 +1,52 @@
+//! **Ablation** (DESIGN.md §5): what the wide-gate (ratioed nMOS / domino
+//! CMOS) technology assumption buys the hyperconcentrator chip.
+//!
+//! The paper's `2 lg n` per-chip delay counts an arbitrarily wide AND/OR
+//! plane as one gate delay. This ablation re-prices the same netlist under
+//! bounded fan-in (2 and 4): depth grows from `2 lg n` toward `Θ(lg² n)`
+//! and the gate count rises, quantifying why the 1986 chip is specified in
+//! wide-NOR technology.
+
+use bench::{banner, TextTable};
+use concentrator::Hyperconcentrator;
+
+fn main() {
+    banner(
+        "Ablation: wide fan-in vs bounded fan-in in the hyperconcentrator chip",
+        "delay model justification for the 2 lg n per-chip figure (§1, [1][2])",
+    );
+    let mut t = TextTable::new([
+        "n",
+        "depth (wide)",
+        "2⌈lg n⌉",
+        "depth (fan-in 4)",
+        "depth (fan-in 2)",
+        "gates (wide)",
+        "gates (fan-in 2)",
+        "max fan-in",
+    ]);
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let chip = Hyperconcentrator::new(n);
+        let nl = chip.build_netlist(false);
+        let area = nl.area_report();
+        let lg_n = usize::BITS - (n - 1).leading_zeros();
+        assert_eq!(nl.depth(), 2 * lg_n);
+        t.row([
+            n.to_string(),
+            nl.depth().to_string(),
+            (2 * lg_n).to_string(),
+            nl.depth_bounded_fanin(4).to_string(),
+            nl.depth_bounded_fanin(2).to_string(),
+            area.gates.to_string(),
+            nl.gates_bounded_fanin(2).to_string(),
+            area.max_fan_in.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nwide gates hold the chip at exactly 2 lg n levels; bounding fan-in at 2\n\
+         multiplies depth by ~lg n (the widest OR spans n/2+1 terms) and roughly\n\
+         doubles the gate count. The paper's delay claims are meaningful only\n\
+         under the wide-gate convention, which the netlist model makes explicit."
+    );
+}

@@ -1,0 +1,117 @@
+//! **Figure 2**: the converse of Lemma 2 fails — a switch can be a
+//! perfectly good `(n, m, 1 − ε/m)` partial concentrator without
+//! ε-nearsorting its valid bits.
+//!
+//! Figure 2's construction: when `k > m − ε` messages arrive, route
+//! `m − ε` of them to the first `m` outputs and the remaining `k − m + ε`
+//! to the *last* wires of the n-wire vector. The partial-concentration
+//! property holds, yet whenever `k + ε < (n + m)/2` the trailing 1s sit
+//! further than ε from where sorting would put them.
+
+use bench::{banner, TextTable};
+use concentrator::spec::{
+    check_concentration, ConcentratorKind, ConcentratorSwitch, Routing,
+};
+use meshsort::{nearsort_epsilon, SortOrder};
+
+/// The adversarial switch of Figure 2.
+struct Fig2Switch {
+    n: usize,
+    m: usize,
+    epsilon: usize,
+}
+
+impl Fig2Switch {
+    /// The full n-wire output vector (not just the m switch outputs).
+    fn full_output(&self, valid: &[bool]) -> Vec<bool> {
+        let k = valid.iter().filter(|&&v| v).count();
+        let mut out = vec![false; self.n];
+        if k <= self.m - self.epsilon {
+            for slot in out.iter_mut().take(k) {
+                *slot = true;
+            }
+        } else {
+            let front = self.m - self.epsilon;
+            for slot in out.iter_mut().take(front) {
+                *slot = true;
+            }
+            for slot in out.iter_mut().rev().take(k - front) {
+                *slot = true;
+            }
+        }
+        out
+    }
+}
+
+impl ConcentratorSwitch for Fig2Switch {
+    fn inputs(&self) -> usize {
+        self.n
+    }
+    fn outputs(&self) -> usize {
+        self.m
+    }
+    fn kind(&self) -> ConcentratorKind {
+        ConcentratorKind::Partial { alpha: 1.0 - self.epsilon as f64 / self.m as f64 }
+    }
+    fn route(&self, valid: &[bool]) -> Routing {
+        let sources: Vec<usize> = valid
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| v.then_some(i))
+            .collect();
+        let full = self.full_output(valid);
+        let slots: Vec<usize> =
+            full.iter().enumerate().filter_map(|(i, &v)| v.then_some(i)).collect();
+        let mut assignment = vec![None; self.n];
+        for (msg, slot) in sources.iter().zip(&slots) {
+            if *slot < self.m {
+                assignment[*msg] = Some(*slot);
+            }
+        }
+        Routing::from_assignment(assignment, self.m)
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 2: a partial concentrator that does not nearsort",
+        "MIT-LCS-TM-322 Figure 2 (§3)",
+    );
+    let switch = Fig2Switch { n: 64, m: 16, epsilon: 2 };
+
+    // 1. It IS an (n, m, 1 − ε/m) partial concentrator.
+    let mut concentration_failures = 0usize;
+    for k in 0..=switch.n {
+        let valid: Vec<bool> = (0..switch.n).map(|i| i < k).collect();
+        concentration_failures += usize::from(!check_concentration(&switch, &valid).is_empty());
+    }
+    println!(
+        "partial concentration property over all prefix loads k = 0..{}: {} failures",
+        switch.n, concentration_failures
+    );
+    assert_eq!(concentration_failures, 0);
+
+    // 2. Yet its full output vector is NOT ε-nearsorted.
+    let mut t = TextTable::new(["k", "measured eps of full output", "claim eps", "nearsorted?"]);
+    let mut counterexamples = 0;
+    for k in [10usize, 15, 16, 20, 30] {
+        let valid: Vec<bool> = (0..switch.n).map(|i| i < k).collect();
+        let full = switch.full_output(&valid);
+        let eps = nearsort_epsilon(&full, SortOrder::Descending);
+        let nearsorted = eps <= switch.epsilon;
+        counterexamples += usize::from(!nearsorted && k > switch.m - switch.epsilon);
+        t.row([
+            k.to_string(),
+            eps.to_string(),
+            switch.epsilon.to_string(),
+            nearsorted.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ncounterexamples with k + ε < (n + m)/2 = {}: {counterexamples} (> 0 demonstrates\n\
+         that Lemma 2's converse fails, exactly as Figure 2 depicts)",
+        (switch.n + switch.m) / 2
+    );
+    assert!(counterexamples > 0);
+}

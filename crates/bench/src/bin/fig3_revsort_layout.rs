@@ -1,0 +1,70 @@
+//! **Figure 3**: the two-dimensional layout of the Revsort-based partial
+//! concentrator switch with n = 64 inputs and m = 28 outputs, routing 24
+//! valid messages — "the electrical paths established by 24 valid messages
+//! are shown with heavy lines".
+//!
+//! The output wires are the top four of chips H3,0..H3,3 and the top three
+//! of H3,4..H3,7 (the first 28 wires of the matrix in row-major order,
+//! m mod √n = 4).
+
+use bench::render::{render_paths, render_stage_flow};
+use bench::{banner, TextTable};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::verify::SplitMix64;
+
+fn main() {
+    banner(
+        "Figure 3: 2-D Revsort switch layout, n = 64, m = 28, 24 messages",
+        "MIT-LCS-TM-322 Figure 3 (§4)",
+    );
+    let switch = RevsortSwitch::new(64, 28, RevsortLayout::TwoDee);
+    println!(
+        "structure: 3 stages x 8 chips of 8-by-8 hyperconcentrators;\n\
+         outputs = first 28 wires in row-major order (top 4 pins of chips\n\
+         H3,0..H3,3; top 3 pins of H3,4..H3,7)\n"
+    );
+
+    // A deterministic scattered pattern of exactly 24 valid inputs that —
+    // like the figure's pattern — routes completely. (Not every 24-message
+    // pattern does: the worst-case guarantee at n = 64, m = 28 is weaker.
+    // The search below is deterministic and reported.)
+    let mut seed = 0xF163u64;
+    let valid = loop {
+        let mut rng = SplitMix64(seed);
+        let mut valid = vec![false; 64];
+        let mut placed = 0;
+        while placed < 24 {
+            let i = (rng.next_u64() % 64) as usize;
+            if !valid[i] {
+                valid[i] = true;
+                placed += 1;
+            }
+        }
+        if switch.route(&valid).routed() == 24 {
+            break valid;
+        }
+        seed += 1;
+    };
+    println!("pattern seed: {seed:#x} (first seed whose 24 messages all route)\n");
+
+    println!("{}", render_stage_flow(switch.staged(), &valid));
+    println!("established electrical paths (heavy lines):");
+    print!("{}", render_paths(&switch, &valid));
+
+    let routing = switch.route(&valid);
+    let mut t = TextTable::new(["quantity", "value"]);
+    t.row(["valid messages (k)".to_string(), "24".to_string()]);
+    t.row(["outputs (m)".to_string(), switch.outputs().to_string()]);
+    t.row(["messages delivered".to_string(), routing.routed().to_string()]);
+    t.row(["gate delays".to_string(), switch.delay().to_string()]);
+    t.print();
+
+    assert_eq!(
+        routing.routed(),
+        24,
+        "Figure 3 shows all 24 messages routed; k = 24 <= m = 28 and the\n\
+         observed dirty window never reaches this pattern's boundary"
+    );
+    println!("\nall 24 messages delivered, as the figure's heavy lines show.");
+}

@@ -1,0 +1,60 @@
+//! **Figure 4**: the three-dimensional packaging of the Revsort-based
+//! switch — three stacks of √n boards, one √n-by-√n hyperconcentrator per
+//! board, stage-2 boards followed by a √n-bit barrel shifter whose
+//! `⌈lg √n⌉` control bits are hardwired to `rev(i)`.
+
+use bench::{banner, fit_exponent, TextTable};
+use concentrator::packaging::PackagingReport;
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use meshsort::rev_bits;
+
+fn main() {
+    banner(
+        "Figure 4: 3-D Revsort switch packaging (n = 64)",
+        "MIT-LCS-TM-322 Figure 4 (§4)",
+    );
+    let n = 64;
+    let side = 8;
+    let switch = RevsortSwitch::new(n, 28, RevsortLayout::ThreeDee);
+    let report = PackagingReport::revsort(&switch);
+
+    println!("stacks: {} (one per stage)", report.stacks);
+    println!("boards: {} total, {} types", report.total_boards, report.board_types);
+    for chip in &report.chip_types {
+        println!(
+            "chip type: {:<45} x{:<3} {} data pins, {} area units",
+            chip.name, chip.count, chip.data_pins, chip.area_units
+        );
+    }
+    println!("volume: {} units", report.volume_units);
+    println!("gate delays: {}", report.gate_delays);
+
+    println!("\nhardwired barrel-shifter control values (board i shifts by rev(i)):");
+    let mut t = TextTable::new(["board i", "rev(i)", "binary"]);
+    for i in 0..side {
+        let r = rev_bits(i, 3);
+        t.row([i.to_string(), r.to_string(), format!("{r:03b}")]);
+    }
+    t.print();
+
+    println!("\nvolume scaling (paper: Θ(n^(3/2))):");
+    let ns = [64usize, 256, 1024, 4096];
+    let mut t = TextTable::new(["n", "boards", "volume units", "pins/chip (max)"]);
+    let mut vols = Vec::new();
+    for &n in &ns {
+        let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::ThreeDee);
+        let report = PackagingReport::revsort(&switch);
+        vols.push(report.volume_units as f64);
+        t.row([
+            n.to_string(),
+            report.total_boards.to_string(),
+            report.volume_units.to_string(),
+            report.max_pins_per_chip().to_string(),
+        ]);
+    }
+    t.print();
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let e = fit_exponent(&xs, &vols);
+    println!("measured volume exponent: n^{e:.3} (paper: n^1.5)");
+    assert!((e - 1.5).abs() < 0.05);
+}

@@ -1,0 +1,59 @@
+//! **Figure 7**: the three-dimensional packaging of the Columnsort-based
+//! switch for r = 8, s = 4 — two stacks of s boards, one r-by-r
+//! hyperconcentrator per board, with s² interstack connectors transposing
+//! wire groups between the stacks.
+
+use bench::{banner, fit_exponent, TextTable};
+use concentrator::packaging::{Dim, PackagingReport};
+use concentrator::ColumnsortSwitch;
+
+fn main() {
+    banner(
+        "Figure 7: 3-D Columnsort switch packaging (r = 8, s = 4)",
+        "MIT-LCS-TM-322 Figure 7 (§5)",
+    );
+    let switch = ColumnsortSwitch::new(8, 4, 18);
+    let report = PackagingReport::columnsort(&switch, Dim::ThreeDee);
+
+    println!("stacks: {}", report.stacks);
+    println!("boards: {} ({} per stack)", report.total_boards, report.total_boards / 2);
+    for chip in &report.chip_types {
+        println!(
+            "chip type: {:<30} x{:<3} {} data pins, {} area units",
+            chip.name, chip.count, chip.data_pins, chip.area_units
+        );
+    }
+    println!(
+        "interstack connectors: {} (s² = 16), each transposing r/s = {} wires",
+        report.interstack_connectors,
+        switch.shape().rows / switch.shape().cols
+    );
+    println!("volume: {} units", report.volume_units);
+    println!("gate delays: {}", report.gate_delays);
+
+    println!("\nwire grouping between stacks (output rows congruent mod s share a");
+    println!("connector): row i of stage-1 chip j joins group i mod 4, e.g. rows");
+    println!("0 and 4, rows 1 and 5, rows 2 and 6, rows 3 and 7 (as the figure lists).");
+
+    println!("\nvolume scaling at fixed β = 3/4 (paper: Θ(n^(1+β)) = Θ(n^(7/4))):");
+    let configs = [(8usize, 2usize), (64, 4), (512, 8), (4096, 16)];
+    let mut t = TextTable::new(["n", "r", "s", "volume units"]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &(r, s) in &configs {
+        let switch = ColumnsortSwitch::new(r, s, r * s / 2);
+        let report = PackagingReport::columnsort(&switch, Dim::ThreeDee);
+        xs.push((r * s) as f64);
+        ys.push(report.volume_units as f64);
+        t.row([
+            (r * s).to_string(),
+            r.to_string(),
+            s.to_string(),
+            report.volume_units.to_string(),
+        ]);
+    }
+    t.print();
+    let e = fit_exponent(&xs, &ys);
+    println!("measured volume exponent: n^{e:.3} (paper: n^1.75)");
+    assert!((e - 1.75).abs() < 0.1);
+}

@@ -1,0 +1,33 @@
+//! **Figure 8**: transposing w wires from vertical to horizontal alignment
+//! in Θ(w²) volume — the interstack connectors of the Columnsort switch's
+//! three-dimensional packaging.
+
+use bench::{banner, fit_exponent, TextTable};
+use concentrator::packaging::InterstackConnector;
+
+fn main() {
+    banner(
+        "Figure 8: w-wire vertical-to-horizontal transposition, w = 4",
+        "MIT-LCS-TM-322 Figure 8 (§5)",
+    );
+    let connector = InterstackConnector { wires: 4 };
+    println!("each wire enters vertically, bends once (+), and leaves horizontally:\n");
+    println!("{}", connector.render());
+    println!("volume: {} units (w² = 16)", connector.volume_units());
+
+    println!("\nconnector volume scaling (paper: Θ(w²)):");
+    let ws = [4usize, 8, 16, 32, 64];
+    let mut t = TextTable::new(["w", "volume units"]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &w in &ws {
+        let c = InterstackConnector { wires: w };
+        xs.push(w as f64);
+        ys.push(c.volume_units() as f64);
+        t.row([w.to_string(), c.volume_units().to_string()]);
+    }
+    t.print();
+    let e = fit_exponent(&xs, &ys);
+    println!("measured exponent: w^{e:.3} (paper: w^2)");
+    assert!((e - 2.0).abs() < 1e-9);
+}

@@ -1,0 +1,65 @@
+//! Render the paper's layout figures (3, 4, 6, 7) as SVG files under
+//! `results/`, from the *placed* geometric layouts (every chip, channel,
+//! and board at integer coordinates, overlap-checked), and print the
+//! geometric area/volume measurements next to the unit-model ones.
+
+use std::fs;
+
+use bench::banner;
+use concentrator::layout::{
+    columnsort_layout_2d, columnsort_layout_3d, revsort_layout_2d, revsort_layout_3d,
+};
+use concentrator::packaging::{Dim, PackagingReport};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::ColumnsortSwitch;
+
+fn main() {
+    banner(
+        "Geometric layouts of Figures 3, 4, 6, 7 (SVG)",
+        "MIT-LCS-TM-322 Figures 3/4/6/7 as placed geometry",
+    );
+    fs::create_dir_all("results").expect("create results dir");
+
+    let revsort2 = RevsortSwitch::new(64, 28, RevsortLayout::TwoDee);
+    let layout = revsort_layout_2d(&revsort2);
+    layout.validate();
+    fs::write("results/fig3_layout.svg", layout.to_svg()).expect("write fig3 svg");
+    println!(
+        "fig3 (Revsort 2-D, n=64): bounding area {} λ², chips {} λ², wiring {} λ² -> results/fig3_layout.svg",
+        layout.area(),
+        layout.chip_area(),
+        layout.wiring_area()
+    );
+
+    let revsort3 = RevsortSwitch::new(64, 28, RevsortLayout::ThreeDee);
+    let layout = revsort_layout_3d(&revsort3);
+    layout.validate();
+    assert!(layout.has_air_gaps(), "Figure 4 packaging must be air-coolable");
+    fs::write("results/fig4_layout.svg", layout.to_svg_side_view()).expect("write fig4 svg");
+    let pack = PackagingReport::revsort(&revsort3);
+    println!(
+        "fig4 (Revsort 3-D, n=64): geometric volume {} λ³ (unit model {}), air gaps ok -> results/fig4_layout.svg",
+        layout.volume(),
+        pack.volume_units
+    );
+
+    let columnsort = ColumnsortSwitch::new(8, 4, 18);
+    let layout = columnsort_layout_2d(&columnsort);
+    layout.validate();
+    fs::write("results/fig6_layout.svg", layout.to_svg()).expect("write fig6 svg");
+    println!(
+        "fig6 (Columnsort 2-D, 8x4): bounding area {} λ² -> results/fig6_layout.svg",
+        layout.area()
+    );
+
+    let layout = columnsort_layout_3d(&columnsort);
+    layout.validate();
+    assert!(layout.has_air_gaps());
+    fs::write("results/fig7_layout.svg", layout.to_svg_side_view()).expect("write fig7 svg");
+    let pack = PackagingReport::columnsort(&columnsort, Dim::ThreeDee);
+    println!(
+        "fig7 (Columnsort 3-D, 8x4): geometric volume {} λ³ (unit model {}) -> results/fig7_layout.svg",
+        layout.volume(),
+        pack.volume_units
+    );
+}

@@ -1,0 +1,80 @@
+//! **§6 convergence**: "Schnorr and Shamir show that if steps 1–3 of
+//! Algorithm 1 are repeated ⌈lg lg √n⌉ times, the resulting matrix
+//! contains at most eight dirty rows."
+//!
+//! This experiment watches the dirty-row band shrink iteration by
+//! iteration (the d → O(√d) squaring that gives the lg lg bound) across
+//! mesh sizes and adversarial densities.
+
+use bench::{banner, TextTable};
+use concentrator::verify::{adversarial_patterns, SplitMix64};
+use meshsort::{dirty_row_band, revsort_repetitions, revsort_steps123, Grid, SortOrder};
+
+fn worst_dirty_after(side: usize, iterations: usize, trials: usize) -> usize {
+    let n = side * side;
+    let mut worst = 0usize;
+    let mut rng = SplitMix64(side as u64 * 31 + iterations as u64);
+    let patterns: Vec<Vec<bool>> = (0..trials)
+        .map(|t| {
+            let density = 0.05 + 0.9 * (t as f64 / trials as f64);
+            rng.valid_bits(n, density)
+        })
+        .chain(adversarial_patterns(n))
+        .collect();
+    for bits in patterns {
+        let mut grid = Grid::from_row_major(side, side, bits);
+        for _ in 0..iterations {
+            revsort_steps123(&mut grid, SortOrder::Descending);
+        }
+        // The band is counted after a column sort (as the bound states).
+        grid.sort_columns(SortOrder::Descending);
+        let (_, dirty, _) = dirty_row_band(&grid);
+        worst = worst.max(dirty);
+    }
+    worst
+}
+
+fn main() {
+    banner(
+        "Revsort convergence: dirty rows per repetition of steps 1-3",
+        "MIT-LCS-TM-322 §6 (via Schnorr-Shamir): ≤ 8 dirty rows after ⌈lg lg √n⌉ reps",
+    );
+
+    let mut t = TextTable::new([
+        "√n",
+        "n",
+        "⌈lg lg √n⌉",
+        "after 1 rep",
+        "after 2",
+        "after 3",
+        "after 4",
+        "≤8 at prescribed reps",
+    ]);
+    for side in [8usize, 16, 32, 64, 128] {
+        let reps = revsort_repetitions(side);
+        let worst: Vec<usize> =
+            (1..=4).map(|it| worst_dirty_after(side, it, 400)).collect();
+        let at_prescribed = worst[reps.min(4) - 1];
+        assert!(
+            at_prescribed <= 8,
+            "√n = {side}: {at_prescribed} dirty rows after {reps} reps"
+        );
+        t.row([
+            side.to_string(),
+            (side * side).to_string(),
+            reps.to_string(),
+            worst[0].to_string(),
+            worst[1].to_string(),
+            worst[2].to_string(),
+            worst[3].to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nthe band contracts superlinearly between repetitions (d -> O(√d)),\n\
+         and at the prescribed ⌈lg lg √n⌉ repetitions it is within §6's\n\
+         eight-row bound at every size tested (worst over 400 random densities\n\
+         plus the structured adversarial patterns)."
+    );
+}

@@ -1,0 +1,104 @@
+//! **§1**: two claims about how the switch classes relate.
+//!
+//! 1. "We can make any n-by-m perfect concentrator switch from an n-by-n
+//!    hyperconcentrator switch by simply choosing the first m output
+//!    wires."
+//! 2. "An (n/α, m/α, α) partial concentrator switch can be used anywhere
+//!    an n-by-m perfect concentrator switch is required … at the cost of a
+//!    1/α-factor increase in the number of input and output wires."
+
+use bench::{banner, TextTable};
+use concentrator::spec::{
+    check_concentration, ConcentratorKind, ConcentratorSwitch, PerfectFromPartial, Routing,
+};
+use concentrator::verify::{monte_carlo_check, SplitMix64};
+use concentrator::{ColumnsortSwitch, Hyperconcentrator};
+
+/// Claim 1: a hyperconcentrator truncated to its first m outputs.
+struct TruncatedHyper {
+    inner: Hyperconcentrator,
+    m: usize,
+}
+
+impl ConcentratorSwitch for TruncatedHyper {
+    fn inputs(&self) -> usize {
+        self.inner.inputs()
+    }
+    fn outputs(&self) -> usize {
+        self.m
+    }
+    fn kind(&self) -> ConcentratorKind {
+        ConcentratorKind::Perfect
+    }
+    fn route(&self, valid: &[bool]) -> Routing {
+        let full = self.inner.route(valid);
+        let assignment = full
+            .assignment
+            .into_iter()
+            .map(|a| a.filter(|&out| out < self.m))
+            .collect();
+        Routing::from_assignment(assignment, self.m)
+    }
+}
+
+fn main() {
+    banner(
+        "Section 1: perfect concentrators from hyper- and partial concentrators",
+        "MIT-LCS-TM-322 §1",
+    );
+
+    println!("\n-- claim 1: n-by-m perfect from n-by-n hyperconcentrator --");
+    let perfect = TruncatedHyper { inner: Hyperconcentrator::new(16), m: 10 };
+    let report = monte_carlo_check(&perfect, 2000, 0x11);
+    assert!(report.failures.is_empty());
+    println!(
+        "16-by-10 truncated hyperconcentrator: {} patterns, perfect-concentration OK",
+        report.trials
+    );
+
+    println!("\n-- claim 2: (n/α, m/α, α) partial in place of n-by-m perfect --");
+    // Target: a 24-by-12 perfect concentrator. Use a Columnsort switch over
+    // 8×4 = 32 wires with m' = 21 outputs: ε = 9, so guaranteed capacity
+    // m' − ε = 12 ≥ 12 = m, and n' = 32 ≥ 24 = n.
+    let partial = ColumnsortSwitch::new(8, 4, 21);
+    let (n, m) = (24, 12);
+    println!(
+        "inner switch: {} — n' = {}, m' = {}, α = {:.3}, capacity {}",
+        partial.staged().name,
+        partial.inputs(),
+        partial.outputs(),
+        match partial.kind() {
+            ConcentratorKind::Partial { alpha } => alpha,
+            _ => unreachable!(),
+        },
+        partial.guaranteed_capacity()
+    );
+    let adapter = PerfectFromPartial::new(partial, n, m);
+
+    let mut rng = SplitMix64(0x5EC1);
+    let mut t = TextTable::new(["k", "delivered", "expected min(k, m)", "ok"]);
+    let mut checked = 0usize;
+    for trial in 0..4000 {
+        let density = (trial % 10) as f64 / 10.0 + 0.05;
+        let valid = rng.valid_bits(n, density.min(1.0));
+        let violations = check_concentration(&adapter, &valid);
+        assert!(violations.is_empty(), "k = {}: {violations:?}",
+            valid.iter().filter(|&&v| v).count());
+        checked += 1;
+        if trial % 800 == 0 {
+            let k = valid.iter().filter(|&&v| v).count();
+            let delivered = adapter.route(&valid).routed();
+            t.row([
+                k.to_string(),
+                delivered.to_string(),
+                k.min(m).to_string(),
+                (delivered == k.min(m)).to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n{checked} random patterns: the adapter behaves as a 24-by-12 perfect switch.");
+    println!(
+        "wire cost: 32/24 = 1.33x inputs, 21/12 = 1.75x outputs (the paper's 1/α factor)."
+    );
+}

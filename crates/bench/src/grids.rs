@@ -1,0 +1,73 @@
+//! Parameter grids for the sweeps: the (n, r, s) shapes at which each
+//! design is constructed.
+
+/// Sweep sizes for the Revsort switch and β = 1/2 Columnsort switch
+/// (square meshes with power-of-two sides).
+pub const SQUARE_NS: [usize; 5] = [16, 64, 256, 1024, 4096];
+
+/// A Columnsort grid: `(n, r, s)` with `r·s = n`, `s | r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnsortGrid {
+    /// Total inputs.
+    pub n: usize,
+    /// Rows (pins per chip side).
+    pub r: usize,
+    /// Columns (chips per stage).
+    pub s: usize,
+}
+
+/// Grids realizing `r = n^β` exactly for `n = 2^k` with `βk` integral.
+pub fn beta_grids(beta_num: u32, beta_den: u32) -> Vec<ColumnsortGrid> {
+    let mut grids = Vec::new();
+    for k in 4..=20u32 {
+        if !(k * beta_num).is_multiple_of(beta_den) {
+            continue;
+        }
+        let rk = k * beta_num / beta_den;
+        let sk = k - rk;
+        if rk < sk {
+            continue; // β < 1/2 is out of the theorem's range
+        }
+        let r = 1usize << rk;
+        let s = 1usize << sk;
+        if !r.is_multiple_of(s) {
+            continue;
+        }
+        grids.push(ColumnsortGrid { n: r * s, r, s });
+    }
+    grids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_half_gives_squares() {
+        let grids = beta_grids(1, 2);
+        assert!(grids.iter().all(|g| g.r == g.s && g.r * g.s == g.n));
+        assert!(grids.len() >= 4);
+    }
+
+    #[test]
+    fn beta_five_eighths_grids_divide() {
+        let grids = beta_grids(5, 8);
+        assert!(!grids.is_empty());
+        for g in grids {
+            assert_eq!(g.r * g.s, g.n);
+            assert_eq!(g.r % g.s, 0);
+            let beta = (g.r as f64).log2() / (g.n as f64).log2();
+            assert!((beta - 0.625).abs() < 1e-9, "grid {g:?} has β {beta}");
+        }
+    }
+
+    #[test]
+    fn beta_three_quarters_grids_divide() {
+        let grids = beta_grids(3, 4);
+        assert!(grids.len() >= 3);
+        for g in grids {
+            let beta = (g.r as f64).log2() / (g.n as f64).log2();
+            assert!((beta - 0.75).abs() < 1e-9);
+        }
+    }
+}

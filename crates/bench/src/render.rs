@@ -1,0 +1,100 @@
+//! ASCII renderings of switch layouts (Figures 3 and 6).
+
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::StagedSwitch;
+
+/// Render a stage-by-stage picture of a staged switch routing a given
+/// valid-bit pattern: each stage shows its chips' output pins with `#` for
+/// wires carrying messages and `.` for idle wires, annotated with the
+/// message's source input where one is present.
+pub fn render_stage_flow(switch: &StagedSwitch, valid: &[bool]) -> String {
+    let mut out = String::new();
+    let mut wires: Vec<(bool, Option<usize>)> = valid
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, v.then_some(i)))
+        .collect();
+    out.push_str(&format!(
+        "inputs ({} valid of {}):\n  {}\n",
+        valid.iter().filter(|&&v| v).count(),
+        valid.len(),
+        wires.iter().map(|&(v, _)| if v { '#' } else { '.' }).collect::<String>()
+    ));
+    // Re-trace stage by stage using the public trace on progressively
+    // truncated switches is wasteful; instead rebuild the cumulative trace.
+    for upto in 1..=switch.stages.len() {
+        let partial = StagedSwitch {
+            name: switch.name.clone(),
+            n: switch.n,
+            m: switch.stages[upto - 1].out_len,
+            kind: switch.kind,
+            stages: switch.stages[..upto].to_vec(),
+            output_positions: (0..switch.stages[upto - 1].out_len).collect(),
+        };
+        let traced = partial.trace(valid);
+        let stage = &switch.stages[upto - 1];
+        out.push_str(&format!(
+            "after {} ({} chips x {} pins):\n  {}\n",
+            stage.label,
+            stage.chip_count,
+            stage.chip_pins,
+            traced.iter().map(|&(v, _)| if v { '#' } else { '.' }).collect::<String>()
+        ));
+        wires = traced;
+    }
+    let delivered: Vec<String> = switch
+        .output_positions
+        .iter()
+        .enumerate()
+        .filter_map(|(out_idx, &pos)| {
+            let (v, src) = wires[pos];
+            (v && src.is_some()).then(|| format!("Y{} <- X{}", out_idx, src.unwrap()))
+        })
+        .collect();
+    out.push_str(&format!(
+        "outputs ({} of m = {} carrying messages):\n  {}\n",
+        delivered.len(),
+        switch.m,
+        delivered.join(", ")
+    ));
+    out
+}
+
+/// Render the established paths of a routed frame as `input -> output`
+/// pairs, the "heavy lines" of Figures 3 and 6.
+pub fn render_paths<S: ConcentratorSwitch + ?Sized>(switch: &S, valid: &[bool]) -> String {
+    let routing = switch.route(valid);
+    let mut out = String::new();
+    for (input, assignment) in routing.assignment.iter().enumerate() {
+        if let Some(output) = assignment {
+            out.push_str(&format!("  X{input:<4} ====> Y{output}\n"));
+        } else if valid[input] {
+            out.push_str(&format!("  X{input:<4} --x   (congested)\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+
+    #[test]
+    fn stage_flow_renders_every_stage() {
+        let switch = RevsortSwitch::new(16, 8, RevsortLayout::TwoDee);
+        let valid = vec![true; 16];
+        let text = render_stage_flow(switch.staged(), &valid);
+        assert_eq!(text.matches("after ").count(), 3);
+        assert!(text.contains("stage 3"));
+    }
+
+    #[test]
+    fn paths_show_congestion() {
+        let switch = RevsortSwitch::new(16, 4, RevsortLayout::TwoDee);
+        let valid = vec![true; 16];
+        let text = render_paths(&switch, &valid);
+        assert!(text.contains("====>"));
+        assert!(text.contains("congested"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Tiny `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs and bare `--switch` flags.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Parsed {
+    /// Parse a flat argument list. Every token must be `--key` optionally
+    /// followed by a non-`--` value.
+    pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut parsed = Parsed::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{token}` (flags are --key)"));
+            };
+            if key.is_empty() {
+                return Err("empty flag `--`".into());
+            }
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                parsed.values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                parsed.flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// A required string value.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string value.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required parsed value.
+    pub fn required_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| format!("--{key} has an invalid value `{}`", self.required(key).unwrap()))
+    }
+
+    /// An optional parsed value with default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("--{key} has an invalid value `{raw}`")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let p = Parsed::parse(&to_vec(&["--n", "64", "--json", "--m", "28"])).unwrap();
+        assert_eq!(p.required("n").unwrap(), "64");
+        assert_eq!(p.required_parse::<usize>("m").unwrap(), 28);
+        assert!(p.has_flag("json"));
+        assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn missing_required_is_an_error() {
+        let p = Parsed::parse(&to_vec(&["--n", "64"])).unwrap();
+        assert!(p.required("m").is_err());
+        assert_eq!(p.parse_or::<usize>("m", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_bare_positional() {
+        assert!(Parsed::parse(&to_vec(&["value"])).is_err());
+        assert!(Parsed::parse(&to_vec(&["--"])).is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_are_reported() {
+        let p = Parsed::parse(&to_vec(&["--n", "abc"])).unwrap();
+        assert!(p.required_parse::<usize>("n").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! The CLI subcommands.
+
+use std::fmt::Write as _;
+
+use concentrator::layout::{columnsort_layout_2d, revsort_layout_2d};
+use concentrator::packaging::{Dim, PackagingReport};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::verify::monte_carlo_check;
+use concentrator::ColumnsortSwitch;
+
+use crate::args::Parsed;
+use crate::design::Design;
+use switchsim::{frame_vcd, Message};
+
+/// `help`.
+pub fn help() -> String {
+    "\
+concentrator — multichip partial concentrator switches (Cormen 1987)
+
+commands:
+  design  --n <inputs> --pins <budget> [--load <fraction>]
+          recommend constructions fitting a pin budget and offered load
+  route   --design <spec> --valid <bits>
+          run one setup cycle and print the established paths
+  verify  --design <spec> [--trials <count>] [--seed <seed>]
+          Monte Carlo + adversarial check of the concentration guarantee
+  package --design <spec> [--dim 2d|3d] [--json]
+          chips/pins/boards/volume resource report
+  svg     --design <spec> --out <file>
+          render the 2-D layout as SVG
+  export  --design <spec> --format verilog|vcd --out <file>
+          emit the flat control netlist as Verilog, or a sample frame as
+          a VCD waveform
+
+design specs: revsort:<n>:<m> | columnsort:<r>x<s>:<m>
+"
+    .to_string()
+}
+
+/// `design`: recommend constructions under a pin budget.
+pub fn design(args: &Parsed) -> Result<String, String> {
+    let n: usize = args.required_parse("n")?;
+    let pins: usize = args.required_parse("pins")?;
+    let load: f64 = args.parse_or("load", 0.25)?;
+    if !(0.0..=1.0).contains(&load) {
+        return Err("--load must be in [0, 1]".into());
+    }
+    let side = (n as f64).sqrt() as usize;
+    if side * side != n || !side.is_power_of_two() {
+        return Err(format!("--n must be 4^q (e.g. 256, 1024, 4096), got {n}"));
+    }
+    let m = n / 2;
+    let need = (load * n as f64).ceil() as usize;
+    let mut out = String::new();
+    writeln!(out, "target: n = {n}, m = {m}, pin budget {pins}, offered load {need} msgs/frame").unwrap();
+    writeln!(out, "{:<28} {:>6} {:>10} {:>9} {:>7} {:>6}", "design", "chips", "pins/chip", "capacity", "delays", "fits").unwrap();
+
+    let mut recommended: Option<(String, u64)> = None;
+    let mut consider = |name: String, chips: usize, pin_count: usize, capacity: usize, delays: u32, volume: u64, out: &mut String| {
+        let fits = pin_count <= pins && capacity >= need;
+        writeln!(
+            out,
+            "{name:<28} {chips:>6} {pin_count:>10} {capacity:>9} {delays:>7} {:>6}",
+            if fits { "fits" } else { "no" }
+        )
+        .unwrap();
+        if fits && recommended.as_ref().is_none_or(|&(_, best)| volume < best) {
+            recommended = Some((name, volume));
+        }
+    };
+
+    let revsort = RevsortSwitch::new(n, m, RevsortLayout::ThreeDee);
+    let pack = PackagingReport::revsort(&revsort);
+    consider(
+        "revsort".into(),
+        pack.total_chips(),
+        pack.max_pins_per_chip(),
+        revsort.guaranteed_capacity(),
+        revsort.delay(),
+        pack.volume_units,
+        &mut out,
+    );
+    let mut r = side;
+    while r <= n {
+        let s = n / r;
+        if n.is_multiple_of(r) && r.is_multiple_of(s) {
+            let switch = ColumnsortSwitch::new(r, s, m);
+            let pack = PackagingReport::columnsort(&switch, Dim::ThreeDee);
+            consider(
+                format!("columnsort:{r}x{s}"),
+                pack.total_chips(),
+                pack.max_pins_per_chip(),
+                switch.guaranteed_capacity(),
+                switch.delay(),
+                pack.volume_units,
+                &mut out,
+            );
+        }
+        r *= 2;
+    }
+    match recommended {
+        Some((name, volume)) => {
+            writeln!(out, "\nrecommended: {name} (smallest volume among fits: {volume} units)").unwrap()
+        }
+        None => writeln!(
+            out,
+            "\nno construction fits; raise the pin budget, lower the load, or add stages"
+        )
+        .unwrap(),
+    }
+    Ok(out)
+}
+
+/// `route`: one setup cycle.
+pub fn route(args: &Parsed) -> Result<String, String> {
+    let design = Design::parse(args.required("design")?)?;
+    let raw = args.required("valid")?;
+    let valid: Vec<bool> = raw
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("--valid must be 0/1 bits, found `{other}`")),
+        })
+        .collect::<Result<_, _>>()?;
+    let switch = design.switch();
+    if valid.len() != switch.inputs() {
+        return Err(format!(
+            "--valid has {} bits but the design has n = {}",
+            valid.len(),
+            switch.inputs()
+        ));
+    }
+    let routing = switch.route(&valid);
+    let k = valid.iter().filter(|&&v| v).count();
+    let mut out = String::new();
+    writeln!(out, "{}", design.name()).unwrap();
+    writeln!(out, "offered {k}, delivered {} of m = {}", routing.routed(), switch.outputs()).unwrap();
+    for (input, slot) in routing.assignment.iter().enumerate() {
+        match slot {
+            Some(output) => writeln!(out, "  X{input} -> Y{output}").unwrap(),
+            None if valid[input] => writeln!(out, "  X{input} -> (congested)").unwrap(),
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
+/// `verify`: Monte Carlo + adversarial guarantee check.
+pub fn verify(args: &Parsed) -> Result<String, String> {
+    let design = Design::parse(args.required("design")?)?;
+    let trials: usize = args.parse_or("trials", 2000)?;
+    let seed: u64 = args.parse_or("seed", 0xC0FFEE)?;
+    let report = match &design {
+        Design::Revsort(s) => monte_carlo_check(s, trials, seed),
+        Design::Columnsort(s) => monte_carlo_check(s, trials, seed),
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: {} patterns checked, {} failures",
+        design.name(),
+        report.trials,
+        report.failures.len()
+    )
+    .unwrap();
+    for failure in report.failures.iter().take(3) {
+        writeln!(out, "  violation: {:?}", failure.violations).unwrap();
+    }
+    if report.failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("guarantee violated:\n{out}"))
+    }
+}
+
+/// `package`: resource report, optionally JSON.
+pub fn package(args: &Parsed) -> Result<String, String> {
+    let design = Design::parse(args.required("design")?)?;
+    let dim = match args.optional("dim").unwrap_or("3d") {
+        "2d" => Dim::TwoDee,
+        "3d" => Dim::ThreeDee,
+        other => return Err(format!("--dim must be 2d or 3d, got `{other}`")),
+    };
+    let report = match (&design, dim) {
+        (Design::Revsort(s), Dim::ThreeDee) => PackagingReport::revsort(s),
+        (Design::Revsort(s), Dim::TwoDee) => {
+            let flat = RevsortSwitch::new(s.inputs(), s.outputs(), RevsortLayout::TwoDee);
+            PackagingReport::revsort(&flat)
+        }
+        (Design::Columnsort(s), dim) => PackagingReport::columnsort(s, dim),
+    };
+    if args.has_flag("json") {
+        return serde_json::to_string_pretty(&report)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    writeln!(out, "{}", report.name).unwrap();
+    for chip in &report.chip_types {
+        writeln!(out, "  chip: {} x{} ({} pins)", chip.name, chip.count, chip.data_pins).unwrap();
+    }
+    writeln!(out, "  boards: {} ({} types), stacks: {}", report.total_boards, report.board_types, report.stacks).unwrap();
+    writeln!(out, "  area: {} units, volume: {} units", report.area_units, report.volume_units).unwrap();
+    writeln!(out, "  gate delays: {}", report.gate_delays).unwrap();
+    Ok(out)
+}
+
+/// `export`: Verilog netlist or VCD waveform.
+pub fn export(args: &Parsed) -> Result<String, String> {
+    let design = Design::parse(args.required("design")?)?;
+    let out_path = args.required("out")?;
+    let staged = match &design {
+        Design::Revsort(s) => s.staged(),
+        Design::Columnsort(s) => s.staged(),
+    };
+    let content = match args.required("format")? {
+        "verilog" => staged.build_netlist(true).to_verilog("concentrator_switch"),
+        "vcd" => {
+            // A representative frame: every third input carries a byte.
+            let n = design.switch().inputs();
+            let offered: Vec<Message> = (0..n)
+                .step_by(3)
+                .enumerate()
+                .map(|(i, src)| Message::new(i as u64, src, vec![(0x40 + i) as u8]))
+                .collect();
+            frame_vcd(design.switch(), &offered)
+        }
+        other => return Err(format!("--format must be verilog or vcd, got `{other}`")),
+    };
+    std::fs::write(out_path, &content).map_err(|e| format!("writing {out_path}: {e}"))?;
+    Ok(format!("wrote {out_path} ({} bytes)\n", content.len()))
+}
+
+/// `svg`: render the 2-D layout.
+pub fn svg(args: &Parsed) -> Result<String, String> {
+    let design = Design::parse(args.required("design")?)?;
+    let out_path = args.required("out")?;
+    let svg = match &design {
+        Design::Revsort(s) => revsort_layout_2d(s).to_svg(),
+        Design::Columnsort(s) => columnsort_layout_2d(s).to_svg(),
+    };
+    std::fs::write(out_path, &svg).map_err(|e| format!("writing {out_path}: {e}"))?;
+    Ok(format!("wrote {out_path} ({} bytes)\n", svg.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Parsed {
+        Parsed::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn design_rejects_bad_load() {
+        assert!(design(&parse(&["--n", "64", "--pins", "64", "--load", "2.0"])).is_err());
+    }
+
+    #[test]
+    fn design_rejects_non_square_n() {
+        assert!(design(&parse(&["--n", "100", "--pins", "64"])).is_err());
+    }
+
+    #[test]
+    fn route_validates_bit_string() {
+        let args = parse(&["--design", "columnsort:8x2:12", "--valid", "10x"]);
+        assert!(route(&args).is_err());
+        let args = parse(&["--design", "columnsort:8x2:12", "--valid", "101"]);
+        assert!(route(&args).is_err(), "wrong length must error");
+    }
+
+    #[test]
+    fn package_text_mentions_chips() {
+        let args = parse(&["--design", "columnsort:8x4:18"]);
+        let text = package(&args).unwrap();
+        assert!(text.contains("8-by-8 hyperconcentrator"));
+    }
+
+    #[test]
+    fn svg_writes_file() {
+        let dir = std::env::temp_dir().join("concentrator_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layout.svg");
+        let args_vec = vec![
+            "--design".to_string(),
+            "columnsort:8x4:18".to_string(),
+            "--out".to_string(),
+            path.to_string_lossy().to_string(),
+        ];
+        let args = Parsed::parse(&args_vec).unwrap();
+        let msg = svg(&args).unwrap();
+        assert!(msg.contains("wrote"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,108 @@
+//! `concentrator` — command-line front end for the multichip partial
+//! concentrator switch library.
+//!
+//! ```text
+//! concentrator design  --n 4096 --pins 256 [--load 0.4]
+//! concentrator route   --design revsort:4096:2048 --valid 1011010...
+//! concentrator verify  --design columnsort:64x4:128 [--trials 2000]
+//! concentrator package --design revsort:1024:512 [--dim 3d] [--json]
+//! concentrator svg     --design columnsort:8x4:18 --out layout.svg
+//! ```
+//!
+//! Design specifiers: `revsort:<n>:<m>` or `columnsort:<r>x<s>:<m>`.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod design;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `concentrator help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let Some(command) = argv.first() else {
+        return Ok(commands::help());
+    };
+    let rest = args::Parsed::parse(&argv[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        "design" => commands::design(&rest),
+        "route" => commands::route(&rest),
+        "verify" => commands::verify(&rest),
+        "package" => commands::package(&rest),
+        "svg" => commands::svg(&rest),
+        "export" => commands::export(&rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("command")
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let text = run_ok(&["help"]);
+        for cmd in ["design", "route", "verify", "package", "svg", "export"] {
+            assert!(text.contains(cmd), "help missing {cmd}");
+        }
+        assert_eq!(run_ok(&[]), text);
+    }
+
+    #[test]
+    fn design_recommends_under_pin_budget() {
+        let text = run_ok(&["design", "--n", "1024", "--pins", "128"]);
+        assert!(text.contains("fits"), "{text}");
+    }
+
+    #[test]
+    fn route_reports_paths() {
+        let text = run_ok(&[
+            "route",
+            "--design",
+            "columnsort:8x2:12",
+            "--valid",
+            "1010010010100101",
+        ]);
+        assert!(text.contains("delivered"), "{text}");
+    }
+
+    #[test]
+    fn verify_runs_clean() {
+        let text =
+            run_ok(&["verify", "--design", "columnsort:8x4:24", "--trials", "200"]);
+        assert!(text.contains("0 failures"), "{text}");
+    }
+
+    #[test]
+    fn package_emits_json_when_asked() {
+        let text = run_ok(&[
+            "package", "--design", "revsort:64:28", "--dim", "3d", "--json",
+        ]);
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["stacks"], 3);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let argv = vec!["frobnicate".to_string()];
+        assert!(run(&argv).is_err());
+    }
+}

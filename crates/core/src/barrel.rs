@@ -1,0 +1,137 @@
+//! The w-bit barrel shifter boards of Figure 4.
+//!
+//! In the three-dimensional Revsort packaging, each stage-2 board follows
+//! its hyperconcentrator chip with a √n-bit barrel shifter whose
+//! `⌈lg √n⌉` control bits are *hardwired* to `rev(i)`: "since the barrel
+//! shift amounts are hardwired and never change, the barrel shifters
+//! introduce only a constant number of gate delays" (§4).
+
+use netlist::{Literal, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Gate delays of one hardwired barrel-shifter traversal: input pad,
+/// collapsed mux driver, output pad. The `O(1)` of Theorem 3's delay bound.
+pub const BARREL_LEVELS: u32 = 3;
+
+/// A w-bit right-rotating barrel shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Barrel {
+    width: usize,
+}
+
+impl Barrel {
+    /// Create a barrel shifter over `width` wires.
+    ///
+    /// # Panics
+    /// If `width == 0` or not a power of two (the rotation stages shift by
+    /// powers of two).
+    pub fn new(width: usize) -> Self {
+        assert!(width.is_power_of_two(), "barrel width must be a power of two");
+        Barrel { width }
+    }
+
+    /// Number of data wires.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of control bits: `⌈lg w⌉`.
+    pub fn control_bits(&self) -> usize {
+        self.width.trailing_zeros() as usize
+    }
+
+    /// Data pins of the packaged chip: `2w` data plus the control bits —
+    /// the `2√n + ⌈(lg n)/2⌉` pins of Theorem 3.
+    pub fn pins(&self) -> usize {
+        2 * self.width + self.control_bits()
+    }
+
+    /// Functional model: rotate `data` right by `amount` (element at index
+    /// `j` moves to index `(amount + j) mod w`).
+    pub fn rotate<T: Clone>(&self, data: &[T], amount: usize) -> Vec<T> {
+        assert_eq!(data.len(), self.width);
+        let w = self.width;
+        let amount = amount % w;
+        (0..w).map(|i| data[(i + w - amount) % w].clone()).collect()
+    }
+
+    /// Build the generic gate-level barrel shifter: inputs are `w` data
+    /// wires followed by `⌈lg w⌉` control wires (LSB first); outputs are
+    /// the `w` data wires rotated right by the control value.
+    ///
+    /// Each of the `lg w` mux levels costs 2 gate delays (AND plane + OR
+    /// plane), for `2⌈lg w⌉` total — this is what hardwiring the controls
+    /// saves.
+    pub fn build_netlist(&self) -> Netlist {
+        let w = self.width;
+        let mut nl = Netlist::new();
+        let data: Vec<Literal> = nl.inputs_n(w).into_iter().map(Literal::pos).collect();
+        let control: Vec<Literal> =
+            nl.inputs_n(self.control_bits()).into_iter().map(Literal::pos).collect();
+        let mut current = data;
+        for (level, &ctl) in control.iter().enumerate() {
+            let shift = 1usize << level;
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let stay = nl.and([current[i], ctl.complement()]);
+                let moved = nl.and([current[(i + w - shift) % w], ctl]);
+                next.push(nl.or([stay, moved]));
+            }
+            current = next;
+        }
+        for lit in current {
+            nl.mark_output(lit);
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_rotation_matches_definition() {
+        let b = Barrel::new(4);
+        assert_eq!(b.rotate(&[10, 11, 12, 13], 0), vec![10, 11, 12, 13]);
+        assert_eq!(b.rotate(&[10, 11, 12, 13], 1), vec![13, 10, 11, 12]);
+        assert_eq!(b.rotate(&[10, 11, 12, 13], 5), vec![13, 10, 11, 12]);
+    }
+
+    #[test]
+    fn netlist_rotates_for_every_control_value() {
+        let b = Barrel::new(8);
+        let nl = b.build_netlist();
+        for amount in 0..8usize {
+            for pattern in [0b1010_1100u32, 0b0000_0001, 0b1111_0000] {
+                let data: Vec<bool> = (0..8).map(|i| (pattern >> i) & 1 == 1).collect();
+                let mut inputs = data.clone();
+                for bit in 0..3 {
+                    inputs.push((amount >> bit) & 1 == 1);
+                }
+                let got = nl.eval(&inputs);
+                let expected = b.rotate(&data, amount);
+                assert_eq!(got, expected, "amount {amount}, pattern {pattern:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_netlist_depth_is_two_lg_w() {
+        let b = Barrel::new(16);
+        assert_eq!(b.build_netlist().depth(), 8);
+    }
+
+    #[test]
+    fn pin_count_matches_theorem3() {
+        // 2√n + ⌈(lg n)/2⌉ data pins for the stage-2 boards with √n = 8.
+        let b = Barrel::new(8);
+        assert_eq!(b.pins(), 2 * 8 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_width() {
+        Barrel::new(6);
+    }
+}

@@ -1,0 +1,194 @@
+//! A cellular compaction lattice — the "obvious" regular-layout
+//! alternative to the Cormen–Leiserson hyperconcentrator, built as an
+//! ablation baseline.
+//!
+//! The lattice is n stages of odd–even neighbor cells: in each stage a
+//! message moves one wire toward wire 0 whenever that neighbor is vacant
+//! (a bubble-compaction pass). Every cell is identical and talks only to
+//! its neighbor — a layout even more regular than the 1986 chip — and n
+//! stages suffice to compact any pattern. The price is **Θ(n) gate
+//! delays** against the merge network's `2 lg n`, at the same `Θ(n²)`
+//! cell count: exactly the trade that makes the 1986 design worth its
+//! more elaborate wiring, quantified in `ablation_cellular`.
+
+use netlist::{Literal, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+
+/// The odd–even cellular compaction lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellularCompactor {
+    n: usize,
+}
+
+impl CellularCompactor {
+    /// Build an n-wire lattice.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "lattice needs at least one wire");
+        CellularCompactor { n }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of odd–even stages needed to compact any pattern: `n`.
+    pub fn stages(&self) -> usize {
+        self.n
+    }
+
+    /// Functional model: run the lattice on valid bits, returning the
+    /// per-wire occupancy after each full pass (for tests) — final state
+    /// is the compaction.
+    pub fn settle(&self, valid: &[bool]) -> Vec<bool> {
+        assert_eq!(valid.len(), self.n);
+        let mut wires = valid.to_vec();
+        for stage in 0..self.stages() {
+            let start = if stage % 2 == 0 { 1 } else { 2 };
+            let mut i = start;
+            while i < self.n {
+                if wires[i] && !wires[i - 1] {
+                    wires.swap(i, i - 1);
+                }
+                i += 2;
+            }
+        }
+        wires
+    }
+
+    /// Gate-level netlist of the lattice: each cell is a 2×2 vacancy-
+    /// controlled exchange (two levels per stage under the wide-gate
+    /// convention — one AND plane, one OR plane).
+    pub fn build_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut wires: Vec<Literal> =
+            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        for stage in 0..self.stages() {
+            let start = if stage % 2 == 0 { 1 } else { 2 };
+            let mut next = wires.clone();
+            let mut i = start;
+            while i < self.n {
+                let upper = wires[i - 1];
+                let lower = wires[i];
+                // upper' = upper OR lower (message falls into a vacancy);
+                // lower' = upper AND lower (stays only if both occupied).
+                next[i - 1] = nl.or([upper, lower]);
+                next[i] = nl.and([upper, lower]);
+                i += 2;
+            }
+            wires = next;
+        }
+        for lit in wires {
+            nl.mark_output(lit);
+        }
+        nl
+    }
+}
+
+impl ConcentratorSwitch for CellularCompactor {
+    fn inputs(&self) -> usize {
+        self.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.n
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        ConcentratorKind::Hyperconcentrator
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        // The lattice preserves message order (it only exchanges a message
+        // with a vacancy, never two messages), so routing is the stable
+        // compaction.
+        assert_eq!(valid.len(), self.n);
+        let mut rank = 0usize;
+        let assignment = valid
+            .iter()
+            .map(|&v| {
+                if v {
+                    rank += 1;
+                    Some(rank - 1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Routing::from_assignment(assignment, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::Hyperconcentrator;
+    use crate::spec::check_concentration;
+
+    fn bits_of(pattern: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn settles_to_compaction_exhaustively() {
+        for n in [1usize, 2, 5, 8, 12] {
+            let lattice = CellularCompactor::new(n);
+            let reference = Hyperconcentrator::new(n);
+            for pattern in 0u64..(1u64 << n) {
+                let valid = bits_of(pattern, n);
+                assert_eq!(
+                    lattice.settle(&valid),
+                    reference.concentrate(&valid),
+                    "n={n}, pattern {pattern:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_matches_settle_exhaustively() {
+        for n in [2usize, 5, 8, 10] {
+            let lattice = CellularCompactor::new(n);
+            let nl = lattice.build_netlist();
+            for pattern in 0u64..(1u64 << n) {
+                let valid = bits_of(pattern, n);
+                assert_eq!(nl.eval(&valid), lattice.settle(&valid), "n={n} {pattern:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_is_a_hyperconcentrator() {
+        let lattice = CellularCompactor::new(10);
+        for pattern in 0u64..(1 << 10) {
+            let valid = bits_of(pattern, 10);
+            assert!(check_concentration(&lattice, &valid).is_empty());
+        }
+    }
+
+    #[test]
+    fn delay_is_linear_not_logarithmic() {
+        // The ablation's point: same function, Θ(n) depth.
+        let n = 64;
+        let lattice_depth = CellularCompactor::new(n).build_netlist().depth();
+        let merge_depth = Hyperconcentrator::new(n).build_netlist(false).depth();
+        assert!(lattice_depth as usize >= n, "lattice depth {lattice_depth} < n");
+        assert_eq!(merge_depth, 12); // 2 lg 64
+        assert!(lattice_depth > 5 * merge_depth);
+    }
+
+    #[test]
+    fn worst_case_needs_about_n_stages() {
+        // A message at wire n-1 with all others valid-then-invalid: the
+        // single vacancy pattern needs ~n passes to percolate.
+        let n = 16;
+        let lattice = CellularCompactor::new(n);
+        let mut valid = vec![false; n];
+        valid[n - 1] = true;
+        let settled = lattice.settle(&valid);
+        assert!(settled[0], "lone message must reach wire 0");
+        assert!(settled.iter().skip(1).all(|&v| !v));
+    }
+}

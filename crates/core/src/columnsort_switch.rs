@@ -1,0 +1,240 @@
+//! The Columnsort-based partial concentrator switch of §5 (Theorem 4).
+//!
+//! Two stages of r-by-r hyperconcentrator chips simulate Columnsort steps
+//! 1–3 on the r×s valid-bit matrix: stage 1 sorts the columns, the
+//! `RM⁻¹ ∘ CM` crossbar converts column-major to row-major order, and
+//! stage 2 sorts the columns again. The outputs are the first `m` wires in
+//! row-major order, giving an `(n, m, 1 − (s−1)²/m)` partial concentrator
+//! with `Θ(n^β)` data pins per chip, `Θ(n^{1−β})` chips, volume
+//! `Θ(n^{1+β})`, and `4β lg n + O(1)` gate delays for
+//! `r = Θ(n^β)`, `1/2 ≤ β ≤ 1`.
+
+use meshsort::{cm_to_rm_permutation, ColumnsortShape};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+use crate::staged::{sort_stage, Axis, StagedSwitch};
+
+/// The two-stage Columnsort-based partial concentrator switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnsortSwitch {
+    inner: StagedSwitch,
+    shape: ColumnsortShape,
+}
+
+impl ColumnsortSwitch {
+    /// Build the switch over an r×s valid-bit matrix (`n = rs`) with
+    /// `m ≤ n` outputs.
+    ///
+    /// # Panics
+    /// If `s` does not divide `r` (§5's side condition) or `m` is out of
+    /// range.
+    pub fn new(rows: usize, cols: usize, m: usize) -> Self {
+        let shape = ColumnsortShape::new(rows, cols);
+        let n = shape.len();
+        assert!(m > 0 && m <= n, "need 0 < m <= n");
+
+        let wiring = cm_to_rm_permutation(rows, cols);
+        let stages = vec![
+            sort_stage(rows, cols, Axis::Columns, None, None, "stage 1: sort columns"),
+            sort_stage(
+                rows,
+                cols,
+                Axis::Columns,
+                Some(&wiring),
+                None,
+                "stage 2: CM->RM wiring, sort columns",
+            ),
+        ];
+
+        let epsilon = shape.nearsort_bound();
+        let alpha = (1.0 - epsilon as f64 / m as f64).max(0.0);
+        let inner = StagedSwitch {
+            name: format!("Columnsort switch (r={rows}, s={cols}, m={m})"),
+            n,
+            m,
+            kind: ConcentratorKind::Partial { alpha },
+            stages,
+            output_positions: (0..m).collect(),
+        };
+        inner.validate();
+        ColumnsortSwitch { inner, shape }
+    }
+
+    /// A square shape (`β = 1/2`): `r = s = √n`.
+    pub fn square(n: usize, m: usize) -> Self {
+        let side = crate::revsort_switch::integer_sqrt(n);
+        assert_eq!(side * side, n, "square Columnsort switch requires square n");
+        ColumnsortSwitch::new(side, side, m)
+    }
+
+    /// The underlying mesh shape.
+    pub fn shape(&self) -> ColumnsortShape {
+        self.shape
+    }
+
+    /// The nearsortedness guarantee of steps 1–3: `ε = (s−1)²`.
+    pub fn epsilon_bound(&self) -> usize {
+        self.shape.nearsort_bound()
+    }
+
+    /// The underlying staged switch.
+    pub fn staged(&self) -> &StagedSwitch {
+        &self.inner
+    }
+
+    /// Gate delays: `2 × (2⌈lg r⌉ + pads) = 4β lg n + O(1)`.
+    pub fn delay(&self) -> u32 {
+        self.inner.delay()
+    }
+}
+
+impl ConcentratorSwitch for ColumnsortSwitch {
+    fn inputs(&self) -> usize {
+        self.inner.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.m
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        self.inner.kind
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        self.inner.route(valid)
+    }
+
+    /// Exact integer capacity `m − (s−1)²` (avoids the default's f64
+    /// round trip through α, which can under-report by one).
+    fn guaranteed_capacity(&self) -> usize {
+        self.inner.m.saturating_sub(self.epsilon_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::check_concentration;
+    use meshsort::{columnsort_steps123, nearsort_epsilon, Grid, SortOrder};
+
+    fn bits_of(pattern: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn trace_equals_columnsort_steps123_exhaustively_8x2() {
+        let switch = ColumnsortSwitch::new(8, 2, 16);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            let traced: Vec<bool> =
+                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let mut grid = Grid::from_row_major(8, 2, valid.clone());
+            columnsort_steps123(&mut grid, SortOrder::Descending);
+            assert_eq!(&traced, grid.as_row_major(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn trace_equals_columnsort_steps123_exhaustively_4x4() {
+        let switch = ColumnsortSwitch::new(4, 4, 16);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            let traced: Vec<bool> =
+                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let mut grid = Grid::from_row_major(4, 4, valid.clone());
+            columnsort_steps123(&mut grid, SortOrder::Descending);
+            assert_eq!(&traced, grid.as_row_major(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn nearsort_guarantee_holds_exhaustively_4x4() {
+        let switch = ColumnsortSwitch::new(4, 4, 16);
+        let bound = switch.epsilon_bound();
+        assert_eq!(bound, 9);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            let traced: Vec<bool> =
+                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let eps = nearsort_epsilon(&traced, SortOrder::Descending);
+            assert!(eps <= bound, "pattern {pattern:#x}: ε = {eps} > {bound}");
+        }
+    }
+
+    #[test]
+    fn concentration_property_exhaustive_8x2() {
+        // ε = 1, so with m = 16: capacity 15.
+        let switch = ColumnsortSwitch::new(8, 2, 16);
+        assert_eq!(switch.guaranteed_capacity(), 15);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            let violations = check_concentration(&switch, &valid);
+            assert!(violations.is_empty(), "pattern {pattern:#x}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn concentration_property_random_8x4() {
+        let switch = ColumnsortSwitch::new(8, 4, 24);
+        let mut state = 99u64;
+        for _ in 0..3000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid = bits_of(state, 32);
+            let violations = check_concentration(&switch, &valid);
+            assert!(violations.is_empty(), "{state:#x}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn delay_is_4_lg_r_plus_constant() {
+        for (r, s) in [(8usize, 4usize), (16, 4), (64, 8)] {
+            let switch = ColumnsortSwitch::new(r, s, r * s / 2);
+            let lg_r = usize::BITS - (r - 1).leading_zeros();
+            assert_eq!(switch.delay(), 4 * lg_r + 4, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn chip_count_is_2s() {
+        let switch = ColumnsortSwitch::new(16, 4, 32);
+        assert_eq!(switch.staged().chip_count(), 8);
+        assert_eq!(switch.staged().max_data_pins_per_chip(), 32);
+    }
+
+    #[test]
+    fn netlist_matches_trace_8x4() {
+        let switch = ColumnsortSwitch::new(8, 4, 18);
+        let nl = switch.staged().build_netlist(true);
+        assert_eq!(nl.depth(), switch.delay());
+        let mut state = 5u64;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid = bits_of(state, 32);
+            let expected: Vec<bool> = {
+                let t = switch.staged().trace(&valid);
+                switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+            };
+            assert_eq!(nl.eval(&valid), expected);
+        }
+    }
+
+    #[test]
+    fn square_constructor_is_beta_half() {
+        let switch = ColumnsortSwitch::square(64, 32);
+        assert_eq!(switch.shape().rows, 8);
+        assert_eq!(switch.shape().cols, 8);
+        assert_eq!(switch.epsilon_bound(), 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn rejects_bad_shape() {
+        ColumnsortSwitch::new(8, 3, 10);
+    }
+}

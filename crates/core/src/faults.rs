@@ -1,0 +1,236 @@
+//! Chip-failure injection for the multichip switches.
+//!
+//! A multichip switch has a failure surface a single chip does not: one
+//! dead hyperconcentrator silences (or worse, garbles) a whole row or
+//! column of the mesh. This module injects the two classic failure modes
+//! into a [`StagedSwitch`] and measures the degraded switch — the
+//! availability analysis a 1987 machine builder would have run before
+//! committing to a stack design.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+use crate::staged::{StagedSwitch, StageKind};
+
+/// How a failed chip misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// All outputs stuck invalid: every message entering the chip is lost.
+    StuckInvalid,
+    /// All outputs stuck valid: the chip floods its column with phantom
+    /// carriers (downstream sees spurious traffic; real payloads are
+    /// lost). The worst mode for a concentrator, since phantoms steal
+    /// output slots.
+    StuckValid,
+}
+
+/// A located fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipFault {
+    /// Stage index within the switch.
+    pub stage: usize,
+    /// Chip index within the stage.
+    pub chip: usize,
+    /// Failure mode.
+    pub mode: FaultMode,
+}
+
+/// A staged switch with injected chip faults.
+pub struct FaultySwitch<'a> {
+    inner: &'a StagedSwitch,
+    faults: Vec<ChipFault>,
+}
+
+impl<'a> FaultySwitch<'a> {
+    /// Inject `faults` into `inner`.
+    ///
+    /// # Panics
+    /// If a fault names a stage or chip that does not exist.
+    pub fn new(inner: &'a StagedSwitch, faults: Vec<ChipFault>) -> Self {
+        for fault in &faults {
+            assert!(fault.stage < inner.stages.len(), "fault names missing stage");
+            assert!(
+                fault.chip < inner.stages[fault.stage].chip_count,
+                "fault names missing chip"
+            );
+        }
+        FaultySwitch { inner, faults }
+    }
+
+    fn fault_at(&self, stage: usize, chip: usize) -> Option<FaultMode> {
+        self.faults
+            .iter()
+            .find(|f| f.stage == stage && f.chip == chip)
+            .map(|f| f.mode)
+    }
+
+    /// Trace wire occupancy through the faulty switch.
+    fn trace(&self, valid: &[bool]) -> Vec<(bool, Option<usize>)> {
+        assert_eq!(valid.len(), self.inner.n);
+        let mut wires: Vec<(bool, Option<usize>)> = valid
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, v.then_some(i)))
+            .collect();
+        for (stage_idx, stage) in self.inner.stages.iter().enumerate() {
+            let pins = stage.chip_pins;
+            let mut next = vec![(false, None); stage.out_len];
+            for chip in 0..stage.chip_count {
+                let base = chip * pins;
+                let gathered: Vec<(bool, Option<usize>)> = (0..pins)
+                    .map(|p| match stage.input_map[base + p] {
+                        crate::staged::PinSource::Prev(i) => wires[i],
+                        crate::staged::PinSource::Const(v) => (v, None),
+                    })
+                    .collect();
+                let outputs: Vec<(bool, Option<usize>)> =
+                    match (self.fault_at(stage_idx, chip), stage.kind) {
+                        (Some(FaultMode::StuckInvalid), _) => vec![(false, None); pins],
+                        (Some(FaultMode::StuckValid), _) => vec![(true, None); pins],
+                        (None, StageKind::Compactor) => {
+                            let mut compacted: Vec<(bool, Option<usize>)> =
+                                gathered.iter().copied().filter(|&(v, _)| v).collect();
+                            compacted.resize(pins, (false, None));
+                            compacted
+                        }
+                        (None, StageKind::PassThrough) => gathered,
+                    };
+                // Faulty switches may drop real messages at padding
+                // positions; that is exactly the failure being modeled,
+                // so no assertion on dropped wires here.
+                for (p, &slot) in outputs.iter().enumerate() {
+                    if let Some(dst) = stage.output_map[base + p] {
+                        next[dst] = slot;
+                    }
+                }
+            }
+            wires = next;
+        }
+        wires
+    }
+}
+
+impl ConcentratorSwitch for FaultySwitch<'_> {
+    fn inputs(&self) -> usize {
+        self.inner.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.m
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        // A faulty switch promises nothing.
+        ConcentratorKind::Partial { alpha: 0.0 }
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        let wires = self.trace(valid);
+        let mut assignment = vec![None; self.inner.n];
+        for (out_idx, &pos) in self.inner.output_positions.iter().enumerate() {
+            let (v, source) = wires[pos];
+            if v {
+                if let Some(src) = source {
+                    assignment[src] = Some(out_idx);
+                }
+            }
+        }
+        Routing::from_assignment(assignment, self.inner.m)
+    }
+}
+
+/// Measure delivery degradation: mean delivered fraction over seeded
+/// random patterns at density `p`.
+pub fn degradation<S: ConcentratorSwitch + ?Sized>(
+    switch: &S,
+    p: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let n = switch.inputs();
+    let mut rng = crate::verify::SplitMix64(seed);
+    let mut offered = 0usize;
+    let mut delivered = 0usize;
+    for _ in 0..trials {
+        let valid = rng.valid_bits(n, p);
+        offered += valid.iter().filter(|&&v| v).count();
+        delivered += switch.route(&valid).routed();
+    }
+    if offered == 0 {
+        1.0
+    } else {
+        delivered as f64 / offered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revsort_switch::{RevsortLayout, RevsortSwitch};
+
+    fn switch() -> RevsortSwitch {
+        RevsortSwitch::new(64, 48, RevsortLayout::TwoDee)
+    }
+
+    #[test]
+    fn no_faults_matches_the_healthy_switch() {
+        let healthy = switch();
+        let faulty = FaultySwitch::new(healthy.staged(), vec![]);
+        let mut state = 5u64;
+        for _ in 0..300 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid: Vec<bool> = (0..64).map(|i| (state >> i) & 1 == 1).collect();
+            assert_eq!(healthy.route(&valid), faulty.route(&valid));
+        }
+    }
+
+    #[test]
+    fn stuck_invalid_chip_loses_its_column() {
+        let healthy = switch();
+        let fault = ChipFault { stage: 0, chip: 3, mode: FaultMode::StuckInvalid };
+        let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
+        // Only column 3 carries messages: all lost.
+        let valid: Vec<bool> = (0..64).map(|i| i % 8 == 3).collect();
+        let routing = faulty.route(&valid);
+        assert_eq!(routing.routed(), 0);
+        // Other columns unaffected.
+        let valid: Vec<bool> = (0..64).map(|i| i % 8 == 5).collect();
+        assert_eq!(faulty.route(&valid).routed(), 8);
+    }
+
+    #[test]
+    fn stuck_valid_floods_and_displaces_real_traffic() {
+        let healthy = switch();
+        let fault = ChipFault { stage: 0, chip: 0, mode: FaultMode::StuckValid };
+        let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
+        let healthy_rate = degradation(&healthy, 0.5, 300, 9);
+        let faulty_rate = degradation(&faulty, 0.5, 300, 9);
+        assert!(
+            faulty_rate < healthy_rate,
+            "phantom flood must displace real messages: {faulty_rate} vs {healthy_rate}"
+        );
+    }
+
+    #[test]
+    fn stuck_invalid_degrades_proportionally() {
+        let healthy = switch();
+        let fault = ChipFault { stage: 0, chip: 2, mode: FaultMode::StuckInvalid };
+        let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
+        let rate = degradation(&faulty, 0.5, 400, 11);
+        // One of eight first-stage chips dead: expect roughly 7/8 of
+        // healthy delivery under light-to-moderate load.
+        assert!(rate > 0.6 && rate < 0.98, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing chip")]
+    fn fault_location_is_validated() {
+        let healthy = switch();
+        FaultySwitch::new(
+            healthy.staged(),
+            vec![ChipFault { stage: 0, chip: 99, mode: FaultMode::StuckInvalid }],
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The full-Columnsort multichip *hyper*concentrator of §6.
+//!
+//! "By simulating all eight steps of Columnsort, we can build a
+//! hyperconcentrator switch with the same asymptotic volume and chip count
+//! as the partial concentrator switch of Section 5. A signal passes
+//! through four chips and incurs 8β lg n + O(1) gate delays."
+//!
+//! The four chip stages are the four column sorts (steps 1, 3, 5, 7); the
+//! even steps are wiring. Step 7 sorts an r×(s+1) mesh whose padding
+//! half-columns are hardwired constants (valid-1 at the head — "−∞" for
+//! the descending valid-bit order — and invalid-0 at the tail); step 8's
+//! unshift drops them again.
+
+use meshsort::{cm_to_rm_permutation, rm_to_cm_permutation, ColumnsortShape};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+use crate::staged::{sort_stage, Axis, PinSource, StageKind, StagedSwitch, SwitchStage};
+
+/// An n-by-n multichip hyperconcentrator built from all eight Columnsort
+/// steps on an r×s mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullColumnsortHyperconcentrator {
+    inner: StagedSwitch,
+    shape: ColumnsortShape,
+}
+
+impl FullColumnsortHyperconcentrator {
+    /// Build the hyperconcentrator over an r×s mesh.
+    ///
+    /// # Panics
+    /// Unless `s | r` and `r ≥ 2(s−1)²` (Columnsort's full-sort
+    /// conditions).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let shape = ColumnsortShape::new(rows, cols);
+        assert!(
+            shape.supports_full_sort(),
+            "full Columnsort requires r >= 2(s-1)^2; got r={rows}, s={cols}"
+        );
+        let n = shape.len();
+
+        let cm_rm = cm_to_rm_permutation(rows, cols);
+        let rm_cm = rm_to_cm_permutation(rows, cols);
+        let stages = vec![
+            sort_stage(rows, cols, Axis::Columns, None, None, "step 1: sort columns"),
+            sort_stage(
+                rows,
+                cols,
+                Axis::Columns,
+                Some(&cm_rm),
+                None,
+                "steps 2-3: CM->RM wiring, sort columns",
+            ),
+            sort_stage(
+                rows,
+                cols,
+                Axis::Columns,
+                Some(&rm_cm),
+                None,
+                "steps 4-5: RM->CM wiring, sort columns",
+            ),
+            shifted_sort_stage(rows, cols),
+        ];
+
+        let inner = StagedSwitch {
+            name: format!("full-Columnsort hyperconcentrator (r={rows}, s={cols})"),
+            n,
+            m: n,
+            kind: ConcentratorKind::Hyperconcentrator,
+            stages,
+            // The fully sorted order is column-major: output x lives at
+            // matrix position (x mod r, ⌊x/r⌋).
+            output_positions: (0..n).map(|x| (x % rows) * cols + x / rows).collect(),
+        };
+        inner.validate();
+        FullColumnsortHyperconcentrator { inner, shape }
+    }
+
+    /// The underlying mesh shape.
+    pub fn shape(&self) -> ColumnsortShape {
+        self.shape
+    }
+
+    /// The underlying staged switch.
+    pub fn staged(&self) -> &StagedSwitch {
+        &self.inner
+    }
+
+    /// Chips a message passes through — four, as §6 states.
+    pub fn chip_traversals(&self) -> usize {
+        self.inner.stages.len()
+    }
+
+    /// Total gate delays: `4 × (2⌈lg r⌉ + pads) = 8β lg n + O(1)`.
+    pub fn delay(&self) -> u32 {
+        self.inner.delay()
+    }
+}
+
+impl ConcentratorSwitch for FullColumnsortHyperconcentrator {
+    fn inputs(&self) -> usize {
+        self.inner.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.m
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        ConcentratorKind::Hyperconcentrator
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        self.inner.route(valid)
+    }
+}
+
+/// Steps 6–8: the shift stage. The column-major element sequence is shifted
+/// down by `⌊r/2⌋` across `s+1` chips; the head pads are hardwired valid
+/// (sorting first in the descending order) and the tail pads hardwired
+/// invalid. After the column sorts, the pad positions are dropped and the
+/// sequence scattered back to row-major matrix order.
+fn shifted_sort_stage(rows: usize, cols: usize) -> SwitchStage {
+    let n = rows * cols;
+    let half = rows / 2;
+    let chip_count = cols + 1;
+    let total = chip_count * rows;
+    debug_assert_eq!(total, n + rows);
+
+    let mut input_map = Vec::with_capacity(total);
+    let mut output_map = Vec::with_capacity(total);
+    for t in 0..total {
+        if t < half {
+            input_map.push(PinSource::Const(true));
+            output_map.push(None);
+        } else if t < half + n {
+            let cm = t - half;
+            let (row, col) = (cm % rows, cm / rows);
+            input_map.push(PinSource::Prev(row * cols + col));
+            output_map.push(Some(row * cols + col));
+        } else {
+            input_map.push(PinSource::Const(false));
+            output_map.push(None);
+        }
+    }
+    SwitchStage {
+        label: "steps 6-8: shift, sort columns, unshift".into(),
+        kind: StageKind::Compactor,
+        chip_count,
+        chip_pins: rows,
+        input_map,
+        output_map,
+        out_len: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::check_concentration;
+    use meshsort::{columnsort_full, Grid, SortOrder};
+
+    fn bits_of(pattern: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn compacts_all_patterns_exhaustively_8x2() {
+        let switch = FullColumnsortHyperconcentrator::new(8, 2);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            let violations = check_concentration(&switch, &valid);
+            assert!(violations.is_empty(), "pattern {pattern:#x}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn matches_meshsort_full_columnsort_9x3() {
+        let switch = FullColumnsortHyperconcentrator::new(9, 3);
+        let mut state = 11u64;
+        for _ in 0..5000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid = bits_of(state & ((1 << 27) - 1), 27);
+            let traced: Vec<bool> =
+                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let mut grid = Grid::from_row_major(9, 3, valid.clone());
+            columnsort_full(&mut grid, SortOrder::Descending);
+            assert_eq!(&traced, grid.as_row_major(), "state {state:#x}");
+        }
+    }
+
+    #[test]
+    fn compacts_random_patterns_16x4() {
+        let switch = FullColumnsortHyperconcentrator::new(32, 4);
+        let mut state = 3u64;
+        for _ in 0..1000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid: Vec<bool> =
+                (0..128).map(|i| (state.rotate_left((i % 61) as u32)) & 1 == 1).collect();
+            let violations = check_concentration(&switch, &valid);
+            assert!(violations.is_empty(), "{state:#x}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn four_chip_traversals_and_delay() {
+        let switch = FullColumnsortHyperconcentrator::new(32, 4);
+        assert_eq!(switch.chip_traversals(), 4);
+        // 4 × (2·5 + 2) = 48.
+        assert_eq!(switch.delay(), 48);
+    }
+
+    #[test]
+    fn netlist_matches_trace_8x2() {
+        let switch = FullColumnsortHyperconcentrator::new(8, 2);
+        let nl = switch.staged().build_netlist(false);
+        for pattern in (0u64..(1 << 16)).step_by(431) {
+            let valid = bits_of(pattern, 16);
+            let expected: Vec<bool> = {
+                let t = switch.staged().trace(&valid);
+                switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+            };
+            assert_eq!(nl.eval(&valid), expected, "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "r >= 2(s-1)^2")]
+    fn rejects_shapes_too_flat_to_sort() {
+        FullColumnsortHyperconcentrator::new(8, 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Physical geometry primitives for the layout engine.
+//!
+//! The paper's packaging claims are geometric: chips are placed, crossbars
+//! occupy wiring channels, boards stack with air gaps. This module gives
+//! the layout engine ([`crate::layout`]) exact integer geometry so areas
+//! and volumes come from *bounding boxes of placed parts* rather than
+//! closed-form unit models — an independent check on
+//! [`crate::packaging`]'s accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the layout grid (lambda units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i64,
+    /// Vertical coordinate.
+    pub y: i64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle, half-open (`max` exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner (exclusive).
+    pub max: Point,
+}
+
+impl Rect {
+    /// Construct from corner and size.
+    ///
+    /// # Panics
+    /// If either dimension is non-positive.
+    pub fn at(origin: Point, width: i64, height: i64) -> Self {
+        assert!(width > 0 && height > 0, "rectangle dimensions must be positive");
+        Rect { min: origin, max: Point::new(origin.x + width, origin.y + height) }
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> i64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> i64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Whether two rectangles overlap (half-open semantics: touching
+    /// edges do not overlap).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x < other.max.x
+            && other.min.x < self.max.x
+            && self.min.y < other.max.y
+            && other.min.y < self.max.y
+    }
+
+    /// Whether `other` lies fully inside `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && other.max.x <= self.max.x
+            && other.max.y <= self.max.y
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Bounding box of a non-empty rectangle collection.
+    ///
+    /// # Panics
+    /// If `rects` is empty.
+    pub fn bounding(rects: &[Rect]) -> Rect {
+        let mut it = rects.iter();
+        let first = *it.next().expect("bounding box of nothing");
+        it.fold(first, |acc, r| acc.union(r))
+    }
+}
+
+/// An axis-aligned box in 3-D (for stacks), half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Box3 {
+    /// Footprint in the board plane.
+    pub footprint: Rect,
+    /// Stack axis interval `[z_min, z_max)`.
+    pub z_min: i64,
+    /// Exclusive top.
+    pub z_max: i64,
+}
+
+impl Box3 {
+    /// Construct from footprint and z interval.
+    ///
+    /// # Panics
+    /// If the z interval is empty.
+    pub fn new(footprint: Rect, z_min: i64, z_max: i64) -> Self {
+        assert!(z_max > z_min, "z interval must be non-empty");
+        Box3 { footprint, z_min, z_max }
+    }
+
+    /// Volume.
+    pub fn volume(&self) -> i64 {
+        self.footprint.area() * (self.z_max - self.z_min)
+    }
+
+    /// 3-D overlap test.
+    pub fn intersects(&self, other: &Box3) -> bool {
+        self.footprint.intersects(&other.footprint)
+            && self.z_min < other.z_max
+            && other.z_min < self.z_max
+    }
+
+    /// Bounding box of a non-empty collection.
+    ///
+    /// # Panics
+    /// If `boxes` is empty.
+    pub fn bounding(boxes: &[Box3]) -> Box3 {
+        let mut it = boxes.iter();
+        let first = *it.next().expect("bounding box of nothing");
+        it.fold(first, |acc, b| Box3 {
+            footprint: acc.footprint.union(&b.footprint),
+            z_min: acc.z_min.min(b.z_min),
+            z_max: acc.z_max.max(b.z_max),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_dimensions_and_area() {
+        let r = Rect::at(Point::new(2, 3), 4, 5);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.max, Point::new(6, 8));
+    }
+
+    #[test]
+    fn intersection_is_half_open() {
+        let a = Rect::at(Point::new(0, 0), 2, 2);
+        let touching = Rect::at(Point::new(2, 0), 2, 2);
+        let overlapping = Rect::at(Point::new(1, 1), 2, 2);
+        assert!(!a.intersects(&touching), "shared edge is not overlap");
+        assert!(a.intersects(&overlapping));
+        assert!(overlapping.intersects(&a));
+    }
+
+    #[test]
+    fn union_and_bounding() {
+        let a = Rect::at(Point::new(0, 0), 1, 1);
+        let b = Rect::at(Point::new(5, 7), 1, 1);
+        let u = a.union(&b);
+        assert_eq!(u.width(), 6);
+        assert_eq!(u.height(), 8);
+        assert_eq!(Rect::bounding(&[a, b]), u);
+        assert!(u.contains(&a) && u.contains(&b));
+    }
+
+    #[test]
+    fn box3_volume_and_overlap() {
+        let a = Box3::new(Rect::at(Point::new(0, 0), 2, 2), 0, 3);
+        assert_eq!(a.volume(), 12);
+        let stacked = Box3::new(Rect::at(Point::new(0, 0), 2, 2), 3, 4);
+        assert!(!a.intersects(&stacked), "adjacent along z is not overlap");
+        let inside = Box3::new(Rect::at(Point::new(1, 1), 1, 1), 2, 5);
+        assert!(a.intersects(&inside));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn degenerate_rect_rejected() {
+        Rect::at(Point::new(0, 0), 0, 5);
+    }
+}

@@ -1,0 +1,402 @@
+//! The single-chip n-by-n hyperconcentrator (Cormen–Leiserson 1986), the
+//! building block every multichip switch in the paper is made of.
+//!
+//! Functionally it is a *stable compactor*: the `k` valid inputs are routed,
+//! in input order, to outputs `0..k`. The gate-level realization here is a
+//! recursive two-block merge. At each doubling, the left block `L` (already
+//! compacted) doubles as a **unary encoding of its own valid count** `l`,
+//! so the right block can be shifted down by `l` positions with a single
+//! AND–OR plane pair:
+//!
+//! ```text
+//! out_i = L_i  ∨  ⋁_j (eⱼ ∧ R_{i−j})        eⱼ = "l = j" = L_{j−1} ∧ ¬L_j
+//! ```
+//!
+//! Each `eⱼ ∧ R_{i−j}` is a single wide-fan-in AND (complements are free in
+//! the dual-rail model), so a merge costs exactly **two gate levels**, and
+//! the full chip costs `2⌈lg n⌉` — precisely the delay the paper quotes for
+//! the 1986 design — with `Θ(n²)` gates.
+
+use netlist::{Literal, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+
+/// An n-by-n hyperconcentrator chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hyperconcentrator {
+    n: usize,
+}
+
+impl Hyperconcentrator {
+    /// Create an n-by-n hyperconcentrator.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "hyperconcentrator needs at least one wire");
+        Hyperconcentrator { n }
+    }
+
+    /// Port count `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Compact a valid-bit vector: `k` ones followed by `n−k` zeros.
+    pub fn concentrate(&self, valid: &[bool]) -> Vec<bool> {
+        assert_eq!(valid.len(), self.n);
+        let k = valid.iter().filter(|&&v| v).count();
+        (0..self.n).map(|i| i < k).collect()
+    }
+
+    /// Gate delays through the bare merge network: `2⌈lg n⌉`.
+    pub fn logic_delay(&self) -> u32 {
+        2 * ceil_lg(self.n)
+    }
+
+    /// Gate delays through the packaged chip: logic plus one input and one
+    /// output pad level — the `O(1)` term of the paper's per-chip delay.
+    pub fn chip_delay(&self) -> u32 {
+        self.logic_delay() + PAD_LEVELS
+    }
+
+    /// Build the control netlist: `n` valid-bit inputs, `n` compacted
+    /// valid-bit outputs.
+    ///
+    /// `with_pads` adds one [`netlist::GateKind::Buf`] level at each of the
+    /// input and output pad rings, so the measured depth equals
+    /// [`Hyperconcentrator::chip_delay`]; without pads it equals
+    /// [`Hyperconcentrator::logic_delay`].
+    pub fn build_netlist(&self, with_pads: bool) -> Netlist {
+        let mut nl = Netlist::new();
+        let raw = nl.inputs_n(self.n);
+        let mut lits: Vec<Literal> = raw.into_iter().map(Literal::pos).collect();
+        if with_pads {
+            lits = lits.into_iter().map(|l| nl.buf(l)).collect();
+        }
+        let mut outs = compact_block(&mut nl, &lits);
+        if with_pads {
+            outs = outs.into_iter().map(|l| nl.buf(l)).collect();
+        }
+        for out in outs {
+            nl.mark_output(out);
+        }
+        nl
+    }
+
+    /// Build the data-path netlist for one bit-serial time slice: inputs
+    /// are `n` valid bits followed by `n` data bits; outputs are `n`
+    /// compacted valid bits followed by the `n` data bits carried along the
+    /// established paths. Vacant outputs are don't-cares (they carry 0 when
+    /// invalid inputs drive 0, as the simulator does).
+    ///
+    /// In hardware the selectors are latched at setup and the data bits of
+    /// later cycles flow through the frozen paths; holding the valid bits
+    /// constant over the frame makes this single combinational network
+    /// cycle-for-cycle equivalent.
+    pub fn build_datapath_netlist(&self, with_pads: bool) -> Netlist {
+        let mut nl = Netlist::new();
+        let valid_raw = nl.inputs_n(self.n);
+        let data_raw = nl.inputs_n(self.n);
+        let mut valid: Vec<Literal> = valid_raw.into_iter().map(Literal::pos).collect();
+        let mut data: Vec<Literal> = data_raw.into_iter().map(Literal::pos).collect();
+        if with_pads {
+            valid = valid.into_iter().map(|l| nl.buf(l)).collect();
+            data = data.into_iter().map(|l| nl.buf(l)).collect();
+        }
+        let (mut vout, mut dout) = compact_block_with_data(&mut nl, &valid, &data);
+        if with_pads {
+            vout = vout.into_iter().map(|l| nl.buf(l)).collect();
+            dout = dout.into_iter().map(|l| nl.buf(l)).collect();
+        }
+        for v in vout {
+            nl.mark_output(v);
+        }
+        for d in dout {
+            nl.mark_output(d);
+        }
+        nl
+    }
+}
+
+impl ConcentratorSwitch for Hyperconcentrator {
+    fn inputs(&self) -> usize {
+        self.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.n
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        ConcentratorKind::Hyperconcentrator
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        assert_eq!(valid.len(), self.n);
+        let mut rank = 0usize;
+        let assignment = valid
+            .iter()
+            .map(|&v| {
+                if v {
+                    rank += 1;
+                    Some(rank - 1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Routing::from_assignment(assignment, self.n)
+    }
+}
+
+/// Pad levels per chip traversal (input ring + output ring).
+pub const PAD_LEVELS: u32 = 2;
+
+/// `⌈lg n⌉` (0 for n = 1).
+pub fn ceil_lg(n: usize) -> u32 {
+    assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// The selector literals `e_j = [count of ones in compacted L == j]`, as
+/// AND-term *input lists* (so callers can widen the AND with more literals
+/// without paying an extra level).
+fn selector_terms(left: &[Literal]) -> Vec<Vec<Literal>> {
+    let a = left.len();
+    (0..=a)
+        .map(|j| {
+            let mut term = Vec::with_capacity(2);
+            if j > 0 {
+                term.push(left[j - 1]);
+            }
+            if j < a {
+                term.push(left[j].complement());
+            }
+            term
+        })
+        .collect()
+}
+
+/// Merge two compacted blocks into one compacted block: two gate levels.
+fn merge_blocks(nl: &mut Netlist, left: &[Literal], right: &[Literal]) -> Vec<Literal> {
+    let a = left.len();
+    let b = right.len();
+    let selectors = selector_terms(left);
+    let mut out = Vec::with_capacity(a + b);
+    for i in 0..a + b {
+        // Terms e_j ∧ R_{i−j} for all j with 0 ≤ i−j < b and 0 ≤ j ≤ a.
+        let j_lo = i.saturating_sub(b - 1);
+        let j_hi = i.min(a);
+        let mut or_inputs: Vec<Literal> = Vec::new();
+        if i < a {
+            or_inputs.push(left[i]);
+        }
+        for j in j_lo..=j_hi {
+            let mut and_inputs = selectors[j].clone();
+            and_inputs.push(right[i - j]);
+            or_inputs.push(nl.and(and_inputs));
+        }
+        out.push(nl.or(or_inputs));
+    }
+    out
+}
+
+/// Merge with data: the merged slot `i` carries the left slot-`i` data when
+/// `l > i`, else the right slot-`(i−l)` data.
+fn merge_blocks_with_data(
+    nl: &mut Netlist,
+    left_v: &[Literal],
+    left_d: &[Literal],
+    right_v: &[Literal],
+    right_d: &[Literal],
+) -> (Vec<Literal>, Vec<Literal>) {
+    let a = left_v.len();
+    let b = right_v.len();
+    let merged_v = merge_blocks(nl, left_v, right_v);
+    let selectors = selector_terms(left_v);
+    let mut merged_d = Vec::with_capacity(a + b);
+    for i in 0..a + b {
+        let mut or_inputs: Vec<Literal> = Vec::new();
+        if i < a {
+            // l > i ⇔ L_i = 1 (left block is compacted).
+            or_inputs.push(nl.and([left_v[i], left_d[i]]));
+        }
+        let j_lo = i.saturating_sub(b - 1);
+        let j_hi = i.min(a);
+        for j in j_lo..=j_hi {
+            let mut and_inputs = selectors[j].clone();
+            and_inputs.push(right_d[i - j]);
+            or_inputs.push(nl.and(and_inputs));
+        }
+        merged_d.push(nl.or(or_inputs));
+    }
+    (merged_v, merged_d)
+}
+
+/// Recursively compact a block of valid bits. Returns compacted literals.
+fn compact_block(nl: &mut Netlist, bits: &[Literal]) -> Vec<Literal> {
+    if bits.len() <= 1 {
+        return bits.to_vec();
+    }
+    let mid = bits.len().div_ceil(2);
+    let left = compact_block(nl, &bits[..mid]);
+    let right = compact_block(nl, &bits[mid..]);
+    merge_blocks(nl, &left, &right)
+}
+
+/// Recursively compact valid bits while carrying data bits along.
+fn compact_block_with_data(
+    nl: &mut Netlist,
+    valid: &[Literal],
+    data: &[Literal],
+) -> (Vec<Literal>, Vec<Literal>) {
+    debug_assert_eq!(valid.len(), data.len());
+    if valid.len() <= 1 {
+        return (valid.to_vec(), data.to_vec());
+    }
+    let mid = valid.len().div_ceil(2);
+    let (lv, ld) = compact_block_with_data(nl, &valid[..mid], &data[..mid]);
+    let (rv, rd) = compact_block_with_data(nl, &valid[mid..], &data[mid..]);
+    merge_blocks_with_data(nl, &lv, &ld, &rv, &rd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::check_concentration;
+
+    fn bits_of(pattern: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn functional_model_compacts_all_patterns() {
+        let h = Hyperconcentrator::new(10);
+        for pattern in 0u64..(1 << 10) {
+            let valid = bits_of(pattern, 10);
+            assert!(check_concentration(&h, &valid).is_empty(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_order_preserving() {
+        let h = Hyperconcentrator::new(6);
+        let routing = h.route(&[false, true, true, false, true, false]);
+        assert_eq!(routing.assignment, vec![None, Some(0), Some(1), None, Some(2), None]);
+    }
+
+    #[test]
+    fn netlist_matches_functional_model_exhaustively() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 12, 16] {
+            let h = Hyperconcentrator::new(n);
+            let nl = h.build_netlist(false);
+            assert_eq!(nl.input_count(), n);
+            assert_eq!(nl.output_count(), n);
+            for pattern in 0u64..(1u64 << n) {
+                let valid = bits_of(pattern, n);
+                assert_eq!(
+                    nl.eval(&valid),
+                    h.concentrate(&valid),
+                    "n={n}, pattern {pattern:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_depth_is_exactly_two_ceil_lg_n() {
+        // "a signal incurs exactly 2 lg n gate delays through the switch"
+        // (the 1986 chip, quoted in §1).
+        for n in [2usize, 4, 8, 16, 32, 64, 3, 5, 6, 7, 9, 33] {
+            let h = Hyperconcentrator::new(n);
+            let nl = h.build_netlist(false);
+            assert_eq!(nl.depth(), 2 * ceil_lg(n), "n = {n}");
+            let padded = h.build_netlist(true);
+            assert_eq!(padded.depth(), 2 * ceil_lg(n) + PAD_LEVELS, "n = {n} padded");
+        }
+    }
+
+    #[test]
+    fn gate_count_scales_quadratically() {
+        // Θ(n²) components: check the growth ratio quadruples (±50%) when
+        // n doubles, over a few doublings.
+        let counts: Vec<usize> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&n| Hyperconcentrator::new(n).build_netlist(false).area_report().area_units)
+            .collect();
+        for w in counts.windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!((2.5..=6.0).contains(&ratio), "area growth ratio {ratio} not ~4x");
+        }
+    }
+
+    #[test]
+    fn datapath_routes_message_bits() {
+        let n = 8;
+        let h = Hyperconcentrator::new(n);
+        let nl = h.build_datapath_netlist(false);
+        for pattern in 0u64..(1 << n) {
+            let valid = bits_of(pattern, n);
+            // Give each valid input a distinguishing data bit: input i
+            // carries bit (i % 2 == 0).
+            let data: Vec<bool> = (0..n).map(|i| valid[i] && i % 2 == 0).collect();
+            let mut inputs = valid.clone();
+            inputs.extend(&data);
+            let out = nl.eval(&inputs);
+            let (vout, dout) = out.split_at(n);
+
+            let routing = h.route(&valid);
+            for (input, &slot) in routing.assignment.iter().enumerate() {
+                if let Some(out_idx) = slot {
+                    assert!(vout[out_idx]);
+                    assert_eq!(
+                        dout[out_idx], data[input],
+                        "pattern {pattern:#x}: data bit of input {input} mangled"
+                    );
+                }
+            }
+            // Vacant outputs carry 0.
+            let k = valid.iter().filter(|&&v| v).count();
+            for (i, &d) in dout.iter().enumerate() {
+                if i >= k {
+                    assert!(!d, "pattern {pattern:#x}: vacant output {i} carries data");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn datapath_depth_matches_control_depth() {
+        let h = Hyperconcentrator::new(16);
+        assert_eq!(h.build_datapath_netlist(false).depth(), h.build_netlist(false).depth());
+    }
+
+    #[test]
+    fn critical_path_spans_exactly_the_depth() {
+        // The 2 lg n bound is realized by an actual input-to-output path.
+        for n in [8usize, 16, 32] {
+            let nl = Hyperconcentrator::new(n).build_netlist(false);
+            let path = nl.critical_path();
+            assert_eq!(path.len() as u32 - 1, nl.depth(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn delay_helpers() {
+        let h = Hyperconcentrator::new(64);
+        assert_eq!(h.logic_delay(), 12);
+        assert_eq!(h.chip_delay(), 14);
+        assert_eq!(ceil_lg(1), 0);
+        assert_eq!(ceil_lg(2), 1);
+        assert_eq!(ceil_lg(3), 2);
+        assert_eq!(ceil_lg(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wire")]
+    fn zero_size_rejected() {
+        Hyperconcentrator::new(0);
+    }
+}

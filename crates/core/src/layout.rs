@@ -1,0 +1,467 @@
+//! A placement engine for the paper's layouts: Figures 3 and 6 (2-D,
+//! chips + interstage crossbars) and Figures 4 and 7 (3-D stacks of
+//! boards).
+//!
+//! Unlike [`crate::packaging`], which *counts* resources with the paper's
+//! unit conventions, this module actually *places* every chip, wiring
+//! channel, board, and stack on an integer grid, validates that nothing
+//! overlaps, and measures area/volume as bounding boxes — an independent
+//! geometric check of the Θ claims, plus SVG renderings of the figures.
+//!
+//! Geometry conventions (lambda units):
+//! * a p-port chip is a p×p square with ports on its vertical edges;
+//! * an interstage crossbar carrying w wires needs w vertical and w
+//!   horizontal tracks — a w-wide channel spanning the stage height;
+//! * boards carry their chips side by side with a one-unit margin; stacks
+//!   place boards at unit pitch along z with an air gap between stacks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{Box3, Point, Rect};
+use crate::revsort_switch::RevsortSwitch;
+use crate::ColumnsortSwitch;
+
+/// Spacing between placed parts (air/routing margin).
+const GAP: i64 = 2;
+
+/// A placed chip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedChip {
+    /// Instance name, e.g. `"H2,3"` (stage 2, chip 3 — the paper's
+    /// naming).
+    pub name: String,
+    /// Placement.
+    pub rect: Rect,
+}
+
+/// A placed wiring channel (crossbar region between stages).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WiringChannel {
+    /// Descriptive label.
+    pub label: String,
+    /// Channel region.
+    pub rect: Rect,
+    /// Wires crossing the channel.
+    pub wires: usize,
+}
+
+/// A complete 2-D layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout2D {
+    /// Placed chips.
+    pub chips: Vec<PlacedChip>,
+    /// Placed crossbar channels.
+    pub channels: Vec<WiringChannel>,
+}
+
+impl Layout2D {
+    /// Validate that no two placed parts overlap.
+    ///
+    /// # Panics
+    /// On any overlap.
+    pub fn validate(&self) {
+        let mut rects: Vec<(&str, Rect)> =
+            self.chips.iter().map(|c| (c.name.as_str(), c.rect)).collect();
+        rects.extend(self.channels.iter().map(|c| (c.label.as_str(), c.rect)));
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                assert!(
+                    !rects[i].1.intersects(&rects[j].1),
+                    "layout overlap: {} and {}",
+                    rects[i].0,
+                    rects[j].0
+                );
+            }
+        }
+    }
+
+    /// Bounding-box area of the whole layout.
+    pub fn area(&self) -> i64 {
+        let mut rects: Vec<Rect> = self.chips.iter().map(|c| c.rect).collect();
+        rects.extend(self.channels.iter().map(|c| c.rect));
+        Rect::bounding(&rects).area()
+    }
+
+    /// Area occupied by chips alone.
+    pub fn chip_area(&self) -> i64 {
+        self.chips.iter().map(|c| c.rect.area()).sum()
+    }
+
+    /// Area occupied by wiring channels alone.
+    pub fn wiring_area(&self) -> i64 {
+        self.channels.iter().map(|c| c.rect.area()).sum()
+    }
+
+    /// Render as SVG (chips as labeled boxes, channels hatched).
+    pub fn to_svg(&self) -> String {
+        let mut rects: Vec<Rect> = self.chips.iter().map(|c| c.rect).collect();
+        rects.extend(self.channels.iter().map(|c| c.rect));
+        let bb = Rect::bounding(&rects);
+        let scale = 6.0_f64;
+        let w = bb.width() as f64 * scale + 20.0;
+        let h = bb.height() as f64 * scale + 20.0;
+        let mut svg = format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+        );
+        svg.push('\n');
+        let place = |r: &Rect| -> (f64, f64, f64, f64) {
+            (
+                (r.min.x - bb.min.x) as f64 * scale + 10.0,
+                (r.min.y - bb.min.y) as f64 * scale + 10.0,
+                r.width() as f64 * scale,
+                r.height() as f64 * scale,
+            )
+        };
+        for channel in &self.channels {
+            let (x, y, w, h) = place(&channel.rect);
+            svg.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="#dce6f2" stroke="#7f9db9"/>"##
+            ));
+            svg.push('\n');
+        }
+        for chip in &self.chips {
+            let (x, y, w, h) = place(&chip.rect);
+            svg.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="#f6e8c3" stroke="#8a6d3b"/>"##
+            ));
+            svg.push('\n');
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="9" font-family="monospace">{}</text>"#,
+                x + 2.0,
+                y + h / 2.0,
+                chip.name
+            ));
+            svg.push('\n');
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A placed board in a 3-D stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedBoard {
+    /// Name, e.g. `"stack 2 board 5"`.
+    pub name: String,
+    /// Physical extent.
+    pub volume: Box3,
+    /// Chips on this board (2-D footprints in board coordinates).
+    pub chips: Vec<PlacedChip>,
+}
+
+/// A complete 3-D layout (stacks of boards).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout3D {
+    /// All boards across all stacks.
+    pub boards: Vec<PlacedBoard>,
+    /// Number of stacks.
+    pub stacks: usize,
+}
+
+impl Layout3D {
+    /// Validate that no two boards overlap.
+    ///
+    /// # Panics
+    /// On any overlap.
+    pub fn validate(&self) {
+        for i in 0..self.boards.len() {
+            for j in i + 1..self.boards.len() {
+                assert!(
+                    !self.boards[i].volume.intersects(&self.boards[j].volume),
+                    "layout overlap: {} and {}",
+                    self.boards[i].name,
+                    self.boards[j].name
+                );
+            }
+        }
+    }
+
+    /// Bounding-box volume.
+    pub fn volume(&self) -> i64 {
+        let boxes: Vec<Box3> = self.boards.iter().map(|b| b.volume).collect();
+        Box3::bounding(&boxes).volume()
+    }
+
+    /// Render a side elevation (x–z plane) as SVG: each board a slat,
+    /// stacks side by side — the Figure 4/7 view.
+    pub fn to_svg_side_view(&self) -> String {
+        let slats: Vec<Rect> = self
+            .boards
+            .iter()
+            .map(|b| {
+                Rect::at(
+                    Point::new(b.volume.footprint.min.x, b.volume.z_min),
+                    b.volume.footprint.width(),
+                    (b.volume.z_max - b.volume.z_min).max(1),
+                )
+            })
+            .collect();
+        let bb = Rect::bounding(&slats);
+        let scale = 8.0_f64;
+        let w = bb.width() as f64 * scale + 20.0;
+        let h = bb.height() as f64 * scale + 20.0;
+        let mut svg = format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+        );
+        svg.push('\n');
+        for (board, slat) in self.boards.iter().zip(&slats) {
+            let x = (slat.min.x - bb.min.x) as f64 * scale + 10.0;
+            // Flip z so board 0 is at the bottom.
+            let y = (bb.max.y - slat.max.y) as f64 * scale + 10.0;
+            let sw = slat.width() as f64 * scale;
+            let sh = (slat.height() as f64 * scale).max(3.0);
+            svg.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{sw:.1}" height="{sh:.1}" fill="#c7d9b7" stroke="#55771c"><title>{}</title></rect>"##,
+                board.name
+            ));
+            svg.push('\n');
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Whether straight air channels exist between consecutive boards of
+    /// every stack — the paper's "allow air to flow through in all three
+    /// dimensions" claim, checked as unit z-gaps between board volumes.
+    pub fn has_air_gaps(&self) -> bool {
+        // Boards within one x-range (stack) must not touch in z.
+        for i in 0..self.boards.len() {
+            for j in i + 1..self.boards.len() {
+                let a = &self.boards[i].volume;
+                let b = &self.boards[j].volume;
+                if a.footprint.intersects(&b.footprint) {
+                    let gap = if a.z_min >= b.z_max {
+                        a.z_min - b.z_max
+                    } else if b.z_min >= a.z_max {
+                        b.z_min - a.z_max
+                    } else {
+                        return false; // overlapping, no gap at all
+                    };
+                    if gap < 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Figure 3: the 2-D Revsort switch layout. Three columns of √n chips with
+/// two n-wire crossbar channels between them.
+pub fn revsort_layout_2d(switch: &RevsortSwitch) -> Layout2D {
+    let side = switch.side() as i64;
+    let n = side * side;
+    let chip_w = side; // p×p chip, p = side ports per side
+    let stage_height = side * (chip_w + GAP) - GAP;
+    let mut chips = Vec::new();
+    let mut channels = Vec::new();
+    let mut x = 0i64;
+    for stage in 1..=3 {
+        for c in 0..side {
+            chips.push(PlacedChip {
+                name: format!("H{stage},{c}"),
+                rect: Rect::at(Point::new(x, c * (chip_w + GAP)), chip_w, chip_w),
+            });
+        }
+        x += chip_w;
+        if stage < 3 {
+            channels.push(WiringChannel {
+                label: format!("crossbar {stage}->{}", stage + 1),
+                rect: Rect::at(Point::new(x + GAP, 0), n, stage_height),
+                wires: n as usize,
+            });
+            x += GAP + n + GAP;
+        }
+    }
+    let layout = Layout2D { chips, channels };
+    layout.validate();
+    layout
+}
+
+/// Figure 6: the 2-D Columnsort switch layout. Two columns of s r-by-r
+/// chips with one n-wire crossbar between them.
+pub fn columnsort_layout_2d(switch: &ColumnsortSwitch) -> Layout2D {
+    let r = switch.shape().rows as i64;
+    let s = switch.shape().cols as i64;
+    let n = r * s;
+    let stage_height = s * (r + GAP) - GAP;
+    let mut chips = Vec::new();
+    for c in 0..s {
+        chips.push(PlacedChip {
+            name: format!("H1,{c}"),
+            rect: Rect::at(Point::new(0, c * (r + GAP)), r, r),
+        });
+    }
+    let channel = WiringChannel {
+        label: "RM^-1 o CM crossbar".into(),
+        rect: Rect::at(Point::new(r + GAP, 0), n, stage_height),
+        wires: n as usize,
+    };
+    let x2 = r + GAP + n + GAP;
+    for c in 0..s {
+        chips.push(PlacedChip {
+            name: format!("H2,{c}"),
+            rect: Rect::at(Point::new(x2, c * (r + GAP)), r, r),
+        });
+    }
+    let layout = Layout2D { chips, channels: vec![channel] };
+    layout.validate();
+    layout
+}
+
+/// Figure 4: the 3-D Revsort switch packaging. Three stacks of √n boards;
+/// stage-2 boards carry a barrel shifter beside the hyperconcentrator.
+pub fn revsort_layout_3d(switch: &RevsortSwitch) -> Layout3D {
+    let side = switch.side() as i64;
+    let chip_w = side;
+    let mut boards = Vec::new();
+    let mut x = 0i64;
+    for stack in 1..=3 {
+        let double = stack == 2; // hyper + barrel per board
+        let board_w = if double { 2 * chip_w + GAP } else { chip_w } + 2;
+        let board_d = chip_w + 2;
+        for b in 0..side {
+            let z = b * 2; // unit board + unit air gap
+            let mut chips = vec![PlacedChip {
+                name: format!("H{stack},{b}"),
+                rect: Rect::at(Point::new(1, 1), chip_w, chip_w),
+            }];
+            if double {
+                chips.push(PlacedChip {
+                    name: format!("B{b} (rev({b}))"),
+                    rect: Rect::at(Point::new(1 + chip_w + GAP, 1), chip_w, chip_w),
+                });
+            }
+            boards.push(PlacedBoard {
+                name: format!("stack {stack} board {b}"),
+                volume: Box3::new(
+                    Rect::at(Point::new(x, 0), board_w, board_d),
+                    z,
+                    z + 1,
+                ),
+                chips,
+            });
+        }
+        x += board_w + GAP;
+    }
+    let layout = Layout3D { boards, stacks: 3 };
+    layout.validate();
+    layout
+}
+
+/// Figure 7: the 3-D Columnsort switch packaging — two stacks of s boards.
+pub fn columnsort_layout_3d(switch: &ColumnsortSwitch) -> Layout3D {
+    let r = switch.shape().rows as i64;
+    let s = switch.shape().cols as i64;
+    let board_w = r + 2;
+    let board_d = r + 2;
+    let mut boards = Vec::new();
+    for stack in 1..=2 {
+        let x = (stack - 1) * (board_w + GAP);
+        for b in 0..s {
+            let z = b * 2;
+            boards.push(PlacedBoard {
+                name: format!("stack {stack} board {b}"),
+                volume: Box3::new(Rect::at(Point::new(x, 0), board_w, board_d), z, z + 1),
+                chips: vec![PlacedChip {
+                    name: format!("H{stack},{b}"),
+                    rect: Rect::at(Point::new(1, 1), r, r),
+                }],
+            });
+        }
+    }
+    let layout = Layout3D { boards, stacks: 2 };
+    layout.validate();
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revsort_switch::RevsortLayout;
+
+    #[test]
+    fn figure3_layout_places_without_overlap() {
+        let switch = RevsortSwitch::new(64, 28, RevsortLayout::TwoDee);
+        let layout = revsort_layout_2d(&switch);
+        assert_eq!(layout.chips.len(), 24);
+        assert_eq!(layout.channels.len(), 2);
+        // Crossbar wiring dominates silicon, as §4 says.
+        assert!(layout.wiring_area() > layout.chip_area());
+    }
+
+    #[test]
+    fn figure3_area_grows_quadratically() {
+        let areas: Vec<f64> = [64usize, 256, 1024]
+            .iter()
+            .map(|&n| {
+                let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+                revsort_layout_2d(&switch).area() as f64
+            })
+            .collect();
+        for w in areas.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!((10.0..=22.0).contains(&ratio), "area ratio {ratio} not ~16x (n²)");
+        }
+    }
+
+    #[test]
+    fn figure6_layout_matches_structure() {
+        let switch = ColumnsortSwitch::new(8, 4, 18);
+        let layout = columnsort_layout_2d(&switch);
+        assert_eq!(layout.chips.len(), 8);
+        assert_eq!(layout.channels[0].wires, 32);
+    }
+
+    #[test]
+    fn figure4_stacks_have_air_gaps_and_scale() {
+        let switch = RevsortSwitch::new(64, 28, RevsortLayout::ThreeDee);
+        let layout = revsort_layout_3d(&switch);
+        assert_eq!(layout.boards.len(), 24);
+        assert!(layout.has_air_gaps());
+        // Geometric volume grows like n^{3/2}: n×4 → ×8 within slack.
+        let volumes: Vec<f64> = [64usize, 256, 1024]
+            .iter()
+            .map(|&n| {
+                let s = RevsortSwitch::new(n, n / 2, RevsortLayout::ThreeDee);
+                revsort_layout_3d(&s).volume() as f64
+            })
+            .collect();
+        for w in volumes.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!((5.0..=11.0).contains(&ratio), "volume ratio {ratio} not ~8x");
+        }
+    }
+
+    #[test]
+    fn figure7_layout_places_two_stacks() {
+        let switch = ColumnsortSwitch::new(8, 4, 18);
+        let layout = columnsort_layout_3d(&switch);
+        assert_eq!(layout.stacks, 2);
+        assert_eq!(layout.boards.len(), 8);
+        assert!(layout.has_air_gaps());
+    }
+
+    #[test]
+    fn svg_renders_all_parts() {
+        let switch = ColumnsortSwitch::new(8, 4, 18);
+        let svg = columnsort_layout_2d(&switch).to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 8 chips + 1 channel + 8 labels.
+        assert_eq!(svg.matches("<rect").count(), 9);
+        assert_eq!(svg.matches("<text").count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn validate_catches_overlaps() {
+        let chip = |name: &str| PlacedChip {
+            name: name.into(),
+            rect: Rect::at(Point::new(0, 0), 4, 4),
+        };
+        let layout = Layout2D { chips: vec![chip("a"), chip("b")], channels: vec![] };
+        layout.validate();
+    }
+}

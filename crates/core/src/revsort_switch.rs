@@ -1,0 +1,315 @@
+//! The Revsort-based partial concentrator switch of §4 (Theorem 3).
+//!
+//! Three stages of √n-by-√n hyperconcentrator chips simulate Algorithm 1
+//! (the first 1½ iterations of Revsort) on the valid-bit matrix:
+//!
+//! 1. stage 1 sorts the columns,
+//! 2. a transposing crossbar feeds stage 2, which sorts the rows,
+//! 3. wiring that rotates row `i` right by `rev(i)` and transposes feeds
+//!    stage 3, which sorts the columns again.
+//!
+//! The outputs are the first `m` wires of the matrix in row-major order.
+//! The result is an `(n, m, 1 − O(n^{3/4}/m))` partial concentrator with at
+//! most `2√n + ⌈(lg n)/2⌉` data pins per chip, `Θ(√n)` chips, volume
+//! `Θ(n^{3/2})`, and `3 lg n + O(1)` gate delays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+use crate::staged::{sort_stage, Axis, PinSource, StageKind, StagedSwitch, SwitchStage};
+
+/// Physical realization; routing behaviour is identical, but the 3-D form
+/// interposes the hardwired barrel-shifter boards of Figure 4 (costing
+/// [`crate::barrel::BARREL_LEVELS`] extra gate delays) where the 2-D form
+/// uses crossbar wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RevsortLayout {
+    /// Figure 3: chips on one board, crossbar wiring between stages.
+    TwoDee,
+    /// Figure 4: three stacks of boards; stage-2 boards carry a barrel
+    /// shifter hardwired to `rev(i)`.
+    ThreeDee,
+}
+
+/// The three-stage Revsort-based partial concentrator switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RevsortSwitch {
+    inner: StagedSwitch,
+    side: usize,
+    layout: RevsortLayout,
+}
+
+impl RevsortSwitch {
+    /// Build the switch for `n` inputs (n = 4^q) and `m ≤ n` outputs.
+    ///
+    /// # Panics
+    /// If `√n` is not a power of two or `m > n` or `m == 0`.
+    pub fn new(n: usize, m: usize, layout: RevsortLayout) -> Self {
+        let side = integer_sqrt(n);
+        assert_eq!(side * side, n, "Revsort switch requires square n");
+        assert!(side.is_power_of_two(), "Revsort switch requires √n = 2^q");
+        assert!(m > 0 && m <= n, "need 0 < m <= n");
+
+        let rotation = rotate_rows_by_rev_permutation(side);
+        let stages = match layout {
+            RevsortLayout::TwoDee => vec![
+                sort_stage(side, side, Axis::Columns, None, None, "stage 1: sort columns"),
+                sort_stage(side, side, Axis::Rows, None, None, "stage 2: sort rows"),
+                sort_stage(
+                    side,
+                    side,
+                    Axis::Columns,
+                    Some(&rotation),
+                    None,
+                    "stage 3: rotate rows by rev(i), sort columns",
+                ),
+            ],
+            RevsortLayout::ThreeDee => vec![
+                sort_stage(side, side, Axis::Columns, None, None, "stack 1: sort columns"),
+                sort_stage(side, side, Axis::Rows, None, None, "stack 2: sort rows"),
+                barrel_shifter_stage(side, &rotation),
+                sort_stage(side, side, Axis::Columns, None, None, "stack 3: sort columns"),
+            ],
+        };
+
+        let epsilon = Self::epsilon_bound_for(n);
+        let alpha = (1.0 - epsilon as f64 / m as f64).max(0.0);
+        let inner = StagedSwitch {
+            name: format!("Revsort switch (n={n}, m={m})"),
+            n,
+            m,
+            kind: ConcentratorKind::Partial { alpha },
+            stages,
+            // First m wires of the matrix in row-major order.
+            output_positions: (0..m).collect(),
+        };
+        inner.validate();
+        RevsortSwitch { inner, side, layout }
+    }
+
+    /// `√n`.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The layout this instance models.
+    pub fn layout(&self) -> RevsortLayout {
+        self.layout
+    }
+
+    /// The proven nearsortedness bound: dirty rows ≤ `2⌈n^{1/4}⌉ − 1`, so
+    /// ε ≤ `(2⌈n^{1/4}⌉ − 1)·√n = O(n^{3/4})`.
+    pub fn epsilon_bound(&self) -> usize {
+        Self::epsilon_bound_for(self.inner.n)
+    }
+
+    /// [`RevsortSwitch::epsilon_bound`] as a free function of `n`.
+    pub fn epsilon_bound_for(n: usize) -> usize {
+        let quarter_root = (n as f64).powf(0.25).ceil() as usize;
+        let side = integer_sqrt(n);
+        (2 * quarter_root - 1) * side
+    }
+
+    /// The underlying staged switch (stages, wiring, netlist elaboration).
+    pub fn staged(&self) -> &StagedSwitch {
+        &self.inner
+    }
+
+    /// Gate delays through the switch: `3 lg n + O(1)` (§4 quotes
+    /// `6⌈lg √n⌉ + O(1)`; the 3-D layout adds the barrel constant).
+    pub fn delay(&self) -> u32 {
+        self.inner.delay()
+    }
+}
+
+impl ConcentratorSwitch for RevsortSwitch {
+    fn inputs(&self) -> usize {
+        self.inner.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.m
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        self.inner.kind
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        self.inner.route(valid)
+    }
+
+    /// Exact integer capacity `m − ε` (avoids the default's f64 round
+    /// trip through α, which can under-report by one).
+    fn guaranteed_capacity(&self) -> usize {
+        self.inner.m.saturating_sub(self.epsilon_bound())
+    }
+}
+
+/// `⌊√n⌋` by Newton iteration (exact for the perfect squares we accept).
+pub(crate) fn integer_sqrt(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as usize;
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    while x * x > n {
+        x -= 1;
+    }
+    x
+}
+
+/// The permutation rotating row `i` right by `rev(i)`: element `(i, j)`
+/// moves to `(i, (rev(i) + j) mod √n)`.
+pub(crate) fn rotate_rows_by_rev_permutation(side: usize) -> Vec<usize> {
+    assert!(side.is_power_of_two());
+    let q = side.trailing_zeros();
+    let mut perm = vec![0usize; side * side];
+    for i in 0..side {
+        let r = meshsort::rev_bits(i, q);
+        for j in 0..side {
+            perm[i * side + j] = i * side + (r + j) % side;
+        }
+    }
+    perm
+}
+
+/// A stack of pass-through barrel-shifter boards realizing `rotation` in
+/// hardwired silicon (Figure 4's stage-2 boards, modeled as their own
+/// stage so their pin counts and delay are accounted).
+fn barrel_shifter_stage(side: usize, rotation: &[usize]) -> SwitchStage {
+    let len = side * side;
+    debug_assert_eq!(rotation.len(), len);
+    // One barrel shifter per row; identity gather, rotated scatter.
+    let input_map = (0..len).map(PinSource::Prev).collect();
+    let output_map = rotation.iter().map(|&dst| Some(dst)).collect();
+    SwitchStage {
+        label: "stack 2b: hardwired barrel shifters".into(),
+        kind: StageKind::PassThrough,
+        chip_count: side,
+        chip_pins: side,
+        input_map,
+        output_map,
+        out_len: len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrel::BARREL_LEVELS;
+    use crate::spec::check_concentration;
+    use meshsort::{revsort_algorithm1, Grid, SortOrder};
+
+    fn bits_of(pattern: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn trace_equals_algorithm1_exhaustively_n16() {
+        let switch = RevsortSwitch::new(16, 16, RevsortLayout::TwoDee);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            let traced: Vec<bool> =
+                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let mut grid = Grid::from_row_major(4, 4, valid.clone());
+            revsort_algorithm1(&mut grid, SortOrder::Descending);
+            assert_eq!(&traced, grid.as_row_major(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn both_layouts_route_identically() {
+        let two = RevsortSwitch::new(64, 28, RevsortLayout::TwoDee);
+        let three = RevsortSwitch::new(64, 28, RevsortLayout::ThreeDee);
+        let mut state = 7u64;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid = bits_of(state, 64);
+            assert_eq!(two.route(&valid), three.route(&valid));
+        }
+    }
+
+    #[test]
+    fn concentration_property_holds_on_random_patterns_n64() {
+        let switch = RevsortSwitch::new(64, 48, RevsortLayout::TwoDee);
+        let mut state = 42u64;
+        for _ in 0..2000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid = bits_of(state, 64);
+            let violations = check_concentration(&switch, &valid);
+            assert!(violations.is_empty(), "{state:#x}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn delay_is_3_lg_n_plus_constant() {
+        // 2-D: 3 stages × (2 lg √n + 2 pads) = 3 lg n + 6.
+        for (n, lg_n) in [(16usize, 4u32), (64, 6), (256, 8), (1024, 10)] {
+            let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+            assert_eq!(switch.delay(), 3 * lg_n + 6, "n = {n}");
+            let three = RevsortSwitch::new(n, n / 2, RevsortLayout::ThreeDee);
+            assert_eq!(three.delay(), 3 * lg_n + 6 + BARREL_LEVELS, "n = {n} 3-D");
+        }
+    }
+
+    #[test]
+    fn netlist_depth_matches_delay_and_function() {
+        let switch = RevsortSwitch::new(16, 12, RevsortLayout::TwoDee);
+        let nl = switch.staged().build_netlist(true);
+        assert_eq!(nl.depth(), switch.delay());
+        // Function check against trace on a sample of patterns.
+        for pattern in (0u64..(1 << 16)).step_by(397) {
+            let valid = bits_of(pattern, 16);
+            let traced: Vec<bool> = {
+                let t = switch.staged().trace(&valid);
+                switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+            };
+            assert_eq!(nl.eval(&valid), traced, "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn chip_count_is_3_sqrt_n() {
+        let switch = RevsortSwitch::new(256, 128, RevsortLayout::TwoDee);
+        assert_eq!(switch.staged().chip_count(), 3 * 16);
+        // 3-D adds √n barrel boards.
+        let three = RevsortSwitch::new(256, 128, RevsortLayout::ThreeDee);
+        assert_eq!(three.staged().chip_count(), 4 * 16);
+    }
+
+    #[test]
+    fn guaranteed_capacity_never_violated_exhaustive_n16() {
+        // m = 16 = n, ε bound = (2*2-1)*4 = 12, capacity = 4.
+        let switch = RevsortSwitch::new(16, 16, RevsortLayout::TwoDee);
+        assert_eq!(switch.epsilon_bound(), 12);
+        for pattern in 0u64..(1 << 16) {
+            let valid = bits_of(pattern, 16);
+            assert!(
+                check_concentration(&switch, &valid).is_empty(),
+                "pattern {pattern:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_sqrt_exact() {
+        assert_eq!(integer_sqrt(0), 0);
+        assert_eq!(integer_sqrt(1), 1);
+        assert_eq!(integer_sqrt(16), 4);
+        assert_eq!(integer_sqrt(17), 4);
+        assert_eq!(integer_sqrt(1 << 20), 1 << 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square_n() {
+        RevsortSwitch::new(48, 10, RevsortLayout::TwoDee);
+    }
+}

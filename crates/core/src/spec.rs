@@ -1,0 +1,425 @@
+//! Switch specifications: the (n, m, α) partial concentrator contract and
+//! mechanical verifiers for it.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of concentration guarantee a switch makes (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConcentratorKind {
+    /// Routes any `k ≤ n` valid inputs to the first `k` outputs.
+    Hyperconcentrator,
+    /// Routes min(k, m) messages whenever `k` messages arrive.
+    Perfect,
+    /// Routes all messages when `k ≤ αm`, and at least `αm` when `k > αm`.
+    Partial {
+        /// The load ratio `α` (0 < α ≤ 1).
+        alpha: f64,
+    },
+}
+
+/// The outcome of a setup cycle: which electrical paths were established.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Routing {
+    /// For each input wire: the output wire its message was routed to, or
+    /// `None` (input invalid, or valid but unrouted due to congestion).
+    pub assignment: Vec<Option<usize>>,
+    /// For each output wire: the input wire feeding it, or `None`.
+    pub output_source: Vec<Option<usize>>,
+}
+
+impl Routing {
+    /// Build from an input→output assignment, deriving the reverse map and
+    /// validating disjointness (electrical paths may not share wires).
+    ///
+    /// # Panics
+    /// If two inputs claim the same output or an output index is out of
+    /// range.
+    pub fn from_assignment(assignment: Vec<Option<usize>>, outputs: usize) -> Self {
+        let mut output_source = vec![None; outputs];
+        for (input, &out) in assignment.iter().enumerate() {
+            if let Some(out) = out {
+                assert!(out < outputs, "assignment targets output {out} >= m = {outputs}");
+                assert!(
+                    output_source[out].is_none(),
+                    "outputs must be disjoint: output {out} claimed twice"
+                );
+                output_source[out] = Some(input);
+            }
+        }
+        Routing { assignment, output_source }
+    }
+
+    /// Number of established paths.
+    pub fn routed(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Inputs that were valid but did not get a path (congestion victims).
+    pub fn unrouted_inputs<'a>(
+        &'a self,
+        valid: &'a [bool],
+    ) -> impl Iterator<Item = usize> + 'a {
+        valid
+            .iter()
+            .enumerate()
+            .filter(move |&(i, &v)| v && self.assignment[i].is_none())
+            .map(|(i, _)| i)
+    }
+}
+
+/// A combinational concentrator switch: `n` input wires, `m ≤ n` output
+/// wires, and a setup cycle establishing disjoint electrical paths from
+/// valid inputs to outputs.
+pub trait ConcentratorSwitch {
+    /// Number of input wires `n`.
+    fn inputs(&self) -> usize;
+
+    /// Number of output wires `m`.
+    fn outputs(&self) -> usize;
+
+    /// The guarantee this switch makes.
+    fn kind(&self) -> ConcentratorKind;
+
+    /// Run a setup cycle: the valid bits arrive, the switch establishes
+    /// electrical paths.
+    ///
+    /// # Panics
+    /// If `valid.len() != self.inputs()`.
+    fn route(&self, valid: &[bool]) -> Routing;
+
+    /// The guaranteed capacity: every pattern with at most this many valid
+    /// inputs is routed completely. For a partial concentrator this is
+    /// `⌊αm⌋`; for perfect/hyper switches it is `m`.
+    fn guaranteed_capacity(&self) -> usize {
+        match self.kind() {
+            ConcentratorKind::Hyperconcentrator | ConcentratorKind::Perfect => self.outputs(),
+            ConcentratorKind::Partial { alpha } => {
+                (alpha * self.outputs() as f64).floor() as usize
+            }
+        }
+    }
+}
+
+/// The failure modes [`check_concentration`] can detect.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConcentrationViolation {
+    /// A valid input went unrouted although `k ≤` guaranteed capacity.
+    DroppedUnderCapacity {
+        /// The offending input wire.
+        input: usize,
+        /// Number of valid inputs in the pattern.
+        k: usize,
+    },
+    /// Fewer than the guaranteed number of outputs carry messages although
+    /// `k >` guaranteed capacity.
+    UnderDelivered {
+        /// Paths actually established.
+        delivered: usize,
+        /// Paths the guarantee requires.
+        required: usize,
+    },
+    /// An invalid input was routed (phantom message).
+    PhantomMessage {
+        /// The offending input wire.
+        input: usize,
+    },
+    /// A hyperconcentrator failed to use exactly the first `k` outputs.
+    NotCompacted {
+        /// First output wire violating the prefix property.
+        output: usize,
+    },
+}
+
+/// Check one valid-bit pattern against a switch's guarantee. Returns all
+/// violations found (empty = the pattern is handled correctly).
+pub fn check_concentration<S: ConcentratorSwitch + ?Sized>(
+    switch: &S,
+    valid: &[bool],
+) -> Vec<ConcentrationViolation> {
+    let routing = switch.route(valid);
+    let k = valid.iter().filter(|&&v| v).count();
+    let cap = switch.guaranteed_capacity();
+    let mut violations = Vec::new();
+
+    for (input, &v) in valid.iter().enumerate() {
+        if !v && routing.assignment[input].is_some() {
+            violations.push(ConcentrationViolation::PhantomMessage { input });
+        }
+    }
+
+    if k <= cap {
+        for (input, &v) in valid.iter().enumerate() {
+            if v && routing.assignment[input].is_none() {
+                violations.push(ConcentrationViolation::DroppedUnderCapacity { input, k });
+            }
+        }
+    } else {
+        let delivered = routing.routed();
+        if delivered < cap {
+            violations
+                .push(ConcentrationViolation::UnderDelivered { delivered, required: cap });
+        }
+    }
+
+    if matches!(switch.kind(), ConcentratorKind::Hyperconcentrator) {
+        // The first min(k, m) outputs must carry messages, the rest none.
+        let expect = k.min(switch.outputs());
+        for (out, src) in routing.output_source.iter().enumerate() {
+            let should_carry = out < expect;
+            if src.is_some() != should_carry {
+                violations.push(ConcentrationViolation::NotCompacted { output: out });
+                break;
+            }
+        }
+    }
+
+    violations
+}
+
+/// §1's observation, as a type: an `(n/α, m/α, α)` partial concentrator used
+/// wherever an n-by-m *perfect* concentrator is required, "at the cost of a
+/// 1/α-factor increase in the number of input and output wires".
+///
+/// The adapter keeps the inner switch's physical ports (`n/α` inputs and
+/// `m/α` output wires — that is the wire cost the paper talks about) but
+/// delivers the n-by-m *perfect* guarantee: with `k ≤ m` offered messages
+/// every one is routed, and with `k > m` at least `m` are. The first `n`
+/// inner inputs are the adapter's inputs; the rest are tied invalid.
+pub struct PerfectFromPartial<S> {
+    inner: S,
+    n: usize,
+    m: usize,
+}
+
+impl<S: ConcentratorSwitch> PerfectFromPartial<S> {
+    /// Wrap `inner`, using it as an `n`-by-`m` perfect concentrator.
+    ///
+    /// # Panics
+    /// Unless `inner` guarantees at least `m` routed messages
+    /// (`αm_inner ≥ m`) and has at least `n` inputs.
+    pub fn new(inner: S, n: usize, m: usize) -> Self {
+        assert!(m <= n, "perfect concentrator requires m <= n");
+        assert!(inner.inputs() >= n, "inner switch has too few inputs");
+        assert!(
+            inner.guaranteed_capacity() >= m,
+            "inner switch guarantees {} < m = {m}",
+            inner.guaranteed_capacity()
+        );
+        PerfectFromPartial { inner, n, m }
+    }
+
+    /// The wrapped switch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The emulated perfect concentrator's `m` (its delivery guarantee);
+    /// the physical output wires number [`ConcentratorSwitch::outputs`].
+    pub fn effective_m(&self) -> usize {
+        self.m
+    }
+}
+
+impl<S: ConcentratorSwitch> ConcentratorSwitch for PerfectFromPartial<S> {
+    fn inputs(&self) -> usize {
+        self.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.outputs()
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        ConcentratorKind::Perfect
+    }
+
+    fn guaranteed_capacity(&self) -> usize {
+        self.m
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        assert_eq!(valid.len(), self.n);
+        let mut padded = valid.to_vec();
+        padded.resize(self.inner.inputs(), false);
+        let inner_routing = self.inner.route(&padded);
+        let assignment = inner_routing.assignment[..self.n].to_vec();
+        Routing::from_assignment(assignment, self.inner.outputs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy hyperconcentrator: stable compaction by counting.
+    struct ToyHyper {
+        n: usize,
+    }
+
+    impl ConcentratorSwitch for ToyHyper {
+        fn inputs(&self) -> usize {
+            self.n
+        }
+        fn outputs(&self) -> usize {
+            self.n
+        }
+        fn kind(&self) -> ConcentratorKind {
+            ConcentratorKind::Hyperconcentrator
+        }
+        fn route(&self, valid: &[bool]) -> Routing {
+            let mut rank = 0usize;
+            let assignment = valid
+                .iter()
+                .map(|&v| {
+                    if v {
+                        rank += 1;
+                        Some(rank - 1)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Routing::from_assignment(assignment, self.n)
+        }
+    }
+
+    /// A broken switch that drops every second message.
+    struct Lossy {
+        n: usize,
+    }
+
+    impl ConcentratorSwitch for Lossy {
+        fn inputs(&self) -> usize {
+            self.n
+        }
+        fn outputs(&self) -> usize {
+            self.n
+        }
+        fn kind(&self) -> ConcentratorKind {
+            ConcentratorKind::Perfect
+        }
+        fn route(&self, valid: &[bool]) -> Routing {
+            let mut rank = 0usize;
+            let assignment = valid
+                .iter()
+                .map(|&v| {
+                    if v {
+                        rank += 1;
+                        if rank.is_multiple_of(2) {
+                            return None;
+                        }
+                        Some(rank - 1)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Routing::from_assignment(assignment, self.n)
+        }
+    }
+
+    #[test]
+    fn routing_round_trip_and_counts() {
+        let r = Routing::from_assignment(vec![Some(1), None, Some(0)], 3);
+        assert_eq!(r.routed(), 2);
+        assert_eq!(r.output_source, vec![Some(2), Some(0), None]);
+        let unrouted: Vec<usize> = r.unrouted_inputs(&[true, true, true]).collect();
+        assert_eq!(unrouted, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn routing_rejects_shared_outputs() {
+        Routing::from_assignment(vec![Some(0), Some(0)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= m")]
+    fn routing_rejects_out_of_range() {
+        Routing::from_assignment(vec![Some(5)], 2);
+    }
+
+    #[test]
+    fn toy_hyper_passes_all_patterns() {
+        let switch = ToyHyper { n: 8 };
+        for pattern in 0u32..256 {
+            let valid: Vec<bool> = (0..8).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert!(check_concentration(&switch, &valid).is_empty(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn lossy_switch_is_caught() {
+        let switch = Lossy { n: 4 };
+        let violations = check_concentration(&switch, &[true, true, false, false]);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ConcentrationViolation::DroppedUnderCapacity { .. })));
+    }
+
+    #[test]
+    fn phantom_messages_are_caught() {
+        struct Phantom;
+        impl ConcentratorSwitch for Phantom {
+            fn inputs(&self) -> usize {
+                2
+            }
+            fn outputs(&self) -> usize {
+                2
+            }
+            fn kind(&self) -> ConcentratorKind {
+                ConcentratorKind::Perfect
+            }
+            fn route(&self, _valid: &[bool]) -> Routing {
+                Routing::from_assignment(vec![Some(0), Some(1)], 2)
+            }
+        }
+        let violations = check_concentration(&Phantom, &[true, false]);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ConcentrationViolation::PhantomMessage { input: 1 })));
+    }
+
+    #[test]
+    fn guaranteed_capacity_floors_alpha_m() {
+        struct P;
+        impl ConcentratorSwitch for P {
+            fn inputs(&self) -> usize {
+                16
+            }
+            fn outputs(&self) -> usize {
+                10
+            }
+            fn kind(&self) -> ConcentratorKind {
+                ConcentratorKind::Partial { alpha: 0.75 }
+            }
+            fn route(&self, _valid: &[bool]) -> Routing {
+                unimplemented!()
+            }
+        }
+        assert_eq!(P.guaranteed_capacity(), 7);
+    }
+
+    #[test]
+    fn perfect_from_partial_adapts_guarantee() {
+        // ToyHyper(16) guarantees 16; use it as a 12-by-8 perfect switch.
+        // The physical output wires stay 16 (the paper's 1/α wire cost);
+        // the delivery guarantee becomes min(k, 8).
+        let perfect = PerfectFromPartial::new(ToyHyper { n: 16 }, 12, 8);
+        assert_eq!(perfect.inputs(), 12);
+        assert_eq!(perfect.outputs(), 16);
+        assert_eq!(perfect.effective_m(), 8);
+        assert_eq!(perfect.guaranteed_capacity(), 8);
+        // k <= m: everything routed.
+        let mut valid = vec![false; 12];
+        for i in [0usize, 3, 7, 11] {
+            valid[i] = true;
+        }
+        assert!(check_concentration(&perfect, &valid).is_empty());
+        // k > m: at least m messages delivered.
+        let valid = vec![true; 12];
+        let routing = perfect.route(&valid);
+        assert!(routing.routed() >= 8);
+        assert!(check_concentration(&perfect, &valid).is_empty());
+    }
+}

@@ -1,0 +1,710 @@
+//! A generic multichip switch engine.
+//!
+//! Every switch in the paper has the same shape: *stages* of identical
+//! single-chip hyperconcentrators joined by *fixed wiring* (crossbars in the
+//! 2-D layouts, stack junctions in the 3-D packagings), with the switch
+//! outputs read off a subset of the last stage's wires. This module captures
+//! that shape once, providing message-level routing, gate-level elaboration
+//! to one flat [`netlist::Netlist`], and delay accounting; the concrete
+//! switches of §§4–6 are thin constructors on top of it.
+
+use netlist::{Literal, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::hyper::{ceil_lg, Hyperconcentrator, PAD_LEVELS};
+use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+
+/// Where a chip input pin's signal comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PinSource {
+    /// Wire `i` of the previous stage's output vector (or of the switch
+    /// inputs, for the first stage).
+    Prev(usize),
+    /// A hardwired constant — the ±∞ padding of Columnsort steps 6–8.
+    Const(bool),
+}
+
+/// What the chips in a stage do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// p-by-p hyperconcentrator chips: stable compaction of valid pins to
+    /// the lowest-numbered output pins.
+    Compactor,
+    /// Pass-through boards (the hardwired barrel shifters of Fig. 4): the
+    /// permutation lives in the wiring; the chip adds only pad/mux delay.
+    PassThrough,
+}
+
+/// One stage: `chip_count` identical chips of `chip_pins` pins each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchStage {
+    /// Human-readable stage role, e.g. `"sort columns"`.
+    pub label: String,
+    /// Chip behaviour.
+    pub kind: StageKind,
+    /// Chips in this stage.
+    pub chip_count: usize,
+    /// Data pins (inputs = outputs) per chip.
+    pub chip_pins: usize,
+    /// For chip `c` pin `p` (index `c*chip_pins + p`): its signal source.
+    pub input_map: Vec<PinSource>,
+    /// For chip `c` pin `p`: where its output lands in this stage's output
+    /// vector, or `None` if the wire is dropped (padding removal).
+    pub output_map: Vec<Option<usize>>,
+    /// Length of this stage's output vector.
+    pub out_len: usize,
+}
+
+impl SwitchStage {
+    /// Gate delays a message incurs traversing one chip of this stage
+    /// (logic plus I/O pads).
+    pub fn chip_delay(&self) -> u32 {
+        match self.kind {
+            StageKind::Compactor => 2 * ceil_lg(self.chip_pins) + PAD_LEVELS,
+            StageKind::PassThrough => crate::barrel::BARREL_LEVELS,
+        }
+    }
+
+    fn validate(&self, prev_len: usize) {
+        let total = self.chip_count * self.chip_pins;
+        assert_eq!(self.input_map.len(), total, "{}: input map size", self.label);
+        assert_eq!(self.output_map.len(), total, "{}: output map size", self.label);
+        for src in &self.input_map {
+            if let PinSource::Prev(i) = src {
+                assert!(*i < prev_len, "{}: input reads wire {i} >= {prev_len}", self.label);
+            }
+        }
+        let mut seen = vec![false; self.out_len];
+        for dst in self.output_map.iter().flatten() {
+            assert!(*dst < self.out_len, "{}: output target out of range", self.label);
+            assert!(!seen[*dst], "{}: duplicate output target {dst}", self.label);
+            seen[*dst] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{}: some output positions are undriven",
+            self.label
+        );
+    }
+}
+
+/// A complete multichip switch: stages plus the output read-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedSwitch {
+    /// Descriptive name, e.g. `"Revsort switch"`.
+    pub name: String,
+    /// Input wire count `n`.
+    pub n: usize,
+    /// Output wire count `m`.
+    pub m: usize,
+    /// The guarantee this construction makes.
+    pub kind: ConcentratorKind,
+    /// The chip stages, in traversal order.
+    pub stages: Vec<SwitchStage>,
+    /// Positions in the last stage's output vector that are the switch's
+    /// `m` outputs, in output order.
+    pub output_positions: Vec<usize>,
+}
+
+/// A message slot traveling between stages during routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    valid: bool,
+    /// Original switch input carrying this message; `None` for padding.
+    source: Option<usize>,
+}
+
+impl StagedSwitch {
+    /// Validate internal consistency (map sizes, ranges, disjointness).
+    ///
+    /// # Panics
+    /// On any inconsistency; constructors call this before returning.
+    pub fn validate(&self) {
+        assert!(self.m <= self.n, "m must not exceed n");
+        let mut len = self.n;
+        for stage in &self.stages {
+            stage.validate(len);
+            len = stage.out_len;
+        }
+        let mut seen = vec![false; len];
+        assert_eq!(self.output_positions.len(), self.m, "need m output positions");
+        for &pos in &self.output_positions {
+            assert!(pos < len, "output position {pos} out of range");
+            assert!(!seen[pos], "duplicate output position {pos}");
+            seen[pos] = true;
+        }
+    }
+
+    /// Total gate delays through the switch (sum of per-stage chip delays;
+    /// inter-stage wiring is free).
+    pub fn delay(&self) -> u32 {
+        self.stages.iter().map(SwitchStage::chip_delay).sum()
+    }
+
+    /// Total chips across all stages.
+    pub fn chip_count(&self) -> usize {
+        self.stages.iter().map(|s| s.chip_count).sum()
+    }
+
+    /// The largest per-chip data pin count (`2p` for a p-pin-in, p-pin-out
+    /// chip).
+    pub fn max_data_pins_per_chip(&self) -> usize {
+        self.stages.iter().map(|s| 2 * s.chip_pins).max().unwrap_or(0)
+    }
+
+    /// Trace messages through the stages, returning the final wire vector
+    /// as `(valid, source)` pairs. Exposed for layout renderers.
+    pub fn trace(&self, valid: &[bool]) -> Vec<(bool, Option<usize>)> {
+        assert_eq!(valid.len(), self.n, "valid bit vector must have length n");
+        let mut wires: Vec<Slot> = valid
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Slot { valid: v, source: v.then_some(i) })
+            .collect();
+        for stage in &self.stages {
+            wires = self.run_stage(stage, &wires);
+        }
+        wires.into_iter().map(|s| (s.valid, s.source)).collect()
+    }
+
+    fn run_stage(&self, stage: &SwitchStage, prev: &[Slot]) -> Vec<Slot> {
+        let pins = stage.chip_pins;
+        let mut out = vec![Slot { valid: false, source: None }; stage.out_len];
+        let mut chip_out: Vec<Slot> = Vec::with_capacity(pins);
+        for chip in 0..stage.chip_count {
+            let base = chip * pins;
+            chip_out.clear();
+            match stage.kind {
+                StageKind::Compactor => {
+                    // Stable compaction: valid slots first, in pin order.
+                    for p in 0..pins {
+                        let slot = match stage.input_map[base + p] {
+                            PinSource::Prev(i) => prev[i],
+                            PinSource::Const(v) => Slot { valid: v, source: None },
+                        };
+                        if slot.valid {
+                            chip_out.push(slot);
+                        }
+                    }
+                    chip_out.resize(pins, Slot { valid: false, source: None });
+                }
+                StageKind::PassThrough => {
+                    for p in 0..pins {
+                        let slot = match stage.input_map[base + p] {
+                            PinSource::Prev(i) => prev[i],
+                            PinSource::Const(v) => Slot { valid: v, source: None },
+                        };
+                        chip_out.push(slot);
+                    }
+                }
+            }
+            for (p, slot) in chip_out.iter().enumerate() {
+                match stage.output_map[base + p] {
+                    Some(dst) => out[dst] = *slot,
+                    None => {
+                        // Dropped wires may only carry padding, never a
+                        // message that entered through a switch input.
+                        assert!(
+                            slot.source.is_none(),
+                            "{}: dropped a real message from input {:?}",
+                            stage.label,
+                            slot.source
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Elaborate the whole switch to one flat *data-path* netlist for one
+    /// bit-serial time slice: inputs are the `n` valid bits followed by
+    /// `n` data bits; outputs are the `m` output valid bits followed by
+    /// the `m` data bits carried along the established electrical paths.
+    ///
+    /// Holding the valid bits constant across a frame makes repeated
+    /// evaluation of this netlist cycle-for-cycle equivalent to the real
+    /// hardware, where the paths are latched at setup. Padding constants
+    /// (Columnsort steps 6–8) carry data 0.
+    pub fn build_datapath_netlist(&self, with_pads: bool) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut valid: Vec<Literal> =
+            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        let mut data: Vec<Literal> =
+            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        for stage in &self.stages {
+            let pins = stage.chip_pins;
+            let chip_netlist = match stage.kind {
+                StageKind::Compactor => {
+                    Some(Hyperconcentrator::new(pins).build_datapath_netlist(with_pads))
+                }
+                StageKind::PassThrough => None,
+            };
+            let mut next_valid: Vec<Option<Literal>> = vec![None; stage.out_len];
+            let mut next_data: Vec<Option<Literal>> = vec![None; stage.out_len];
+            for chip in 0..stage.chip_count {
+                let base = chip * pins;
+                let chip_valid_in: Vec<Literal> = (0..pins)
+                    .map(|p| match stage.input_map[base + p] {
+                        PinSource::Prev(i) => valid[i],
+                        PinSource::Const(v) => nl.constant(v),
+                    })
+                    .collect();
+                let chip_data_in: Vec<Literal> = (0..pins)
+                    .map(|p| match stage.input_map[base + p] {
+                        PinSource::Prev(i) => data[i],
+                        // Padding messages carry no payload.
+                        PinSource::Const(_) => nl.constant(false),
+                    })
+                    .collect();
+                let (chip_valid_out, chip_data_out): (Vec<Literal>, Vec<Literal>) =
+                    match stage.kind {
+                        StageKind::Compactor => {
+                            let sub = chip_netlist
+                                .as_ref()
+                                .expect("compactor stages elaborate a chip");
+                            let mut connections = chip_valid_in;
+                            connections.extend(chip_data_in);
+                            let outs = nl.import(sub, &connections);
+                            let (v, d) = outs.split_at(pins);
+                            (v.to_vec(), d.to_vec())
+                        }
+                        StageKind::PassThrough => {
+                            let mut pad = |lits: Vec<Literal>| -> Vec<Literal> {
+                                if with_pads {
+                                    lits.into_iter()
+                                        .map(|l| {
+                                            let mut lit = l;
+                                            for _ in 0..crate::barrel::BARREL_LEVELS {
+                                                lit = nl.buf(lit);
+                                            }
+                                            lit
+                                        })
+                                        .collect()
+                                } else {
+                                    lits
+                                }
+                            };
+                            let v = pad(chip_valid_in);
+                            let d = pad(chip_data_in);
+                            (v, d)
+                        }
+                    };
+                for p in 0..pins {
+                    if let Some(dst) = stage.output_map[base + p] {
+                        next_valid[dst] = Some(chip_valid_out[p]);
+                        next_data[dst] = Some(chip_data_out[p]);
+                    }
+                }
+            }
+            valid = next_valid
+                .into_iter()
+                .map(|l| l.expect("validated stages drive every output"))
+                .collect();
+            data = next_data
+                .into_iter()
+                .map(|l| l.expect("validated stages drive every output"))
+                .collect();
+        }
+        for &pos in &self.output_positions {
+            nl.mark_output(valid[pos]);
+        }
+        for &pos in &self.output_positions {
+            nl.mark_output(data[pos]);
+        }
+        nl
+    }
+
+    /// Elaborate the whole switch to one flat control netlist (valid bits
+    /// in, the `m` output valid bits out). `with_pads` adds per-chip pad
+    /// levels so the netlist depth equals [`StagedSwitch::delay`].
+    pub fn build_netlist(&self, with_pads: bool) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut wires: Vec<Literal> =
+            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        for stage in &self.stages {
+            let pins = stage.chip_pins;
+            // One elaboration per stage; all chips in a stage are identical.
+            let chip_netlist = match stage.kind {
+                StageKind::Compactor => {
+                    Some(Hyperconcentrator::new(pins).build_netlist(with_pads))
+                }
+                StageKind::PassThrough => None,
+            };
+            let mut next: Vec<Option<Literal>> = vec![None; stage.out_len];
+            for chip in 0..stage.chip_count {
+                let base = chip * pins;
+                let chip_inputs: Vec<Literal> = (0..pins)
+                    .map(|p| match stage.input_map[base + p] {
+                        PinSource::Prev(i) => wires[i],
+                        PinSource::Const(v) => nl.constant(v),
+                    })
+                    .collect();
+                let chip_outputs: Vec<Literal> = match stage.kind {
+                    StageKind::Compactor => {
+                        let sub = chip_netlist.as_ref().expect("compactor stages elaborate a chip");
+                        nl.import(sub, &chip_inputs)
+                    }
+                    StageKind::PassThrough => {
+                        if with_pads {
+                            chip_inputs
+                                .into_iter()
+                                .map(|l| {
+                                    let mut lit = l;
+                                    for _ in 0..crate::barrel::BARREL_LEVELS {
+                                        lit = nl.buf(lit);
+                                    }
+                                    lit
+                                })
+                                .collect()
+                        } else {
+                            chip_inputs
+                        }
+                    }
+                };
+                for (p, lit) in chip_outputs.iter().enumerate() {
+                    if let Some(dst) = stage.output_map[base + p] {
+                        next[dst] = Some(*lit);
+                    }
+                }
+            }
+            wires = next
+                .into_iter()
+                .map(|l| l.expect("validated stages drive every output"))
+                .collect();
+        }
+        for &pos in &self.output_positions {
+            nl.mark_output(wires[pos]);
+        }
+        nl
+    }
+}
+
+impl ConcentratorSwitch for StagedSwitch {
+    fn inputs(&self) -> usize {
+        self.n
+    }
+
+    fn outputs(&self) -> usize {
+        self.m
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        self.kind
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        let final_wires = self.trace(valid);
+        let mut assignment = vec![None; self.n];
+        for (out_idx, &pos) in self.output_positions.iter().enumerate() {
+            let (v, source) = final_wires[pos];
+            if v {
+                if let Some(src) = source {
+                    assignment[src] = Some(out_idx);
+                }
+            }
+        }
+        Routing::from_assignment(assignment, self.m)
+    }
+}
+
+/// Axis a sorting stage operates along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// One chip per matrix column; pin `p` is row `p`.
+    Columns,
+    /// One chip per matrix row; pin `p` is column `p`.
+    Rows,
+}
+
+/// Build a sorting stage over an r×c matrix held in row-major order on the
+/// inter-stage wires.
+///
+/// * `pre_perm`, if given, is wiring applied *before* the chips: the
+///   element at matrix position `i` moves to position `pre_perm[i]`.
+/// * `post_perm` likewise permutes the stage's outputs back into row-major
+///   matrix order.
+///
+/// Compactor chips put valid bits at low pin numbers, so a plain column
+/// stage sorts 1s to the top and a plain row stage sorts 1s to the left —
+/// the paper's nonincreasing convention. Reversed directions (Shearsort's
+/// snake) are expressed with row-reversal permutations.
+pub fn sort_stage(
+    rows: usize,
+    cols: usize,
+    axis: Axis,
+    pre_perm: Option<&[usize]>,
+    post_perm: Option<&[usize]>,
+    label: impl Into<String>,
+) -> SwitchStage {
+    let len = rows * cols;
+    let inv_pre = pre_perm.map(meshsort::invert);
+    if let Some(p) = pre_perm {
+        assert_eq!(p.len(), len, "pre_perm length mismatch");
+    }
+    if let Some(p) = post_perm {
+        assert_eq!(p.len(), len, "post_perm length mismatch");
+    }
+    let (chip_count, chip_pins) = match axis {
+        Axis::Columns => (cols, rows),
+        Axis::Rows => (rows, cols),
+    };
+    let matrix_pos = |chip: usize, pin: usize| -> usize {
+        match axis {
+            Axis::Columns => pin * cols + chip,
+            Axis::Rows => chip * cols + pin,
+        }
+    };
+    let mut input_map = Vec::with_capacity(len);
+    let mut output_map = Vec::with_capacity(len);
+    for chip in 0..chip_count {
+        for pin in 0..chip_pins {
+            let pos = matrix_pos(chip, pin);
+            let src = match &inv_pre {
+                Some(inv) => inv[pos],
+                None => pos,
+            };
+            input_map.push(PinSource::Prev(src));
+            let dst = match post_perm {
+                Some(p) => p[pos],
+                None => pos,
+            };
+            output_map.push(Some(dst));
+        }
+    }
+    SwitchStage {
+        label: label.into(),
+        kind: StageKind::Compactor,
+        chip_count,
+        chip_pins,
+        input_map,
+        output_map,
+        out_len: len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort::{transpose_permutation, Grid, SortOrder};
+
+    fn bits_of(pattern: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+    }
+
+    /// A single column-sort stage must behave exactly like sorting the
+    /// columns of the matrix.
+    #[test]
+    fn column_stage_equals_grid_column_sort() {
+        let (rows, cols) = (4, 3);
+        let stage = sort_stage(rows, cols, Axis::Columns, None, None, "cols");
+        let switch = StagedSwitch {
+            name: "one column stage".into(),
+            n: rows * cols,
+            m: rows * cols,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage],
+            output_positions: (0..rows * cols).collect(),
+        };
+        switch.validate();
+        for pattern in 0u64..(1 << 12) {
+            let valid = bits_of(pattern, 12);
+            let traced = switch.trace(&valid);
+            let mut grid = Grid::from_row_major(rows, cols, valid.clone());
+            grid.sort_columns(SortOrder::Descending);
+            let got: Vec<bool> = traced.iter().map(|&(v, _)| v).collect();
+            assert_eq!(&got, grid.as_row_major(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn row_stage_equals_grid_row_sort() {
+        let (rows, cols) = (3, 4);
+        let stage = sort_stage(rows, cols, Axis::Rows, None, None, "rows");
+        let switch = StagedSwitch {
+            name: "one row stage".into(),
+            n: 12,
+            m: 12,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage],
+            output_positions: (0..12).collect(),
+        };
+        switch.validate();
+        for pattern in 0u64..(1 << 12) {
+            let valid = bits_of(pattern, 12);
+            let traced = switch.trace(&valid);
+            let mut grid = Grid::from_row_major(rows, cols, valid.clone());
+            grid.sort_rows(SortOrder::Descending);
+            let got: Vec<bool> = traced.iter().map(|&(v, _)| v).collect();
+            assert_eq!(&got, grid.as_row_major(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn pre_perm_is_applied_before_sorting() {
+        // Transpose then sort columns == sort rows of the original, read
+        // transposed.
+        let side = 4;
+        let perm = transpose_permutation(side, side);
+        let stage = sort_stage(side, side, Axis::Columns, Some(&perm), None, "t+cols");
+        let switch = StagedSwitch {
+            name: "transpose then column sort".into(),
+            n: 16,
+            m: 16,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage],
+            output_positions: (0..16).collect(),
+        };
+        switch.validate();
+        for pattern in [0x0F0Fu64, 0xBEEF, 0x1234] {
+            let valid = bits_of(pattern, 16);
+            let traced: Vec<bool> =
+                switch.trace(&valid).iter().map(|&(v, _)| v).collect();
+            let grid = Grid::from_row_major(side, side, valid.clone());
+            let mut transposed = grid.transposed();
+            transposed.sort_columns(SortOrder::Descending);
+            assert_eq!(&traced, transposed.as_row_major(), "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn netlist_matches_trace() {
+        let (rows, cols) = (4, 2);
+        let stage1 = sort_stage(rows, cols, Axis::Columns, None, None, "cols");
+        let stage2 = sort_stage(rows, cols, Axis::Rows, None, None, "rows");
+        let switch = StagedSwitch {
+            name: "two stages".into(),
+            n: 8,
+            m: 8,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage1, stage2],
+            output_positions: (0..8).collect(),
+        };
+        switch.validate();
+        let nl = switch.build_netlist(false);
+        for pattern in 0u64..256 {
+            let valid = bits_of(pattern, 8);
+            let traced: Vec<bool> =
+                switch.trace(&valid).iter().map(|&(v, _)| v).collect();
+            assert_eq!(nl.eval(&valid), traced, "pattern {pattern:#x}");
+        }
+    }
+
+    #[test]
+    fn delay_sums_stage_chip_delays() {
+        let stage1 = sort_stage(4, 4, Axis::Columns, None, None, "cols");
+        let stage2 = sort_stage(4, 4, Axis::Rows, None, None, "rows");
+        let switch = StagedSwitch {
+            name: "delay".into(),
+            n: 16,
+            m: 16,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage1, stage2],
+            output_positions: (0..16).collect(),
+        };
+        // Each 4-pin compactor chip: 2*2 logic + 2 pads = 6.
+        assert_eq!(switch.delay(), 12);
+        let nl = switch.build_netlist(true);
+        assert_eq!(nl.depth(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "undriven")]
+    fn validate_catches_undriven_outputs() {
+        let mut stage = sort_stage(2, 2, Axis::Columns, None, None, "bad");
+        stage.output_map[0] = None;
+        let switch = StagedSwitch {
+            name: "bad".into(),
+            n: 4,
+            m: 4,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage],
+            output_positions: (0..4).collect(),
+        };
+        switch.validate();
+    }
+
+    #[test]
+    fn datapath_netlist_carries_message_identity() {
+        // Stream 4-bit source ids through the multichip data path; the id
+        // arriving at each output must name the input route() assigned.
+        let (rows, cols) = (4usize, 4usize);
+        let n = rows * cols;
+        let stage1 = sort_stage(rows, cols, Axis::Columns, None, None, "cols");
+        let stage2 = sort_stage(rows, cols, Axis::Rows, None, None, "rows");
+        let switch = StagedSwitch {
+            name: "datapath".into(),
+            n,
+            m: n,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage1, stage2],
+            output_positions: (0..n).collect(),
+        };
+        switch.validate();
+        let nl = switch.build_datapath_netlist(false);
+        for pattern in (0u64..(1 << 16)).step_by(311) {
+            let valid: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            let routing = switch.route(&valid);
+            // One evaluation per id bit.
+            let mut received_ids = vec![0usize; n];
+            for bit in 0..4 {
+                let mut inputs = valid.clone();
+                inputs.extend((0..n).map(|i| valid[i] && (i >> bit) & 1 == 1));
+                let out = nl.eval(&inputs);
+                let (_vout, dout) = out.split_at(n);
+                for (slot, &d) in dout.iter().enumerate() {
+                    if d {
+                        received_ids[slot] |= 1 << bit;
+                    }
+                }
+            }
+            for (input, &assigned) in routing.assignment.iter().enumerate() {
+                if let Some(out) = assigned {
+                    // Id 0 is ambiguous with "no data"; check valid first.
+                    if input != 0 {
+                        assert_eq!(
+                            received_ids[out], input,
+                            "pattern {pattern:#x}: output {out} got wrong message"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn datapath_depth_matches_control_netlist() {
+        let stage = sort_stage(4, 2, Axis::Columns, None, None, "cols");
+        let switch = StagedSwitch {
+            name: "depth".into(),
+            n: 8,
+            m: 8,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage],
+            output_positions: (0..8).collect(),
+        };
+        assert_eq!(
+            switch.build_datapath_netlist(true).depth(),
+            switch.build_netlist(true).depth()
+        );
+    }
+
+    #[test]
+    fn routing_tracks_message_sources() {
+        let stage = sort_stage(4, 1, Axis::Columns, None, None, "col");
+        let switch = StagedSwitch {
+            name: "4-to-2".into(),
+            n: 4,
+            m: 2,
+            kind: ConcentratorKind::Partial { alpha: 1.0 },
+            stages: vec![stage],
+            output_positions: vec![0, 1],
+        };
+        switch.validate();
+        let routing = switch.route(&[false, true, false, true]);
+        assert_eq!(routing.assignment, vec![None, Some(0), None, Some(1)]);
+        let routing = switch.route(&[true, true, true, false]);
+        // Three messages, two outputs: exactly two delivered, in order.
+        assert_eq!(routing.assignment, vec![Some(0), Some(1), None, None]);
+    }
+}

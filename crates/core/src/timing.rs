@@ -1,0 +1,122 @@
+//! A clock-rate model on top of the gate-delay counts.
+//!
+//! The paper reports delays in gate counts because the technology's gate
+//! delay is the free parameter ("a signal incurs 3 lg n + O(1) gate
+//! delays"). This module closes the loop for system-level estimates: given
+//! a technology gate delay, it derives the switch's minimum clock period
+//! (bit-serial transfer is one bit per clock through the whole
+//! combinational cascade), frame duration, and delivered bandwidth — the
+//! quantities a machine architect would size the network with.
+
+use serde::{Deserialize, Serialize};
+
+/// A technology's timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Delay of one (wide) gate level, picoseconds. The paper's era: a few
+    /// ns for ratioed nMOS; use ~1–3 ns.
+    pub gate_delay_ps: u64,
+    /// Fixed per-cycle margin (clock skew, latch setup), picoseconds.
+    pub margin_ps: u64,
+}
+
+impl TimingModel {
+    /// A representative 1987 nMOS process (2 ns gates, 4 ns margin).
+    pub fn nmos_1987() -> Self {
+        TimingModel { gate_delay_ps: 2_000, margin_ps: 4_000 }
+    }
+
+    /// A representative 1987 domino CMOS process — the paper's other
+    /// target technology: faster gates (1 ns) but a precharge phase folded
+    /// into the per-cycle margin (6 ns).
+    pub fn domino_cmos_1987() -> Self {
+        TimingModel { gate_delay_ps: 1_000, margin_ps: 6_000 }
+    }
+
+    /// Minimum clock period for a switch with the given combinational
+    /// gate-delay count (one bit traverses the whole cascade per cycle).
+    pub fn clock_period_ps(&self, gate_delays: u32) -> u64 {
+        self.gate_delay_ps * u64::from(gate_delays) + self.margin_ps
+    }
+
+    /// Clock frequency in MHz for the given gate-delay count.
+    pub fn clock_mhz(&self, gate_delays: u32) -> f64 {
+        1e6 / self.clock_period_ps(gate_delays) as f64
+    }
+
+    /// Duration of one frame (setup cycle + `payload_bits` data cycles),
+    /// picoseconds. `setup_cycles` is nonzero only for latched designs
+    /// like the prefix+butterfly switch.
+    pub fn frame_ps(&self, gate_delays: u32, setup_cycles: u32, payload_bits: usize) -> u64 {
+        let period = self.clock_period_ps(gate_delays);
+        period * (1 + u64::from(setup_cycles) + payload_bits as u64)
+    }
+
+    /// Delivered payload bandwidth in Gbit/s when `messages` of
+    /// `payload_bits` each are delivered per frame.
+    pub fn bandwidth_gbps(
+        &self,
+        gate_delays: u32,
+        setup_cycles: u32,
+        payload_bits: usize,
+        messages: usize,
+    ) -> f64 {
+        let frame = self.frame_ps(gate_delays, setup_cycles, payload_bits) as f64;
+        (messages * payload_bits) as f64 / frame * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revsort_switch::{RevsortLayout, RevsortSwitch};
+    use crate::PrefixButterflyHyperconcentrator;
+
+    #[test]
+    fn period_scales_with_depth() {
+        let t = TimingModel::nmos_1987();
+        assert_eq!(t.clock_period_ps(10), 24_000);
+        assert!(t.clock_mhz(10) > t.clock_mhz(20));
+    }
+
+    #[test]
+    fn domino_beats_nmos_on_deep_switches_only() {
+        // Domino's faster gates win once depth amortizes its precharge
+        // margin; the crossover sits at margin difference / gate-delay
+        // difference = 2 levels.
+        let nmos = TimingModel::nmos_1987();
+        let domino = TimingModel::domino_cmos_1987();
+        assert!(domino.clock_period_ps(1) > nmos.clock_period_ps(1));
+        assert!(domino.clock_period_ps(30) < nmos.clock_period_ps(30));
+    }
+
+    #[test]
+    fn combinational_switch_frames_have_no_setup_cycles() {
+        let t = TimingModel::nmos_1987();
+        let switch = RevsortSwitch::new(256, 128, RevsortLayout::TwoDee);
+        let frame = t.frame_ps(switch.delay(), 0, 64);
+        // 1 setup + 64 payload cycles.
+        assert_eq!(frame, t.clock_period_ps(switch.delay()) * 65);
+    }
+
+    #[test]
+    fn latched_baseline_pays_setup_every_frame() {
+        let t = TimingModel::nmos_1987();
+        let pb = PrefixButterflyHyperconcentrator::new(256);
+        let combinational = t.frame_ps(30, 0, 64);
+        let latched = t.frame_ps(pb.levels() as u32, pb.setup_cycles(), 64);
+        // For short payloads the setup dominates; the latched design's
+        // frame must be longer per unit of logic depth.
+        assert!(latched > t.frame_ps(pb.levels() as u32, 0, 64));
+        let _ = combinational;
+    }
+
+    #[test]
+    fn bandwidth_accounts_messages_and_bits() {
+        let t = TimingModel::nmos_1987();
+        let one = t.bandwidth_gbps(30, 0, 64, 1);
+        let many = t.bandwidth_gbps(30, 0, 64, 50);
+        assert!((many / one - 50.0).abs() < 1e-9);
+        assert!(one > 0.0);
+    }
+}

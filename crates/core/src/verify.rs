@@ -1,0 +1,233 @@
+//! Mechanical verification of concentration guarantees: exhaustive checks
+//! for small switches, seeded Monte Carlo plus structured adversarial
+//! patterns for large ones, and empirical worst-case measurement of the
+//! nearsortedness ε a switch actually achieves.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{check_concentration, ConcentratorSwitch};
+use crate::staged::StagedSwitch;
+
+/// Deterministic SplitMix64 — a tiny seeded generator so verification runs
+/// are reproducible without threading an RNG type through the API.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A Bernoulli(`p`) draw.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// A valid-bit vector of length `n` with density `p`.
+    pub fn valid_bits(&mut self, n: usize, p: f64) -> Vec<bool> {
+        (0..n).map(|_| self.bernoulli(p)).collect()
+    }
+}
+
+/// A failed check: the offending pattern and its violations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckFailure {
+    /// The valid bits that broke the guarantee.
+    pub pattern: Vec<bool>,
+    /// Human-readable description of the violations.
+    pub violations: Vec<String>,
+}
+
+/// Check every one of the `2^n` valid-bit patterns. Only call for small
+/// `n` (≤ ~20). Parallelized with rayon.
+pub fn exhaustive_check<S>(switch: &S) -> Result<(), CheckFailure>
+where
+    S: ConcentratorSwitch + Sync,
+{
+    let n = switch.inputs();
+    assert!(n <= 24, "exhaustive check over 2^{n} patterns is infeasible");
+    (0u64..(1u64 << n))
+        .into_par_iter()
+        .map(|pattern| {
+            let valid: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            let violations = check_concentration(switch, &valid);
+            if violations.is_empty() {
+                Ok(())
+            } else {
+                Err(CheckFailure {
+                    pattern: valid,
+                    violations: violations.iter().map(|v| format!("{v:?}")).collect(),
+                })
+            }
+        })
+        .find_map_first(|r| r.err())
+        .map_or(Ok(()), Err)
+}
+
+/// Structured adversarial valid-bit patterns — the layouts known to
+/// maximize dirty regions in mesh nearsorters (checkerboards, bit-reversal
+/// stripes, half-split blocks, single-column floods).
+pub fn adversarial_patterns(n: usize) -> Vec<Vec<bool>> {
+    let side = (n as f64).sqrt() as usize;
+    let mut patterns: Vec<Vec<bool>> = Vec::new();
+    // Checkerboard and inverse.
+    if side * side == n {
+        for phase in 0..2 {
+            patterns
+                .push((0..n).map(|x| (x / side + x % side) % 2 == phase).collect());
+        }
+        // Alternating full rows.
+        patterns.push((0..n).map(|x| (x / side).is_multiple_of(2)).collect());
+        // Alternating full columns.
+        patterns.push((0..n).map(|x| (x % side).is_multiple_of(2)).collect());
+        // One column all valid.
+        patterns.push((0..n).map(|x| x % side == 0).collect());
+        // Lower-left triangle.
+        patterns.push((0..n).map(|x| x % side <= x / side).collect());
+    }
+    // Halves and quarters.
+    patterns.push((0..n).map(|x| x < n / 2).collect());
+    patterns.push((0..n).map(|x| x >= n / 2).collect());
+    patterns.push((0..n).map(|x| x % 4 == 0).collect());
+    // Everything / nothing.
+    patterns.push(vec![true; n]);
+    patterns.push(vec![false; n]);
+    patterns
+}
+
+/// Result of a randomized verification campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloReport {
+    /// Patterns tried.
+    pub trials: usize,
+    /// Failures found (empty = guarantee held everywhere tested).
+    pub failures: Vec<CheckFailure>,
+}
+
+/// Run `trials` random patterns (density swept over a grid) plus the
+/// structured adversarial patterns through the switch's guarantee checker.
+pub fn monte_carlo_check<S>(switch: &S, trials: usize, seed: u64) -> MonteCarloReport
+where
+    S: ConcentratorSwitch + Sync,
+{
+    let n = switch.inputs();
+    let densities = [0.05, 0.25, 0.5, 0.75, 0.95];
+    let adversaries = adversarial_patterns(n);
+    let mut failures: Vec<CheckFailure> = (0..trials)
+        .into_par_iter()
+        .filter_map(|t| {
+            let mut rng = SplitMix64(seed ^ (t as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            let p = densities[t % densities.len()];
+            let valid = rng.valid_bits(n, p);
+            let violations = check_concentration(switch, &valid);
+            (!violations.is_empty()).then(|| CheckFailure {
+                pattern: valid,
+                violations: violations.iter().map(|v| format!("{v:?}")).collect(),
+            })
+        })
+        .collect();
+    let adversary_count = adversaries.len();
+    for valid in adversaries {
+        let violations = check_concentration(switch, &valid);
+        if !violations.is_empty() {
+            failures.push(CheckFailure {
+                pattern: valid,
+                violations: violations.iter().map(|v| format!("{v:?}")).collect(),
+            });
+        }
+    }
+    MonteCarloReport { trials: trials + adversary_count, failures }
+}
+
+/// Empirical nearsortedness of a staged switch: the worst ε observed over
+/// random and adversarial patterns, to compare against the proven bound.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpsilonReport {
+    /// Patterns measured.
+    pub trials: usize,
+    /// Largest ε observed.
+    pub worst_epsilon: usize,
+    /// Largest dirty-window length observed.
+    pub worst_dirty: usize,
+}
+
+/// Measure the ε the switch's *full wire vector* achieves (before the
+/// output truncation to `m` wires).
+pub fn measure_epsilon(switch: &StagedSwitch, trials: usize, seed: u64) -> EpsilonReport {
+    let n = switch.n;
+    let densities = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let random = (0..trials).into_par_iter().map(|t| {
+        let mut rng = SplitMix64(seed ^ (t as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        let p = densities[t % densities.len()];
+        rng.valid_bits(n, p)
+    });
+    let structured = adversarial_patterns(n).into_par_iter();
+    let (worst_epsilon, worst_dirty) = random
+        .chain(structured)
+        .map(|valid| {
+            let bits: Vec<bool> = switch.trace(&valid).iter().map(|&(v, _)| v).collect();
+            let eps = meshsort::nearsort_epsilon(&bits, meshsort::SortOrder::Descending);
+            let dirty = meshsort::clean_dirty_split(&bits).dirty_len;
+            (eps, dirty)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0.max(b.0), a.1.max(b.1)));
+    EpsilonReport {
+        trials: trials + adversarial_patterns(n).len(),
+        worst_epsilon,
+        worst_dirty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::Hyperconcentrator;
+    use crate::revsort_switch::{RevsortLayout, RevsortSwitch};
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_passes_for_hyperconcentrator() {
+        let h = Hyperconcentrator::new(12);
+        assert!(exhaustive_check(&h).is_ok());
+    }
+
+    #[test]
+    fn monte_carlo_passes_for_revsort_switch() {
+        let switch = RevsortSwitch::new(64, 40, RevsortLayout::TwoDee);
+        let report = monte_carlo_check(&switch, 500, 7);
+        assert!(report.failures.is_empty(), "{:?}", report.failures.first());
+    }
+
+    #[test]
+    fn measured_epsilon_within_proven_bound() {
+        let switch = RevsortSwitch::new(64, 64, RevsortLayout::TwoDee);
+        let report = measure_epsilon(switch.staged(), 500, 3);
+        assert!(
+            report.worst_epsilon <= switch.epsilon_bound(),
+            "measured ε {} exceeds proven bound {}",
+            report.worst_epsilon,
+            switch.epsilon_bound()
+        );
+    }
+
+    #[test]
+    fn adversarial_patterns_cover_square_layouts() {
+        let patterns = adversarial_patterns(16);
+        assert!(patterns.len() >= 10);
+        assert!(patterns.iter().all(|p| p.len() == 16));
+    }
+}

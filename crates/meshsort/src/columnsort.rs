@@ -1,0 +1,276 @@
+//! Columnsort (Leighton 1985) on an r×s mesh.
+//!
+//! The two-stage switch of §5 simulates the first three steps (Algorithm 2
+//! of the paper), which `(s−1)²`-nearsort the elements *in row-major
+//! order*. The full eight steps sort completely — in *column-major* order —
+//! whenever `s` divides `r` and `r ≥ 2(s−1)²`; §6 uses them for a multichip
+//! hyperconcentrator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Grid, SortOrder};
+use crate::perm::{cm_to_rm_permutation, rm_to_cm_permutation};
+
+/// An r×s Columnsort mesh shape with the paper's side conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnsortShape {
+    /// Rows (`r`); chips in the switch are r-by-r hyperconcentrators.
+    pub rows: usize,
+    /// Columns (`s`); the switch uses `s` chips per stage.
+    pub cols: usize,
+}
+
+impl ColumnsortShape {
+    /// Build a shape, enforcing `s | r` as §5 requires.
+    ///
+    /// # Panics
+    /// If either dimension is zero or `cols` does not divide `rows`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "shape dimensions must be positive");
+        assert_eq!(rows % cols, 0, "Columnsort requires s to divide r");
+        ColumnsortShape { rows, cols }
+    }
+
+    /// Number of elements `n = rs`.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Never true (dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The nearsortedness guarantee of steps 1–3: `(s−1)²`.
+    pub fn nearsort_bound(&self) -> usize {
+        (self.cols - 1) * (self.cols - 1)
+    }
+
+    /// Whether the full eight steps are guaranteed to sort:
+    /// `r ≥ 2(s−1)²`.
+    pub fn supports_full_sort(&self) -> bool {
+        self.rows >= 2 * self.nearsort_bound()
+    }
+}
+
+fn assert_shape<T>(grid: &Grid<T>) -> ColumnsortShape {
+    ColumnsortShape::new(grid.rows(), grid.cols())
+}
+
+/// Steps 1–3 of Columnsort — Algorithm 2 of the paper: sort columns,
+/// convert column-major to row-major, sort columns.
+///
+/// Afterwards the elements taken in **row-major order** are
+/// `(s−1)²`-nearsorted (Theorem 4's ingredient).
+pub fn columnsort_steps123<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) {
+    let shape = assert_shape(grid);
+    grid.sort_columns(order);
+    *grid = grid.permuted(&cm_to_rm_permutation(shape.rows, shape.cols));
+    grid.sort_columns(order);
+}
+
+/// Padding wrapper for steps 6–8: `First` sorts before every value in the
+/// chosen direction, `Last` after.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pad<T> {
+    First,
+    Val(T),
+    Last,
+}
+
+fn sort_padded<T: Ord>(column: &mut [Pad<T>], order: SortOrder) {
+    column.sort_by(|a, b| {
+        use std::cmp::Ordering;
+        let rank = |p: &Pad<T>| match p {
+            Pad::First => 0u8,
+            Pad::Val(_) => 1,
+            Pad::Last => 2,
+        };
+        match rank(a).cmp(&rank(b)) {
+            Ordering::Equal => match (a, b) {
+                (Pad::Val(x), Pad::Val(y)) => match order {
+                    SortOrder::Ascending => x.cmp(y),
+                    SortOrder::Descending => y.cmp(x),
+                },
+                _ => Ordering::Equal,
+            },
+            other => other,
+        }
+    });
+}
+
+/// All eight Columnsort steps. The result is fully sorted in
+/// **column-major order** (direction `order`) whenever
+/// [`ColumnsortShape::supports_full_sort`] holds; the shape conditions are
+/// checked and violations panic.
+pub fn columnsort_full<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) {
+    let shape = assert_shape(grid);
+    assert!(
+        shape.supports_full_sort(),
+        "Columnsort full sort requires r >= 2(s-1)^2; got r={}, s={}",
+        shape.rows,
+        shape.cols
+    );
+    let (r, s) = (shape.rows, shape.cols);
+    let n = r * s;
+    let half = r / 2;
+
+    // Steps 1-3.
+    columnsort_steps123(grid, order);
+    // Step 4: convert row-major back to column-major.
+    *grid = grid.permuted(&rm_to_cm_permutation(r, s));
+    // Step 5: sort columns.
+    grid.sort_columns(order);
+
+    // Step 6: shift the column-major sequence down by ⌊r/2⌋ into an
+    // r×(s+1) mesh, padding the head with sort-first and the tail with
+    // sort-last values.
+    let cm: Vec<T> = grid.to_column_major();
+    let mut padded: Vec<Pad<T>> = Vec::with_capacity(n + r);
+    padded.extend((0..half).map(|_| Pad::First));
+    padded.extend(cm.into_iter().map(Pad::Val));
+    padded.extend((0..r - half).map(|_| Pad::Last));
+    debug_assert_eq!(padded.len(), n + r);
+
+    // Step 7: sort each column of the padded r×(s+1) mesh (columns are
+    // contiguous runs of the column-major sequence).
+    for col in padded.chunks_mut(r) {
+        sort_padded(col, order);
+    }
+
+    // Step 8: unshift.
+    let values: Vec<T> = padded
+        .into_iter()
+        .skip(half)
+        .take(n)
+        .map(|p| match p {
+            Pad::Val(v) => v,
+            Pad::First | Pad::Last => {
+                unreachable!("padding escaped its half-column during step 7")
+            }
+        })
+        .collect();
+    *grid = Grid::from_column_major(r, s, values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::nearsort_epsilon;
+
+    fn bit_grid_from_u64(rows: usize, cols: usize, mut pattern: u64) -> Grid<bool> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(pattern & 1 == 1);
+            pattern >>= 1;
+        }
+        Grid::from_row_major(rows, cols, data)
+    }
+
+    #[test]
+    fn steps123_nearsort_bound_exhaustive_8x2() {
+        // (s-1)^2 = 1 for s = 2.
+        let shape = ColumnsortShape::new(8, 2);
+        for pattern in 0u64..(1 << 16) {
+            let mut g = bit_grid_from_u64(8, 2, pattern);
+            columnsort_steps123(&mut g, SortOrder::Descending);
+            let eps = nearsort_epsilon(g.as_row_major(), SortOrder::Descending);
+            assert!(
+                eps <= shape.nearsort_bound(),
+                "pattern {pattern:#06x}: eps {eps} > bound {}",
+                shape.nearsort_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn steps123_nearsort_bound_exhaustive_4x4() {
+        // (s-1)^2 = 9 for s = 4 — loose but must hold.
+        let shape = ColumnsortShape::new(4, 4);
+        for pattern in 0u64..(1 << 16) {
+            let mut g = bit_grid_from_u64(4, 4, pattern);
+            columnsort_steps123(&mut g, SortOrder::Descending);
+            let eps = nearsort_epsilon(g.as_row_major(), SortOrder::Descending);
+            assert!(eps <= shape.nearsort_bound(), "pattern {pattern:#06x}: eps {eps}");
+        }
+    }
+
+    #[test]
+    fn steps123_preserves_multiset() {
+        let mut g = bit_grid_from_u64(8, 4, 0xDEAD_BEEF);
+        let before = g.count_ones();
+        columnsort_steps123(&mut g, SortOrder::Descending);
+        assert_eq!(g.count_ones(), before);
+    }
+
+    #[test]
+    fn full_sorts_all_8x2_bit_matrices() {
+        // r = 8 >= 2(s-1)^2 = 2.
+        for pattern in 0u64..(1 << 16) {
+            let mut g = bit_grid_from_u64(8, 2, pattern);
+            columnsort_full(&mut g, SortOrder::Descending);
+            let cm = g.to_column_major();
+            assert!(
+                SortOrder::Descending.is_sorted(&cm),
+                "pattern {pattern:#06x} not sorted in column-major order:\n{}",
+                g.render_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn full_sorts_random_9x3_bit_matrices() {
+        // r = 9 >= 2(s-1)^2 = 8.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mut g = bit_grid_from_u64(9, 3, state & ((1 << 27) - 1));
+            columnsort_full(&mut g, SortOrder::Descending);
+            let cm = g.to_column_major();
+            assert!(SortOrder::Descending.is_sorted(&cm), "state {state:#x}");
+        }
+    }
+
+    #[test]
+    fn full_sorts_integers_both_directions() {
+        let data: Vec<u32> = (0..36u32).map(|i| (i * 31) % 36).collect();
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            // 12×3: 12 >= 2*4 = 8, 3 | 12.
+            let mut g = Grid::from_row_major(12, 3, data.clone());
+            columnsort_full(&mut g, order);
+            let cm = g.to_column_major();
+            assert!(order.is_sorted(&cm), "{order:?}: {cm:?}");
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let shape = ColumnsortShape::new(8, 4);
+        assert_eq!(shape.nearsort_bound(), 9);
+        assert!(!shape.supports_full_sort()); // 8 < 18
+        assert!(ColumnsortShape::new(18, 3).supports_full_sort());
+        assert_eq!(ColumnsortShape::new(8, 4).len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn shape_rejects_non_dividing_cols() {
+        ColumnsortShape::new(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "r >= 2(s-1)^2")]
+    fn full_rejects_undersized_rows() {
+        let mut g: Grid<u8> = Grid::filled(8, 4, 0);
+        columnsort_full(&mut g, SortOrder::Descending);
+    }
+
+    #[test]
+    fn single_column_is_trivially_sorted() {
+        let mut g = Grid::from_row_major(4, 1, vec![1u8, 3, 0, 2]);
+        columnsort_full(&mut g, SortOrder::Descending);
+        assert_eq!(g.as_row_major(), &[3, 2, 1, 0]);
+    }
+}

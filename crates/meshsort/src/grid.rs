@@ -1,0 +1,439 @@
+//! The r×s mesh the sorting algorithms and switch wirings operate on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a full sort.
+///
+/// The paper sorts valid bits into *nonincreasing* order (1s first), which
+/// corresponds to [`SortOrder::Descending`]; the generic algorithms accept
+/// either direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Nondecreasing order.
+    Ascending,
+    /// Nonincreasing order — the paper's convention for valid bits.
+    Descending,
+}
+
+impl SortOrder {
+    /// The opposite direction (used by Shearsort's snake rows).
+    #[inline]
+    pub fn reversed(self) -> SortOrder {
+        match self {
+            SortOrder::Ascending => SortOrder::Descending,
+            SortOrder::Descending => SortOrder::Ascending,
+        }
+    }
+
+    /// Sort a slice in this direction.
+    pub fn sort<T: Ord>(self, values: &mut [T]) {
+        match self {
+            SortOrder::Ascending => values.sort_unstable(),
+            SortOrder::Descending => values.sort_unstable_by(|a, b| b.cmp(a)),
+        }
+    }
+
+    /// Whether a slice is sorted in this direction.
+    pub fn is_sorted<T: Ord>(self, values: &[T]) -> bool {
+        match self {
+            SortOrder::Ascending => values.windows(2).all(|w| w[0] <= w[1]),
+            SortOrder::Descending => values.windows(2).all(|w| w[0] >= w[1]),
+        }
+    }
+}
+
+/// A dense r×s matrix stored in row-major order.
+///
+/// Rows are numbered `0..rows` top to bottom and columns `0..cols` left to
+/// right, matching §4 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T> Grid<T> {
+    /// Build a grid from a row-major element sequence.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Grid { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid is empty (never true: dimensions are positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major position of the element at `(row, col)` — `RM(i,j) = si+j`
+    /// in the paper's notation (`s` = number of columns).
+    #[inline]
+    pub fn rm_index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Column-major position of the element at `(row, col)` —
+    /// `CM(i,j) = rj+i` (`r` = number of rows).
+    #[inline]
+    pub fn cm_index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        col * self.rows + row
+    }
+
+    /// Inverse of [`Grid::rm_index`]: `RM⁻¹(x) = (⌊x/s⌋, x mod s)`.
+    #[inline]
+    pub fn rm_position(&self, x: usize) -> (usize, usize) {
+        debug_assert!(x < self.len());
+        (x / self.cols, x % self.cols)
+    }
+
+    /// Inverse of [`Grid::cm_index`].
+    #[inline]
+    pub fn cm_position(&self, x: usize) -> (usize, usize) {
+        debug_assert!(x < self.len());
+        (x % self.rows, x / self.rows)
+    }
+
+    /// Borrow the element at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &T {
+        &self.data[self.rm_index(row, col)]
+    }
+
+    /// Mutably borrow the element at `(row, col)`.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut T {
+        let idx = self.rm_index(row, col);
+        &mut self.data[idx]
+    }
+
+    /// Borrow a whole row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        let start = row * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutably borrow a whole row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        let start = row * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// The underlying row-major element sequence.
+    #[inline]
+    pub fn as_row_major(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access for the parallel phase implementations.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the grid, yielding the row-major element sequence.
+    #[inline]
+    pub fn into_row_major(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Clone> Grid<T> {
+    /// Build a grid with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Grid::from_row_major(rows, cols, vec![value; rows * cols])
+    }
+
+    /// Build a grid from a column-major element sequence.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        let mut rm = Vec::with_capacity(data.len());
+        for row in 0..rows {
+            for col in 0..cols {
+                rm.push(data[col * rows + row].clone());
+            }
+        }
+        Grid::from_row_major(rows, cols, rm)
+    }
+
+    /// The element sequence in column-major order.
+    pub fn to_column_major(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for col in 0..self.cols {
+            for row in 0..self.rows {
+                out.push(self.get(row, col).clone());
+            }
+        }
+        out
+    }
+
+    /// Copy out a column.
+    pub fn column(&self, col: usize) -> Vec<T> {
+        (0..self.rows).map(|row| self.get(row, col).clone()).collect()
+    }
+
+    /// Overwrite a column.
+    pub fn set_column(&mut self, col: usize, values: &[T]) {
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        for (row, v) in values.iter().enumerate() {
+            *self.get_mut(row, col) = v.clone();
+        }
+    }
+
+    /// The transposed grid (cols × rows).
+    pub fn transposed(&self) -> Grid<T> {
+        let mut data = Vec::with_capacity(self.len());
+        for col in 0..self.cols {
+            for row in 0..self.rows {
+                data.push(self.get(row, col).clone());
+            }
+        }
+        Grid::from_row_major(self.cols, self.rows, data)
+    }
+
+    /// Cyclically rotate row `row` right by `amount` places: the element in
+    /// column `j` moves to column `(amount + j) mod cols` (§4's row
+    /// rotation).
+    pub fn rotate_row_right(&mut self, row: usize, amount: usize) {
+        let cols = self.cols;
+        let amount = amount % cols;
+        // Right rotation by `amount` == slice::rotate_right(amount).
+        self.row_mut(row).rotate_right(amount);
+        let _ = cols;
+    }
+
+    /// Apply an element permutation: the element at position `i` (row-major)
+    /// moves to position `perm[i]`. Used to realize inter-stage wiring.
+    pub fn permuted(&self, perm: &[usize]) -> Grid<T> {
+        assert_eq!(perm.len(), self.len(), "permutation length mismatch");
+        let mut out: Vec<Option<T>> = vec![None; self.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            assert!(out[p].is_none(), "not a permutation: duplicate target {p}");
+            out[p] = Some(self.data[i].clone());
+        }
+        Grid::from_row_major(
+            self.rows,
+            self.cols,
+            out.into_iter().map(|v| v.expect("not a permutation: hole")).collect(),
+        )
+    }
+}
+
+impl<T: Ord> Grid<T> {
+    /// Fully sort one row in the given direction.
+    pub fn sort_row(&mut self, row: usize, order: SortOrder) {
+        order.sort(self.row_mut(row));
+    }
+
+    /// Fully sort every row in the given direction.
+    pub fn sort_rows(&mut self, order: SortOrder) {
+        for row in 0..self.rows {
+            self.sort_row(row, order);
+        }
+    }
+
+    /// Fully sort every row in snake fashion: row 0 in `order`, row 1 in the
+    /// reversed direction, and so on (Shearsort's row phase).
+    pub fn sort_rows_snake(&mut self, order: SortOrder) {
+        for row in 0..self.rows {
+            let dir = if row % 2 == 0 { order } else { order.reversed() };
+            self.sort_row(row, dir);
+        }
+    }
+}
+
+impl<T: Ord + Clone> Grid<T> {
+    /// Fully sort one column in the given direction.
+    pub fn sort_column(&mut self, col: usize, order: SortOrder) {
+        let mut column = self.column(col);
+        order.sort(&mut column);
+        self.set_column(col, &column);
+    }
+
+    /// Fully sort every column in the given direction.
+    pub fn sort_columns(&mut self, order: SortOrder) {
+        for col in 0..self.cols {
+            self.sort_column(col, order);
+        }
+    }
+}
+
+impl Grid<bool> {
+    /// Render a 0/1 grid for debugging/figures: `#` for 1, `.` for 0.
+    pub fn render_bits(&self) -> String {
+        let mut out = String::with_capacity(self.rows * (self.cols + 1));
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                out.push(if *self.get(row, col) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of `true` entries.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Grid<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                if col > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>3}", self.get(row, col))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_6x3() -> Grid<u32> {
+        Grid::from_row_major(6, 3, (0..18).collect())
+    }
+
+    #[test]
+    fn rm_cm_indices_match_paper_fig5() {
+        // Figure 5: row-major and column-major positions in a 6×3 matrix.
+        let g = grid_6x3();
+        assert_eq!(g.rm_index(0, 0), 0);
+        assert_eq!(g.rm_index(0, 2), 2);
+        assert_eq!(g.rm_index(1, 0), 3);
+        assert_eq!(g.rm_index(5, 2), 17);
+        assert_eq!(g.cm_index(0, 0), 0);
+        assert_eq!(g.cm_index(1, 0), 1);
+        assert_eq!(g.cm_index(0, 1), 6);
+        assert_eq!(g.cm_index(5, 2), 17);
+        assert_eq!(g.cm_index(2, 2), 14);
+    }
+
+    #[test]
+    fn rm_position_inverts_rm_index() {
+        let g = grid_6x3();
+        for row in 0..6 {
+            for col in 0..3 {
+                assert_eq!(g.rm_position(g.rm_index(row, col)), (row, col));
+                assert_eq!(g.cm_position(g.cm_index(row, col)), (row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn column_major_round_trip() {
+        let g = grid_6x3();
+        let cm = g.to_column_major();
+        assert_eq!(cm[0], 0);
+        assert_eq!(cm[1], 3);
+        assert_eq!(cm[6], 1);
+        let back = Grid::from_column_major(6, 3, cm);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn transpose_swaps_dims_and_entries() {
+        let g = grid_6x3();
+        let t = g.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 6);
+        for row in 0..6 {
+            for col in 0..3 {
+                assert_eq!(g.get(row, col), t.get(col, row));
+            }
+        }
+        assert_eq!(t.transposed(), g);
+    }
+
+    #[test]
+    fn rotate_row_right_matches_definition() {
+        // Element in column j moves to column (amount + j) mod cols.
+        let mut g = Grid::from_row_major(1, 4, vec![10, 11, 12, 13]);
+        g.rotate_row_right(0, 1);
+        assert_eq!(g.as_row_major(), &[13, 10, 11, 12]);
+        let mut g = Grid::from_row_major(1, 4, vec![10, 11, 12, 13]);
+        g.rotate_row_right(0, 6); // 6 mod 4 == 2
+        assert_eq!(g.as_row_major(), &[12, 13, 10, 11]);
+    }
+
+    #[test]
+    fn sort_rows_and_columns() {
+        let mut g = Grid::from_row_major(2, 3, vec![3, 1, 2, 0, 5, 4]);
+        g.sort_rows(SortOrder::Descending);
+        assert_eq!(g.as_row_major(), &[3, 2, 1, 5, 4, 0]);
+        g.sort_columns(SortOrder::Descending);
+        assert_eq!(g.as_row_major(), &[5, 4, 1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn snake_rows_alternate_direction() {
+        let mut g = Grid::from_row_major(2, 3, vec![3, 1, 2, 0, 5, 4]);
+        g.sort_rows_snake(SortOrder::Descending);
+        assert_eq!(g.row(0), &[3, 2, 1]);
+        assert_eq!(g.row(1), &[0, 4, 5]);
+    }
+
+    #[test]
+    fn permuted_applies_wiring_map() {
+        let g = Grid::from_row_major(1, 4, vec![10, 11, 12, 13]);
+        // Reverse the elements.
+        let p = vec![3, 2, 1, 0];
+        assert_eq!(g.permuted(&p).as_row_major(), &[13, 12, 11, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn permuted_rejects_non_permutation() {
+        let g = Grid::from_row_major(1, 3, vec![1, 2, 3]);
+        g.permuted(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn sort_order_helpers() {
+        assert!(SortOrder::Descending.is_sorted(&[3, 3, 2, 0]));
+        assert!(!SortOrder::Descending.is_sorted(&[1, 2]));
+        assert!(SortOrder::Ascending.is_sorted(&[0, 0, 1]));
+        assert_eq!(SortOrder::Ascending.reversed(), SortOrder::Descending);
+    }
+
+    #[test]
+    fn bit_render_and_count() {
+        let g = Grid::from_row_major(2, 2, vec![true, false, false, true]);
+        assert_eq!(g.render_bits(), "#.\n.#\n");
+        assert_eq!(g.count_ones(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Mesh sorting algorithms underpinning the 1987 multichip partial
+//! concentrator switch designs.
+//!
+//! Cormen's switches (MIT-LCS-TM-322) are hardware simulations of the first
+//! steps of two mesh sorting algorithms applied to the *valid bits* of
+//! bit-serial messages:
+//!
+//! * **Revsort** (Schnorr–Shamir 1986) — the three-stage switch of §4
+//!   simulates Algorithm 1 (the first 1½ Revsort iterations) on a √n×√n
+//!   mesh, leaving at most `2⌈n^{1/4}⌉ − 1` dirty rows;
+//! * **Columnsort** (Leighton 1985) — the two-stage switch of §5 simulates
+//!   the first three Columnsort steps on an r×s mesh, which
+//!   `(s−1)²`-nearsort the elements in row-major order;
+//! * **Shearsort** (Scherson–Sen–Shamir 1986) — finishes the full-Revsort
+//!   multichip *hyper*concentrator of §6.
+//!
+//! This crate implements the algorithms generically over ordered values (the
+//! switches use them on `bool` valid bits, tests exercise richer types),
+//! the mesh/permutation machinery the switch wiring is derived from, and the
+//! sortedness/nearsortedness metrics of Lemma 1.
+
+mod columnsort;
+mod comparator;
+mod grid;
+mod metrics;
+mod parallel;
+mod perm;
+mod revsort;
+mod shearsort;
+
+pub use columnsort::{columnsort_full, columnsort_steps123, ColumnsortShape};
+pub use comparator::{columnsort_steps123_network, Comparator, ComparatorNetwork};
+pub use grid::{Grid, SortOrder};
+pub use parallel::par_revsort_steps123;
+pub use metrics::{clean_dirty_split, dirty_row_band, nearsort_epsilon, CleanDirtySplit};
+pub use perm::{
+    cm_to_rm_permutation, compose, identity_permutation, invert, is_permutation, rev_bits,
+    revsort_interstage_permutation, rm_to_cm_permutation, row_reversal_permutation,
+    transpose_permutation,
+};
+pub use revsort::{
+    algorithm1_report, revsort_algorithm1, revsort_full, revsort_repetitions, revsort_steps123,
+    RevsortReport,
+};
+pub use shearsort::{shearsort, shearsort_pair, ShearsortSchedule};

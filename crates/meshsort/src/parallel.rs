@@ -1,0 +1,132 @@
+//! Data-parallel row/column phases with rayon.
+//!
+//! The mesh phases are embarrassingly parallel — every row (or column) is
+//! sorted independently, exactly like the chips of one switch stage
+//! operating concurrently. These variants split the work across threads
+//! and are bit-for-bit equivalent to the sequential phases; the
+//! `mesh_sorts` Criterion bench measures where the crossover lies.
+
+use rayon::prelude::*;
+
+use crate::grid::{Grid, SortOrder};
+
+impl<T: Ord + Send> Grid<T> {
+    /// Parallel [`Grid::sort_rows`]: each row sorted on its own rayon
+    /// task.
+    pub fn par_sort_rows(&mut self, order: SortOrder) {
+        let cols = self.cols();
+        self.data_mut().par_chunks_mut(cols).for_each(|row| order.sort(row));
+    }
+
+    /// Parallel snake row phase (Shearsort's row step).
+    pub fn par_sort_rows_snake(&mut self, order: SortOrder) {
+        let cols = self.cols();
+        self.data_mut()
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, row)| {
+                let dir = if i % 2 == 0 { order } else { order.reversed() };
+                dir.sort(row);
+            });
+    }
+}
+
+impl<T: Ord + Clone + Send + Sync> Grid<T> {
+    /// Parallel [`Grid::sort_columns`]: gather-sort-scatter per column,
+    /// each column on its own rayon task.
+    pub fn par_sort_columns(&mut self, order: SortOrder) {
+        let (rows, cols) = (self.rows(), self.cols());
+        // Gather columns in parallel (reads only), then scatter back.
+        let sorted: Vec<Vec<T>> = (0..cols)
+            .into_par_iter()
+            .map(|c| {
+                let mut column: Vec<T> =
+                    (0..rows).map(|r| self.get(r, c).clone()).collect();
+                order.sort(&mut column);
+                column
+            })
+            .collect();
+        for (c, column) in sorted.into_iter().enumerate() {
+            self.set_column(c, &column);
+        }
+    }
+}
+
+/// Parallel Revsort steps 1–3 (Algorithm 1's loop body).
+pub fn par_revsort_steps123<T: Ord + Clone + Send + Sync>(
+    grid: &mut Grid<T>,
+    order: SortOrder,
+) {
+    assert_eq!(grid.rows(), grid.cols(), "Revsort requires a square mesh");
+    assert!(grid.rows().is_power_of_two(), "Revsort requires √n = 2^q");
+    let side = grid.rows();
+    let q = side.trailing_zeros();
+    grid.par_sort_columns(order);
+    grid.par_sort_rows(order);
+    for i in 0..side {
+        grid.rotate_row_right(i, crate::perm::rev_bits(i, q));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revsort::revsort_steps123;
+
+    fn bit_grid(rows: usize, cols: usize, seed: u64) -> Grid<bool> {
+        let mut state = seed | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state & 1 == 1
+            })
+            .collect();
+        Grid::from_row_major(rows, cols, data)
+    }
+
+    #[test]
+    fn par_row_sort_matches_sequential() {
+        for seed in 0..20u64 {
+            let mut a = bit_grid(16, 32, seed);
+            let mut b = a.clone();
+            a.sort_rows(SortOrder::Descending);
+            b.par_sort_rows(SortOrder::Descending);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn par_snake_matches_sequential() {
+        for seed in 0..20u64 {
+            let mut a = bit_grid(9, 11, seed * 3 + 1);
+            let mut b = a.clone();
+            a.sort_rows_snake(SortOrder::Descending);
+            b.par_sort_rows_snake(SortOrder::Descending);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn par_column_sort_matches_sequential() {
+        for seed in 0..20u64 {
+            let mut a = bit_grid(32, 16, seed * 7 + 5);
+            let mut b = a.clone();
+            a.sort_columns(SortOrder::Ascending);
+            b.par_sort_columns(SortOrder::Ascending);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn par_revsort_steps_match_sequential() {
+        for seed in 0..10u64 {
+            let mut a = bit_grid(16, 16, seed * 11 + 3);
+            let mut b = a.clone();
+            revsort_steps123(&mut a, SortOrder::Descending);
+            par_revsort_steps123(&mut b, SortOrder::Descending);
+            assert_eq!(a, b);
+        }
+    }
+}

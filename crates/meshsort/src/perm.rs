@@ -1,0 +1,234 @@
+//! Index permutations realizing the fixed inter-stage wiring of the
+//! multichip switches.
+//!
+//! Convention: a permutation is a `Vec<usize>` where `perm[i]` is the
+//! *destination* position of the element at source position `i` (positions
+//! are row-major flat indices). This matches how crossbar wiring between
+//! chip stages is described in §§4–5: "connect output wire Y to input
+//! wire X".
+
+/// Reverse the low `bits` bits of `i` — the `rev(i)` function of §4.
+///
+/// ```
+/// use meshsort::rev_bits;
+/// // "when √n = 16, rev(3) is 12" (§4).
+/// assert_eq!(rev_bits(3, 4), 12);
+/// ```
+///
+/// # Panics
+/// If `i >= 2^bits`.
+pub fn rev_bits(i: usize, bits: u32) -> usize {
+    assert!(bits <= usize::BITS, "bit width too large");
+    assert!(
+        bits == usize::BITS || i < (1usize << bits),
+        "value {i} does not fit in {bits} bits"
+    );
+    let mut out = 0usize;
+    for b in 0..bits {
+        if (i >> b) & 1 == 1 {
+            out |= 1 << (bits - 1 - b);
+        }
+    }
+    out
+}
+
+/// The identity permutation on `n` positions.
+pub fn identity_permutation(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Whether `perm` is a permutation of `0..perm.len()`.
+pub fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Inverse permutation: if `perm` sends `i` to `perm[i]`, the result sends
+/// `perm[i]` back to `i`.
+pub fn invert(perm: &[usize]) -> Vec<usize> {
+    debug_assert!(is_permutation(perm));
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Composition "apply `first`, then `then`": the result sends `i` to
+/// `then[first[i]]`.
+pub fn compose(first: &[usize], then: &[usize]) -> Vec<usize> {
+    assert_eq!(first.len(), then.len(), "permutation size mismatch");
+    first.iter().map(|&f| then[f]).collect()
+}
+
+/// Matrix transposition as a flat permutation: the element of an r×s grid at
+/// `(i, j)` (row-major position `si + j`) moves to row-major position
+/// `rj + i` of the transposed s×r grid.
+///
+/// This is the wiring between stages 1 and 2 of the Revsort switch.
+pub fn transpose_permutation(rows: usize, cols: usize) -> Vec<usize> {
+    let mut perm = vec![0usize; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            perm[i * cols + j] = j * rows + i;
+        }
+    }
+    perm
+}
+
+/// The column-major → row-major conversion of Columnsort step 2: "move the
+/// element in row i and column j to row ⌊(rj+i)/s⌋ and column (rj+i) mod s"
+/// — i.e. destination row-major position = source *column-major* position.
+///
+/// As a flat permutation on an r×s grid this coincides with
+/// [`transpose_permutation`]; it is named separately because the grid keeps
+/// its r×s shape (the paper's `RM⁻¹ ∘ CM`). This is the wiring between the
+/// two stages of the Columnsort switch.
+pub fn cm_to_rm_permutation(rows: usize, cols: usize) -> Vec<usize> {
+    transpose_permutation(rows, cols)
+}
+
+/// Inverse of [`cm_to_rm_permutation`] (Columnsort step 4).
+pub fn rm_to_cm_permutation(rows: usize, cols: usize) -> Vec<usize> {
+    invert(&cm_to_rm_permutation(rows, cols))
+}
+
+/// The wiring between stages 2 and 3 of the Revsort switch (§4): first
+/// cyclically rotate row `i` right by `rev(i)` places, then transpose.
+///
+/// `side` must be a power of two (the paper assumes `√n = 2^q`).
+pub fn revsort_interstage_permutation(side: usize) -> Vec<usize> {
+    assert!(side.is_power_of_two(), "Revsort requires a power-of-two side");
+    let q = side.trailing_zeros();
+    let mut perm = vec![0usize; side * side];
+    for i in 0..side {
+        let r = rev_bits(i, q);
+        for j in 0..side {
+            let rotated_col = (r + j) % side;
+            // Transpose: (i, rotated_col) -> flat position rotated_col*side + i.
+            perm[i * side + j] = rotated_col * side + i;
+        }
+    }
+    perm
+}
+
+/// Reversal of every odd row of an r×s grid — the fixed wiring that turns a
+/// uniform-direction row sorter into Shearsort's snake row phase.
+pub fn row_reversal_permutation(rows: usize, cols: usize) -> Vec<usize> {
+    let mut perm = vec![0usize; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            let jj = if i % 2 == 1 { cols - 1 - j } else { j };
+            perm[i * cols + j] = i * cols + jj;
+        }
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rev_bits_known_values() {
+        assert_eq!(rev_bits(0, 4), 0);
+        assert_eq!(rev_bits(1, 4), 8);
+        assert_eq!(rev_bits(3, 4), 12);
+        assert_eq!(rev_bits(0b1011, 4), 0b1101);
+        assert_eq!(rev_bits(5, 3), 5); // 101 reversed is 101
+    }
+
+    #[test]
+    fn rev_bits_is_involutive() {
+        for q in 1..8u32 {
+            for i in 0..(1usize << q) {
+                assert_eq!(rev_bits(rev_bits(i, q), q), i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rev_bits_checks_range() {
+        rev_bits(16, 4);
+    }
+
+    #[test]
+    fn transpose_permutation_is_valid_and_involutive_for_square() {
+        let p = transpose_permutation(4, 4);
+        assert!(is_permutation(&p));
+        assert_eq!(compose(&p, &p), identity_permutation(16));
+    }
+
+    #[test]
+    fn transpose_permutation_rect_inverse() {
+        let p = transpose_permutation(6, 3);
+        let q = transpose_permutation(3, 6);
+        assert!(is_permutation(&p));
+        assert_eq!(compose(&p, &q), identity_permutation(18));
+    }
+
+    #[test]
+    fn cm_to_rm_matches_paper_formula() {
+        // r=6, s=3: element at (i,j) goes to row-major position rj+i.
+        let rows = 6;
+        let cols = 3;
+        let p = cm_to_rm_permutation(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                assert_eq!(p[i * cols + j], rows * j + i);
+            }
+        }
+        assert_eq!(compose(&p, &rm_to_cm_permutation(rows, cols)), identity_permutation(18));
+    }
+
+    #[test]
+    fn revsort_interstage_matches_paper_formula() {
+        // Output Y_{2,i,j} connects to input X_{3,(rev(i)+j) mod √n, i}.
+        let side = 8;
+        let q = 3;
+        let p = revsort_interstage_permutation(side);
+        assert!(is_permutation(&p));
+        for i in 0..side {
+            for j in 0..side {
+                let dest_chip = (rev_bits(i, q) + j) % side; // stage-3 chip (column)
+                let dest_pin = i;
+                assert_eq!(p[i * side + j], dest_chip * side + dest_pin);
+            }
+        }
+    }
+
+    #[test]
+    fn row_reversal_reverses_only_odd_rows() {
+        let p = row_reversal_permutation(3, 4);
+        assert!(is_permutation(&p));
+        for j in 0..4 {
+            // Row 0 fixed, row 1 reversed, row 2 fixed.
+            assert_eq!(p[j], j);
+            assert_eq!(p[4 + j], 4 + 3 - j);
+            assert_eq!(p[8 + j], 8 + j);
+        }
+    }
+
+    #[test]
+    fn invert_and_compose_laws() {
+        let p = revsort_interstage_permutation(4);
+        let inv = invert(&p);
+        assert_eq!(compose(&p, &inv), identity_permutation(16));
+        assert_eq!(compose(&inv, &p), identity_permutation(16));
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_maps() {
+        assert!(!is_permutation(&[0, 0]));
+        assert!(!is_permutation(&[2, 0]));
+        assert!(is_permutation(&[1, 0]));
+        assert!(is_permutation(&[]));
+    }
+}

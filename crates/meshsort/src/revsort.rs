@@ -1,0 +1,173 @@
+//! Revsort (Schnorr–Shamir) on a √n×√n mesh: Algorithm 1 of the paper and
+//! the full sort of §6.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Grid, SortOrder};
+use crate::metrics::dirty_row_band;
+use crate::perm::rev_bits;
+use crate::shearsort::{shearsort, ShearsortSchedule};
+
+/// Outcome of a (partial) Revsort run, used by the experiment harness to
+/// check the dirty-row bounds of Theorem 3 and §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevsortReport {
+    /// Clean all-1 rows on top after the run.
+    pub clean_top: usize,
+    /// Dirty rows in the middle.
+    pub dirty_rows: usize,
+    /// Clean all-0 rows at the bottom.
+    pub clean_bottom: usize,
+}
+
+fn assert_square_pow2<T>(grid: &Grid<T>) {
+    assert_eq!(grid.rows(), grid.cols(), "Revsort requires a square mesh");
+    assert!(grid.rows().is_power_of_two(), "Revsort requires √n = 2^q");
+}
+
+/// Steps 1–3 of Algorithm 1 — one "iteration" of the Revsort loop:
+/// sort columns, sort rows, rotate row `i` right by `rev(i)`.
+///
+/// All sorts run in direction `order`; the paper's valid-bit convention is
+/// [`SortOrder::Descending`] (1s to the top / left).
+pub fn revsort_steps123<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) {
+    assert_square_pow2(grid);
+    let side = grid.rows();
+    let q = side.trailing_zeros();
+    grid.sort_columns(order);
+    grid.sort_rows(order);
+    for i in 0..side {
+        grid.rotate_row_right(i, rev_bits(i, q));
+    }
+}
+
+/// Algorithm 1: the first 1½ Revsort iterations (steps 1–3 plus a final
+/// column sort). This is what the three-stage switch of §4 simulates.
+pub fn revsort_algorithm1<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) {
+    revsort_steps123(grid, order);
+    grid.sort_columns(order);
+}
+
+/// Full Revsort-based sort of a 0/1 grid per §6: repeat steps 1–3
+/// ⌈lg lg √n⌉ times (leaving at most eight dirty rows), then finish with
+/// Shearsort. Returns the schedule actually used so circuit constructions
+/// can mirror it exactly.
+///
+/// The result is fully sorted in row-major order, direction `order`.
+pub fn revsort_full<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) -> ShearsortSchedule {
+    assert_square_pow2(grid);
+    for _ in 0..revsort_repetitions(grid.rows()) {
+        revsort_steps123(grid, order);
+    }
+    let schedule = ShearsortSchedule::paper_finish();
+    shearsort(grid, order, schedule);
+    schedule
+}
+
+/// Number of steps-1–3 repetitions §6 prescribes: ⌈lg lg √n⌉ (at least 1).
+pub fn revsort_repetitions(side: usize) -> usize {
+    assert!(side.is_power_of_two() && side >= 2);
+    let lg_side = side.trailing_zeros(); // lg √n
+    let mut reps = 0usize;
+    let mut v = lg_side;
+    while v > 1 {
+        // ceil(lg v)
+        v = v.div_ceil(2);
+        reps += 1;
+    }
+    reps.max(1)
+}
+
+/// Run Algorithm 1 on a 0/1 grid and report the clean/dirty row structure.
+pub fn algorithm1_report(grid: &mut Grid<bool>) -> RevsortReport {
+    revsort_algorithm1(grid, SortOrder::Descending);
+    let (clean_top, dirty_rows, clean_bottom) = dirty_row_band(grid);
+    RevsortReport { clean_top, dirty_rows, clean_bottom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bit_grid_from_u64(side: usize, mut pattern: u64) -> Grid<bool> {
+        let mut data = Vec::with_capacity(side * side);
+        for _ in 0..side * side {
+            data.push(pattern & 1 == 1);
+            pattern >>= 1;
+        }
+        Grid::from_row_major(side, side, data)
+    }
+
+    #[test]
+    fn algorithm1_exhaustive_4x4_dirty_row_bound() {
+        // Theorem 3's ingredient: at most 2⌈n^{1/4}⌉ − 1 dirty rows.
+        // n = 16, bound = 2*2 - 1 = 3.
+        let side = 4;
+        let bound = 2 * ((side * side) as f64).powf(0.25).ceil() as usize - 1;
+        for pattern in 0u64..(1 << 16) {
+            let mut g = bit_grid_from_u64(side, pattern);
+            let report = algorithm1_report(&mut g);
+            assert!(
+                report.dirty_rows <= bound,
+                "pattern {pattern:#06x}: {} dirty rows > bound {bound}",
+                report.dirty_rows
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm1_preserves_multiset() {
+        let mut g = bit_grid_from_u64(4, 0xDEAD);
+        let ones_before = g.count_ones();
+        revsort_algorithm1(&mut g, SortOrder::Descending);
+        assert_eq!(g.count_ones(), ones_before);
+    }
+
+    #[test]
+    fn revsort_full_sorts_bits_exhaustively_4x4() {
+        for pattern in 0u64..(1 << 16) {
+            let mut g = bit_grid_from_u64(4, pattern);
+            revsort_full(&mut g, SortOrder::Descending);
+            assert!(
+                SortOrder::Descending.is_sorted(g.as_row_major()),
+                "pattern {pattern:#06x} not fully sorted:\n{}",
+                g.render_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn revsort_full_sorts_integers() {
+        // Generic values, 8×8.
+        let side = 8;
+        let data: Vec<u32> = (0..(side * side) as u32).map(|i| (i * 37) % 61).collect();
+        let mut g = Grid::from_row_major(side, side, data.clone());
+        revsort_full(&mut g, SortOrder::Descending);
+        let mut expected = data;
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(g.as_row_major(), &expected[..]);
+    }
+
+    #[test]
+    fn repetitions_grow_like_lg_lg() {
+        assert_eq!(revsort_repetitions(2), 1); // lg √n = 1
+        assert_eq!(revsort_repetitions(4), 1); // lg √n = 2, ceil lg 2 = 1
+        assert_eq!(revsort_repetitions(16), 2); // lg √n = 4 -> 2 -> 1
+        assert_eq!(revsort_repetitions(256), 3); // 8 -> 4 -> 2 -> 1
+        assert_eq!(revsort_repetitions(1 << 16), 4); // 16 -> 2 halvings... 16->8->4->2->1
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let mut g: Grid<u8> = Grid::filled(2, 4, 0);
+        revsort_algorithm1(&mut g, SortOrder::Descending);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^q")]
+    fn rejects_non_power_of_two() {
+        let mut g: Grid<u8> = Grid::filled(3, 3, 0);
+        revsort_algorithm1(&mut g, SortOrder::Descending);
+    }
+}

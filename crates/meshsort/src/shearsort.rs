@@ -1,0 +1,168 @@
+//! Shearsort (Scherson–Sen–Shamir) — the finishing phase of the
+//! full-Revsort multichip hyperconcentrator (§6).
+//!
+//! A Shearsort *pair* is a snake row phase (row `i` sorted in the base
+//! direction when `i` is even, reversed when odd) followed by a column
+//! phase. Each pair at least halves the dirty row band of a 0/1 matrix.
+//! §6 finishes full Revsort, which leaves at most eight dirty rows, with
+//! "three iterations of the Shearsort algorithm"; a last *uniform* row
+//! phase (a wiring choice, not an extra algorithm) converts the snake-
+//! ordered result into row-major order. The measured stack count is
+//! reported against the paper's in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Grid, SortOrder};
+
+/// A Shearsort run plan: `pairs` (snake row + column) phases, optionally
+/// followed by one uniform-direction row phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShearsortSchedule {
+    /// Number of (snake row phase, column phase) pairs.
+    pub pairs: usize,
+    /// Whether to finish with a uniform-direction row phase, which turns a
+    /// snake-sorted matrix into a row-major-sorted one.
+    pub final_uniform_row: bool,
+}
+
+impl ShearsortSchedule {
+    /// The finishing schedule used after full Revsort's repetitions (§6):
+    /// three pairs plus the direction-fixing uniform row phase.
+    pub fn paper_finish() -> Self {
+        ShearsortSchedule { pairs: 3, final_uniform_row: true }
+    }
+
+    /// A schedule that fully sorts an arbitrary r×s matrix from scratch:
+    /// ⌈lg r⌉ + 1 pairs plus the uniform row phase (one extra pair over the
+    /// classic ⌈lg r⌉ bound buys the band down to a single dirty row for
+    /// every input, which the uniform row phase then fixes).
+    pub fn full_sort(rows: usize) -> Self {
+        let lg = rows.next_power_of_two().trailing_zeros() as usize;
+        ShearsortSchedule { pairs: lg + 1, final_uniform_row: true }
+    }
+
+    /// Number of chip stacks (row/column sorting stages) this schedule
+    /// costs in the multichip realization of §6.
+    pub fn stacks(&self) -> usize {
+        2 * self.pairs + usize::from(self.final_uniform_row)
+    }
+}
+
+/// One Shearsort pair: snake row phase then column phase.
+pub fn shearsort_pair<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) {
+    grid.sort_rows_snake(order);
+    grid.sort_columns(order);
+}
+
+/// Run a full Shearsort schedule.
+pub fn shearsort<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder, schedule: ShearsortSchedule) {
+    for _ in 0..schedule.pairs {
+        shearsort_pair(grid, order);
+    }
+    if schedule.final_uniform_row {
+        grid.sort_rows(order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::dirty_row_band;
+
+    fn bit_grid_from_u64(rows: usize, cols: usize, mut pattern: u64) -> Grid<bool> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(pattern & 1 == 1);
+            pattern >>= 1;
+        }
+        Grid::from_row_major(rows, cols, data)
+    }
+
+    #[test]
+    fn full_schedule_sorts_all_4x4_bit_matrices() {
+        let schedule = ShearsortSchedule::full_sort(4);
+        for pattern in 0u64..(1 << 16) {
+            let mut g = bit_grid_from_u64(4, 4, pattern);
+            shearsort(&mut g, SortOrder::Descending, schedule);
+            assert!(
+                SortOrder::Descending.is_sorted(g.as_row_major()),
+                "pattern {pattern:#06x}:\n{}",
+                g.render_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn full_schedule_sorts_integers_via_zero_one_principle_spot_check() {
+        let schedule = ShearsortSchedule::full_sort(8);
+        let data: Vec<u32> = (0..64u32).map(|i| (i * 23) % 64).collect();
+        let mut g = Grid::from_row_major(8, 8, data.clone());
+        shearsort(&mut g, SortOrder::Descending, schedule);
+        let mut expected = data;
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(g.as_row_major(), &expected[..]);
+    }
+
+    #[test]
+    fn each_pair_roughly_halves_dirty_band() {
+        // Worst-ish case: alternating rows of 1s and 0s, 8×8.
+        let mut data = Vec::new();
+        for row in 0..8 {
+            for _ in 0..8 {
+                data.push(row % 2 == 0);
+            }
+        }
+        let mut g = Grid::from_row_major(8, 8, data);
+        // Rows 0 and 7 are clean (all-1 and all-0), so the band is 6 rows.
+        let (_, d0, _) = dirty_row_band(&g);
+        assert_eq!(d0, 6);
+        shearsort_pair(&mut g, SortOrder::Descending);
+        let (_, d1, _) = dirty_row_band(&g);
+        assert!(d1 <= d0 / 2 + 1, "dirty rows {d0} -> {d1}");
+    }
+
+    #[test]
+    fn paper_finish_handles_eight_dirty_rows() {
+        // Adversarial 16×16 inputs whose dirty band is at most 8 rows, the
+        // §6 precondition.
+        let rows = 16;
+        let cols = 16;
+        for seed in 0u64..2000 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let clean_top = (next() % 5) as usize;
+            let dirty = (next() % 9) as usize; // 0..=8 dirty rows
+            let clean_top = clean_top.min(rows - dirty);
+            let mut data = Vec::with_capacity(rows * cols);
+            for row in 0..rows {
+                for _ in 0..cols {
+                    if row < clean_top {
+                        data.push(true);
+                    } else if row < clean_top + dirty {
+                        data.push(next() % 2 == 0);
+                    } else {
+                        data.push(false);
+                    }
+                }
+            }
+            let mut g = Grid::from_row_major(rows, cols, data);
+            shearsort(&mut g, SortOrder::Descending, ShearsortSchedule::paper_finish());
+            assert!(
+                SortOrder::Descending.is_sorted(g.as_row_major()),
+                "seed {seed}:\n{}",
+                g.render_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn stacks_counts_stages() {
+        assert_eq!(ShearsortSchedule::paper_finish().stacks(), 7);
+        assert_eq!(ShearsortSchedule { pairs: 2, final_uniform_row: false }.stacks(), 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! The netlist container and its SSA-style builder API.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::{Gate, GateKind};
+use crate::wire::{Literal, Wire};
+
+/// How a wire is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum Driver {
+    /// Primary input; payload is the input ordinal.
+    Input(u32),
+    /// Output of the gate at this index in the gate list.
+    Gate(u32),
+}
+
+/// A combinational netlist.
+///
+/// Wires are created in strictly increasing order and each gate may only
+/// read wires created before its output wire, so the gate list is
+/// topologically ordered by construction and no cycle can be expressed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) drivers: Vec<Driver>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<Wire>,
+    pub(crate) outputs: Vec<Literal>,
+}
+
+impl Netlist {
+    /// Create an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Number of wires (inputs + gate outputs).
+    #[inline]
+    pub fn wire_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of marked primary outputs.
+    #[inline]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of gates (constants included).
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The primary inputs, in creation order.
+    #[inline]
+    pub fn inputs(&self) -> &[Wire] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in marking order.
+    #[inline]
+    pub fn outputs(&self) -> &[Literal] {
+        &self.outputs
+    }
+
+    /// The gates in topological order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    fn fresh_wire(&mut self, driver: Driver) -> Wire {
+        let id = u32::try_from(self.drivers.len()).expect("netlist exceeds u32 wires");
+        self.drivers.push(driver);
+        Wire(id)
+    }
+
+    /// Create a new primary input wire.
+    pub fn input(&mut self) -> Wire {
+        let ordinal = u32::try_from(self.inputs.len()).expect("too many inputs");
+        let w = self.fresh_wire(Driver::Input(ordinal));
+        self.inputs.push(w);
+        w
+    }
+
+    /// Create `n` primary inputs and return them in order.
+    pub fn inputs_n(&mut self, n: usize) -> Vec<Wire> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Add a gate, validating that all of its inputs already exist.
+    ///
+    /// Returns a positive literal of the driven wire.
+    pub fn gate<I>(&mut self, kind: GateKind, inputs: I) -> Literal
+    where
+        I: IntoIterator,
+        I::Item: Into<Literal>,
+    {
+        let inputs: Vec<Literal> = inputs.into_iter().map(Into::into).collect();
+        for lit in &inputs {
+            assert!(
+                lit.wire.index() < self.drivers.len(),
+                "gate reads undefined wire {:?}",
+                lit.wire
+            );
+        }
+        if matches!(kind, GateKind::Buf) {
+            assert_eq!(inputs.len(), 1, "Buf gate requires exactly one input");
+        }
+        if matches!(kind, GateKind::Const(_)) {
+            assert!(inputs.is_empty(), "Const gate takes no inputs");
+        }
+        let gate_idx = u32::try_from(self.gates.len()).expect("too many gates");
+        let output = self.fresh_wire(Driver::Gate(gate_idx));
+        self.gates.push(Gate { kind, inputs, output });
+        Literal::pos(output)
+    }
+
+    /// Wide AND of the given literals (empty AND is constant true).
+    pub fn and<I>(&mut self, inputs: I) -> Literal
+    where
+        I: IntoIterator,
+        I::Item: Into<Literal>,
+    {
+        self.gate(GateKind::And, inputs)
+    }
+
+    /// Wide OR of the given literals (empty OR is constant false).
+    pub fn or<I>(&mut self, inputs: I) -> Literal
+    where
+        I: IntoIterator,
+        I::Item: Into<Literal>,
+    {
+        self.gate(GateKind::Or, inputs)
+    }
+
+    /// Parity of the given literals.
+    pub fn xor<I>(&mut self, inputs: I) -> Literal
+    where
+        I: IntoIterator,
+        I::Item: Into<Literal>,
+    {
+        self.gate(GateKind::Xor, inputs)
+    }
+
+    /// Pad driver (identity, one level). Models chip I/O pad delay.
+    pub fn buf(&mut self, input: impl Into<Literal>) -> Literal {
+        self.gate(GateKind::Buf, [input.into()])
+    }
+
+    /// Constant driver.
+    pub fn constant(&mut self, value: bool) -> Literal {
+        self.gate(GateKind::Const(value), std::iter::empty::<Literal>())
+    }
+
+    /// Mark a literal as a primary output. Order of marking defines output
+    /// order in [`Netlist::eval`].
+    pub fn mark_output(&mut self, lit: impl Into<Literal>) {
+        let lit = lit.into();
+        assert!(
+            lit.wire.index() < self.drivers.len(),
+            "output marks undefined wire {:?}",
+            lit.wire
+        );
+        self.outputs.push(lit);
+    }
+
+    /// Import another netlist as a sub-circuit, connecting its primary
+    /// inputs to `connections` (one literal per sub-input, in order).
+    ///
+    /// Returns the literals corresponding to the sub-circuit's outputs.
+    /// Used to compose multichip switches out of per-chip netlists while
+    /// keeping one flat evaluable circuit.
+    pub fn import(&mut self, sub: &Netlist, connections: &[Literal]) -> Vec<Literal> {
+        assert_eq!(
+            connections.len(),
+            sub.inputs.len(),
+            "import requires one connection per sub-circuit input"
+        );
+        for lit in connections {
+            assert!(lit.wire.index() < self.drivers.len(), "import reads undefined wire");
+        }
+        // Map from sub-circuit wire index to a literal in `self`.
+        let mut map: Vec<Literal> = Vec::with_capacity(sub.drivers.len());
+        let mut next_input = 0usize;
+        let mut gate_cursor = 0usize;
+        for driver in &sub.drivers {
+            match driver {
+                Driver::Input(_) => {
+                    map.push(connections[next_input]);
+                    next_input += 1;
+                }
+                Driver::Gate(_) => {
+                    let gate = &sub.gates[gate_cursor];
+                    gate_cursor += 1;
+                    let mapped: Vec<Literal> = gate
+                        .inputs
+                        .iter()
+                        .map(|l| {
+                            let base = map[l.wire.index()];
+                            if l.inverted {
+                                base.complement()
+                            } else {
+                                base
+                            }
+                        })
+                        .collect();
+                    let out = self.gate(gate.kind, mapped);
+                    map.push(out);
+                }
+            }
+        }
+        sub.outputs
+            .iter()
+            .map(|l| {
+                let base = map[l.wire.index()];
+                if l.inverted {
+                    base.complement()
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_inputs_in_order() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(nl.input_count(), 2);
+        assert_eq!(nl.wire_count(), 2);
+    }
+
+    #[test]
+    fn gate_outputs_get_fresh_wires() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let g = nl.and([a]);
+        assert_eq!(g.wire.index(), 1);
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined wire")]
+    fn gate_rejects_future_wires() {
+        let mut nl = Netlist::new();
+        let _a = nl.input();
+        nl.and([Literal::pos(Wire(10))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one input")]
+    fn buf_requires_single_input() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        nl.gate(GateKind::Buf, [a, b]);
+    }
+
+    #[test]
+    fn import_preserves_function() {
+        // sub: out = a AND NOT b
+        let mut sub = Netlist::new();
+        let a = sub.input();
+        let b = sub.input();
+        let g = sub.and([Literal::pos(a), Literal::neg(b)]);
+        sub.mark_output(g);
+
+        // outer: feed (x OR y, z) into sub.
+        let mut outer = Netlist::new();
+        let x = outer.input();
+        let y = outer.input();
+        let z = outer.input();
+        let o = outer.or([x, y]);
+        let subout = outer.import(&sub, &[o, Literal::pos(z)]);
+        outer.mark_output(subout[0]);
+
+        // (x|y) & !z
+        assert_eq!(outer.eval(&[true, false, false]), vec![true]);
+        assert_eq!(outer.eval(&[true, false, true]), vec![false]);
+        assert_eq!(outer.eval(&[false, false, false]), vec![false]);
+    }
+
+    #[test]
+    fn import_handles_inverted_sub_outputs() {
+        let mut sub = Netlist::new();
+        let a = sub.input();
+        sub.mark_output(Literal::neg(a));
+
+        let mut outer = Netlist::new();
+        let x = outer.input();
+        let got = outer.import(&sub, &[Literal::neg(x)]);
+        outer.mark_output(got[0]);
+        // NOT(NOT x) == x
+        assert_eq!(outer.eval(&[true]), vec![true]);
+        assert_eq!(outer.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut nl = Netlist::new();
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        nl.mark_output(t);
+        nl.mark_output(f);
+        assert_eq!(nl.eval(&[]), vec![true, false]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Critical-path (gate-delay) analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::{Driver, Netlist};
+
+/// Result of a depth analysis over a netlist.
+///
+/// Depth is measured in gate delays under the paper's technology convention:
+/// one delay per (arbitrarily wide) AND/OR plane and per pad driver, zero for
+/// constants and wiring, complements free. This is the quantity the paper's
+/// "`3 lg n + O(1)` gate delays" statements refer to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthReport {
+    /// Depth of every wire (delay from primary inputs to that wire).
+    pub wire_depth: Vec<u32>,
+    /// Depth of each marked output.
+    pub output_depth: Vec<u32>,
+    /// Maximum over all marked outputs — the circuit's gate-delay count.
+    pub critical_path: u32,
+}
+
+impl Netlist {
+    /// Compute per-wire and per-output depths.
+    pub fn depth_report(&self) -> DepthReport {
+        let mut wire_depth = vec![0u32; self.drivers.len()];
+        let mut gate_cursor = 0usize;
+        for (idx, driver) in self.drivers.iter().enumerate() {
+            match driver {
+                Driver::Input(_) => wire_depth[idx] = 0,
+                Driver::Gate(_) => {
+                    let gate = &self.gates[gate_cursor];
+                    gate_cursor += 1;
+                    let input_max = gate
+                        .inputs
+                        .iter()
+                        .map(|l| wire_depth[l.wire.index()])
+                        .max()
+                        .unwrap_or(0);
+                    wire_depth[idx] = input_max + gate.kind.delay();
+                }
+            }
+        }
+        let output_depth: Vec<u32> =
+            self.outputs.iter().map(|l| wire_depth[l.wire.index()]).collect();
+        let critical_path = output_depth.iter().copied().max().unwrap_or(0);
+        DepthReport { wire_depth, output_depth, critical_path }
+    }
+
+    /// Convenience: the critical-path gate-delay count.
+    pub fn depth(&self) -> u32 {
+        self.depth_report().critical_path
+    }
+
+    /// Extract one critical path: the wires from a primary input to the
+    /// deepest output, deepest-predecessor-first. Useful for pointing at
+    /// *which* merge chain realizes the `2 lg n` bound.
+    pub fn critical_path(&self) -> Vec<crate::Wire> {
+        let report = self.depth_report();
+        let Some(start) = self
+            .outputs
+            .iter()
+            .max_by_key(|l| report.wire_depth[l.wire.index()])
+            .map(|l| l.wire)
+        else {
+            return Vec::new();
+        };
+        // Map each gate-driven wire to its gate for backtracking.
+        let mut driver_gate = vec![usize::MAX; self.drivers.len()];
+        for (g, gate) in self.gates.iter().enumerate() {
+            driver_gate[gate.output.index()] = g;
+        }
+        let mut path = vec![start];
+        let mut current = start;
+        loop {
+            let g = driver_gate[current.index()];
+            if g == usize::MAX {
+                break; // reached a primary input (or constant)
+            }
+            let gate = &self.gates[g];
+            let Some(pred) = gate
+                .inputs
+                .iter()
+                .max_by_key(|l| report.wire_depth[l.wire.index()])
+                .map(|l| l.wire)
+            else {
+                break; // constant driver
+            };
+            path.push(pred);
+            current = pred;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Critical path if every gate's fan-in were bounded at `limit`
+    /// (each wide gate replaced by a balanced tree of `limit`-input
+    /// gates). Quantifies what the wide-gate (ratioed nMOS) technology
+    /// assumption buys — the ablation of DESIGN.md §5.
+    pub fn depth_bounded_fanin(&self, limit: usize) -> u32 {
+        assert!(limit >= 2, "fan-in limit must be at least 2");
+        let tree_levels = |fan_in: usize| -> u32 {
+            if fan_in <= 1 {
+                1
+            } else {
+                // ⌈log_limit(fan_in)⌉
+                let mut levels = 0u32;
+                let mut reach = 1usize;
+                while reach < fan_in {
+                    reach = reach.saturating_mul(limit);
+                    levels += 1;
+                }
+                levels
+            }
+        };
+        let mut wire_depth = vec![0u32; self.drivers.len()];
+        let mut gate_cursor = 0usize;
+        let mut critical = 0u32;
+        for (idx, driver) in self.drivers.iter().enumerate() {
+            match driver {
+                Driver::Input(_) => wire_depth[idx] = 0,
+                Driver::Gate(_) => {
+                    let gate = &self.gates[gate_cursor];
+                    gate_cursor += 1;
+                    let input_max = gate
+                        .inputs
+                        .iter()
+                        .map(|l| wire_depth[l.wire.index()])
+                        .max()
+                        .unwrap_or(0);
+                    let cost = match gate.kind {
+                        crate::GateKind::Const(_) => 0,
+                        crate::GateKind::Buf => 1,
+                        _ => gate.kind.delay().max(tree_levels(gate.fan_in())),
+                    };
+                    wire_depth[idx] = input_max + cost;
+                }
+            }
+        }
+        for lit in &self.outputs {
+            critical = critical.max(wire_depth[lit.wire.index()]);
+        }
+        critical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Literal, Netlist};
+
+    #[test]
+    fn inputs_have_zero_depth() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        nl.mark_output(Literal::pos(a));
+        assert_eq!(nl.depth(), 0);
+    }
+
+    #[test]
+    fn and_or_chain_counts_levels() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let t1 = nl.and([a, b]);
+        let t2 = nl.or([t1, Literal::pos(a)]);
+        let t3 = nl.and([t2, Literal::neg(b)]);
+        nl.mark_output(t3);
+        assert_eq!(nl.depth(), 3);
+    }
+
+    #[test]
+    fn complements_are_free() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let t = nl.and([Literal::neg(a)]);
+        nl.mark_output(t);
+        assert_eq!(nl.depth(), 1, "inversion must not add a level");
+    }
+
+    #[test]
+    fn wide_gates_are_one_level() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs_n(1000);
+        let lits: Vec<Literal> = ins.iter().copied().map(Literal::pos).collect();
+        let t = nl.or(lits);
+        nl.mark_output(t);
+        assert_eq!(nl.depth(), 1, "fan-in must not affect delay in this model");
+    }
+
+    #[test]
+    fn constants_have_zero_depth_pads_have_one() {
+        let mut nl = Netlist::new();
+        let c = nl.constant(true);
+        let p = nl.buf(c);
+        nl.mark_output(p);
+        assert_eq!(nl.depth(), 1);
+    }
+
+    #[test]
+    fn critical_path_walks_input_to_deepest_output() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let t1 = nl.and([a, b]);
+        let t2 = nl.or([t1, Literal::pos(a)]);
+        let shallow = nl.and([a]);
+        nl.mark_output(shallow);
+        nl.mark_output(t2);
+        let path = nl.critical_path();
+        // input -> t1 -> t2: three wires, strictly increasing depth.
+        assert_eq!(path.len(), 3);
+        assert_eq!(path.last().copied(), Some(t2.wire));
+        let report = nl.depth_report();
+        for w in path.windows(2) {
+            assert!(
+                report.wire_depth[w[0].index()] < report.wire_depth[w[1].index()],
+                "path depths must increase"
+            );
+        }
+        // Path length in gate steps equals the critical depth.
+        assert_eq!(path.len() as u32 - 1, nl.depth());
+    }
+
+    #[test]
+    fn critical_path_of_empty_netlist_is_empty() {
+        assert!(Netlist::new().critical_path().is_empty());
+    }
+
+    #[test]
+    fn bounded_fanin_depth_charges_tree_levels() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs_n(8);
+        let lits: Vec<Literal> = ins.iter().copied().map(Literal::pos).collect();
+        let wide = nl.or(lits);
+        nl.mark_output(wide);
+        assert_eq!(nl.depth(), 1);
+        assert_eq!(nl.depth_bounded_fanin(2), 3); // ⌈lg 8⌉
+        assert_eq!(nl.depth_bounded_fanin(4), 2); // ⌈log4 8⌉
+        assert_eq!(nl.depth_bounded_fanin(8), 1);
+    }
+
+    #[test]
+    fn depth_is_max_over_outputs() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let shallow = nl.and([a]);
+        let deep0 = nl.or([shallow]);
+        let deep = nl.and([deep0]);
+        nl.mark_output(shallow);
+        nl.mark_output(deep);
+        let report = nl.depth_report();
+        assert_eq!(report.output_depth, vec![1, 3]);
+        assert_eq!(report.critical_path, 3);
+    }
+}

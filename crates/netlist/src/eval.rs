@@ -1,0 +1,180 @@
+//! Scalar and bit-parallel evaluation of netlists.
+
+use crate::builder::{Driver, Netlist};
+use crate::gate::GateKind;
+
+/// Number of independent test vectors carried by one [`BitBlock`] lane.
+pub const WORD_BITS: usize = 64;
+
+/// A block of 64 independent boolean values, one per bit, used for
+/// bit-parallel (SIMD-within-a-register) evaluation of up to 64 test
+/// vectors in one pass.
+pub type BitBlock = u64;
+
+impl Netlist {
+    /// Evaluate the netlist on one input vector.
+    ///
+    /// `inputs[i]` is the value of the `i`-th primary input; the result
+    /// holds one value per marked output, in marking order.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs.len(), "wrong number of input values");
+        let mut values = vec![false; self.drivers.len()];
+        self.eval_into(inputs, &mut values);
+        self.outputs.iter().map(|l| l.apply(values[l.wire.index()])).collect()
+    }
+
+    /// Evaluate and expose every wire value (for waveform inspection).
+    ///
+    /// `values` must have length [`Netlist::wire_count`]; it is fully
+    /// overwritten. Reusing the buffer avoids per-call allocation in
+    /// clocked simulation loops.
+    pub fn eval_into(&self, inputs: &[bool], values: &mut [bool]) {
+        assert_eq!(inputs.len(), self.inputs.len(), "wrong number of input values");
+        assert_eq!(values.len(), self.drivers.len(), "wire buffer has wrong length");
+        let mut gate_cursor = 0usize;
+        for (idx, driver) in self.drivers.iter().enumerate() {
+            match driver {
+                Driver::Input(ord) => values[idx] = inputs[*ord as usize],
+                Driver::Gate(_) => {
+                    let gate = &self.gates[gate_cursor];
+                    gate_cursor += 1;
+                    let v = gate
+                        .kind
+                        .eval(gate.inputs.iter().map(|l| l.apply(values[l.wire.index()])));
+                    values[idx] = v;
+                }
+            }
+        }
+    }
+
+    /// Evaluate up to 64 input vectors at once, bit-parallel.
+    ///
+    /// Bit `j` of `inputs[i]` is the value of primary input `i` in test
+    /// vector `j`. Returns one [`BitBlock`] per output. This is the fast
+    /// path for Monte Carlo load-ratio verification, where millions of
+    /// valid-bit patterns are pushed through a switch netlist.
+    pub fn eval_block(&self, inputs: &[BitBlock]) -> Vec<BitBlock> {
+        assert_eq!(inputs.len(), self.inputs.len(), "wrong number of input blocks");
+        let mut values = vec![0u64; self.drivers.len()];
+        let mut gate_cursor = 0usize;
+        for (idx, driver) in self.drivers.iter().enumerate() {
+            match driver {
+                Driver::Input(ord) => values[idx] = inputs[*ord as usize],
+                Driver::Gate(_) => {
+                    let gate = &self.gates[gate_cursor];
+                    gate_cursor += 1;
+                    let lit = |l: &crate::Literal| -> u64 {
+                        let v = values[l.wire.index()];
+                        if l.inverted {
+                            !v
+                        } else {
+                            v
+                        }
+                    };
+                    values[idx] = match gate.kind {
+                        GateKind::And => gate.inputs.iter().map(lit).fold(!0u64, |a, b| a & b),
+                        GateKind::Or => gate.inputs.iter().map(lit).fold(0u64, |a, b| a | b),
+                        GateKind::Xor => gate.inputs.iter().map(lit).fold(0u64, |a, b| a ^ b),
+                        GateKind::Buf => lit(&gate.inputs[0]),
+                        GateKind::Const(v) => {
+                            if v {
+                                !0u64
+                            } else {
+                                0u64
+                            }
+                        }
+                    };
+                }
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|l| {
+                let v = values[l.wire.index()];
+                if l.inverted {
+                    !v
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Literal;
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let ab = nl.and([a, b]);
+        let bc = nl.and([b, c]);
+        let ac = nl.and([a, c]);
+        let out = nl.or([ab, bc, ac]);
+        nl.mark_output(out);
+        nl
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        let nl = majority3();
+        for bits in 0u8..8 {
+            let input = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expected = input.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(nl.eval(&input), vec![expected], "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn block_eval_matches_scalar_eval() {
+        let nl = majority3();
+        // Pack all 8 assignments into one block.
+        let mut blocks = [0u64; 3];
+        for vector in 0..8 {
+            for (i, block) in blocks.iter_mut().enumerate() {
+                if (vector >> i) & 1 == 1 {
+                    *block |= 1u64 << vector;
+                }
+            }
+        }
+        let out = nl.eval_block(&blocks);
+        for vector in 0..8usize {
+            let input = [(vector & 1) != 0, (vector & 2) != 0, (vector & 4) != 0];
+            let scalar = nl.eval(&input)[0];
+            let packed = (out[0] >> vector) & 1 == 1;
+            assert_eq!(scalar, packed, "vector {vector}");
+        }
+    }
+
+    #[test]
+    fn inverted_output_literals_apply() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        nl.mark_output(Literal::neg(a));
+        assert_eq!(nl.eval(&[true]), vec![false]);
+        assert_eq!(nl.eval(&[false]), vec![true]);
+        let blocks = nl.eval_block(&[0b01]);
+        assert_eq!(blocks[0] & 0b11, 0b10);
+    }
+
+    #[test]
+    fn eval_into_reuses_buffer() {
+        let nl = majority3();
+        let mut buf = vec![false; nl.wire_count()];
+        nl.eval_into(&[true, true, false], &mut buf);
+        // Output wire is the last created wire.
+        assert!(buf[nl.wire_count() - 1]);
+        nl.eval_into(&[false, false, false], &mut buf);
+        assert!(!buf[nl.wire_count() - 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of input values")]
+    fn eval_checks_arity() {
+        majority3().eval(&[true, false]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Constant folding and alias elimination.
+//!
+//! The padded step-7 stage of the full-Columnsort hyperconcentrator ties
+//! whole half-columns of chip inputs to constants; a silicon implementation
+//! would strip the logic those constants determine before mask-making. This
+//! pass does the same to a netlist: constants are propagated, gates whose
+//! value is forced become constants, and gates left with a single live
+//! input become aliases (free wire, no gate).
+
+use crate::builder::{Driver, Netlist};
+use crate::gate::GateKind;
+use crate::wire::Literal;
+
+/// A wire's fate under folding.
+#[derive(Debug, Clone, Copy)]
+enum Folded {
+    /// Known at elaboration time.
+    Const(bool),
+    /// Alias of a literal in the folded netlist.
+    Wire(Literal),
+}
+
+impl Folded {
+    fn apply_inversion(self, inverted: bool) -> Folded {
+        if !inverted {
+            return self;
+        }
+        match self {
+            Folded::Const(v) => Folded::Const(!v),
+            Folded::Wire(l) => Folded::Wire(l.complement()),
+        }
+    }
+}
+
+impl Netlist {
+    /// Return a functionally identical netlist with constants propagated,
+    /// forced gates removed, and single-input AND/OR/Buf gates collapsed
+    /// into wire aliases.
+    ///
+    /// Primary inputs are preserved one-for-one (same count and order), as
+    /// are the number and order of outputs; output literals may become
+    /// constant drivers where the logic forced them.
+    pub fn fold_constants(&self) -> Netlist {
+        let mut out = Netlist::new();
+        let mut map: Vec<Folded> = Vec::with_capacity(self.drivers.len());
+        let mut gate_cursor = 0usize;
+        for driver in &self.drivers {
+            match driver {
+                Driver::Input(_) => {
+                    let w = out.input();
+                    map.push(Folded::Wire(Literal::pos(w)));
+                }
+                Driver::Gate(_) => {
+                    let gate = &self.gates[gate_cursor];
+                    gate_cursor += 1;
+                    let ins: Vec<Folded> = gate
+                        .inputs
+                        .iter()
+                        .map(|l| map[l.wire.index()].apply_inversion(l.inverted))
+                        .collect();
+                    map.push(fold_gate(&mut out, gate.kind, &ins));
+                }
+            }
+        }
+        for lit in &self.outputs {
+            let folded = map[lit.wire.index()].apply_inversion(lit.inverted);
+            match folded {
+                Folded::Const(v) => {
+                    let c = out.constant(v);
+                    out.mark_output(c);
+                }
+                Folded::Wire(l) => out.mark_output(l),
+            }
+        }
+        out
+    }
+}
+
+fn fold_gate(out: &mut Netlist, kind: GateKind, ins: &[Folded]) -> Folded {
+    match kind {
+        GateKind::Const(v) => Folded::Const(v),
+        GateKind::Buf => ins[0],
+        GateKind::And => {
+            let mut live: Vec<Literal> = Vec::with_capacity(ins.len());
+            for f in ins {
+                match f {
+                    Folded::Const(false) => return Folded::Const(false),
+                    Folded::Const(true) => {}
+                    Folded::Wire(l) => live.push(*l),
+                }
+            }
+            match live.len() {
+                0 => Folded::Const(true),
+                1 => Folded::Wire(live[0]),
+                _ => Folded::Wire(out.and(live)),
+            }
+        }
+        GateKind::Or => {
+            let mut live: Vec<Literal> = Vec::with_capacity(ins.len());
+            for f in ins {
+                match f {
+                    Folded::Const(true) => return Folded::Const(true),
+                    Folded::Const(false) => {}
+                    Folded::Wire(l) => live.push(*l),
+                }
+            }
+            match live.len() {
+                0 => Folded::Const(false),
+                1 => Folded::Wire(live[0]),
+                _ => Folded::Wire(out.or(live)),
+            }
+        }
+        GateKind::Xor => {
+            let mut live: Vec<Literal> = Vec::with_capacity(ins.len());
+            let mut flip = false;
+            for f in ins {
+                match f {
+                    Folded::Const(v) => flip ^= v,
+                    Folded::Wire(l) => live.push(*l),
+                }
+            }
+            match live.len() {
+                0 => Folded::Const(flip),
+                1 => Folded::Wire(if flip { live[0].complement() } else { live[0] }),
+                _ => {
+                    let x = out.xor(live);
+                    Folded::Wire(if flip { x.complement() } else { x })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_removes_forced_and() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let f = nl.constant(false);
+        let g = nl.and([Literal::pos(a), f]);
+        nl.mark_output(g);
+        let folded = nl.fold_constants();
+        assert_eq!(folded.area_report().gates, 0);
+        assert_eq!(folded.eval(&[true]), vec![false]);
+        assert_eq!(folded.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn fold_drops_neutral_inputs() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let t = nl.constant(true);
+        let g = nl.and([Literal::pos(a), t, Literal::pos(b)]);
+        nl.mark_output(g);
+        let folded = nl.fold_constants();
+        assert_eq!(folded.area_report().gates, 1);
+        assert_eq!(folded.gates()[0].fan_in(), 2);
+        for pattern in 0..4u8 {
+            let bits = [pattern & 1 == 1, pattern & 2 == 2];
+            assert_eq!(folded.eval(&bits), nl.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn single_survivor_becomes_alias() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let t = nl.constant(true);
+        let inner = nl.and([Literal::pos(a), t]);
+        let g = nl.or([inner.complement()]);
+        nl.mark_output(g);
+        let folded = nl.fold_constants();
+        assert_eq!(folded.area_report().gates, 0, "pure alias chain folds away");
+        assert_eq!(folded.eval(&[true]), vec![false]);
+        assert_eq!(folded.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn xor_folds_with_parity_flip() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        let g = nl.xor([Literal::pos(a), t, f, t]);
+        nl.mark_output(g);
+        let folded = nl.fold_constants();
+        // two trues cancel: xor(a) == a.
+        assert_eq!(folded.area_report().gates, 0);
+        assert_eq!(folded.eval(&[true]), vec![true]);
+        assert_eq!(folded.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn fold_preserves_function_on_random_logic() {
+        // A deeper circuit mixing constants in.
+        let mut nl = Netlist::new();
+        let ins = nl.inputs_n(6);
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        let x1 = nl.and([Literal::pos(ins[0]), Literal::neg(ins[1]), t]);
+        let x2 = nl.or([x1, Literal::pos(ins[2]), f]);
+        let x3 = nl.xor([x2, Literal::pos(ins[3]), t]);
+        let x4 = nl.and([x3, Literal::pos(ins[4])]);
+        let x5 = nl.or([x4, Literal::neg(ins[5]), f, f]);
+        nl.mark_output(x5);
+        nl.mark_output(Literal::neg(x3.wire));
+        let folded = nl.fold_constants();
+        for pattern in 0u8..64 {
+            let bits: Vec<bool> = (0..6).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(folded.eval(&bits), nl.eval(&bits), "pattern {pattern:#b}");
+        }
+        assert!(folded.area_report().gates <= nl.area_report().gates);
+    }
+
+    #[test]
+    fn fold_never_increases_depth() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs_n(4);
+        let t = nl.constant(true);
+        let a = nl.and([Literal::pos(ins[0]), t]);
+        let b = nl.or([a, Literal::pos(ins[1])]);
+        let c = nl.and([b, Literal::pos(ins[2]), Literal::pos(ins[3])]);
+        nl.mark_output(c);
+        let folded = nl.fold_constants();
+        assert!(folded.depth() <= nl.depth());
+    }
+}

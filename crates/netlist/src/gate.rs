@@ -1,0 +1,122 @@
+//! Gate kinds and their delay semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{Literal, Wire};
+
+/// The logic function computed by a gate.
+///
+/// All kinds accept unbounded fan-in, matching the wide ratioed-nMOS
+/// NOR/NAND structures the 1987 designs are costed for. Inverters do not
+/// appear: complementation lives on [`Literal`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Conjunction of all input literals. Empty AND is `true`.
+    And,
+    /// Disjunction of all input literals. Empty OR is `false`.
+    Or,
+    /// Parity of all input literals. Empty XOR is `false`.
+    ///
+    /// XOR is not used by the concentrator data path (it is not a one-level
+    /// structure in nMOS) but is provided for test circuitry; it costs two
+    /// levels to reflect its two-plane realization.
+    Xor,
+    /// Identity. Used to model I/O pad drivers, which the paper counts as
+    /// the `O(1)` additive term in every per-chip delay bound.
+    Buf,
+    /// Constant driver; the `bool` is the driven value. Zero delay.
+    Const(bool),
+}
+
+impl GateKind {
+    /// Gate delay contributed by this gate, in levels.
+    ///
+    /// One level per AND/OR plane and per pad driver; constants are wiring.
+    #[inline]
+    pub fn delay(self) -> u32 {
+        match self {
+            GateKind::And | GateKind::Or | GateKind::Buf => 1,
+            GateKind::Xor => 2,
+            GateKind::Const(_) => 0,
+        }
+    }
+
+    /// Evaluate the gate function over an iterator of already-applied input
+    /// bit values.
+    pub fn eval<I: IntoIterator<Item = bool>>(self, inputs: I) -> bool {
+        match self {
+            GateKind::And => inputs.into_iter().all(|b| b),
+            GateKind::Or => inputs.into_iter().any(|b| b),
+            GateKind::Xor => inputs.into_iter().fold(false, |acc, b| acc ^ b),
+            GateKind::Buf => {
+                let mut it = inputs.into_iter();
+                let v = it.next().expect("Buf gate requires exactly one input");
+                debug_assert!(it.next().is_none(), "Buf gate requires exactly one input");
+                v
+            }
+            GateKind::Const(v) => v,
+        }
+    }
+}
+
+/// A gate instance: a function applied to input literals, driving one wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Logic function.
+    pub kind: GateKind,
+    /// Input literals, in builder order.
+    pub inputs: Vec<Literal>,
+    /// The single wire driven by this gate.
+    pub output: Wire,
+}
+
+impl Gate {
+    /// Fan-in of the gate.
+    #[inline]
+    pub fn fan_in(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_semantics() {
+        assert!(GateKind::And.eval([true, true, true]));
+        assert!(!GateKind::And.eval([true, false, true]));
+        assert!(GateKind::And.eval(std::iter::empty()));
+    }
+
+    #[test]
+    fn or_semantics() {
+        assert!(GateKind::Or.eval([false, true]));
+        assert!(!GateKind::Or.eval([false, false]));
+        assert!(!GateKind::Or.eval(std::iter::empty()));
+    }
+
+    #[test]
+    fn xor_semantics() {
+        assert!(GateKind::Xor.eval([true, false, false]));
+        assert!(!GateKind::Xor.eval([true, true]));
+        assert!(GateKind::Xor.eval([true, true, true]));
+    }
+
+    #[test]
+    fn buf_and_const_semantics() {
+        assert!(GateKind::Buf.eval([true]));
+        assert!(!GateKind::Buf.eval([false]));
+        assert!(GateKind::Const(true).eval(std::iter::empty()));
+        assert!(!GateKind::Const(false).eval(std::iter::empty()));
+    }
+
+    #[test]
+    fn delay_model_matches_technology_assumptions() {
+        assert_eq!(GateKind::And.delay(), 1);
+        assert_eq!(GateKind::Or.delay(), 1);
+        assert_eq!(GateKind::Buf.delay(), 1);
+        assert_eq!(GateKind::Xor.delay(), 2);
+        assert_eq!(GateKind::Const(false).delay(), 0);
+    }
+}

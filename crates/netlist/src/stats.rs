@@ -1,0 +1,119 @@
+//! Area accounting: gates, literals, and layout-area estimates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::Netlist;
+use crate::gate::GateKind;
+
+/// Area/size measures of a netlist.
+///
+/// The paper reports chip area as `Θ(n²)` for the n-by-n hyperconcentrator.
+/// We expose the measurable quantities area claims reduce to:
+///
+/// * `gates` — number of gates,
+/// * `literals` — total fan-in (a transistor-count proxy: one pull-down
+///   device per literal of a wide nMOS NOR),
+/// * `area_units` — `gates + literals`, the standard gate-array area proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Number of logic gates (Buf pads counted, constants excluded).
+    pub gates: usize,
+    /// Total fan-in over all gates.
+    pub literals: usize,
+    /// Maximum fan-in of any single gate.
+    pub max_fan_in: usize,
+    /// `gates + literals`: unit-area proxy.
+    pub area_units: usize,
+}
+
+impl Netlist {
+    /// Compute size/area measures.
+    pub fn area_report(&self) -> AreaReport {
+        let mut gates = 0usize;
+        let mut literals = 0usize;
+        let mut max_fan_in = 0usize;
+        for gate in &self.gates {
+            if matches!(gate.kind, GateKind::Const(_)) {
+                continue;
+            }
+            gates += 1;
+            literals += gate.fan_in();
+            max_fan_in = max_fan_in.max(gate.fan_in());
+        }
+        AreaReport { gates, literals, max_fan_in, area_units: gates + literals }
+    }
+}
+
+impl Netlist {
+    /// Gate count if every fan-in were bounded at `limit` (each f-input
+    /// gate decomposed into `⌈(f−1)/(limit−1)⌉` smaller gates).
+    pub fn gates_bounded_fanin(&self, limit: usize) -> usize {
+        assert!(limit >= 2, "fan-in limit must be at least 2");
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Const(_)))
+            .map(|g| {
+                let f = g.fan_in().max(1);
+                if f <= limit {
+                    1
+                } else {
+                    (f - 1).div_ceil(limit - 1)
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Literal, Netlist};
+
+    #[test]
+    fn counts_gates_and_literals() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let t1 = nl.and([a, b, c]);
+        let t2 = nl.or([t1, Literal::pos(a)]);
+        nl.mark_output(t2);
+        let report = nl.area_report();
+        assert_eq!(report.gates, 2);
+        assert_eq!(report.literals, 5);
+        assert_eq!(report.max_fan_in, 3);
+        assert_eq!(report.area_units, 7);
+    }
+
+    #[test]
+    fn constants_do_not_count_as_area() {
+        let mut nl = Netlist::new();
+        let c = nl.constant(true);
+        nl.mark_output(c);
+        let report = nl.area_report();
+        assert_eq!(report.gates, 0);
+        assert_eq!(report.area_units, 0);
+    }
+
+    #[test]
+    fn bounded_fanin_gate_count() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs_n(9);
+        let lits: Vec<Literal> = ins.iter().copied().map(Literal::pos).collect();
+        let wide = nl.or(lits);
+        nl.mark_output(wide);
+        // One 9-input gate == 1 wide gate == 8 two-input gates == 4
+        // three-input gates.
+        assert_eq!(nl.area_report().gates, 1);
+        assert_eq!(nl.gates_bounded_fanin(2), 8);
+        assert_eq!(nl.gates_bounded_fanin(3), 4);
+        assert_eq!(nl.gates_bounded_fanin(16), 1);
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_area() {
+        let report = Netlist::new().area_report();
+        assert_eq!(report.gates, 0);
+        assert_eq!(report.literals, 0);
+        assert_eq!(report.max_fan_in, 0);
+    }
+}

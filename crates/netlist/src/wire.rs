@@ -1,0 +1,99 @@
+//! Wire identifiers and dual-rail literals.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-bit signal in a [`crate::Netlist`].
+///
+/// Wires are created in order by the netlist builder; the numeric id is an
+/// index into the netlist's wire table. A wire is driven by exactly one
+/// source: a primary input, a constant, or one gate output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Wire(pub(crate) u32);
+
+impl Wire {
+    /// Index of this wire in the netlist's wire table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A wire reference with an optional inversion.
+///
+/// The 1987 switch designs are costed for ratioed nMOS, where both rails of a
+/// signal are cheaply available; an inverted gate input therefore costs no
+/// extra gate delay. A `Literal` captures that convention: inversion is a
+/// property of the *use*, not an inverter gate in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// The referenced wire.
+    pub wire: Wire,
+    /// Whether the complemented rail is read.
+    pub inverted: bool,
+}
+
+impl Literal {
+    /// Positive (true-rail) literal of `wire`.
+    #[inline]
+    pub fn pos(wire: Wire) -> Self {
+        Literal { wire, inverted: false }
+    }
+
+    /// Negative (complement-rail) literal of `wire`.
+    #[inline]
+    pub fn neg(wire: Wire) -> Self {
+        Literal { wire, inverted: true }
+    }
+
+    /// The literal reading the opposite rail of the same wire.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Literal { wire: self.wire, inverted: !self.inverted }
+    }
+
+    /// Apply this literal to a concrete bit value of its wire.
+    #[inline]
+    pub fn apply(self, value: bool) -> bool {
+        value ^ self.inverted
+    }
+}
+
+impl From<Wire> for Literal {
+    fn from(wire: Wire) -> Self {
+        Literal::pos(wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_apply_respects_inversion() {
+        let w = Wire(3);
+        assert!(Literal::pos(w).apply(true));
+        assert!(!Literal::pos(w).apply(false));
+        assert!(!Literal::neg(w).apply(true));
+        assert!(Literal::neg(w).apply(false));
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let l = Literal::neg(Wire(7));
+        assert_eq!(l.complement().complement(), l);
+        assert_ne!(l.complement(), l);
+        assert_eq!(l.complement().wire, l.wire);
+    }
+
+    #[test]
+    fn wire_index_round_trips() {
+        assert_eq!(Wire(42).index(), 42);
+    }
+
+    #[test]
+    fn from_wire_is_positive() {
+        let l: Literal = Wire(5).into();
+        assert!(!l.inverted);
+        assert_eq!(l.wire, Wire(5));
+    }
+}

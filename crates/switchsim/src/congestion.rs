@@ -1,0 +1,81 @@
+//! Congestion control for unsuccessfully routed messages.
+//!
+//! §1: "Typical ways of handling unsuccessfully routed messages in a
+//! routing network are to buffer them, to misroute them, or to simply drop
+//! them and rely on a higher-level acknowledgment protocol to detect this
+//! situation and resend them. The switch designs in this paper are
+//! compatible with any of these congestion control methods."
+//!
+//! This module implements drop, input buffering, and acknowledgment-based
+//! resend; misrouting — which needs an alternative path to misroute onto —
+//! lives in [`crate::deflection`].
+
+use serde::{Deserialize, Serialize};
+
+/// Policy applied to messages that were valid at setup but received no
+/// electrical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CongestionPolicy {
+    /// Drop losers silently; one outstanding message per input.
+    Drop,
+    /// Hold losers in a per-input queue (depth `capacity`) and re-offer
+    /// them in subsequent frames; fresh arrivals to a full queue are lost.
+    InputBuffer {
+        /// Queue depth per input wire.
+        capacity: usize,
+    },
+    /// Losers are dropped in the switch but the sender detects the missing
+    /// acknowledgment and resends, up to `max_retries` extra attempts.
+    AckResend {
+        /// Additional send attempts before the sender gives up.
+        max_retries: usize,
+    },
+}
+
+impl CongestionPolicy {
+    /// Messages that may wait at one input (including the in-flight one).
+    pub fn queue_capacity(&self) -> usize {
+        match *self {
+            CongestionPolicy::Drop => 1,
+            CongestionPolicy::InputBuffer { capacity } => capacity.max(1),
+            // The "queue" is the sender's own retransmit buffer.
+            CongestionPolicy::AckResend { .. } => usize::MAX,
+        }
+    }
+
+    /// Extra send attempts an unrouted message is granted.
+    pub fn retries_allowed(&self) -> usize {
+        match *self {
+            CongestionPolicy::Drop => 0,
+            CongestionPolicy::InputBuffer { .. } => usize::MAX,
+            CongestionPolicy::AckResend { max_retries } => max_retries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_allows_no_retries() {
+        assert_eq!(CongestionPolicy::Drop.retries_allowed(), 0);
+        assert_eq!(CongestionPolicy::Drop.queue_capacity(), 1);
+    }
+
+    #[test]
+    fn buffer_bounds_queue_not_retries() {
+        let p = CongestionPolicy::InputBuffer { capacity: 3 };
+        assert_eq!(p.queue_capacity(), 3);
+        assert_eq!(p.retries_allowed(), usize::MAX);
+        // Degenerate capacity still admits the in-flight message.
+        assert_eq!(CongestionPolicy::InputBuffer { capacity: 0 }.queue_capacity(), 1);
+    }
+
+    #[test]
+    fn ack_resend_bounds_retries_not_queue() {
+        let p = CongestionPolicy::AckResend { max_retries: 2 };
+        assert_eq!(p.retries_allowed(), 2);
+        assert_eq!(p.queue_capacity(), usize::MAX);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fairness under overload — and the rotation trick that restores it.
+//!
+//! The mesh nearsorters are *positional*: when more messages arrive than
+//! the switch can deliver, the survivors are the ones the sort pushes into
+//! the first `m` wires, which systematically favors some input positions
+//! over others. (The paper never discusses this; it is a real property of
+//! the design that a system architect must know.) The standard remedy is
+//! to rotate the processor-to-input wiring assignment frame by frame so
+//! the bias averages out — implemented here as [`RotatingSwitch`], a
+//! wrapper that adds one barrel-shifter's worth of hardware.
+
+use concentrator::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Per-input delivery counts over a measurement run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Frames measured.
+    pub frames: usize,
+    /// Per input: times it offered a message.
+    pub offered: Vec<usize>,
+    /// Per input: times its message was delivered.
+    pub delivered: Vec<usize>,
+}
+
+impl FairnessReport {
+    /// Per-input delivery ratios (1.0 where nothing was offered).
+    pub fn ratios(&self) -> Vec<f64> {
+        self.offered
+            .iter()
+            .zip(&self.delivered)
+            .map(|(&o, &d)| if o == 0 { 1.0 } else { d as f64 / o as f64 })
+            .collect()
+    }
+
+    /// Jain's fairness index over per-input delivery ratios: 1.0 is
+    /// perfectly fair, 1/n is maximally unfair.
+    pub fn jain_index(&self) -> f64 {
+        let ratios = self.ratios();
+        let n = ratios.len() as f64;
+        let sum: f64 = ratios.iter().sum();
+        let sum_sq: f64 = ratios.iter().map(|r| r * r).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sum_sq)
+    }
+
+    /// Spread between the best- and worst-served inputs.
+    pub fn ratio_spread(&self) -> f64 {
+        let ratios = self.ratios();
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+/// Measure per-input delivery over `frames` frames of saturating Bernoulli
+/// traffic (`p` per input per frame).
+pub fn measure_fairness<S: ConcentratorSwitch + ?Sized>(
+    switch: &S,
+    p: f64,
+    frames: usize,
+    seed: u64,
+) -> FairnessReport {
+    let n = switch.inputs();
+    let mut rng = concentrator::verify::SplitMix64(seed);
+    let mut offered = vec![0usize; n];
+    let mut delivered = vec![0usize; n];
+    for _ in 0..frames {
+        let valid = rng.valid_bits(n, p);
+        let routing = switch.route(&valid);
+        for (input, &v) in valid.iter().enumerate() {
+            if v {
+                offered[input] += 1;
+                if routing.assignment[input].is_some() {
+                    delivered[input] += 1;
+                }
+            }
+        }
+    }
+    FairnessReport { frames, offered, delivered }
+}
+
+/// A fairness wrapper: each setup cycle, the processor-to-input assignment
+/// is rotated by a frame counter (one extra hardwired-control barrel
+/// shifter at the inputs), so positional bias averages out over frames.
+pub struct RotatingSwitch<S> {
+    inner: S,
+    counter: Mutex<usize>,
+}
+
+impl<S: ConcentratorSwitch> RotatingSwitch<S> {
+    /// Wrap a switch.
+    pub fn new(inner: S) -> Self {
+        RotatingSwitch { inner, counter: Mutex::new(0) }
+    }
+
+    /// The wrapped switch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ConcentratorSwitch> ConcentratorSwitch for RotatingSwitch<S> {
+    fn inputs(&self) -> usize {
+        self.inner.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.outputs()
+    }
+
+    fn kind(&self) -> ConcentratorKind {
+        self.inner.kind()
+    }
+
+    fn route(&self, valid: &[bool]) -> Routing {
+        let n = self.inner.inputs();
+        let offset = {
+            let mut counter = self.counter.lock();
+            let o = *counter % n;
+            // A prime-ish stride decorrelates the offset from pattern
+            // periodicities in the workload.
+            *counter = counter.wrapping_add(17);
+            o
+        };
+        // Processor i drives inner input (i + offset) mod n.
+        let mut rotated = vec![false; n];
+        for (i, &v) in valid.iter().enumerate() {
+            rotated[(i + offset) % n] = v;
+        }
+        let inner_routing = self.inner.route(&rotated);
+        let assignment = (0..n)
+            .map(|i| inner_routing.assignment[(i + offset) % n])
+            .collect();
+        Routing::from_assignment(assignment, self.inner.outputs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concentrator::spec::check_concentration;
+    use concentrator::ColumnsortSwitch;
+
+    #[test]
+    fn overloaded_positional_switch_is_unfair() {
+        // 32 -> 8 ports at saturating load: the mesh sort favors a subset
+        // of positions frame after frame.
+        let switch = ColumnsortSwitch::new(8, 4, 8);
+        let report = measure_fairness(&switch, 0.9, 400, 0xFA1);
+        assert!(
+            report.jain_index() < 0.90,
+            "expected positional unfairness, Jain = {}",
+            report.jain_index()
+        );
+        assert!(report.ratio_spread() > 0.3);
+    }
+
+    #[test]
+    fn rotation_restores_fairness() {
+        let plain = ColumnsortSwitch::new(8, 4, 8);
+        let unfair = measure_fairness(&plain, 0.9, 400, 0xFA1);
+        let rotating = RotatingSwitch::new(ColumnsortSwitch::new(8, 4, 8));
+        let fair = measure_fairness(&rotating, 0.9, 400, 0xFA1);
+        assert!(
+            fair.jain_index() > unfair.jain_index() + 0.05,
+            "rotation must improve fairness: {} vs {}",
+            fair.jain_index(),
+            unfair.jain_index()
+        );
+        assert!(fair.ratio_spread() < unfair.ratio_spread());
+    }
+
+    #[test]
+    fn rotation_preserves_the_concentration_guarantee() {
+        let rotating = RotatingSwitch::new(ColumnsortSwitch::new(8, 4, 24));
+        let mut state = 3u64;
+        for _ in 0..1500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let valid: Vec<bool> = (0..32).map(|i| (state >> (i % 64)) & 1 == 1).collect();
+            let violations = check_concentration(&rotating, &valid);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn rotation_is_a_bijection_per_frame() {
+        let rotating = RotatingSwitch::new(ColumnsortSwitch::new(8, 2, 12));
+        let valid = vec![true; 16];
+        let routing = rotating.route(&valid);
+        // All 12 outputs carry distinct messages.
+        let mut outs: Vec<usize> = routing.assignment.iter().flatten().copied().collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 12);
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        let all_equal = FairnessReport {
+            frames: 10,
+            offered: vec![10, 10, 10, 10],
+            delivered: vec![5, 5, 5, 5],
+        };
+        assert!((all_equal.jain_index() - 1.0).abs() < 1e-12);
+        let one_hog = FairnessReport {
+            frames: 10,
+            offered: vec![10, 10, 10, 10],
+            delivered: vec![10, 0, 0, 0],
+        };
+        assert!(one_hog.jain_index() < 0.3);
+    }
+}

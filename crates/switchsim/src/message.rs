@@ -1,0 +1,110 @@
+//! Bit-serial messages.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A bit-serial message: a valid bit followed by payload bits, one bit per
+/// clock cycle on one wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Globally unique id, assigned by the traffic source.
+    pub id: u64,
+    /// The input wire (processor) the message enters on.
+    pub source: usize,
+    /// Payload octets, serialized LSB-first onto the wire.
+    #[serde(with = "bytes_serde")]
+    pub payload: Bytes,
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v: Vec<u8> = Deserialize::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Message {
+    /// Create a message.
+    pub fn new(id: u64, source: usize, payload: impl Into<Bytes>) -> Self {
+        Message { id, source, payload: payload.into() }
+    }
+
+    /// Payload length in bits.
+    pub fn bit_len(&self) -> usize {
+        self.payload.len() * 8
+    }
+
+    /// The payload bit transmitted at payload cycle `cycle` (cycle 0 is
+    /// the first cycle after setup), LSB-first within each octet.
+    pub fn bit(&self, cycle: usize) -> bool {
+        let byte = cycle / 8;
+        let bit = cycle % 8;
+        (self.payload[byte] >> bit) & 1 == 1
+    }
+
+    /// The full wire serialization: the valid bit (1) followed by the
+    /// payload bits.
+    pub fn wire_bits(&self) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(1 + self.bit_len());
+        bits.push(true);
+        for cycle in 0..self.bit_len() {
+            bits.push(self.bit(cycle));
+        }
+        bits
+    }
+
+    /// Reassemble a payload from received bits (inverse of
+    /// [`Message::bit`] over all cycles).
+    pub fn payload_from_bits(bits: &[bool]) -> Bytes {
+        assert_eq!(bits.len() % 8, 0, "payload bits must be octet-aligned");
+        let mut bytes = Vec::with_capacity(bits.len() / 8);
+        for chunk in bits.chunks(8) {
+            let mut b = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    b |= 1 << i;
+                }
+            }
+            bytes.push(b);
+        }
+        Bytes::from(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_serialization_round_trips() {
+        let m = Message::new(1, 0, vec![0xA5u8, 0x3C]);
+        assert_eq!(m.bit_len(), 16);
+        let bits: Vec<bool> = (0..16).map(|c| m.bit(c)).collect();
+        assert_eq!(Message::payload_from_bits(&bits), m.payload);
+    }
+
+    #[test]
+    fn wire_bits_lead_with_valid_bit() {
+        let m = Message::new(7, 3, vec![0x01u8]);
+        let bits = m.wire_bits();
+        assert_eq!(bits.len(), 9);
+        assert!(bits[0], "valid bit first");
+        assert!(bits[1], "LSB of 0x01");
+        assert!(!bits[2]);
+    }
+
+    #[test]
+    fn lsb_first_convention() {
+        let m = Message::new(0, 0, vec![0b1000_0001u8]);
+        assert!(m.bit(0));
+        assert!(!m.bit(1));
+        assert!(m.bit(7));
+    }
+}

@@ -1,0 +1,77 @@
+//! Design-space exploration: given a packaging technology's pin budget,
+//! which of the paper's switch designs fit, and at what cost?
+//!
+//! This is the engineering question §1 poses ("it may require more input
+//! and output pins than are provided by the packaging technology") and
+//! Table 1 answers asymptotically; here we answer it concretely for a
+//! target switch size.
+//!
+//! Run with: `cargo run --release --example packaging_explorer [n] [pin_budget]`
+
+use concentrator::packaging::{Dim, PackagingReport};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::ColumnsortSwitch;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse().expect("n")).unwrap_or(4096);
+    let pin_budget: usize = args.next().map(|a| a.parse().expect("pins")).unwrap_or(256);
+    let m = n / 2;
+    let side = (n as f64).sqrt() as usize;
+    if side * side != n || !side.is_power_of_two() {
+        eprintln!("error: n must be 4^q (a square with power-of-two side); got {n}");
+        eprintln!("try: 256, 1024, 4096, 16384");
+        std::process::exit(2);
+    }
+
+    println!("target: n = {n} inputs, m = {m} outputs, pin budget {pin_budget} pins/chip\n");
+    println!(
+        "{:>28}  {:>5}  {:>10}  {:>6}  {:>7}  {:>12}  {:>8}",
+        "design", "chips", "pins/chip", "fits?", "delays", "volume", "capacity"
+    );
+
+    // Revsort design.
+    let revsort = RevsortSwitch::new(n, m, RevsortLayout::ThreeDee);
+    let pack = PackagingReport::revsort(&revsort);
+    print_row("Revsort", &pack, pin_budget, revsort.guaranteed_capacity());
+
+    // Columnsort designs across the feasible (r, s) grid.
+
+    let mut r = side;
+    while r <= n {
+        let s = n / r;
+        if n.is_multiple_of(r) && r.is_multiple_of(s) {
+            let switch = ColumnsortSwitch::new(r, s, m);
+            let pack = PackagingReport::columnsort(&switch, Dim::ThreeDee);
+            let beta = (r as f64).log2() / (n as f64).log2();
+            print_row(
+                &format!("Columnsort r={r} (β={beta:.2})"),
+                &pack,
+                pin_budget,
+                switch.guaranteed_capacity(),
+            );
+        }
+        r *= 2;
+    }
+
+    println!(
+        "\npicking rule: smallest volume among designs whose pins fit the budget\n\
+         and whose guaranteed capacity covers the offered load. Larger β cuts\n\
+         the chip count and the dirty window (better capacity) but pays pins\n\
+         and volume — Table 1's trade-off, now with concrete numbers."
+    );
+}
+
+fn print_row(name: &str, pack: &PackagingReport, budget: usize, capacity: usize) {
+    println!(
+        "{:>28}  {:>5}  {:>10}  {:>6}  {:>7}  {:>12}  {:>8}",
+        name,
+        pack.total_chips(),
+        pack.max_pins_per_chip(),
+        if pack.max_pins_per_chip() <= budget { "yes" } else { "NO" },
+        pack.gate_delays,
+        pack.volume_units,
+        capacity
+    );
+}

@@ -1,0 +1,85 @@
+//! Quickstart: build the two partial concentrator switches from the paper,
+//! route a frame of bit-serial messages through each, and look at the
+//! resource numbers that motivate the multichip designs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use concentrator::packaging::{Dim, PackagingReport};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::{ColumnsortSwitch, Hyperconcentrator};
+use switchsim::{simulate_frame, Message};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The single-chip building block: an n-by-n hyperconcentrator.
+    // ------------------------------------------------------------------
+    let chip = Hyperconcentrator::new(16);
+    let netlist = chip.build_netlist(false);
+    println!("16-by-16 hyperconcentrator chip:");
+    println!("  gate delays: {} (= 2 lg 16)", netlist.depth());
+    println!("  gates:       {}", netlist.area_report().gates);
+
+    // Why multichip? A 4096-wire hyperconcentrator needs 2·4096 data pins
+    // and Θ(n²) area on one chip — infeasible. The partial concentrators
+    // split it across chips with √n-scale pins.
+
+    // ------------------------------------------------------------------
+    // 2. The Revsort-based switch (§4): n = 256 inputs, m = 192 outputs.
+    // ------------------------------------------------------------------
+    let revsort = RevsortSwitch::new(256, 192, RevsortLayout::ThreeDee);
+    let pack = PackagingReport::revsort(&revsort);
+    println!("\nRevsort switch, n = 256, m = 192:");
+    println!("  load ratio α:     {:?}", revsort.kind());
+    println!("  chips:            {}", pack.total_chips());
+    println!("  pins per chip:    {}", pack.max_pins_per_chip());
+    println!("  gate delays:      {} (3 lg n + O(1))", revsort.delay());
+    println!("  3-D volume units: {}", pack.volume_units);
+
+    // Route a frame of bit-serial messages.
+    let offered: Vec<Message> = (0..40)
+        .map(|i| Message::new(i as u64, (i * 6 + 1) % 256, vec![i as u8, 0xAB]))
+        .collect();
+    let outcome = simulate_frame(&revsort, &offered);
+    println!(
+        "  frame: offered {} messages, delivered {} (payloads intact: {})",
+        offered.len(),
+        outcome.delivered.len(),
+        outcome.payloads_intact(&offered)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. The Columnsort-based switch (§5): trade pins for chips with β.
+    // ------------------------------------------------------------------
+    println!("\nColumnsort switches over n = 256 at different β:");
+    for (r, s) in [(16usize, 16usize), (64, 4)] {
+        let switch = ColumnsortSwitch::new(r, s, 192);
+        let pack = PackagingReport::columnsort(&switch, Dim::ThreeDee);
+        println!(
+            "  r = {r:>3}, s = {s:>2}: ε = {:>3}, chips = {:>2}, pins/chip = {:>3}, \
+             delays = {}, volume = {}",
+            switch.epsilon_bound(),
+            pack.total_chips(),
+            pack.max_pins_per_chip(),
+            switch.delay(),
+            pack.volume_units
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. The guarantee in action: overload the switch and watch it still
+    //    deliver its guaranteed capacity.
+    // ------------------------------------------------------------------
+    let switch = ColumnsortSwitch::new(64, 4, 192);
+    let overload: Vec<Message> =
+        (0..230).map(|i| Message::new(i as u64, i, vec![0x55])).collect();
+    let outcome = simulate_frame(&switch, &overload);
+    println!(
+        "\noverload: offered {} > m = {}, delivered {} (guarantee: ≥ {})",
+        overload.len(),
+        switch.outputs(),
+        outcome.delivered.len(),
+        switch.guaranteed_capacity()
+    );
+    assert!(outcome.delivered.len() >= switch.guaranteed_capacity());
+}

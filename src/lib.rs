@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the whole multichip partial concentrator
+//! switch library.
+//!
+//! Reproduction of Thomas H. Cormen, *Efficient Multichip Partial
+//! Concentrator Switches* (MIT-LCS-TM-322, 1987). See the individual crates
+//! for the substrates:
+//!
+//! * [`netlist`] — gate-level combinational circuit substrate,
+//! * [`meshsort`] — Revsort / Columnsort / Shearsort mesh sorting,
+//! * [`concentrator`] — the switches themselves plus packaging models,
+//! * [`switchsim`] — clocked bit-serial message routing simulation.
+
+pub use concentrator;
+pub use meshsort;
+pub use netlist;
+pub use switchsim;

@@ -1,0 +1,110 @@
+//! Property-based integration tests: the paper's guarantees as proptest
+//! properties over random shapes and valid-bit patterns.
+
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::spec::{check_concentration, ConcentratorSwitch};
+use concentrator::{ColumnsortSwitch, FullRevsortHyperconcentrator, Hyperconcentrator};
+use meshsort::{clean_dirty_split, nearsort_epsilon, SortOrder};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemma 1, both directions, on arbitrary bit sequences: the measured ε
+    /// and the clean/dirty decomposition satisfy the stated inequalities.
+    #[test]
+    fn lemma1_decomposition(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let eps = nearsort_epsilon(&bits, SortOrder::Descending);
+        let split = clean_dirty_split(&bits);
+        prop_assert!(split.satisfies_lemma1(bits.len(), eps));
+        // Dirty window of an ε-nearsorted sequence is at most 2ε.
+        prop_assert!(split.dirty_len <= 2 * eps || split.dirty_len == 0);
+    }
+
+    /// The hyperconcentrator chip compacts any pattern: functional model,
+    /// and spec checker agree.
+    #[test]
+    fn hyperconcentrator_compacts(n in 1usize..64, seed in any::<u64>()) {
+        let chip = Hyperconcentrator::new(n);
+        let mut state = seed | 1;
+        let valid: Vec<bool> = (0..n).map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        }).collect();
+        prop_assert!(check_concentration(&chip, &valid).is_empty());
+        let out = chip.concentrate(&valid);
+        prop_assert!(SortOrder::Descending.is_sorted(&out));
+        prop_assert_eq!(
+            out.iter().filter(|&&b| b).count(),
+            valid.iter().filter(|&&b| b).count()
+        );
+    }
+
+    /// Theorem 3's guarantee on the n = 16 and n = 64 switches for
+    /// arbitrary patterns and output widths.
+    #[test]
+    fn revsort_switch_concentrates(
+        m_frac in 1usize..=4,
+        pattern in any::<u64>(),
+    ) {
+        for n in [16usize, 64] {
+            let m = (n * m_frac / 4).max(1);
+            let switch = RevsortSwitch::new(n, m, RevsortLayout::TwoDee);
+            let valid: Vec<bool> = (0..n).map(|i| (pattern >> (i % 64)) & 1 == 1).collect();
+            prop_assert!(check_concentration(&switch, &valid).is_empty());
+        }
+    }
+
+    /// Theorem 4's guarantee across (r, s) shapes.
+    #[test]
+    fn columnsort_switch_concentrates(
+        shape_idx in 0usize..4,
+        m_frac in 1usize..=4,
+        pattern in any::<u64>(),
+    ) {
+        let (r, s) = [(8usize, 2usize), (8, 4), (16, 4), (4, 4)][shape_idx];
+        let n = r * s;
+        let m = (n * m_frac / 4).max(1);
+        let switch = ColumnsortSwitch::new(r, s, m);
+        let valid: Vec<bool> = (0..n).map(|i| (pattern >> (i % 64)) & 1 == 1).collect();
+        prop_assert!(check_concentration(&switch, &valid).is_empty());
+    }
+
+    /// Routing is always a partial injection: no two inputs share an
+    /// output, and only valid inputs are routed.
+    #[test]
+    fn routing_is_partial_injection(pattern in any::<u64>()) {
+        let switch = ColumnsortSwitch::new(8, 4, 20);
+        let valid: Vec<bool> = (0..32).map(|i| (pattern >> (i % 64)) & 1 == 1).collect();
+        let routing = switch.route(&valid);
+        let mut seen = std::collections::HashSet::new();
+        for (input, &slot) in routing.assignment.iter().enumerate() {
+            if let Some(out) = slot {
+                prop_assert!(valid[input], "invalid input {input} routed");
+                prop_assert!(out < 20);
+                prop_assert!(seen.insert(out), "output {out} shared");
+            }
+        }
+    }
+
+    /// The §6 hyperconcentrator compacts arbitrary patterns at n = 64.
+    #[test]
+    fn full_revsort_compacts(pattern in any::<u64>()) {
+        let switch = FullRevsortHyperconcentrator::new(64);
+        let valid: Vec<bool> = (0..64).map(|i| (pattern >> i) & 1 == 1).collect();
+        prop_assert!(check_concentration(&switch, &valid).is_empty());
+    }
+
+    /// Monotonicity: adding a message never reduces the number delivered.
+    #[test]
+    fn delivery_is_monotone(pattern in any::<u64>(), extra in 0usize..32) {
+        let switch = ColumnsortSwitch::new(8, 4, 16);
+        let mut valid: Vec<bool> = (0..32).map(|i| (pattern >> (i % 64)) & 1 == 1).collect();
+        let before = switch.route(&valid).routed();
+        if !valid[extra] {
+            valid[extra] = true;
+            let after = switch.route(&valid).routed();
+            prop_assert!(after >= before, "delivery dropped from {before} to {after}");
+        }
+    }
+}

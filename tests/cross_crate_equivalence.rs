@@ -1,0 +1,105 @@
+//! Integration: the three layers of each switch — mesh sorting algorithm,
+//! message-level staged switch, and gate-level netlist — must agree
+//! exactly.
+
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::verify::SplitMix64;
+use concentrator::{
+    ColumnsortSwitch, FullColumnsortHyperconcentrator, FullRevsortHyperconcentrator,
+};
+use meshsort::{
+    columnsort_steps123, revsort_algorithm1, revsort_full, Grid, SortOrder,
+};
+
+fn random_bits(n: usize, seed: u64, density: f64) -> Vec<bool> {
+    SplitMix64(seed).valid_bits(n, density)
+}
+
+#[test]
+fn revsort_switch_equals_algorithm_equals_netlist() {
+    let n = 64;
+    let switch = RevsortSwitch::new(n, n, RevsortLayout::TwoDee);
+    let netlist = switch.staged().build_netlist(true);
+    for seed in 0..100u64 {
+        let valid = random_bits(n, seed, 0.15 + (seed % 8) as f64 * 0.1);
+        // Layer 1: the mesh algorithm.
+        let mut grid = Grid::from_row_major(8, 8, valid.clone());
+        revsort_algorithm1(&mut grid, SortOrder::Descending);
+        // Layer 2: the staged switch trace.
+        let traced: Vec<bool> =
+            switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+        assert_eq!(&traced, grid.as_row_major(), "seed {seed}: trace != algorithm");
+        // Layer 3: the flat gate-level netlist.
+        assert_eq!(netlist.eval(&valid), traced, "seed {seed}: netlist != trace");
+    }
+}
+
+#[test]
+fn columnsort_switch_equals_algorithm_equals_netlist() {
+    let (r, s) = (16usize, 4usize);
+    let n = r * s;
+    let switch = ColumnsortSwitch::new(r, s, n);
+    let netlist = switch.staged().build_netlist(true);
+    for seed in 0..100u64 {
+        let valid = random_bits(n, seed * 31 + 7, 0.5);
+        let mut grid = Grid::from_row_major(r, s, valid.clone());
+        columnsort_steps123(&mut grid, SortOrder::Descending);
+        let traced: Vec<bool> =
+            switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+        assert_eq!(&traced, grid.as_row_major(), "seed {seed}");
+        assert_eq!(netlist.eval(&valid), traced, "seed {seed}");
+    }
+}
+
+#[test]
+fn full_revsort_switch_matches_full_algorithm() {
+    let n = 64;
+    let switch = FullRevsortHyperconcentrator::new(n);
+    for seed in 0..60u64 {
+        let valid = random_bits(n, seed * 13 + 1, 0.4);
+        let mut grid = Grid::from_row_major(8, 8, valid.clone());
+        revsort_full(&mut grid, SortOrder::Descending);
+        let traced: Vec<bool> =
+            switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+        assert_eq!(&traced, grid.as_row_major(), "seed {seed}");
+        assert!(SortOrder::Descending.is_sorted(&traced), "seed {seed}: not sorted");
+    }
+}
+
+#[test]
+fn full_columnsort_netlist_matches_trace_with_constants() {
+    // The padded step-7 stage uses hardwired constants: the netlist path
+    // must agree with the message-level path through them.
+    let switch = FullColumnsortHyperconcentrator::new(9, 3);
+    let netlist = switch.staged().build_netlist(false);
+    for seed in 0..60u64 {
+        let valid = random_bits(27, seed * 17 + 3, 0.5);
+        let expected: Vec<bool> = {
+            let t = switch.staged().trace(&valid);
+            switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+        };
+        assert_eq!(netlist.eval(&valid), expected, "seed {seed}");
+        // And the output order is compacted.
+        assert!(SortOrder::Descending.is_sorted(&expected), "seed {seed}");
+    }
+}
+
+#[test]
+fn netlist_block_eval_agrees_with_scalar_across_switch() {
+    let switch = RevsortSwitch::new(16, 12, RevsortLayout::TwoDee);
+    let nl = switch.staged().build_netlist(false);
+    let mut rng = SplitMix64(0xB10C);
+    let blocks: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+    let block_out = nl.eval_block(&blocks);
+    for lane in 0..64 {
+        let valid: Vec<bool> = blocks.iter().map(|b| (b >> lane) & 1 == 1).collect();
+        let scalar = nl.eval(&valid);
+        for (o, &word) in block_out.iter().enumerate() {
+            assert_eq!(
+                scalar[o],
+                (word >> lane) & 1 == 1,
+                "lane {lane}, output {o}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration: the export formats (Verilog, VCD, SVG, JSON) and the
+//! analytical/fault models, exercised across crates.
+
+use concentrator::faults::{degradation, ChipFault, FaultMode, FaultySwitch};
+use concentrator::layout::{columnsort_layout_2d, revsort_layout_3d};
+use concentrator::packaging::PackagingReport;
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::ColumnsortSwitch;
+use switchsim::{frame_vcd, measure_delivery_curve, predict_drop, Message};
+
+#[test]
+fn verilog_export_of_a_real_switch_is_self_consistent() {
+    let switch = ColumnsortSwitch::new(8, 2, 12);
+    let nl = switch.staged().build_netlist(false);
+    let verilog = nl.to_verilog("columnsort_8x2");
+    // Structure: one input per n, one output per m, one assign per gate
+    // (+ m output assigns).
+    assert_eq!(verilog.matches("input  wire").count(), 16);
+    assert_eq!(verilog.matches("output wire").count(), 12);
+    assert_eq!(
+        verilog.matches("assign").count(),
+        nl.gates().len() + 12
+    );
+    // Folding before export drops assigns but keeps ports.
+    let folded = nl.fold_constants().to_verilog("columnsort_8x2_folded");
+    assert_eq!(folded.matches("input  wire").count(), 16);
+    assert!(folded.matches("assign").count() <= verilog.matches("assign").count());
+}
+
+#[test]
+fn vcd_of_a_multichip_frame_covers_all_wires() {
+    let switch = RevsortSwitch::new(16, 12, RevsortLayout::TwoDee);
+    let offered = vec![
+        Message::new(0, 1, vec![0xDE]),
+        Message::new(1, 7, vec![0xAD]),
+        Message::new(2, 14, vec![0xBF]),
+    ];
+    let vcd = frame_vcd(&switch, &offered);
+    assert_eq!(vcd.matches("$var wire 1 ").count(), 16 + 12);
+    // Three valid setup bits on the inputs.
+    let setup: &str = vcd.split("#0\n").nth(1).unwrap().split("#1\n").next().unwrap();
+    let input_ones = (0..16)
+        .filter(|&i| {
+            let id: String = {
+                let mut n = i;
+                let mut s = String::new();
+                loop {
+                    s.push((33 + (n % 94)) as u8 as char);
+                    n /= 94;
+                    if n == 0 {
+                        break;
+                    }
+                }
+                s
+            };
+            setup.contains(&format!("1{id}"))
+        })
+        .count();
+    assert_eq!(input_ones, 3);
+}
+
+#[test]
+fn geometric_and_unit_models_order_designs_identically() {
+    // The two volume models use different constants but must agree on
+    // which design is bigger.
+    let small = RevsortSwitch::new(64, 32, RevsortLayout::ThreeDee);
+    let large = RevsortSwitch::new(256, 128, RevsortLayout::ThreeDee);
+    let unit_small = PackagingReport::revsort(&small).volume_units;
+    let unit_large = PackagingReport::revsort(&large).volume_units;
+    let geom_small = revsort_layout_3d(&small).volume();
+    let geom_large = revsort_layout_3d(&large).volume();
+    assert!(unit_small < unit_large);
+    assert!(geom_small < geom_large);
+}
+
+#[test]
+fn svg_scales_with_the_layout() {
+    let small = columnsort_layout_2d(&ColumnsortSwitch::new(8, 2, 10)).to_svg();
+    let large = columnsort_layout_2d(&ColumnsortSwitch::new(16, 4, 40)).to_svg();
+    assert!(large.len() > small.len());
+    assert!(small.contains("H1,0") && small.contains("H2,1"));
+}
+
+#[test]
+fn analytic_model_tracks_fault_degradation() {
+    // The analytic model over a *measured* curve adapts to a faulty
+    // switch too: predictions from the degraded curve must sit below the
+    // healthy ones.
+    let switch = RevsortSwitch::new(64, 48, RevsortLayout::TwoDee);
+    let healthy_curve = measure_delivery_curve(&switch, 40, 0xAB);
+    let fault = ChipFault { stage: 0, chip: 1, mode: FaultMode::StuckInvalid };
+    let faulty = FaultySwitch::new(switch.staged(), vec![fault]);
+    let faulty_curve = measure_delivery_curve(&faulty, 40, 0xAB);
+    let p = 0.5;
+    let healthy_pred = predict_drop(64, p, |k| healthy_curve[k].round() as usize);
+    let faulty_pred = predict_drop(64, p, |k| faulty_curve[k].round() as usize);
+    assert!(faulty_pred.delivered_per_frame < healthy_pred.delivered_per_frame);
+    // And the degraded prediction matches direct measurement of the
+    // faulty switch within a loose band.
+    let direct = degradation(&faulty, p, 400, 0xCD);
+    let predicted_ratio = faulty_pred.delivery_ratio;
+    assert!(
+        (direct - predicted_ratio).abs() < 0.05,
+        "direct {direct} vs predicted {predicted_ratio}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration: the Table 1 resource claims as executable assertions over
+//! parameter sweeps of real constructions.
+
+use concentrator::packaging::{Dim, PackagingReport};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::{ColumnsortSwitch, FullColumnsortHyperconcentrator};
+
+fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+#[test]
+fn revsort_table1_row() {
+    let ns = [64usize, 256, 1024, 4096, 16384];
+    let mut pins = Vec::new();
+    let mut chips = Vec::new();
+    let mut volume = Vec::new();
+    for &n in &ns {
+        let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::ThreeDee);
+        let pack = PackagingReport::revsort(&switch);
+        let side = switch.side();
+        // Exact pin formula: 2√n + ⌈(lg n)/2⌉.
+        assert_eq!(
+            pack.max_pins_per_chip(),
+            2 * side + ((n as f64).log2() / 2.0).ceil() as usize
+        );
+        // Exact delay: 3 lg n + 6 + barrel constant.
+        assert_eq!(
+            pack.gate_delays,
+            3 * (n as f64).log2() as u32 + 6 + concentrator::barrel::BARREL_LEVELS
+        );
+        pins.push(pack.max_pins_per_chip() as f64);
+        chips.push(pack.total_chips() as f64);
+        volume.push(pack.volume_units as f64);
+    }
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    assert!((fit_exponent(&xs, &pins) - 0.5).abs() < 0.05, "pins not Θ(n^1/2)");
+    assert!((fit_exponent(&xs, &chips) - 0.5).abs() < 0.05, "chips not Θ(n^1/2)");
+    assert!((fit_exponent(&xs, &volume) - 1.5).abs() < 0.05, "volume not Θ(n^3/2)");
+}
+
+#[test]
+fn columnsort_table1_rows_across_beta() {
+    // (β numerator, denominator, grids)
+    for (beta, grids) in [
+        (0.5f64, vec![(8usize, 8usize), (16, 16), (32, 32), (64, 64)]),
+        (0.625, vec![(32, 8), (1024, 64)]),
+        (0.75, vec![(8, 2), (64, 4), (512, 8), (4096, 16)]),
+    ] {
+        let mut xs = Vec::new();
+        let mut pins = Vec::new();
+        let mut chips = Vec::new();
+        let mut volume = Vec::new();
+        for (r, s) in grids {
+            let n = r * s;
+            let switch = ColumnsortSwitch::new(r, s, n / 2);
+            let pack = PackagingReport::columnsort(&switch, Dim::ThreeDee);
+            assert_eq!(pack.max_pins_per_chip(), 2 * r);
+            assert_eq!(pack.total_chips(), 2 * s);
+            assert_eq!(switch.epsilon_bound(), (s - 1) * (s - 1));
+            xs.push(n as f64);
+            pins.push((2 * r) as f64);
+            chips.push((2 * s) as f64);
+            volume.push(pack.volume_units as f64);
+        }
+        assert!(
+            (fit_exponent(&xs, &pins) - beta).abs() < 0.03,
+            "β = {beta}: pins not Θ(n^β)"
+        );
+        assert!(
+            (fit_exponent(&xs, &chips) - (1.0 - beta)).abs() < 0.03,
+            "β = {beta}: chips not Θ(n^(1−β))"
+        );
+        let vol_exp = fit_exponent(&xs, &volume);
+        assert!(
+            (vol_exp - (1.0 + beta)).abs() < 0.12,
+            "β = {beta}: volume exponent {vol_exp} not ≈ {}",
+            1.0 + beta
+        );
+    }
+}
+
+#[test]
+fn two_dee_layouts_are_crossbar_dominated() {
+    // §4: "the crossbar wiring area is Θ(n²), which dominates the total
+    // chip area of Θ(n^{3/2})" — the ratio must grow like √n.
+    let mut prev_ratio = 0.0;
+    for n in [64usize, 256, 1024, 4096] {
+        let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+        let pack = PackagingReport::revsort(&switch);
+        let chip_area: u64 =
+            pack.chip_types.iter().map(|c| c.area_units * c.count as u64).sum();
+        let wiring = pack.area_units - chip_area;
+        let ratio = wiring as f64 / chip_area as f64;
+        assert!(ratio > prev_ratio, "crossbar dominance must grow with n");
+        prev_ratio = ratio;
+    }
+    assert!(prev_ratio > 10.0, "at n = 4096 wiring must dwarf chip area");
+}
+
+#[test]
+fn full_columnsort_matches_partial_asymptotics() {
+    // §6: "the same asymptotic volume and chip count as the partial
+    // concentrator switch of Section 5".
+    for (r, s) in [(32usize, 4usize), (512, 8)] {
+        let partial = ColumnsortSwitch::new(r, s, r * s / 2);
+        let full = FullColumnsortHyperconcentrator::new(r, s);
+        let p = PackagingReport::columnsort(&partial, Dim::ThreeDee);
+        let f = PackagingReport::full_columnsort(&full);
+        // Full uses 3s + (s+1) chips vs 2s: within a constant factor ≤ 3.
+        let chip_ratio = f.total_chips() as f64 / p.total_chips() as f64;
+        assert!(chip_ratio <= 3.0, "chip ratio {chip_ratio}");
+        let vol_ratio = f.volume_units as f64 / p.volume_units as f64;
+        assert!(vol_ratio <= 3.0, "volume ratio {vol_ratio}");
+        // And exactly double the partial switch's delay (4 vs 2 stages of
+        // identical chips).
+        assert_eq!(f.gate_delays, 2 * p.gate_delays);
+    }
+}
