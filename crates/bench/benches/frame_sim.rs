@@ -7,7 +7,7 @@ use std::hint::black_box;
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use switchsim::traffic::TrafficGenerator;
-use switchsim::{CongestionPolicy, ConcentrationStage, TrafficModel};
+use switchsim::{ConcentrationStage, CongestionPolicy, TrafficModel};
 
 fn bench_frames(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_sim");
@@ -24,12 +24,8 @@ fn bench_frames(c: &mut Criterion) {
                 &switch,
                 |b, switch| {
                     b.iter(|| {
-                        let mut generator = TrafficGenerator::new(
-                            TrafficModel::Bernoulli { p: 0.6 },
-                            n,
-                            4,
-                            77,
-                        );
+                        let mut generator =
+                            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.6 }, n, 4, 77);
                         let mut stage = ConcentrationStage::new(switch, policy);
                         black_box(stage.run(&mut generator, 50))
                     })

@@ -1,57 +1,138 @@
-//! Gate-level evaluation throughput: scalar vs 64-way bit-parallel block
-//! evaluation of hyperconcentrator chip netlists, and flat multichip
-//! switch netlists.
+//! Gate-level evaluation throughput: the scalar interpreter vs the 64-way
+//! bit-parallel block evaluator vs the compiled levelized engine, on
+//! Revsort switch control netlists.
+//!
+//! Unlike the Criterion-harnessed benches, this one writes a machine-
+//! readable summary to `BENCH_netlist_eval.json` at the repository root:
+//! vectors/second per engine and the compiled-vs-scalar speedup for
+//! n ∈ {256, 1024, 4096}.
 
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::verify::SplitMix64;
-use concentrator::Hyperconcentrator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netlist::BitMatrix;
 
-fn bench_chip_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netlist_eval_chip");
-    for n in [16usize, 64, 256] {
-        let nl = Hyperconcentrator::new(n).build_netlist(false);
-        let valid = SplitMix64(9).valid_bits(n, 0.5);
-        group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::new("scalar", n), &nl, |b, nl| {
-            b.iter(|| black_box(nl.eval(black_box(&valid))))
-        });
-        // 64 vectors at once.
-        let mut rng = SplitMix64(10);
-        let blocks: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-        group.throughput(Throughput::Elements(64));
-        group.bench_with_input(BenchmarkId::new("block64", n), &nl, |b, nl| {
-            b.iter(|| black_box(nl.eval_block(black_box(&blocks))))
-        });
+/// Lanes per compiled `eval_matrix` call.
+const MATRIX_VECTORS: usize = 1024;
+const MIN_MEASURE: Duration = Duration::from_millis(300);
+
+/// Seconds per call of `routine`, measured over enough iterations to fill
+/// the measurement window (with one warm-up call).
+fn seconds_per_call<F: FnMut()>(mut routine: F) -> f64 {
+    routine();
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= MIN_MEASURE {
+            return elapsed.as_secs_f64() / iters as f64;
+        }
+        // Scale the iteration count toward the window, at least doubling.
+        let scale = MIN_MEASURE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * scale.max(2.0)).ceil() as u64;
     }
-    group.finish();
 }
 
-fn bench_switch_netlist(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netlist_eval_switch");
-    for n in [64usize, 256] {
-        let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
-        let nl = switch.staged().build_netlist(true);
-        let valid = SplitMix64(11).valid_bits(n, 0.5);
-        group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::new("revsort_flat", n), &nl, |b, nl| {
-            b.iter(|| black_box(nl.eval(black_box(&valid))))
-        });
-    }
-    group.finish();
+struct SizeResult {
+    n: usize,
+    gates: usize,
+    levels: usize,
+    scalar_vps: f64,
+    block64_vps: f64,
+    compiled_vps: f64,
 }
 
-fn bench_netlist_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netlist_build");
-    for n in [64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("hyper_chip", n), &n, |b, &n| {
-            b.iter(|| black_box(Hyperconcentrator::new(n).build_netlist(false)))
-        });
+fn measure(n: usize) -> SizeResult {
+    let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+    let elab = switch.staged().control_logic(true);
+    let nl = &elab.netlist;
+    let compiled = &elab.compiled;
+
+    let valid = SplitMix64(9).valid_bits(n, 0.5);
+    let mut rng = SplitMix64(10);
+    let blocks: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let patterns = BitMatrix::from_fn(n, MATRIX_VECTORS, |row, v| {
+        blocks[row].rotate_left((v % 64) as u32) & 1 == 1
+    });
+
+    // Sanity: the three engines must agree before we time them.
+    let reference = nl.eval(&valid);
+    let lane0_inputs: Vec<u64> = valid.iter().map(|&v| if v { 1u64 } else { 0 }).collect();
+    let word_out = compiled.eval_word(&lane0_inputs);
+    let block_out = nl.eval_block(&lane0_inputs);
+    for (o, &bit) in reference.iter().enumerate() {
+        assert_eq!(
+            word_out[o] & 1 == 1,
+            bit,
+            "compiled disagrees at output {o}"
+        );
+        assert_eq!(block_out[o] & 1 == 1, bit, "block disagrees at output {o}");
     }
-    group.finish();
+
+    let scalar_spc = seconds_per_call(|| {
+        black_box(nl.eval(black_box(&valid)));
+    });
+    let block_spc = seconds_per_call(|| {
+        black_box(nl.eval_block(black_box(&blocks)));
+    });
+    let compiled_spc = seconds_per_call(|| {
+        black_box(compiled.eval_matrix(black_box(&patterns)));
+    });
+
+    SizeResult {
+        n,
+        gates: nl.gate_count(),
+        levels: compiled.level_count(),
+        scalar_vps: 1.0 / scalar_spc,
+        block64_vps: 64.0 / block_spc,
+        compiled_vps: MATRIX_VECTORS as f64 / compiled_spc,
+    }
 }
 
-criterion_group!(benches, bench_chip_eval, bench_switch_netlist, bench_netlist_build);
-criterion_main!(benches);
+fn main() {
+    let mut results = Vec::new();
+    for n in [256usize, 1024, 4096] {
+        let r = measure(n);
+        println!(
+            "n={:5}  gates={:7}  levels={:3}  scalar={:>12.0} v/s  block64={:>12.0} v/s  compiled={:>12.0} v/s  speedup(compiled/scalar)={:6.1}x",
+            r.n,
+            r.gates,
+            r.levels,
+            r.scalar_vps,
+            r.block64_vps,
+            r.compiled_vps,
+            r.compiled_vps / r.scalar_vps
+        );
+        results.push(r);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"netlist_eval\",\n");
+    json.push_str("  \"netlist\": \"Revsort switch control logic (m = n/2, with pads)\",\n");
+    json.push_str("  \"units\": \"vectors_per_second\",\n  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"gates\": {}, \"levels\": {}, \"scalar\": {:.1}, \"block64\": {:.1}, \"compiled\": {:.1}, \"speedup_block64_vs_scalar\": {:.2}, \"speedup_compiled_vs_scalar\": {:.2}}}{}",
+            r.n,
+            r.gates,
+            r.levels,
+            r.scalar_vps,
+            r.block64_vps,
+            r.compiled_vps,
+            r.block64_vps / r.scalar_vps,
+            r.compiled_vps / r.scalar_vps,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netlist_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_netlist_eval.json");
+    println!("wrote {path}");
+}

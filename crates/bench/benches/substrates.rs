@@ -3,7 +3,7 @@
 
 use std::hint::black_box;
 
-use concentrator::search::hill_climb;
+use concentrator::search::{epsilon_attack, hill_climb};
 use concentrator::verify::SplitMix64;
 use concentrator::{CellularCompactor, ColumnsortSwitch, FullColumnsortHyperconcentrator};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -13,13 +13,13 @@ use switchsim::measure_fairness;
 fn bench_fold(c: &mut Criterion) {
     let mut group = c.benchmark_group("netlist_fold");
     for (r, s) in [(8usize, 2usize), (32, 4)] {
-        let nl = FullColumnsortHyperconcentrator::new(r, s).staged().build_netlist(false);
+        let nl = FullColumnsortHyperconcentrator::new(r, s)
+            .staged()
+            .build_netlist(false);
         group.throughput(Throughput::Elements(nl.gate_count() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("fold_constants", r * s),
-            &nl,
-            |b, nl| b.iter(|| black_box(nl.fold_constants())),
-        );
+        group.bench_with_input(BenchmarkId::new("fold_constants", r * s), &nl, |b, nl| {
+            b.iter(|| black_box(nl.fold_constants()))
+        });
     }
     group.finish();
 }
@@ -30,11 +30,20 @@ fn bench_hill_climb(c: &mut Criterion) {
     group.bench_function("columnsort_eps_64", |b| {
         b.iter(|| {
             black_box(hill_climb(64, 2, 100, 7, |valid| {
-                let bits: Vec<bool> =
-                    switch.staged().trace(valid).iter().map(|&(v, _)| v).collect();
+                let bits: Vec<bool> = switch
+                    .staged()
+                    .trace(valid)
+                    .iter()
+                    .map(|&(v, _)| v)
+                    .collect();
                 nearsort_epsilon(&bits, SortOrder::Descending)
             }))
         })
+    });
+    // Same attack budget driven through the compiled batch evaluator:
+    // 2 restarts x 100 neighborhoods, but 64 candidates per sweep.
+    group.bench_function("columnsort_eps_64_compiled", |b| {
+        b.iter(|| black_box(epsilon_attack(switch.staged(), 2, 100, 7)))
     });
     group.finish();
 }
@@ -69,13 +78,17 @@ fn bench_comparator_networks(c: &mut Criterion) {
         let mut rng = SplitMix64(11);
         let values: Vec<u64> = (0..width).map(|_| rng.next_u64()).collect();
         group.throughput(Throughput::Elements(width as u64));
-        group.bench_with_input(BenchmarkId::new("batcher_apply", width), &network, |b, n| {
-            b.iter(|| {
-                let mut v = values.clone();
-                n.apply(&mut v, SortOrder::Ascending);
-                black_box(v)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("batcher_apply", width),
+            &network,
+            |b, n| {
+                b.iter(|| {
+                    let mut v = values.clone();
+                    n.apply(&mut v, SortOrder::Ascending);
+                    black_box(v)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,7 @@ use bench::{banner, TextTable};
 use concentrator::ColumnsortSwitch;
 use switchsim::traffic::TrafficGenerator;
 use switchsim::{
-    measure_delivery_curve, predict_drop, CongestionPolicy, ConcentrationStage, TrafficModel,
+    measure_delivery_curve, predict_drop, ConcentrationStage, CongestionPolicy, TrafficModel,
 };
 
 fn main() {
@@ -39,13 +39,11 @@ fn main() {
     let mut worst = 0.0f64;
     for &p in &[0.05f64, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9] {
         let prediction = predict_drop(n, p, |k| curve[k].round() as usize);
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p }, n, 1, 0x51D);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p }, n, 1, 0x51D);
         let mut stage = ConcentrationStage::new(&switch, CongestionPolicy::Drop);
         let report = stage.run(&mut generator, 6000);
         let simulated = report.stats.delivered as f64 / report.stats.frames as f64;
-        let relative =
-            (simulated - prediction.delivered_per_frame).abs() / simulated.max(1e-9);
+        let relative = (simulated - prediction.delivered_per_frame).abs() / simulated.max(1e-9);
         worst = worst.max(relative);
         t.row([
             format!("{p:.2}"),
@@ -57,5 +55,8 @@ fn main() {
         assert!(relative < 0.05, "model and simulation diverged at p = {p}");
     }
     t.print();
-    println!("\nworst relative error across the sweep: {:.2}% (< 5%)", worst * 100.0);
+    println!(
+        "\nworst relative error across the sweep: {:.2}% (< 5%)",
+        worst * 100.0
+    );
 }

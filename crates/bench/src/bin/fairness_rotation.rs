@@ -43,8 +43,7 @@ fn main() {
 
         let plain = RevsortSwitch::new(64, 16, RevsortLayout::TwoDee);
         let base = measure_fairness(&plain, load, 600, 0xFA13);
-        let rotating =
-            RotatingSwitch::new(RevsortSwitch::new(64, 16, RevsortLayout::TwoDee));
+        let rotating = RotatingSwitch::new(RevsortSwitch::new(64, 16, RevsortLayout::TwoDee));
         let fixed = measure_fairness(&rotating, load, 600, 0xFA13);
         t.row([
             "Revsort 64->16".to_string(),

@@ -19,17 +19,16 @@ fn main() {
     let healthy = degradation(&switch, 0.5, 400, 0x0F0F);
     println!("healthy delivery at 50% load: {:.1}%\n", healthy * 100.0);
 
-    let mut t = TextTable::new([
-        "fault location",
-        "mode",
-        "delivery",
-        "loss vs healthy",
-    ]);
+    let mut t = TextTable::new(["fault location", "mode", "delivery", "loss vs healthy"]);
     for stage in 0..3 {
         for mode in [FaultMode::StuckInvalid, FaultMode::StuckValid] {
             let faulty = FaultySwitch::new(
                 switch.staged(),
-                vec![ChipFault { stage, chip: 2, mode }],
+                vec![ChipFault {
+                    stage,
+                    chip: 2,
+                    mode,
+                }],
             );
             let rate = degradation(&faulty, 0.5, 400, 0x0F0F);
             t.row([
@@ -39,7 +38,10 @@ fn main() {
                 format!("{:.1} pts", (healthy - rate) * 100.0),
             ]);
             assert!(rate < healthy, "a dead chip must cost something");
-            assert!(rate > 0.3, "a single dead chip must not collapse the switch");
+            assert!(
+                rate > 0.3,
+                "a single dead chip must not collapse the switch"
+            );
         }
     }
     t.print();
@@ -48,7 +50,11 @@ fn main() {
     let mut t = TextTable::new(["dead chips", "delivery"]);
     for dead in 0..=4usize {
         let faults: Vec<ChipFault> = (0..dead)
-            .map(|chip| ChipFault { stage: 0, chip, mode: FaultMode::StuckInvalid })
+            .map(|chip| ChipFault {
+                stage: 0,
+                chip,
+                mode: FaultMode::StuckInvalid,
+            })
             .collect();
         let faulty = FaultySwitch::new(switch.staged(), faults);
         let rate = degradation(&faulty, 0.5, 300, 0x0F0F);

@@ -9,8 +9,7 @@
 use bench::{banner, TextTable};
 use concentrator::verify::SplitMix64;
 use meshsort::{
-    clean_dirty_split, columnsort_steps123, nearsort_epsilon, revsort_algorithm1, Grid,
-    SortOrder,
+    clean_dirty_split, columnsort_steps123, nearsort_epsilon, revsort_algorithm1, Grid, SortOrder,
 };
 
 fn main() {

@@ -9,9 +9,7 @@
 //! further than ε from where sorting would put them.
 
 use bench::{banner, TextTable};
-use concentrator::spec::{
-    check_concentration, ConcentratorKind, ConcentratorSwitch, Routing,
-};
+use concentrator::spec::{check_concentration, ConcentratorKind, ConcentratorSwitch, Routing};
 use meshsort::{nearsort_epsilon, SortOrder};
 
 /// The adversarial switch of Figure 2.
@@ -51,7 +49,9 @@ impl ConcentratorSwitch for Fig2Switch {
         self.m
     }
     fn kind(&self) -> ConcentratorKind {
-        ConcentratorKind::Partial { alpha: 1.0 - self.epsilon as f64 / self.m as f64 }
+        ConcentratorKind::Partial {
+            alpha: 1.0 - self.epsilon as f64 / self.m as f64,
+        }
     }
     fn route(&self, valid: &[bool]) -> Routing {
         let sources: Vec<usize> = valid
@@ -60,8 +60,11 @@ impl ConcentratorSwitch for Fig2Switch {
             .filter_map(|(i, &v)| v.then_some(i))
             .collect();
         let full = self.full_output(valid);
-        let slots: Vec<usize> =
-            full.iter().enumerate().filter_map(|(i, &v)| v.then_some(i)).collect();
+        let slots: Vec<usize> = full
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| v.then_some(i))
+            .collect();
         let mut assignment = vec![None; self.n];
         for (msg, slot) in sources.iter().zip(&slots) {
             if *slot < self.m {
@@ -77,7 +80,11 @@ fn main() {
         "Figure 2: a partial concentrator that does not nearsort",
         "MIT-LCS-TM-322 Figure 2 (§3)",
     );
-    let switch = Fig2Switch { n: 64, m: 16, epsilon: 2 };
+    let switch = Fig2Switch {
+        n: 64,
+        m: 16,
+        epsilon: 2,
+    };
 
     // 1. It IS an (n, m, 1 − ε/m) partial concentrator.
     let mut concentration_failures = 0usize;
@@ -92,7 +99,12 @@ fn main() {
     assert_eq!(concentration_failures, 0);
 
     // 2. Yet its full output vector is NOT ε-nearsorted.
-    let mut t = TextTable::new(["k", "measured eps of full output", "claim eps", "nearsorted?"]);
+    let mut t = TextTable::new([
+        "k",
+        "measured eps of full output",
+        "claim eps",
+        "nearsorted?",
+    ]);
     let mut counterexamples = 0;
     for k in [10usize, 15, 16, 20, 30] {
         let valid: Vec<bool> = (0..switch.n).map(|i| i < k).collect();

@@ -56,7 +56,10 @@ fn main() {
     let mut t = TextTable::new(["quantity", "value"]);
     t.row(["valid messages (k)".to_string(), "24".to_string()]);
     t.row(["outputs (m)".to_string(), switch.outputs().to_string()]);
-    t.row(["messages delivered".to_string(), routing.routed().to_string()]);
+    t.row([
+        "messages delivered".to_string(),
+        routing.routed().to_string(),
+    ]);
     t.row(["gate delays".to_string(), switch.delay().to_string()]);
     t.print();
 

@@ -19,7 +19,10 @@ fn main() {
     let report = PackagingReport::revsort(&switch);
 
     println!("stacks: {} (one per stage)", report.stacks);
-    println!("boards: {} total, {} types", report.total_boards, report.board_types);
+    println!(
+        "boards: {} total, {} types",
+        report.total_boards, report.board_types
+    );
     for chip in &report.chip_types {
         println!(
             "chip type: {:<45} x{:<3} {} data pins, {} area units",

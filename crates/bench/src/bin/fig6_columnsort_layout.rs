@@ -62,5 +62,9 @@ fn main() {
     t.print();
     // The worst-case guarantee is only m − ε = 9, but as in the figure the
     // typical dirty window is tiny and all 14 messages get paths.
-    assert_eq!(routing.routed(), 14, "this pattern routes fully, as in the figure");
+    assert_eq!(
+        routing.routed(),
+        14,
+        "this pattern routes fully, as in the figure"
+    );
 }

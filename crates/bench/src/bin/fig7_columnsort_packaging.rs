@@ -16,7 +16,11 @@ fn main() {
     let report = PackagingReport::columnsort(&switch, Dim::ThreeDee);
 
     println!("stacks: {}", report.stacks);
-    println!("boards: {} ({} per stack)", report.total_boards, report.total_boards / 2);
+    println!(
+        "boards: {} ({} per stack)",
+        report.total_boards,
+        report.total_boards / 2
+    );
     for chip in &report.chip_types {
         println!(
             "chip type: {:<30} x{:<3} {} data pins, {} area units",

@@ -34,7 +34,10 @@ fn main() {
     let revsort3 = RevsortSwitch::new(64, 28, RevsortLayout::ThreeDee);
     let layout = revsort_layout_3d(&revsort3);
     layout.validate();
-    assert!(layout.has_air_gaps(), "Figure 4 packaging must be air-coolable");
+    assert!(
+        layout.has_air_gaps(),
+        "Figure 4 packaging must be air-coolable"
+    );
     fs::write("results/fig4_layout.svg", layout.to_svg_side_view()).expect("write fig4 svg");
     let pack = PackagingReport::revsort(&revsort3);
     println!(

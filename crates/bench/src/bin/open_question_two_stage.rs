@@ -41,14 +41,22 @@ fn main() {
     );
 
     println!("\n-- two stages (Columnsort), requiring ε = (s−1)² ≤ √p (one o(p) choice) --");
-    let mut t =
-        TextTable::new(["p (pins)", "best r", "best s", "n = f(p)", "ε", "lg n / lg p"]);
+    let mut t = TextTable::new([
+        "p (pins)",
+        "best r",
+        "best s",
+        "n = f(p)",
+        "ε",
+        "lg n / lg p",
+    ]);
     let mut ps = Vec::new();
     let mut ns = Vec::new();
     for p_exp in 5..=14u32 {
         let p = 1usize << p_exp;
         let eps_cap = (p as f64).sqrt() as usize;
-        let Some((r, s)) = best_two_stage(p, eps_cap) else { continue };
+        let Some((r, s)) = best_two_stage(p, eps_cap) else {
+            continue;
+        };
         let n = r * s;
         ps.push(p as f64);
         ns.push(n as f64);

@@ -52,8 +52,7 @@ fn main() {
     ]);
     for side in [8usize, 16, 32, 64, 128] {
         let reps = revsort_repetitions(side);
-        let worst: Vec<usize> =
-            (1..=4).map(|it| worst_dirty_after(side, it, 400)).collect();
+        let worst: Vec<usize> = (1..=4).map(|it| worst_dirty_after(side, it, 400)).collect();
         let at_prescribed = worst[reps.min(4) - 1];
         assert!(
             at_prescribed <= 8,

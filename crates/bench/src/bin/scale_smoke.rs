@@ -8,12 +8,15 @@ use std::time::Instant;
 use bench::{banner, TextTable};
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::spec::ConcentratorSwitch;
-use concentrator::verify::monte_carlo_check;
+use concentrator::verify::{monte_carlo_check, monte_carlo_check_compiled};
 use concentrator::ColumnsortSwitch;
 use rayon::prelude::*;
 
 fn main() {
-    banner("Scale smoke: large-n construction, routing, and verification", "scaling evidence (not a paper artifact)");
+    banner(
+        "Scale smoke: large-n construction, routing, and verification",
+        "scaling evidence (not a paper artifact)",
+    );
 
     let mut t = TextTable::new([
         "switch",
@@ -33,8 +36,7 @@ fn main() {
         let total: usize = (0..routes)
             .into_par_iter()
             .map(|seed| {
-                let valid = concentrator::verify::SplitMix64(seed as u64)
-                    .valid_bits(n, 0.5);
+                let valid = concentrator::verify::SplitMix64(seed as u64).valid_bits(n, 0.5);
                 switch.route(&valid).routed()
             })
             .sum();
@@ -62,8 +64,7 @@ fn main() {
         let total: usize = (0..routes)
             .into_par_iter()
             .map(|seed| {
-                let valid =
-                    concentrator::verify::SplitMix64(seed as u64).valid_bits(n, 0.5);
+                let valid = concentrator::verify::SplitMix64(seed as u64).valid_bits(n, 0.5);
                 switch.route(&valid).routed()
             })
             .sum();
@@ -77,6 +78,48 @@ fn main() {
             build_ms.to_string(),
             format!("{rate:.0}"),
             report.trials.to_string(),
+            report.failures.len().to_string(),
+        ]);
+    }
+    t.print();
+
+    // Gate-level verification at scale: the compiled batch screen
+    // elaborates the full switch netlist and checks 64 patterns per sweep,
+    // falling back to the exact router only on flagged suspects.
+    let mut t = TextTable::new([
+        "switch",
+        "n",
+        "MC patterns (compiled)",
+        "patterns/s",
+        "failures",
+    ]);
+    for n in [1024usize, 4096] {
+        let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
+        let started = Instant::now();
+        let report = monte_carlo_check_compiled(switch.staged(), 1000, 0x5CA20);
+        let rate = report.trials as f64 / started.elapsed().as_secs_f64();
+        assert!(report.failures.is_empty());
+        t.row([
+            "revsort".to_string(),
+            n.to_string(),
+            report.trials.to_string(),
+            format!("{rate:.0}"),
+            report.failures.len().to_string(),
+        ]);
+    }
+    {
+        let (r, s) = (256usize, 16usize);
+        let n = r * s;
+        let switch = ColumnsortSwitch::new(r, s, n / 2);
+        let started = Instant::now();
+        let report = monte_carlo_check_compiled(switch.staged(), 1000, 0x5CA21);
+        let rate = report.trials as f64 / started.elapsed().as_secs_f64();
+        assert!(report.failures.is_empty());
+        t.row([
+            format!("columnsort {r}x{s}"),
+            n.to_string(),
+            report.trials.to_string(),
+            format!("{rate:.0}"),
             report.failures.len().to_string(),
         ]);
     }

@@ -48,7 +48,10 @@ fn main() {
     );
 
     println!("\n-- claim 1: n-by-m perfect from n-by-n hyperconcentrator --");
-    let perfect = TruncatedHyper { inner: Hyperconcentrator::new(16), m: 10 };
+    let perfect = TruncatedHyper {
+        inner: Hyperconcentrator::new(16),
+        m: 10,
+    };
     let report = monte_carlo_check(&perfect, 2000, 0x11);
     assert!(report.failures.is_empty());
     println!(
@@ -82,8 +85,11 @@ fn main() {
         let density = (trial % 10) as f64 / 10.0 + 0.05;
         let valid = rng.valid_bits(n, density.min(1.0));
         let violations = check_concentration(&adapter, &valid);
-        assert!(violations.is_empty(), "k = {}: {violations:?}",
-            valid.iter().filter(|&&v| v).count());
+        assert!(
+            violations.is_empty(),
+            "k = {}: {violations:?}",
+            valid.iter().filter(|&&v| v).count()
+        );
         checked += 1;
         if trial % 800 == 0 {
             let k = valid.iter().filter(|&&v| v).count();
@@ -98,7 +104,5 @@ fn main() {
     }
     t.print();
     println!("\n{checked} random patterns: the adapter behaves as a 24-by-12 perfect switch.");
-    println!(
-        "wire cost: 32/24 = 1.33x inputs, 21/12 = 1.75x outputs (the paper's 1/α factor)."
-    );
+    println!("wire cost: 32/24 = 1.33x inputs, 21/12 = 1.75x outputs (the paper's 1/α factor).");
 }

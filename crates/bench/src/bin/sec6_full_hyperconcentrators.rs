@@ -11,7 +11,9 @@
 
 use bench::{banner, lg, TextTable};
 use concentrator::packaging::PackagingReport;
-use concentrator::verify::{exhaustive_check, monte_carlo_check};
+use concentrator::verify::{
+    exhaustive_check_compiled, monte_carlo_check, monte_carlo_check_compiled,
+};
 use concentrator::{FullColumnsortHyperconcentrator, FullRevsortHyperconcentrator};
 
 fn main() {
@@ -22,8 +24,8 @@ fn main() {
 
     println!("\n-- full Revsort --");
     let small = FullRevsortHyperconcentrator::new(16);
-    exhaustive_check(&small).expect("n = 16 exhaustive hyperconcentration");
-    println!("n = 16: all 65536 patterns compact exactly (exhaustive)");
+    exhaustive_check_compiled(small.staged()).expect("n = 16 exhaustive hyperconcentration");
+    println!("n = 16: all 65536 patterns compact exactly (exhaustive, compiled screen)");
 
     let mut t = TextTable::new([
         "n",
@@ -38,8 +40,11 @@ fn main() {
     for n in [16usize, 64, 256, 1024, 4096] {
         let switch = FullRevsortHyperconcentrator::new(n);
         if n > 16 {
-            let report = monte_carlo_check(&switch, 1200, 0x56);
-            assert!(report.failures.is_empty(), "hyperconcentration violated at n = {n}");
+            let report = monte_carlo_check_compiled(switch.staged(), 1200, 0x56);
+            assert!(
+                report.failures.is_empty(),
+                "hyperconcentration violated at n = {n}"
+            );
         }
         let pack = PackagingReport::full_revsort(&switch);
         // Paper: 4 lg n lg lg n + 8 lg n + O(lg lg n); measured uses
@@ -69,8 +74,10 @@ fn main() {
 
     println!("\n-- full Columnsort --");
     let small = FullColumnsortHyperconcentrator::new(8, 2);
-    exhaustive_check(&small).expect("8x2 exhaustive hyperconcentration");
-    println!("r = 8, s = 2 (n = 16): all 65536 patterns compact exactly (exhaustive)");
+    exhaustive_check_compiled(small.staged()).expect("8x2 exhaustive hyperconcentration");
+    println!(
+        "r = 8, s = 2 (n = 16): all 65536 patterns compact exactly (exhaustive, compiled screen)"
+    );
 
     let mut t = TextTable::new([
         "n",
@@ -87,12 +94,23 @@ fn main() {
         let switch = FullColumnsortHyperconcentrator::new(r, s);
         let n = r * s;
         if n > 16 {
-            let report = monte_carlo_check(&switch, 800, 0x57);
-            assert!(report.failures.is_empty(), "violated at r = {r}, s = {s}");
+            // The compiled gate-level screen elaborates the whole switch;
+            // past n = 4096 the netlist is large enough that the router-
+            // based sampler is the better tool, so fall back there.
+            let failures = if n <= 4096 {
+                monte_carlo_check_compiled(switch.staged(), 800, 0x57).failures
+            } else {
+                monte_carlo_check(&switch, 800, 0x57).failures
+            };
+            assert!(failures.is_empty(), "violated at r = {r}, s = {s}");
         }
         let pack = PackagingReport::full_columnsort(&switch);
         let beta = lg(r) / lg(n);
-        assert_eq!(switch.chip_traversals(), 4, "§6: a signal passes through four chips");
+        assert_eq!(
+            switch.chip_traversals(),
+            4,
+            "§6: a signal passes through four chips"
+        );
         t.row([
             n.to_string(),
             r.to_string(),

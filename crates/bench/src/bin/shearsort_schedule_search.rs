@@ -51,19 +51,28 @@ fn main() {
         "MIT-LCS-TM-322 §6 traversal-count diagnosis",
     );
 
-    let mut t = TextTable::new([
-        "schedule",
-        "stacks",
-        "16x16",
-        "32x32",
-        "64x64",
-    ]);
+    let mut t = TextTable::new(["schedule", "stacks", "16x16", "32x32", "64x64"]);
     let candidates = [
-        ShearsortSchedule { pairs: 2, final_uniform_row: false },
-        ShearsortSchedule { pairs: 3, final_uniform_row: false },
-        ShearsortSchedule { pairs: 2, final_uniform_row: true },
-        ShearsortSchedule { pairs: 3, final_uniform_row: true },
-        ShearsortSchedule { pairs: 4, final_uniform_row: false },
+        ShearsortSchedule {
+            pairs: 2,
+            final_uniform_row: false,
+        },
+        ShearsortSchedule {
+            pairs: 3,
+            final_uniform_row: false,
+        },
+        ShearsortSchedule {
+            pairs: 2,
+            final_uniform_row: true,
+        },
+        ShearsortSchedule {
+            pairs: 3,
+            final_uniform_row: true,
+        },
+        ShearsortSchedule {
+            pairs: 4,
+            final_uniform_row: false,
+        },
     ];
     let mut verdicts = Vec::new();
     for schedule in candidates {
@@ -71,7 +80,11 @@ fn main() {
             format!(
                 "{} pairs{}",
                 schedule.pairs,
-                if schedule.final_uniform_row { " + uniform row" } else { "" }
+                if schedule.final_uniform_row {
+                    " + uniform row"
+                } else {
+                    ""
+                }
             ),
             schedule.stacks().to_string(),
         ];
@@ -103,7 +116,10 @@ fn main() {
         !three_pairs_bare.1,
         "if 3 bare pairs sufficed, the paper's 2 lg lg n + 4 count would stand as written"
     );
-    assert!(paper_finish.1, "our shipping schedule must survive the search");
+    assert!(
+        paper_finish.1,
+        "our shipping schedule must survive the search"
+    );
 
     println!(
         "\nverdict: three snake pairs alone (the 6 stacks implied by the paper's\n\

@@ -22,11 +22,7 @@ struct DesignRow {
     volume: u64,
 }
 
-fn print_design(
-    name: &str,
-    rows: &[DesignRow],
-    paper: &PaperColumn,
-) {
+fn print_design(name: &str, rows: &[DesignRow], paper: &PaperColumn) {
     println!("\n### {name}");
     let mut t = TextTable::new([
         "n",
@@ -52,21 +48,40 @@ fn print_design(
 
     let ns: Vec<f64> = rows.iter().map(|r| r.n as f64).collect();
     let fits = [
-        ("pins/chip", rows.iter().map(|r| r.pins as f64).collect::<Vec<_>>(), paper.pins_exp),
-        ("chip count", rows.iter().map(|r| r.chips as f64).collect::<Vec<_>>(), paper.chips_exp),
-        ("epsilon", rows.iter().map(|r| r.epsilon as f64).collect::<Vec<_>>(), paper.eps_exp),
-        ("volume", rows.iter().map(|r| r.volume as f64).collect::<Vec<_>>(), paper.volume_exp),
+        (
+            "pins/chip",
+            rows.iter().map(|r| r.pins as f64).collect::<Vec<_>>(),
+            paper.pins_exp,
+        ),
+        (
+            "chip count",
+            rows.iter().map(|r| r.chips as f64).collect::<Vec<_>>(),
+            paper.chips_exp,
+        ),
+        (
+            "epsilon",
+            rows.iter().map(|r| r.epsilon as f64).collect::<Vec<_>>(),
+            paper.eps_exp,
+        ),
+        (
+            "volume",
+            rows.iter().map(|r| r.volume as f64).collect::<Vec<_>>(),
+            paper.volume_exp,
+        ),
     ];
     println!("growth exponents (measured vs paper Θ):");
     for (what, ys, expected) in fits {
         let measured = fit_exponent(&ns, &ys);
         println!(
             "  {what:<11} measured n^{measured:.3}   paper n^{expected:.3}   {}",
-            if (measured - expected).abs() < 0.15 { "OK" } else { "MISMATCH" }
+            if (measured - expected).abs() < 0.15 {
+                "OK"
+            } else {
+                "MISMATCH"
+            }
         );
     }
-    let delay_coeffs: Vec<f64> =
-        rows.iter().map(|r| r.delay as f64 / lg(r.n)).collect();
+    let delay_coeffs: Vec<f64> = rows.iter().map(|r| r.delay as f64 / lg(r.n)).collect();
     println!(
         "delay leading coefficient: measured -> {:.2} lg n (largest n), paper {} lg n + O(1)",
         delay_coeffs.last().unwrap(),

@@ -13,12 +13,12 @@
 use bench::{banner, lg, TextTable};
 use concentrator::packaging::PackagingReport;
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::search::epsilon_attack;
 use concentrator::spec::ConcentratorSwitch;
-use concentrator::search::hill_climb;
 use concentrator::verify::{
-    adversarial_patterns, exhaustive_check, measure_epsilon, monte_carlo_check, SplitMix64,
+    adversarial_patterns, exhaustive_check_compiled, measure_epsilon, monte_carlo_check_compiled,
+    SplitMix64,
 };
-use meshsort::{nearsort_epsilon, SortOrder};
 use meshsort::{algorithm1_report, Grid};
 
 fn main() {
@@ -71,11 +71,11 @@ fn main() {
     // 2. Concentration property.
     println!("\n-- concentration property --");
     let small = RevsortSwitch::new(16, 16, RevsortLayout::TwoDee);
-    exhaustive_check(&small).expect("n = 16 exhaustive check");
-    println!("n = 16, m = 16: all 65536 patterns OK (exhaustive)");
+    exhaustive_check_compiled(small.staged()).expect("n = 16 exhaustive check");
+    println!("n = 16, m = 16: all 65536 patterns OK (exhaustive, compiled screen)");
     for (n, m) in [(64usize, 48usize), (256, 200), (1024, 900)] {
         let switch = RevsortSwitch::new(n, m, RevsortLayout::TwoDee);
-        let report = monte_carlo_check(&switch, 3000, 0xC0);
+        let report = monte_carlo_check_compiled(switch.staged(), 3000, 0xC0);
         assert!(report.failures.is_empty(), "violation at n = {n}");
         println!(
             "n = {n}, m = {m} (capacity {}): {} random+adversarial patterns OK",
@@ -119,15 +119,12 @@ fn main() {
          the 2-D crossbar layout measures exactly 3 lg n + 6)"
     );
 
-    // 4. Directed attack: hill-climb on the nearsorter's ε.
-    println!("\n-- directed attack (hill climb on ε) --");
+    // 4. Directed attack: batched hill-climb on the nearsorter's ε, 64
+    // candidates per compiled netlist sweep.
+    println!("\n-- directed attack (batched hill climb on ε) --");
     for n in [64usize, 256] {
         let switch = RevsortSwitch::new(n, n, RevsortLayout::TwoDee);
-        let report = hill_climb(n, 8, 1500, 0xA77AC4, |valid| {
-            let bits: Vec<bool> =
-                switch.staged().trace(valid).iter().map(|&(v, _)| v).collect();
-            nearsort_epsilon(&bits, SortOrder::Descending)
-        });
+        let report = epsilon_attack(switch.staged(), 8, 100, 0xA77AC4);
         assert!(report.best_score <= switch.epsilon_bound());
         println!(
             "n = {n}: attacked ε = {} after {} evaluations (proven bound {}) — holds",

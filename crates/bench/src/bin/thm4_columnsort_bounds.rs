@@ -9,10 +9,11 @@
 use bench::grids::beta_grids;
 use bench::{banner, lg, TextTable};
 use concentrator::packaging::{Dim, PackagingReport};
-use concentrator::search::hill_climb;
-use concentrator::verify::{exhaustive_check, measure_epsilon, monte_carlo_check};
+use concentrator::search::epsilon_attack;
+use concentrator::verify::{
+    exhaustive_check_compiled, measure_epsilon, monte_carlo_check_compiled,
+};
 use concentrator::ColumnsortSwitch;
-use meshsort::{nearsort_epsilon, SortOrder};
 
 fn main() {
     banner(
@@ -28,7 +29,7 @@ fn main() {
             continue;
         }
         let switch = ColumnsortSwitch::new(r, s, n);
-        exhaustive_check(&switch).expect("exhaustive concentration");
+        exhaustive_check_compiled(switch.staged()).expect("exhaustive concentration");
         let eps = measure_epsilon(switch.staged(), 0, 0);
         println!(
             "r = {r}, s = {s}: all {} patterns concentrate; worst adversarial ε = {} \
@@ -58,7 +59,7 @@ fn main() {
         for grid in beta_grids(num, den).into_iter().filter(|g| g.n <= 4096) {
             let m = grid.n;
             let switch = ColumnsortSwitch::new(grid.r, grid.s, m);
-            let mc = monte_carlo_check(&switch, 1500, 0xC5);
+            let mc = monte_carlo_check_compiled(switch.staged(), 1500, 0xC5);
             assert!(mc.failures.is_empty(), "violation at {grid:?}");
             let eps = measure_epsilon(switch.staged(), 1500, 0xE5);
             assert!(eps.worst_epsilon <= switch.epsilon_bound(), "{grid:?}");
@@ -83,23 +84,23 @@ fn main() {
          4β lg n + 4 exactly; pins = 2r = 2n^β, chips = 2s = 2n^(1−β)."
     );
 
-    // 3. Directed attack on the tightest small shapes.
-    println!("\n-- directed attack (hill climb on ε) --");
+    // 3. Directed attack on the tightest small shapes: 64 candidates per
+    // compiled netlist sweep.
+    println!("\n-- directed attack (batched hill climb on ε) --");
     for (r, s) in [(8usize, 4usize), (16, 4), (16, 8)] {
-        let n = r * s;
-        let switch = ColumnsortSwitch::new(r, s, n);
-        let report = hill_climb(n, 8, 1500, 0x5EE4u64, |valid| {
-            let bits: Vec<bool> =
-                switch.staged().trace(valid).iter().map(|&(v, _)| v).collect();
-            nearsort_epsilon(&bits, SortOrder::Descending)
-        });
+        let switch = ColumnsortSwitch::new(r, s, r * s);
+        let report = epsilon_attack(switch.staged(), 8, 100, 0x5EE4u64);
         assert!(report.best_score <= switch.epsilon_bound());
         println!(
             "{r}x{s}: attacked ε = {} of bound {} ({} evaluations) — {}",
             report.best_score,
             switch.epsilon_bound(),
             report.evaluations,
-            if report.best_score == switch.epsilon_bound() { "bound is TIGHT" } else { "holds" }
+            if report.best_score == switch.epsilon_bound() {
+                "bound is TIGHT"
+            } else {
+                "holds"
+            }
         );
     }
 }

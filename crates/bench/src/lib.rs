@@ -29,7 +29,10 @@ pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
     let my = ly.iter().sum::<f64>() / n;
     let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
     let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
-    assert!(var > 0.0, "exponent fit needs at least two distinct x values");
+    assert!(
+        var > 0.0,
+        "exponent fit needs at least two distinct x values"
+    );
     cov / var
 }
 
@@ -47,7 +50,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row; each cell is formatted with `Display`.

@@ -18,19 +18,22 @@ pub fn render_stage_flow(switch: &StagedSwitch, valid: &[bool]) -> String {
         "inputs ({} valid of {}):\n  {}\n",
         valid.iter().filter(|&&v| v).count(),
         valid.len(),
-        wires.iter().map(|&(v, _)| if v { '#' } else { '.' }).collect::<String>()
+        wires
+            .iter()
+            .map(|&(v, _)| if v { '#' } else { '.' })
+            .collect::<String>()
     ));
     // Re-trace stage by stage using the public trace on progressively
     // truncated switches is wasteful; instead rebuild the cumulative trace.
     for upto in 1..=switch.stages.len() {
-        let partial = StagedSwitch {
-            name: switch.name.clone(),
-            n: switch.n,
-            m: switch.stages[upto - 1].out_len,
-            kind: switch.kind,
-            stages: switch.stages[..upto].to_vec(),
-            output_positions: (0..switch.stages[upto - 1].out_len).collect(),
-        };
+        let partial = StagedSwitch::new(
+            switch.name.clone(),
+            switch.n,
+            switch.stages[upto - 1].out_len,
+            switch.kind,
+            switch.stages[..upto].to_vec(),
+            (0..switch.stages[upto - 1].out_len).collect(),
+        );
         let traced = partial.trace(valid);
         let stage = &switch.stages[upto - 1];
         out.push_str(&format!(
@@ -38,7 +41,10 @@ pub fn render_stage_flow(switch: &StagedSwitch, valid: &[bool]) -> String {
             stage.label,
             stage.chip_count,
             stage.chip_pins,
-            traced.iter().map(|&(v, _)| if v { '#' } else { '.' }).collect::<String>()
+            traced
+                .iter()
+                .map(|&(v, _)| if v { '#' } else { '.' })
+                .collect::<String>()
         ));
         wires = traced;
     }

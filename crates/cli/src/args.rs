@@ -49,16 +49,21 @@ impl Parsed {
 
     /// A required parsed value.
     pub fn required_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
-        self.required(key)?
-            .parse()
-            .map_err(|_| format!("--{key} has an invalid value `{}`", self.required(key).unwrap()))
+        self.required(key)?.parse().map_err(|_| {
+            format!(
+                "--{key} has an invalid value `{}`",
+                self.required(key).unwrap()
+            )
+        })
     }
 
     /// An optional parsed value with default.
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.optional(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("--{key} has an invalid value `{raw}`")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key} has an invalid value `{raw}`")),
         }
     }
 

@@ -6,7 +6,7 @@ use concentrator::layout::{columnsort_layout_2d, revsort_layout_2d};
 use concentrator::packaging::{Dim, PackagingReport};
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::spec::ConcentratorSwitch;
-use concentrator::verify::monte_carlo_check;
+use concentrator::verify::monte_carlo_check_compiled;
 use concentrator::ColumnsortSwitch;
 
 use crate::args::Parsed;
@@ -53,11 +53,26 @@ pub fn design(args: &Parsed) -> Result<String, String> {
     let m = n / 2;
     let need = (load * n as f64).ceil() as usize;
     let mut out = String::new();
-    writeln!(out, "target: n = {n}, m = {m}, pin budget {pins}, offered load {need} msgs/frame").unwrap();
-    writeln!(out, "{:<28} {:>6} {:>10} {:>9} {:>7} {:>6}", "design", "chips", "pins/chip", "capacity", "delays", "fits").unwrap();
+    writeln!(
+        out,
+        "target: n = {n}, m = {m}, pin budget {pins}, offered load {need} msgs/frame"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>6} {:>10} {:>9} {:>7} {:>6}",
+        "design", "chips", "pins/chip", "capacity", "delays", "fits"
+    )
+    .unwrap();
 
     let mut recommended: Option<(String, u64)> = None;
-    let mut consider = |name: String, chips: usize, pin_count: usize, capacity: usize, delays: u32, volume: u64, out: &mut String| {
+    let mut consider = |name: String,
+                        chips: usize,
+                        pin_count: usize,
+                        capacity: usize,
+                        delays: u32,
+                        volume: u64,
+                        out: &mut String| {
         let fits = pin_count <= pins && capacity >= need;
         writeln!(
             out,
@@ -100,9 +115,11 @@ pub fn design(args: &Parsed) -> Result<String, String> {
         r *= 2;
     }
     match recommended {
-        Some((name, volume)) => {
-            writeln!(out, "\nrecommended: {name} (smallest volume among fits: {volume} units)").unwrap()
-        }
+        Some((name, volume)) => writeln!(
+            out,
+            "\nrecommended: {name} (smallest volume among fits: {volume} units)"
+        )
+        .unwrap(),
         None => writeln!(
             out,
             "\nno construction fits; raise the pin budget, lower the load, or add stages"
@@ -136,7 +153,13 @@ pub fn route(args: &Parsed) -> Result<String, String> {
     let k = valid.iter().filter(|&&v| v).count();
     let mut out = String::new();
     writeln!(out, "{}", design.name()).unwrap();
-    writeln!(out, "offered {k}, delivered {} of m = {}", routing.routed(), switch.outputs()).unwrap();
+    writeln!(
+        out,
+        "offered {k}, delivered {} of m = {}",
+        routing.routed(),
+        switch.outputs()
+    )
+    .unwrap();
     for (input, slot) in routing.assignment.iter().enumerate() {
         match slot {
             Some(output) => writeln!(out, "  X{input} -> Y{output}").unwrap(),
@@ -152,9 +175,11 @@ pub fn verify(args: &Parsed) -> Result<String, String> {
     let design = Design::parse(args.required("design")?)?;
     let trials: usize = args.parse_or("trials", 2000)?;
     let seed: u64 = args.parse_or("seed", 0xC0FFEE)?;
+    // Patterns are screened through the compiled batch evaluator, 64 per
+    // sweep; the exact router only re-examines flagged suspects.
     let report = match &design {
-        Design::Revsort(s) => monte_carlo_check(s, trials, seed),
-        Design::Columnsort(s) => monte_carlo_check(s, trials, seed),
+        Design::Revsort(s) => monte_carlo_check_compiled(s.staged(), trials, seed),
+        Design::Columnsort(s) => monte_carlo_check_compiled(s.staged(), trials, seed),
     };
     let mut out = String::new();
     writeln!(
@@ -202,10 +227,25 @@ pub fn package(args: &Parsed) -> Result<String, String> {
     let mut out = String::new();
     writeln!(out, "{}", report.name).unwrap();
     for chip in &report.chip_types {
-        writeln!(out, "  chip: {} x{} ({} pins)", chip.name, chip.count, chip.data_pins).unwrap();
+        writeln!(
+            out,
+            "  chip: {} x{} ({} pins)",
+            chip.name, chip.count, chip.data_pins
+        )
+        .unwrap();
     }
-    writeln!(out, "  boards: {} ({} types), stacks: {}", report.total_boards, report.board_types, report.stacks).unwrap();
-    writeln!(out, "  area: {} units, volume: {} units", report.area_units, report.volume_units).unwrap();
+    writeln!(
+        out,
+        "  boards: {} ({} types), stacks: {}",
+        report.total_boards, report.board_types, report.stacks
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  area: {} units, volume: {} units",
+        report.area_units, report.volume_units
+    )
+    .unwrap();
     writeln!(out, "  gate delays: {}", report.gate_delays).unwrap();
     Ok(out)
 }

@@ -27,7 +27,11 @@ impl Design {
                 if m == 0 || m > n {
                     return Err(format!("need 0 < m <= n, got m = {m}"));
                 }
-                Ok(Design::Revsort(RevsortSwitch::new(n, m, RevsortLayout::ThreeDee)))
+                Ok(Design::Revsort(RevsortSwitch::new(
+                    n,
+                    m,
+                    RevsortLayout::ThreeDee,
+                )))
             }
             ["columnsort", shape, m] => {
                 let (r, s) = shape
@@ -84,11 +88,11 @@ mod tests {
     #[test]
     fn rejects_malformed_specs() {
         for bad in [
-            "revsort:48:10",      // not 4^q
-            "revsort:64:0",       // m = 0
-            "revsort:64:100",     // m > n
-            "columnsort:8x3:10",  // s does not divide r
-            "columnsort:8:10",    // missing shape
+            "revsort:48:10",     // not 4^q
+            "revsort:64:0",      // m = 0
+            "revsort:64:100",    // m > n
+            "columnsort:8x3:10", // s does not divide r
+            "columnsort:8:10",   // missing shape
             "mystery:8:10",
             "revsort:64",
         ] {

@@ -86,15 +86,19 @@ mod tests {
 
     #[test]
     fn verify_runs_clean() {
-        let text =
-            run_ok(&["verify", "--design", "columnsort:8x4:24", "--trials", "200"]);
+        let text = run_ok(&["verify", "--design", "columnsort:8x4:24", "--trials", "200"]);
         assert!(text.contains("0 failures"), "{text}");
     }
 
     #[test]
     fn package_emits_json_when_asked() {
         let text = run_ok(&[
-            "package", "--design", "revsort:64:28", "--dim", "3d", "--json",
+            "package",
+            "--design",
+            "revsort:64:28",
+            "--dim",
+            "3d",
+            "--json",
         ]);
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
         assert_eq!(v["stacks"], 3);

@@ -26,7 +26,10 @@ impl Barrel {
     /// If `width == 0` or not a power of two (the rotation stages shift by
     /// powers of two).
     pub fn new(width: usize) -> Self {
-        assert!(width.is_power_of_two(), "barrel width must be a power of two");
+        assert!(
+            width.is_power_of_two(),
+            "barrel width must be a power of two"
+        );
         Barrel { width }
     }
 
@@ -66,8 +69,11 @@ impl Barrel {
         let w = self.width;
         let mut nl = Netlist::new();
         let data: Vec<Literal> = nl.inputs_n(w).into_iter().map(Literal::pos).collect();
-        let control: Vec<Literal> =
-            nl.inputs_n(self.control_bits()).into_iter().map(Literal::pos).collect();
+        let control: Vec<Literal> = nl
+            .inputs_n(self.control_bits())
+            .into_iter()
+            .map(Literal::pos)
+            .collect();
         let mut current = data;
         for (level, &ctl) in control.iter().enumerate() {
             let shift = 1usize << level;

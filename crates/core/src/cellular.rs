@@ -63,8 +63,7 @@ impl CellularCompactor {
     /// convention — one AND plane, one OR plane).
     pub fn build_netlist(&self) -> Netlist {
         let mut nl = Netlist::new();
-        let mut wires: Vec<Literal> =
-            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        let mut wires: Vec<Literal> = nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
         for stage in 0..self.stages() {
             let start = if stage % 2 == 0 { 1 } else { 2 };
             let mut next = wires.clone();
@@ -154,7 +153,11 @@ mod tests {
             let nl = lattice.build_netlist();
             for pattern in 0u64..(1u64 << n) {
                 let valid = bits_of(pattern, n);
-                assert_eq!(nl.eval(&valid), lattice.settle(&valid), "n={n} {pattern:#x}");
+                assert_eq!(
+                    nl.eval(&valid),
+                    lattice.settle(&valid),
+                    "n={n} {pattern:#x}"
+                );
             }
         }
     }
@@ -174,7 +177,10 @@ mod tests {
         let n = 64;
         let lattice_depth = CellularCompactor::new(n).build_netlist().depth();
         let merge_depth = Hyperconcentrator::new(n).build_netlist(false).depth();
-        assert!(lattice_depth as usize >= n, "lattice depth {lattice_depth} < n");
+        assert!(
+            lattice_depth as usize >= n,
+            "lattice depth {lattice_depth} < n"
+        );
         assert_eq!(merge_depth, 12); // 2 lg 64
         assert!(lattice_depth > 5 * merge_depth);
     }

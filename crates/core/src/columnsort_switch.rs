@@ -36,7 +36,14 @@ impl ColumnsortSwitch {
 
         let wiring = cm_to_rm_permutation(rows, cols);
         let stages = vec![
-            sort_stage(rows, cols, Axis::Columns, None, None, "stage 1: sort columns"),
+            sort_stage(
+                rows,
+                cols,
+                Axis::Columns,
+                None,
+                None,
+                "stage 1: sort columns",
+            ),
             sort_stage(
                 rows,
                 cols,
@@ -49,15 +56,14 @@ impl ColumnsortSwitch {
 
         let epsilon = shape.nearsort_bound();
         let alpha = (1.0 - epsilon as f64 / m as f64).max(0.0);
-        let inner = StagedSwitch {
-            name: format!("Columnsort switch (r={rows}, s={cols}, m={m})"),
+        let inner = StagedSwitch::new(
+            format!("Columnsort switch (r={rows}, s={cols}, m={m})"),
             n,
             m,
-            kind: ConcentratorKind::Partial { alpha },
+            ConcentratorKind::Partial { alpha },
             stages,
-            output_positions: (0..m).collect(),
-        };
-        inner.validate();
+            (0..m).collect(),
+        );
         ColumnsortSwitch { inner, shape }
     }
 
@@ -128,8 +134,12 @@ mod tests {
         let switch = ColumnsortSwitch::new(8, 2, 16);
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
-            let traced: Vec<bool> =
-                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch
+                .staged()
+                .trace(&valid)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             let mut grid = Grid::from_row_major(8, 2, valid.clone());
             columnsort_steps123(&mut grid, SortOrder::Descending);
             assert_eq!(&traced, grid.as_row_major(), "pattern {pattern:#x}");
@@ -141,8 +151,12 @@ mod tests {
         let switch = ColumnsortSwitch::new(4, 4, 16);
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
-            let traced: Vec<bool> =
-                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch
+                .staged()
+                .trace(&valid)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             let mut grid = Grid::from_row_major(4, 4, valid.clone());
             columnsort_steps123(&mut grid, SortOrder::Descending);
             assert_eq!(&traced, grid.as_row_major(), "pattern {pattern:#x}");
@@ -156,8 +170,12 @@ mod tests {
         assert_eq!(bound, 9);
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
-            let traced: Vec<bool> =
-                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch
+                .staged()
+                .trace(&valid)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             let eps = nearsort_epsilon(&traced, SortOrder::Descending);
             assert!(eps <= bound, "pattern {pattern:#x}: ε = {eps} > {bound}");
         }
@@ -171,7 +189,10 @@ mod tests {
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
             let violations = check_concentration(&switch, &valid);
-            assert!(violations.is_empty(), "pattern {pattern:#x}: {violations:?}");
+            assert!(
+                violations.is_empty(),
+                "pattern {pattern:#x}: {violations:?}"
+            );
         }
     }
 
@@ -218,7 +239,12 @@ mod tests {
             let valid = bits_of(state, 32);
             let expected: Vec<bool> = {
                 let t = switch.staged().trace(&valid);
-                switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+                switch
+                    .staged()
+                    .output_positions
+                    .iter()
+                    .map(|&p| t[p].0)
+                    .collect()
             };
             assert_eq!(nl.eval(&valid), expected);
         }

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
-use crate::staged::{StagedSwitch, StageKind};
+use crate::staged::{StageKind, StagedSwitch};
 
 /// How a failed chip misbehaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,7 +48,10 @@ impl<'a> FaultySwitch<'a> {
     /// If a fault names a stage or chip that does not exist.
     pub fn new(inner: &'a StagedSwitch, faults: Vec<ChipFault>) -> Self {
         for fault in &faults {
-            assert!(fault.stage < inner.stages.len(), "fault names missing stage");
+            assert!(
+                fault.stage < inner.stages.len(),
+                "fault names missing stage"
+            );
             assert!(
                 fault.chip < inner.stages[fault.stage].chip_count,
                 "fault names missing chip"
@@ -189,7 +192,11 @@ mod tests {
     #[test]
     fn stuck_invalid_chip_loses_its_column() {
         let healthy = switch();
-        let fault = ChipFault { stage: 0, chip: 3, mode: FaultMode::StuckInvalid };
+        let fault = ChipFault {
+            stage: 0,
+            chip: 3,
+            mode: FaultMode::StuckInvalid,
+        };
         let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
         // Only column 3 carries messages: all lost.
         let valid: Vec<bool> = (0..64).map(|i| i % 8 == 3).collect();
@@ -203,7 +210,11 @@ mod tests {
     #[test]
     fn stuck_valid_floods_and_displaces_real_traffic() {
         let healthy = switch();
-        let fault = ChipFault { stage: 0, chip: 0, mode: FaultMode::StuckValid };
+        let fault = ChipFault {
+            stage: 0,
+            chip: 0,
+            mode: FaultMode::StuckValid,
+        };
         let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
         let healthy_rate = degradation(&healthy, 0.5, 300, 9);
         let faulty_rate = degradation(&faulty, 0.5, 300, 9);
@@ -216,7 +227,11 @@ mod tests {
     #[test]
     fn stuck_invalid_degrades_proportionally() {
         let healthy = switch();
-        let fault = ChipFault { stage: 0, chip: 2, mode: FaultMode::StuckInvalid };
+        let fault = ChipFault {
+            stage: 0,
+            chip: 2,
+            mode: FaultMode::StuckInvalid,
+        };
         let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
         let rate = degradation(&faulty, 0.5, 400, 11);
         // One of eight first-stage chips dead: expect roughly 7/8 of
@@ -230,7 +245,11 @@ mod tests {
         let healthy = switch();
         FaultySwitch::new(
             healthy.staged(),
-            vec![ChipFault { stage: 0, chip: 99, mode: FaultMode::StuckInvalid }],
+            vec![ChipFault {
+                stage: 0,
+                chip: 99,
+                mode: FaultMode::StuckInvalid,
+            }],
         );
     }
 }

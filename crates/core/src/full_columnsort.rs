@@ -42,7 +42,14 @@ impl FullColumnsortHyperconcentrator {
         let cm_rm = cm_to_rm_permutation(rows, cols);
         let rm_cm = rm_to_cm_permutation(rows, cols);
         let stages = vec![
-            sort_stage(rows, cols, Axis::Columns, None, None, "step 1: sort columns"),
+            sort_stage(
+                rows,
+                cols,
+                Axis::Columns,
+                None,
+                None,
+                "step 1: sort columns",
+            ),
             sort_stage(
                 rows,
                 cols,
@@ -62,17 +69,16 @@ impl FullColumnsortHyperconcentrator {
             shifted_sort_stage(rows, cols),
         ];
 
-        let inner = StagedSwitch {
-            name: format!("full-Columnsort hyperconcentrator (r={rows}, s={cols})"),
+        let inner = StagedSwitch::new(
+            format!("full-Columnsort hyperconcentrator (r={rows}, s={cols})"),
             n,
-            m: n,
-            kind: ConcentratorKind::Hyperconcentrator,
+            n,
+            ConcentratorKind::Hyperconcentrator,
             stages,
             // The fully sorted order is column-major: output x lives at
             // matrix position (x mod r, ⌊x/r⌋).
-            output_positions: (0..n).map(|x| (x % rows) * cols + x / rows).collect(),
-        };
-        inner.validate();
+            (0..n).map(|x| (x % rows) * cols + x / rows).collect(),
+        );
         FullColumnsortHyperconcentrator { inner, shape }
     }
 
@@ -170,7 +176,10 @@ mod tests {
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
             let violations = check_concentration(&switch, &valid);
-            assert!(violations.is_empty(), "pattern {pattern:#x}: {violations:?}");
+            assert!(
+                violations.is_empty(),
+                "pattern {pattern:#x}: {violations:?}"
+            );
         }
     }
 
@@ -183,8 +192,12 @@ mod tests {
             state ^= state >> 7;
             state ^= state << 17;
             let valid = bits_of(state & ((1 << 27) - 1), 27);
-            let traced: Vec<bool> =
-                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch
+                .staged()
+                .trace(&valid)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             let mut grid = Grid::from_row_major(9, 3, valid.clone());
             columnsort_full(&mut grid, SortOrder::Descending);
             assert_eq!(&traced, grid.as_row_major(), "state {state:#x}");
@@ -199,8 +212,9 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let valid: Vec<bool> =
-                (0..128).map(|i| (state.rotate_left((i % 61) as u32)) & 1 == 1).collect();
+            let valid: Vec<bool> = (0..128)
+                .map(|i| (state.rotate_left((i % 61) as u32)) & 1 == 1)
+                .collect();
             let violations = check_concentration(&switch, &valid);
             assert!(violations.is_empty(), "{state:#x}: {violations:?}");
         }
@@ -222,7 +236,12 @@ mod tests {
             let valid = bits_of(pattern, 16);
             let expected: Vec<bool> = {
                 let t = switch.staged().trace(&valid);
-                switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+                switch
+                    .staged()
+                    .output_positions
+                    .iter()
+                    .map(|&p| t[p].0)
+                    .collect()
             };
             assert_eq!(nl.eval(&valid), expected, "pattern {pattern:#x}");
         }

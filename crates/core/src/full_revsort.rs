@@ -89,16 +89,20 @@ impl FullRevsortHyperconcentrator {
             ));
         }
 
-        let inner = StagedSwitch {
-            name: format!("full-Revsort hyperconcentrator (n={n})"),
+        let inner = StagedSwitch::new(
+            format!("full-Revsort hyperconcentrator (n={n})"),
             n,
-            m: n,
-            kind: ConcentratorKind::Hyperconcentrator,
+            n,
+            ConcentratorKind::Hyperconcentrator,
             stages,
-            output_positions: (0..n).collect(),
-        };
-        inner.validate();
-        FullRevsortHyperconcentrator { inner, side, repetitions, schedule }
+            (0..n).collect(),
+        );
+        FullRevsortHyperconcentrator {
+            inner,
+            side,
+            repetitions,
+            schedule,
+        }
     }
 
     /// `√n`.
@@ -171,7 +175,10 @@ mod tests {
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
             let violations = check_concentration(&switch, &valid);
-            assert!(violations.is_empty(), "pattern {pattern:#x}: {violations:?}");
+            assert!(
+                violations.is_empty(),
+                "pattern {pattern:#x}: {violations:?}"
+            );
         }
     }
 

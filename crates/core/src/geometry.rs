@@ -40,8 +40,14 @@ impl Rect {
     /// # Panics
     /// If either dimension is non-positive.
     pub fn at(origin: Point, width: i64, height: i64) -> Self {
-        assert!(width > 0 && height > 0, "rectangle dimensions must be positive");
-        Rect { min: origin, max: Point::new(origin.x + width, origin.y + height) }
+        assert!(
+            width > 0 && height > 0,
+            "rectangle dimensions must be positive"
+        );
+        Rect {
+            min: origin,
+            max: Point::new(origin.x + width, origin.y + height),
+        }
     }
 
     /// Width (x extent).
@@ -113,7 +119,11 @@ impl Box3 {
     /// If the z interval is empty.
     pub fn new(footprint: Rect, z_min: i64, z_max: i64) -> Self {
         assert!(z_max > z_min, "z interval must be non-empty");
-        Box3 { footprint, z_min, z_max }
+        Box3 {
+            footprint,
+            z_min,
+            z_max,
+        }
     }
 
     /// Volume.

@@ -276,7 +276,10 @@ mod tests {
         let h = Hyperconcentrator::new(10);
         for pattern in 0u64..(1 << 10) {
             let valid = bits_of(pattern, 10);
-            assert!(check_concentration(&h, &valid).is_empty(), "pattern {pattern:#x}");
+            assert!(
+                check_concentration(&h, &valid).is_empty(),
+                "pattern {pattern:#x}"
+            );
         }
     }
 
@@ -284,7 +287,10 @@ mod tests {
     fn routing_is_stable_order_preserving() {
         let h = Hyperconcentrator::new(6);
         let routing = h.route(&[false, true, true, false, true, false]);
-        assert_eq!(routing.assignment, vec![None, Some(0), Some(1), None, Some(2), None]);
+        assert_eq!(
+            routing.assignment,
+            vec![None, Some(0), Some(1), None, Some(2), None]
+        );
     }
 
     #[test]
@@ -314,7 +320,11 @@ mod tests {
             let nl = h.build_netlist(false);
             assert_eq!(nl.depth(), 2 * ceil_lg(n), "n = {n}");
             let padded = h.build_netlist(true);
-            assert_eq!(padded.depth(), 2 * ceil_lg(n) + PAD_LEVELS, "n = {n} padded");
+            assert_eq!(
+                padded.depth(),
+                2 * ceil_lg(n) + PAD_LEVELS,
+                "n = {n} padded"
+            );
         }
     }
 
@@ -324,11 +334,19 @@ mod tests {
         // n doubles, over a few doublings.
         let counts: Vec<usize> = [16usize, 32, 64, 128]
             .iter()
-            .map(|&n| Hyperconcentrator::new(n).build_netlist(false).area_report().area_units)
+            .map(|&n| {
+                Hyperconcentrator::new(n)
+                    .build_netlist(false)
+                    .area_report()
+                    .area_units
+            })
             .collect();
         for w in counts.windows(2) {
             let ratio = w[1] as f64 / w[0] as f64;
-            assert!((2.5..=6.0).contains(&ratio), "area growth ratio {ratio} not ~4x");
+            assert!(
+                (2.5..=6.0).contains(&ratio),
+                "area growth ratio {ratio} not ~4x"
+            );
         }
     }
 
@@ -370,7 +388,10 @@ mod tests {
     #[test]
     fn datapath_depth_matches_control_depth() {
         let h = Hyperconcentrator::new(16);
-        assert_eq!(h.build_datapath_netlist(false).depth(), h.build_netlist(false).depth());
+        assert_eq!(
+            h.build_datapath_netlist(false).depth(),
+            h.build_netlist(false).depth()
+        );
     }
 
     #[test]

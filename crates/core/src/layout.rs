@@ -60,8 +60,11 @@ impl Layout2D {
     /// # Panics
     /// On any overlap.
     pub fn validate(&self) {
-        let mut rects: Vec<(&str, Rect)> =
-            self.chips.iter().map(|c| (c.name.as_str(), c.rect)).collect();
+        let mut rects: Vec<(&str, Rect)> = self
+            .chips
+            .iter()
+            .map(|c| (c.name.as_str(), c.rect))
+            .collect();
         rects.extend(self.channels.iter().map(|c| (c.label.as_str(), c.rect)));
         for i in 0..rects.len() {
             for j in i + 1..rects.len() {
@@ -305,7 +308,10 @@ pub fn columnsort_layout_2d(switch: &ColumnsortSwitch) -> Layout2D {
             rect: Rect::at(Point::new(x2, c * (r + GAP)), r, r),
         });
     }
-    let layout = Layout2D { chips, channels: vec![channel] };
+    let layout = Layout2D {
+        chips,
+        channels: vec![channel],
+    };
     layout.validate();
     layout
 }
@@ -335,11 +341,7 @@ pub fn revsort_layout_3d(switch: &RevsortSwitch) -> Layout3D {
             }
             boards.push(PlacedBoard {
                 name: format!("stack {stack} board {b}"),
-                volume: Box3::new(
-                    Rect::at(Point::new(x, 0), board_w, board_d),
-                    z,
-                    z + 1,
-                ),
+                volume: Box3::new(Rect::at(Point::new(x, 0), board_w, board_d), z, z + 1),
                 chips,
             });
         }
@@ -402,7 +404,10 @@ mod tests {
             .collect();
         for w in areas.windows(2) {
             let ratio = w[1] / w[0];
-            assert!((10.0..=22.0).contains(&ratio), "area ratio {ratio} not ~16x (n²)");
+            assert!(
+                (10.0..=22.0).contains(&ratio),
+                "area ratio {ratio} not ~16x (n²)"
+            );
         }
     }
 
@@ -430,7 +435,10 @@ mod tests {
             .collect();
         for w in volumes.windows(2) {
             let ratio = w[1] / w[0];
-            assert!((5.0..=11.0).contains(&ratio), "volume ratio {ratio} not ~8x");
+            assert!(
+                (5.0..=11.0).contains(&ratio),
+                "volume ratio {ratio} not ~8x"
+            );
         }
     }
 
@@ -461,7 +469,10 @@ mod tests {
             name: name.into(),
             rect: Rect::at(Point::new(0, 0), 4, 4),
         };
-        let layout = Layout2D { chips: vec![chip("a"), chip("b")], channels: vec![] };
+        let layout = Layout2D {
+            chips: vec![chip("a"), chip("b")],
+            channels: vec![],
+        };
         layout.validate();
     }
 }

@@ -32,10 +32,11 @@
 pub mod barrel;
 pub mod cellular;
 pub mod columnsort_switch;
+pub mod elab;
 pub mod faults;
 pub mod full_columnsort;
-pub mod geometry;
 pub mod full_revsort;
+pub mod geometry;
 pub mod hyper;
 pub mod layout;
 pub mod packaging;
@@ -49,6 +50,7 @@ pub mod verify;
 
 pub use cellular::CellularCompactor;
 pub use columnsort_switch::ColumnsortSwitch;
+pub use elab::Elaboration;
 pub use full_columnsort::FullColumnsortHyperconcentrator;
 pub use full_revsort::FullRevsortHyperconcentrator;
 pub use hyper::Hyperconcentrator;

@@ -76,7 +76,11 @@ impl PackagingReport {
 
     /// Maximum pins over all chip types.
     pub fn max_pins_per_chip(&self) -> usize {
-        self.chip_types.iter().map(|c| c.data_pins).max().unwrap_or(0)
+        self.chip_types
+            .iter()
+            .map(|c| c.data_pins)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Package a Revsort switch per its layout (Figure 3 or Figure 4).
@@ -117,8 +121,8 @@ impl PackagingReport {
                 };
                 // Stacks 1 and 3: side boards of one hyper chip each;
                 // stack 2: side boards of hyper + barrel.
-                let volume = (2 * side) as u64 * hyper_area
-                    + side as u64 * (hyper_area + barrel.area_units);
+                let volume =
+                    (2 * side) as u64 * hyper_area + side as u64 * (hyper_area + barrel.area_units);
                 PackagingReport {
                     name: switch.staged().name.clone(),
                     dim: Dim::ThreeDee,
@@ -168,8 +172,8 @@ impl PackagingReport {
                 // transposing r/s wires in (r/s)² volume (Figure 8).
                 let connectors = s * s;
                 let connector_volume = ((r / s) * (r / s)) as u64;
-                let volume = hyper.area_units * hyper.count as u64
-                    + connectors as u64 * connector_volume;
+                let volume =
+                    hyper.area_units * hyper.count as u64 + connectors as u64 * connector_volume;
                 PackagingReport {
                     name: switch.staged().name.clone(),
                     dim,
@@ -235,8 +239,7 @@ impl PackagingReport {
         };
         let connectors = 3 * s * s; // three interstack junctions
         let connector_volume = ((r / s) * (r / s)) as u64;
-        let volume =
-            hyper.area_units * hyper.count as u64 + connectors as u64 * connector_volume;
+        let volume = hyper.area_units * hyper.count as u64 + connectors as u64 * connector_volume;
         PackagingReport {
             name: switch.staged().name.clone(),
             dim: Dim::ThreeDee,
@@ -249,6 +252,49 @@ impl PackagingReport {
             volume_units: volume,
             gate_delays: switch.delay(),
         }
+    }
+}
+
+impl serde_json::ToJson for Dim {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::String(
+            match self {
+                Dim::TwoDee => "2d",
+                Dim::ThreeDee => "3d",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde_json::ToJson for ChipType {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::object([
+            ("name", self.name.to_json()),
+            ("count", self.count.to_json()),
+            ("data_pins", self.data_pins.to_json()),
+            ("area_units", self.area_units.to_json()),
+        ])
+    }
+}
+
+impl serde_json::ToJson for PackagingReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::object([
+            ("name", self.name.to_json()),
+            ("dim", self.dim.to_json()),
+            ("chip_types", self.chip_types.to_json()),
+            ("board_types", self.board_types.to_json()),
+            ("total_boards", self.total_boards.to_json()),
+            ("stacks", self.stacks.to_json()),
+            (
+                "interstack_connectors",
+                self.interstack_connectors.to_json(),
+            ),
+            ("area_units", self.area_units.to_json()),
+            ("volume_units", self.volume_units.to_json()),
+            ("gate_delays", self.gate_delays.to_json()),
+        ])
     }
 }
 
@@ -329,7 +375,10 @@ mod tests {
         // n quadruples → volume should grow ~8× (= 4^{3/2}).
         for w in v.windows(2) {
             let ratio = w[1] as f64 / w[0] as f64;
-            assert!((6.0..=10.0).contains(&ratio), "volume ratio {ratio} not ~8x");
+            assert!(
+                (6.0..=10.0).contains(&ratio),
+                "volume ratio {ratio} not ~8x"
+            );
         }
     }
 
@@ -361,7 +410,10 @@ mod tests {
         // n×16 → volume × 16^{7/4} ≈ 128.
         for w in volumes.windows(2) {
             let ratio = w[1] as f64 / w[0] as f64;
-            assert!((90.0..=180.0).contains(&ratio), "volume ratio {ratio} not ~128x");
+            assert!(
+                (90.0..=180.0).contains(&ratio),
+                "volume ratio {ratio} not ~128x"
+            );
         }
     }
 

@@ -52,7 +52,10 @@ pub struct ButterflyProgram {
 impl PrefixButterflyHyperconcentrator {
     /// Build for `n = 2^q` wires.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "butterfly requires n = 2^q >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "butterfly requires n = 2^q >= 2"
+        );
         PrefixButterflyHyperconcentrator { n }
     }
 
@@ -139,8 +142,7 @@ impl PrefixButterflyHyperconcentrator {
         let levels = self.levels();
         let ranks = self.ranks(valid);
         // Message at wire w: Some(destination).
-        let mut wires: Vec<Option<usize>> =
-            (0..n).map(|i| valid[i].then(|| ranks[i])).collect();
+        let mut wires: Vec<Option<usize>> = (0..n).map(|i| valid[i].then(|| ranks[i])).collect();
         let mut settings = Vec::with_capacity(levels);
         for level in 0..levels {
             let bit = level;
@@ -160,9 +162,7 @@ impl PrefixButterflyHyperconcentrator {
                     (Some(true), Some(true)) | (Some(false), Some(false)) => {
                         panic!("butterfly conflict at level {level}, pair {w}")
                     }
-                    (Some(true), _) | (_, Some(false)) | (None, None) => {
-                        SwitchSetting::Straight
-                    }
+                    (Some(true), _) | (_, Some(false)) | (None, None) => SwitchSetting::Straight,
                     _ => SwitchSetting::Crossed,
                 };
                 let (to_upper, to_lower) = match setting {
@@ -243,7 +243,7 @@ impl PrefixButterflyHyperconcentrator {
 
 /// Ripple adder over little-endian bit vectors of equal width (result
 /// truncated to the same width — counts never overflow ⌈lg(n+1)⌉ bits).
-fn add_bits(nl: &mut Netlist, a: &[Literal], b: &[Literal], ) -> Vec<Literal> {
+fn add_bits(nl: &mut Netlist, a: &[Literal], b: &[Literal]) -> Vec<Literal> {
     debug_assert_eq!(a.len(), b.len());
     let mut out = Vec::with_capacity(a.len());
     let mut carry: Option<Literal> = None;
@@ -310,10 +310,9 @@ mod tests {
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
             let program = switch.program(&valid); // panics on conflict
-            // Replaying the wires' source indices lands each message at
-            // its rank.
-            let tokens: Vec<usize> =
-                (0..16).map(|i| if valid[i] { i + 1 } else { 0 }).collect();
+                                                  // Replaying the wires' source indices lands each message at
+                                                  // its rank.
+            let tokens: Vec<usize> = (0..16).map(|i| if valid[i] { i + 1 } else { 0 }).collect();
             let out = switch.replay(&program, &tokens);
             let ranks = switch.ranks(&valid);
             for (i, &v) in valid.iter().enumerate() {

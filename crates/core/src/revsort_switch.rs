@@ -53,7 +53,14 @@ impl RevsortSwitch {
         let rotation = rotate_rows_by_rev_permutation(side);
         let stages = match layout {
             RevsortLayout::TwoDee => vec![
-                sort_stage(side, side, Axis::Columns, None, None, "stage 1: sort columns"),
+                sort_stage(
+                    side,
+                    side,
+                    Axis::Columns,
+                    None,
+                    None,
+                    "stage 1: sort columns",
+                ),
                 sort_stage(side, side, Axis::Rows, None, None, "stage 2: sort rows"),
                 sort_stage(
                     side,
@@ -65,26 +72,43 @@ impl RevsortSwitch {
                 ),
             ],
             RevsortLayout::ThreeDee => vec![
-                sort_stage(side, side, Axis::Columns, None, None, "stack 1: sort columns"),
+                sort_stage(
+                    side,
+                    side,
+                    Axis::Columns,
+                    None,
+                    None,
+                    "stack 1: sort columns",
+                ),
                 sort_stage(side, side, Axis::Rows, None, None, "stack 2: sort rows"),
                 barrel_shifter_stage(side, &rotation),
-                sort_stage(side, side, Axis::Columns, None, None, "stack 3: sort columns"),
+                sort_stage(
+                    side,
+                    side,
+                    Axis::Columns,
+                    None,
+                    None,
+                    "stack 3: sort columns",
+                ),
             ],
         };
 
         let epsilon = Self::epsilon_bound_for(n);
         let alpha = (1.0 - epsilon as f64 / m as f64).max(0.0);
-        let inner = StagedSwitch {
-            name: format!("Revsort switch (n={n}, m={m})"),
+        let inner = StagedSwitch::new(
+            format!("Revsort switch (n={n}, m={m})"),
             n,
             m,
-            kind: ConcentratorKind::Partial { alpha },
+            ConcentratorKind::Partial { alpha },
             stages,
             // First m wires of the matrix in row-major order.
-            output_positions: (0..m).collect(),
-        };
-        inner.validate();
-        RevsortSwitch { inner, side, layout }
+            (0..m).collect(),
+        );
+        RevsortSwitch {
+            inner,
+            side,
+            layout,
+        }
     }
 
     /// `√n`.
@@ -212,8 +236,12 @@ mod tests {
         let switch = RevsortSwitch::new(16, 16, RevsortLayout::TwoDee);
         for pattern in 0u64..(1 << 16) {
             let valid = bits_of(pattern, 16);
-            let traced: Vec<bool> =
-                switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch
+                .staged()
+                .trace(&valid)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             let mut grid = Grid::from_row_major(4, 4, valid.clone());
             revsort_algorithm1(&mut grid, SortOrder::Descending);
             assert_eq!(&traced, grid.as_row_major(), "pattern {pattern:#x}");
@@ -269,7 +297,12 @@ mod tests {
             let valid = bits_of(pattern, 16);
             let traced: Vec<bool> = {
                 let t = switch.staged().trace(&valid);
-                switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+                switch
+                    .staged()
+                    .output_positions
+                    .iter()
+                    .map(|&p| t[p].0)
+                    .collect()
             };
             assert_eq!(nl.eval(&valid), traced, "pattern {pattern:#x}");
         }

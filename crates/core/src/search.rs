@@ -7,9 +7,12 @@
 //! measured ε toward the proven bound, and by tests to confirm the bounds
 //! survive directed attack, not just random sampling.
 
+use netlist::{BitMatrix, WORD_BITS};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::spec::ConcentratorSwitch;
+use crate::staged::StagedSwitch;
 use crate::verify::SplitMix64;
 
 /// Result of a hill-climb campaign.
@@ -40,8 +43,7 @@ where
     let results: Vec<(usize, Vec<bool>, usize)> = (0..restarts)
         .into_par_iter()
         .map(|restart| {
-            let mut rng =
-                SplitMix64(seed ^ (restart as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let mut rng = SplitMix64(seed ^ (restart as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
             let density = 0.1 + 0.8 * (restart as f64 / restarts.max(1) as f64);
             let mut pattern = rng.valid_bits(n, density);
             let mut score = objective(&pattern);
@@ -65,29 +67,166 @@ where
         .into_iter()
         .max_by_key(|r| r.0)
         .expect("at least one restart");
-    SearchReport { best_score, best_pattern, evaluations }
+    SearchReport {
+        best_score,
+        best_pattern,
+        evaluations,
+    }
+}
+
+/// Maximize a *batched* objective by steepest-ascent hill climbing: each
+/// round packs up to 64 single-bit-flip neighbors of the current pattern
+/// into the lanes of one [`BitMatrix`] and scores them all with a single
+/// call. Built for compiled-netlist objectives, where one
+/// [`CompiledNetlist::eval_matrix`](netlist::CompiledNetlist::eval_matrix)
+/// sweep prices the whole neighborhood at roughly the cost the scalar
+/// interpreter charges for one pattern.
+///
+/// The objective receives an n-row matrix (one row per input wire, one
+/// lane per candidate) and must return one score per lane. Deterministic
+/// for a given seed.
+pub fn hill_climb_block<F>(
+    n: usize,
+    restarts: usize,
+    rounds: usize,
+    seed: u64,
+    objective: F,
+) -> SearchReport
+where
+    F: Fn(&BitMatrix) -> Vec<usize>,
+{
+    assert!(n > 0 && restarts > 0, "need a non-trivial search space");
+    let mut best_score = 0usize;
+    let mut best_pattern = Vec::new();
+    let mut evaluations = 0usize;
+    let mut positions: Vec<usize> = (0..n).collect();
+    for restart in 0..restarts {
+        let mut rng = SplitMix64(seed ^ (restart as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let density = 0.1 + 0.8 * (restart as f64 / restarts.max(1) as f64);
+        let mut pattern = rng.valid_bits(n, density);
+        let start = BitMatrix::from_fn(n, 1, |row, _| pattern[row]);
+        let mut score = objective(&start)[0];
+        evaluations += 1;
+        let lanes = n.min(WORD_BITS);
+        for _ in 0..rounds {
+            // Sample `lanes` distinct flip positions (partial Fisher-Yates).
+            for i in 0..lanes {
+                let j = i + (rng.next_u64() % (n - i) as u64) as usize;
+                positions.swap(i, j);
+            }
+            let flips = &positions[..lanes];
+            let neighbors =
+                BitMatrix::from_fn(n, lanes, |row, lane| pattern[row] ^ (flips[lane] == row));
+            let scores = objective(&neighbors);
+            assert_eq!(scores.len(), lanes, "objective must score every lane");
+            evaluations += lanes;
+            let (lane, &candidate) = scores
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &s)| s)
+                .expect("at least one lane");
+            if candidate >= score {
+                score = candidate; // accept ties to drift across plateaus
+                pattern[flips[lane]] = !pattern[flips[lane]];
+            }
+        }
+        if restart == 0 || score > best_score {
+            best_score = score;
+            best_pattern = pattern;
+        }
+    }
+    SearchReport {
+        best_score,
+        best_pattern,
+        evaluations,
+    }
+}
+
+/// Directed attack on a staged switch's nearsortedness: maximize the
+/// dirty-window ε of the final-stage wire vector, scoring 64 candidate
+/// patterns per compiled sweep through the switch's cached trace netlist.
+pub fn epsilon_attack(
+    switch: &StagedSwitch,
+    restarts: usize,
+    rounds: usize,
+    seed: u64,
+) -> SearchReport {
+    let elab = switch.trace_logic(false);
+    hill_climb_block(switch.n, restarts, rounds, seed, |patterns| {
+        let out = elab.compiled.eval_matrix(patterns);
+        (0..patterns.vectors())
+            .map(|lane| {
+                meshsort::nearsort_epsilon(&out.column(lane), meshsort::SortOrder::Descending)
+            })
+            .collect()
+    })
+}
+
+/// Directed attack on a staged switch's concentration guarantee: maximize
+/// messages *lost* among at-most-capacity offered loads, scoring 64
+/// candidates per compiled sweep through the cached datapath netlist. A
+/// correct switch pins this objective at zero.
+pub fn deficiency_attack(
+    switch: &StagedSwitch,
+    restarts: usize,
+    rounds: usize,
+    seed: u64,
+) -> SearchReport {
+    let elab = switch.datapath_logic(false);
+    let capacity = switch.guaranteed_capacity();
+    let (n, m) = (switch.n, switch.m);
+    hill_climb_block(n, restarts, rounds, seed, |patterns| {
+        // Feed the valid bits on both the valid and data rails, so an
+        // output carries a real message iff valid_out ∧ data_out.
+        let mut fed = BitMatrix::zeroed(2 * n, patterns.vectors());
+        for row in 0..n {
+            for w in 0..patterns.words_per_row() {
+                let word = patterns.word(row, w);
+                *fed.word_mut(row, w) = word;
+                *fed.word_mut(n + row, w) = word;
+            }
+        }
+        let out = elab.compiled.eval_matrix(&fed);
+        (0..patterns.vectors())
+            .map(|lane| {
+                let k = (0..n).filter(|&r| patterns.get(r, lane)).count();
+                if k > capacity {
+                    return 0; // outside the guarantee's precondition
+                }
+                let delivered = (0..m)
+                    .filter(|&o| out.get(o, lane) && out.get(m + o, lane))
+                    .count();
+                k - delivered
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::revsort_switch::{RevsortLayout, RevsortSwitch};
-    use crate::spec::ConcentratorSwitch;
     use crate::ColumnsortSwitch;
     use meshsort::{nearsort_epsilon, SortOrder};
 
     #[test]
     fn finds_the_all_ones_maximum_of_popcount() {
-        let report = hill_climb(24, 4, 600, 1, |bits| {
-            bits.iter().filter(|&&b| b).count()
-        });
-        assert_eq!(report.best_score, 24, "hill climb must solve the trivial objective");
+        let report = hill_climb(24, 4, 600, 1, |bits| bits.iter().filter(|&&b| b).count());
+        assert_eq!(
+            report.best_score, 24,
+            "hill climb must solve the trivial objective"
+        );
         assert!(report.evaluations > 0);
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let f = |bits: &[bool]| bits.iter().enumerate().filter(|&(i, &b)| b && i % 3 == 0).count();
+        let f = |bits: &[bool]| {
+            bits.iter()
+                .enumerate()
+                .filter(|&(i, &b)| b && i % 3 == 0)
+                .count()
+        };
         let a = hill_climb(16, 3, 200, 9, f);
         let b = hill_climb(16, 3, 200, 9, f);
         assert_eq!(a.best_score, b.best_score);
@@ -99,8 +238,12 @@ mod tests {
         // Directed attack on the nearsorter; the proven bound must hold.
         let switch = ColumnsortSwitch::new(8, 4, 32);
         let report = hill_climb(32, 6, 400, 0xA77AC4, |valid| {
-            let bits: Vec<bool> =
-                switch.staged().trace(valid).iter().map(|&(v, _)| v).collect();
+            let bits: Vec<bool> = switch
+                .staged()
+                .trace(valid)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
             nearsort_epsilon(&bits, SortOrder::Descending)
         });
         assert!(
@@ -129,6 +272,74 @@ mod tests {
         assert_eq!(
             report.best_score, 0,
             "directed attack dropped a message under guaranteed capacity"
+        );
+    }
+
+    #[test]
+    fn block_climb_finds_the_all_ones_maximum_of_popcount() {
+        let report = hill_climb_block(24, 4, 40, 1, |patterns| {
+            (0..patterns.vectors())
+                .map(|lane| (0..24).filter(|&r| patterns.get(r, lane)).count())
+                .collect()
+        });
+        assert_eq!(
+            report.best_score, 24,
+            "batched climb must solve the trivial objective"
+        );
+        assert!(report.evaluations > 0);
+    }
+
+    #[test]
+    fn block_climb_deterministic_for_fixed_seed() {
+        let f = |patterns: &BitMatrix| -> Vec<usize> {
+            (0..patterns.vectors())
+                .map(|lane| {
+                    (0..16)
+                        .filter(|&r| patterns.get(r, lane) && r % 3 == 0)
+                        .count()
+                })
+                .collect()
+        };
+        let a = hill_climb_block(16, 3, 30, 9, f);
+        let b = hill_climb_block(16, 3, 30, 9, f);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.best_pattern, b.best_pattern);
+    }
+
+    #[test]
+    fn compiled_epsilon_attack_stays_within_bound_and_bites() {
+        let switch = ColumnsortSwitch::new(8, 4, 32);
+        let report = epsilon_attack(switch.staged(), 4, 60, 0xA77AC4);
+        assert!(
+            report.best_score <= switch.epsilon_bound(),
+            "attack found ε = {} beyond the bound {}",
+            report.best_score,
+            switch.epsilon_bound()
+        );
+        assert!(
+            report.best_score >= 1,
+            "attack should beat the all-sorted baseline"
+        );
+        // The batched score must agree with the scalar trace objective.
+        let bits: Vec<bool> = switch
+            .staged()
+            .trace(&report.best_pattern)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
+        assert_eq!(
+            report.best_score,
+            nearsort_epsilon(&bits, SortOrder::Descending)
+        );
+    }
+
+    #[test]
+    fn compiled_deficiency_attack_stays_at_zero() {
+        let switch = RevsortSwitch::new(64, 48, RevsortLayout::TwoDee);
+        let report = deficiency_attack(switch.staged(), 4, 60, 0xDEF1C17);
+        assert_eq!(
+            report.best_score, 0,
+            "compiled attack dropped a message under guaranteed capacity"
         );
     }
 }

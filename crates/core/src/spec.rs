@@ -38,7 +38,10 @@ impl Routing {
         let mut output_source = vec![None; outputs];
         for (input, &out) in assignment.iter().enumerate() {
             if let Some(out) = out {
-                assert!(out < outputs, "assignment targets output {out} >= m = {outputs}");
+                assert!(
+                    out < outputs,
+                    "assignment targets output {out} >= m = {outputs}"
+                );
                 assert!(
                     output_source[out].is_none(),
                     "outputs must be disjoint: output {out} claimed twice"
@@ -46,7 +49,10 @@ impl Routing {
                 output_source[out] = Some(input);
             }
         }
-        Routing { assignment, output_source }
+        Routing {
+            assignment,
+            output_source,
+        }
     }
 
     /// Number of established paths.
@@ -55,10 +61,7 @@ impl Routing {
     }
 
     /// Inputs that were valid but did not get a path (congestion victims).
-    pub fn unrouted_inputs<'a>(
-        &'a self,
-        valid: &'a [bool],
-    ) -> impl Iterator<Item = usize> + 'a {
+    pub fn unrouted_inputs<'a>(&'a self, valid: &'a [bool]) -> impl Iterator<Item = usize> + 'a {
         valid
             .iter()
             .enumerate()
@@ -93,9 +96,7 @@ pub trait ConcentratorSwitch {
     fn guaranteed_capacity(&self) -> usize {
         match self.kind() {
             ConcentratorKind::Hyperconcentrator | ConcentratorKind::Perfect => self.outputs(),
-            ConcentratorKind::Partial { alpha } => {
-                (alpha * self.outputs() as f64).floor() as usize
-            }
+            ConcentratorKind::Partial { alpha } => (alpha * self.outputs() as f64).floor() as usize,
         }
     }
 }
@@ -156,8 +157,10 @@ pub fn check_concentration<S: ConcentratorSwitch + ?Sized>(
     } else {
         let delivered = routing.routed();
         if delivered < cap {
-            violations
-                .push(ConcentrationViolation::UnderDelivered { delivered, required: cap });
+            violations.push(ConcentrationViolation::UnderDelivered {
+                delivered,
+                required: cap,
+            });
         }
     }
 
@@ -344,7 +347,10 @@ mod tests {
         let switch = ToyHyper { n: 8 };
         for pattern in 0u32..256 {
             let valid: Vec<bool> = (0..8).map(|i| (pattern >> i) & 1 == 1).collect();
-            assert!(check_concentration(&switch, &valid).is_empty(), "pattern {pattern:#x}");
+            assert!(
+                check_concentration(&switch, &valid).is_empty(),
+                "pattern {pattern:#x}"
+            );
         }
     }
 

@@ -8,9 +8,12 @@
 //! to one flat [`netlist::Netlist`], and delay accounting; the concrete
 //! switches of §§4–6 are thin constructors on top of it.
 
+use std::sync::Arc;
+
 use netlist::{Literal, Netlist};
 use serde::{Deserialize, Serialize};
 
+use crate::elab::{ElabCache, Elaboration};
 use crate::hyper::{ceil_lg, Hyperconcentrator, PAD_LEVELS};
 use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
 
@@ -67,16 +70,34 @@ impl SwitchStage {
 
     fn validate(&self, prev_len: usize) {
         let total = self.chip_count * self.chip_pins;
-        assert_eq!(self.input_map.len(), total, "{}: input map size", self.label);
-        assert_eq!(self.output_map.len(), total, "{}: output map size", self.label);
+        assert_eq!(
+            self.input_map.len(),
+            total,
+            "{}: input map size",
+            self.label
+        );
+        assert_eq!(
+            self.output_map.len(),
+            total,
+            "{}: output map size",
+            self.label
+        );
         for src in &self.input_map {
             if let PinSource::Prev(i) = src {
-                assert!(*i < prev_len, "{}: input reads wire {i} >= {prev_len}", self.label);
+                assert!(
+                    *i < prev_len,
+                    "{}: input reads wire {i} >= {prev_len}",
+                    self.label
+                );
             }
         }
         let mut seen = vec![false; self.out_len];
         for dst in self.output_map.iter().flatten() {
-            assert!(*dst < self.out_len, "{}: output target out of range", self.label);
+            assert!(
+                *dst < self.out_len,
+                "{}: output target out of range",
+                self.label
+            );
             assert!(!seen[*dst], "{}: duplicate output target {dst}", self.label);
             seen[*dst] = true;
         }
@@ -104,6 +125,11 @@ pub struct StagedSwitch {
     /// Positions in the last stage's output vector that are the switch's
     /// `m` outputs, in output order.
     pub output_positions: Vec<usize>,
+    /// Lazily-built elaborations (netlist + compiled engine), shared by
+    /// verification, search, simulation, and benches. Invisible to value
+    /// semantics: ignored by equality, reset by clone.
+    #[serde(skip)]
+    cache: ElabCache,
 }
 
 /// A message slot traveling between stages during routing.
@@ -115,6 +141,31 @@ struct Slot {
 }
 
 impl StagedSwitch {
+    /// Build and validate a staged switch.
+    ///
+    /// # Panics
+    /// On any structural inconsistency (see [`StagedSwitch::validate`]).
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        m: usize,
+        kind: ConcentratorKind,
+        stages: Vec<SwitchStage>,
+        output_positions: Vec<usize>,
+    ) -> Self {
+        let switch = StagedSwitch {
+            name: name.into(),
+            n,
+            m,
+            kind,
+            stages,
+            output_positions,
+            cache: ElabCache::default(),
+        };
+        switch.validate();
+        switch
+    }
+
     /// Validate internal consistency (map sizes, ranges, disjointness).
     ///
     /// # Panics
@@ -127,7 +178,11 @@ impl StagedSwitch {
             len = stage.out_len;
         }
         let mut seen = vec![false; len];
-        assert_eq!(self.output_positions.len(), self.m, "need m output positions");
+        assert_eq!(
+            self.output_positions.len(),
+            self.m,
+            "need m output positions"
+        );
         for &pos in &self.output_positions {
             assert!(pos < len, "output position {pos} out of range");
             assert!(!seen[pos], "duplicate output position {pos}");
@@ -149,7 +204,11 @@ impl StagedSwitch {
     /// The largest per-chip data pin count (`2p` for a p-pin-in, p-pin-out
     /// chip).
     pub fn max_data_pins_per_chip(&self) -> usize {
-        self.stages.iter().map(|s| 2 * s.chip_pins).max().unwrap_or(0)
+        self.stages
+            .iter()
+            .map(|s| 2 * s.chip_pins)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Trace messages through the stages, returning the final wire vector
@@ -159,7 +218,10 @@ impl StagedSwitch {
         let mut wires: Vec<Slot> = valid
             .iter()
             .enumerate()
-            .map(|(i, &v)| Slot { valid: v, source: v.then_some(i) })
+            .map(|(i, &v)| Slot {
+                valid: v,
+                source: v.then_some(i),
+            })
             .collect();
         for stage in &self.stages {
             wires = self.run_stage(stage, &wires);
@@ -169,7 +231,13 @@ impl StagedSwitch {
 
     fn run_stage(&self, stage: &SwitchStage, prev: &[Slot]) -> Vec<Slot> {
         let pins = stage.chip_pins;
-        let mut out = vec![Slot { valid: false, source: None }; stage.out_len];
+        let mut out = vec![
+            Slot {
+                valid: false,
+                source: None
+            };
+            stage.out_len
+        ];
         let mut chip_out: Vec<Slot> = Vec::with_capacity(pins);
         for chip in 0..stage.chip_count {
             let base = chip * pins;
@@ -180,19 +248,31 @@ impl StagedSwitch {
                     for p in 0..pins {
                         let slot = match stage.input_map[base + p] {
                             PinSource::Prev(i) => prev[i],
-                            PinSource::Const(v) => Slot { valid: v, source: None },
+                            PinSource::Const(v) => Slot {
+                                valid: v,
+                                source: None,
+                            },
                         };
                         if slot.valid {
                             chip_out.push(slot);
                         }
                     }
-                    chip_out.resize(pins, Slot { valid: false, source: None });
+                    chip_out.resize(
+                        pins,
+                        Slot {
+                            valid: false,
+                            source: None,
+                        },
+                    );
                 }
                 StageKind::PassThrough => {
                     for p in 0..pins {
                         let slot = match stage.input_map[base + p] {
                             PinSource::Prev(i) => prev[i],
-                            PinSource::Const(v) => Slot { valid: v, source: None },
+                            PinSource::Const(v) => Slot {
+                                valid: v,
+                                source: None,
+                            },
                         };
                         chip_out.push(slot);
                     }
@@ -228,10 +308,8 @@ impl StagedSwitch {
     /// (Columnsort steps 6–8) carry data 0.
     pub fn build_datapath_netlist(&self, with_pads: bool) -> Netlist {
         let mut nl = Netlist::new();
-        let mut valid: Vec<Literal> =
-            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
-        let mut data: Vec<Literal> =
-            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        let mut valid: Vec<Literal> = nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        let mut data: Vec<Literal> = nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
         for stage in &self.stages {
             let pins = stage.chip_pins;
             let chip_netlist = match stage.kind {
@@ -257,39 +335,39 @@ impl StagedSwitch {
                         PinSource::Const(_) => nl.constant(false),
                     })
                     .collect();
-                let (chip_valid_out, chip_data_out): (Vec<Literal>, Vec<Literal>) =
-                    match stage.kind {
-                        StageKind::Compactor => {
-                            let sub = chip_netlist
-                                .as_ref()
-                                .expect("compactor stages elaborate a chip");
-                            let mut connections = chip_valid_in;
-                            connections.extend(chip_data_in);
-                            let outs = nl.import(sub, &connections);
-                            let (v, d) = outs.split_at(pins);
-                            (v.to_vec(), d.to_vec())
-                        }
-                        StageKind::PassThrough => {
-                            let mut pad = |lits: Vec<Literal>| -> Vec<Literal> {
-                                if with_pads {
-                                    lits.into_iter()
-                                        .map(|l| {
-                                            let mut lit = l;
-                                            for _ in 0..crate::barrel::BARREL_LEVELS {
-                                                lit = nl.buf(lit);
-                                            }
-                                            lit
-                                        })
-                                        .collect()
-                                } else {
-                                    lits
-                                }
-                            };
-                            let v = pad(chip_valid_in);
-                            let d = pad(chip_data_in);
-                            (v, d)
-                        }
-                    };
+                let (chip_valid_out, chip_data_out): (Vec<Literal>, Vec<Literal>) = match stage.kind
+                {
+                    StageKind::Compactor => {
+                        let sub = chip_netlist
+                            .as_ref()
+                            .expect("compactor stages elaborate a chip");
+                        let mut connections = chip_valid_in;
+                        connections.extend(chip_data_in);
+                        let outs = nl.import(sub, &connections);
+                        let (v, d) = outs.split_at(pins);
+                        (v.to_vec(), d.to_vec())
+                    }
+                    StageKind::PassThrough => {
+                        let mut pad = |lits: Vec<Literal>| -> Vec<Literal> {
+                            if with_pads {
+                                lits.into_iter()
+                                    .map(|l| {
+                                        let mut lit = l;
+                                        for _ in 0..crate::barrel::BARREL_LEVELS {
+                                            lit = nl.buf(lit);
+                                        }
+                                        lit
+                                    })
+                                    .collect()
+                            } else {
+                                lits
+                            }
+                        };
+                        let v = pad(chip_valid_in);
+                        let d = pad(chip_data_in);
+                        (v, d)
+                    }
+                };
                 for p in 0..pins {
                     if let Some(dst) = stage.output_map[base + p] {
                         next_valid[dst] = Some(chip_valid_out[p]);
@@ -319,16 +397,25 @@ impl StagedSwitch {
     /// in, the `m` output valid bits out). `with_pads` adds per-chip pad
     /// levels so the netlist depth equals [`StagedSwitch::delay`].
     pub fn build_netlist(&self, with_pads: bool) -> Netlist {
+        self.elaborate_control(with_pads, false)
+    }
+
+    /// Like [`StagedSwitch::build_netlist`], but marking the *entire*
+    /// final-stage wire vector as outputs (the gate-level equivalent of
+    /// [`StagedSwitch::trace`]'s valid bits) — the form nearsortedness
+    /// measurement and ε-attacks evaluate.
+    pub fn build_trace_netlist(&self, with_pads: bool) -> Netlist {
+        self.elaborate_control(with_pads, true)
+    }
+
+    fn elaborate_control(&self, with_pads: bool, mark_all: bool) -> Netlist {
         let mut nl = Netlist::new();
-        let mut wires: Vec<Literal> =
-            nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        let mut wires: Vec<Literal> = nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
         for stage in &self.stages {
             let pins = stage.chip_pins;
             // One elaboration per stage; all chips in a stage are identical.
             let chip_netlist = match stage.kind {
-                StageKind::Compactor => {
-                    Some(Hyperconcentrator::new(pins).build_netlist(with_pads))
-                }
+                StageKind::Compactor => Some(Hyperconcentrator::new(pins).build_netlist(with_pads)),
                 StageKind::PassThrough => None,
             };
             let mut next: Vec<Option<Literal>> = vec![None; stage.out_len];
@@ -342,7 +429,9 @@ impl StagedSwitch {
                     .collect();
                 let chip_outputs: Vec<Literal> = match stage.kind {
                     StageKind::Compactor => {
-                        let sub = chip_netlist.as_ref().expect("compactor stages elaborate a chip");
+                        let sub = chip_netlist
+                            .as_ref()
+                            .expect("compactor stages elaborate a chip");
                         nl.import(sub, &chip_inputs)
                     }
                     StageKind::PassThrough => {
@@ -373,10 +462,35 @@ impl StagedSwitch {
                 .map(|l| l.expect("validated stages drive every output"))
                 .collect();
         }
-        for &pos in &self.output_positions {
-            nl.mark_output(wires[pos]);
+        if mark_all {
+            for &lit in &wires {
+                nl.mark_output(lit);
+            }
+        } else {
+            for &pos in &self.output_positions {
+                nl.mark_output(wires[pos]);
+            }
         }
         nl
+    }
+
+    /// The cached control elaboration (netlist + compiled engine); built on
+    /// first use, shared thereafter. See [`crate::elab`].
+    pub fn control_logic(&self, with_pads: bool) -> Arc<Elaboration> {
+        self.cache
+            .control(with_pads, || self.build_netlist(with_pads))
+    }
+
+    /// The cached datapath elaboration (netlist + compiled engine).
+    pub fn datapath_logic(&self, with_pads: bool) -> Arc<Elaboration> {
+        self.cache
+            .datapath(with_pads, || self.build_datapath_netlist(with_pads))
+    }
+
+    /// The cached full-trace elaboration (netlist + compiled engine).
+    pub fn trace_logic(&self, with_pads: bool) -> Arc<Elaboration> {
+        self.cache
+            .trace(with_pads, || self.build_trace_netlist(with_pads))
     }
 }
 
@@ -498,15 +612,14 @@ mod tests {
     fn column_stage_equals_grid_column_sort() {
         let (rows, cols) = (4, 3);
         let stage = sort_stage(rows, cols, Axis::Columns, None, None, "cols");
-        let switch = StagedSwitch {
-            name: "one column stage".into(),
-            n: rows * cols,
-            m: rows * cols,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage],
-            output_positions: (0..rows * cols).collect(),
-        };
-        switch.validate();
+        let switch = StagedSwitch::new(
+            "one column stage",
+            rows * cols,
+            rows * cols,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            (0..rows * cols).collect(),
+        );
         for pattern in 0u64..(1 << 12) {
             let valid = bits_of(pattern, 12);
             let traced = switch.trace(&valid);
@@ -521,15 +634,14 @@ mod tests {
     fn row_stage_equals_grid_row_sort() {
         let (rows, cols) = (3, 4);
         let stage = sort_stage(rows, cols, Axis::Rows, None, None, "rows");
-        let switch = StagedSwitch {
-            name: "one row stage".into(),
-            n: 12,
-            m: 12,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage],
-            output_positions: (0..12).collect(),
-        };
-        switch.validate();
+        let switch = StagedSwitch::new(
+            "one row stage",
+            12,
+            12,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            (0..12).collect(),
+        );
         for pattern in 0u64..(1 << 12) {
             let valid = bits_of(pattern, 12);
             let traced = switch.trace(&valid);
@@ -547,19 +659,17 @@ mod tests {
         let side = 4;
         let perm = transpose_permutation(side, side);
         let stage = sort_stage(side, side, Axis::Columns, Some(&perm), None, "t+cols");
-        let switch = StagedSwitch {
-            name: "transpose then column sort".into(),
-            n: 16,
-            m: 16,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage],
-            output_positions: (0..16).collect(),
-        };
-        switch.validate();
+        let switch = StagedSwitch::new(
+            "transpose then column sort",
+            16,
+            16,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            (0..16).collect(),
+        );
         for pattern in [0x0F0Fu64, 0xBEEF, 0x1234] {
             let valid = bits_of(pattern, 16);
-            let traced: Vec<bool> =
-                switch.trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch.trace(&valid).iter().map(|&(v, _)| v).collect();
             let grid = Grid::from_row_major(side, side, valid.clone());
             let mut transposed = grid.transposed();
             transposed.sort_columns(SortOrder::Descending);
@@ -572,20 +682,18 @@ mod tests {
         let (rows, cols) = (4, 2);
         let stage1 = sort_stage(rows, cols, Axis::Columns, None, None, "cols");
         let stage2 = sort_stage(rows, cols, Axis::Rows, None, None, "rows");
-        let switch = StagedSwitch {
-            name: "two stages".into(),
-            n: 8,
-            m: 8,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage1, stage2],
-            output_positions: (0..8).collect(),
-        };
-        switch.validate();
+        let switch = StagedSwitch::new(
+            "two stages",
+            8,
+            8,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage1, stage2],
+            (0..8).collect(),
+        );
         let nl = switch.build_netlist(false);
         for pattern in 0u64..256 {
             let valid = bits_of(pattern, 8);
-            let traced: Vec<bool> =
-                switch.trace(&valid).iter().map(|&(v, _)| v).collect();
+            let traced: Vec<bool> = switch.trace(&valid).iter().map(|&(v, _)| v).collect();
             assert_eq!(nl.eval(&valid), traced, "pattern {pattern:#x}");
         }
     }
@@ -594,14 +702,14 @@ mod tests {
     fn delay_sums_stage_chip_delays() {
         let stage1 = sort_stage(4, 4, Axis::Columns, None, None, "cols");
         let stage2 = sort_stage(4, 4, Axis::Rows, None, None, "rows");
-        let switch = StagedSwitch {
-            name: "delay".into(),
-            n: 16,
-            m: 16,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage1, stage2],
-            output_positions: (0..16).collect(),
-        };
+        let switch = StagedSwitch::new(
+            "delay",
+            16,
+            16,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage1, stage2],
+            (0..16).collect(),
+        );
         // Each 4-pin compactor chip: 2*2 logic + 2 pads = 6.
         assert_eq!(switch.delay(), 12);
         let nl = switch.build_netlist(true);
@@ -613,15 +721,14 @@ mod tests {
     fn validate_catches_undriven_outputs() {
         let mut stage = sort_stage(2, 2, Axis::Columns, None, None, "bad");
         stage.output_map[0] = None;
-        let switch = StagedSwitch {
-            name: "bad".into(),
-            n: 4,
-            m: 4,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage],
-            output_positions: (0..4).collect(),
-        };
-        switch.validate();
+        let _ = StagedSwitch::new(
+            "bad",
+            4,
+            4,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            (0..4).collect(),
+        );
     }
 
     #[test]
@@ -632,15 +739,14 @@ mod tests {
         let n = rows * cols;
         let stage1 = sort_stage(rows, cols, Axis::Columns, None, None, "cols");
         let stage2 = sort_stage(rows, cols, Axis::Rows, None, None, "rows");
-        let switch = StagedSwitch {
-            name: "datapath".into(),
+        let switch = StagedSwitch::new(
+            "datapath",
             n,
-            m: n,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage1, stage2],
-            output_positions: (0..n).collect(),
-        };
-        switch.validate();
+            n,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage1, stage2],
+            (0..n).collect(),
+        );
         let nl = switch.build_datapath_netlist(false);
         for pattern in (0u64..(1 << 16)).step_by(311) {
             let valid: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
@@ -675,14 +781,14 @@ mod tests {
     #[test]
     fn datapath_depth_matches_control_netlist() {
         let stage = sort_stage(4, 2, Axis::Columns, None, None, "cols");
-        let switch = StagedSwitch {
-            name: "depth".into(),
-            n: 8,
-            m: 8,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage],
-            output_positions: (0..8).collect(),
-        };
+        let switch = StagedSwitch::new(
+            "depth",
+            8,
+            8,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            (0..8).collect(),
+        );
         assert_eq!(
             switch.build_datapath_netlist(true).depth(),
             switch.build_netlist(true).depth()
@@ -692,15 +798,14 @@ mod tests {
     #[test]
     fn routing_tracks_message_sources() {
         let stage = sort_stage(4, 1, Axis::Columns, None, None, "col");
-        let switch = StagedSwitch {
-            name: "4-to-2".into(),
-            n: 4,
-            m: 2,
-            kind: ConcentratorKind::Partial { alpha: 1.0 },
-            stages: vec![stage],
-            output_positions: vec![0, 1],
-        };
-        switch.validate();
+        let switch = StagedSwitch::new(
+            "4-to-2",
+            4,
+            2,
+            ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            vec![0, 1],
+        );
         let routing = switch.route(&[false, true, false, true]);
         assert_eq!(routing.assignment, vec![None, Some(0), None, Some(1)]);
         let routing = switch.route(&[true, true, true, false]);

@@ -23,14 +23,20 @@ pub struct TimingModel {
 impl TimingModel {
     /// A representative 1987 nMOS process (2 ns gates, 4 ns margin).
     pub fn nmos_1987() -> Self {
-        TimingModel { gate_delay_ps: 2_000, margin_ps: 4_000 }
+        TimingModel {
+            gate_delay_ps: 2_000,
+            margin_ps: 4_000,
+        }
     }
 
     /// A representative 1987 domino CMOS process — the paper's other
     /// target technology: faster gates (1 ns) but a precharge phase folded
     /// into the per-cycle margin (6 ns).
     pub fn domino_cmos_1987() -> Self {
-        TimingModel { gate_delay_ps: 1_000, margin_ps: 6_000 }
+        TimingModel {
+            gate_delay_ps: 1_000,
+            margin_ps: 6_000,
+        }
     }
 
     /// Minimum clock period for a switch with the given combinational

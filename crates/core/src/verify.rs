@@ -2,12 +2,27 @@
 //! for small switches, seeded Monte Carlo plus structured adversarial
 //! patterns for large ones, and empirical worst-case measurement of the
 //! nearsortedness ε a switch actually achieves.
+//!
+//! Two evaluation paths exist. The generic functions ([`exhaustive_check`],
+//! [`monte_carlo_check`]) route every pattern through
+//! [`ConcentratorSwitch::route`] — the message-level functional model. The
+//! `_compiled` variants instead push 64 patterns per machine word through
+//! the switch's cached compiled datapath netlist
+//! ([`StagedSwitch::datapath_logic`]) and screen the results with
+//! bit-sliced lane counters; only screened-out suspects ever reach the
+//! per-pattern `route()` path (solely to produce a rich failure report), so
+//! the hot path is pure batch evaluation.
 
+use netlist::BitMatrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{check_concentration, ConcentratorSwitch};
+use crate::spec::{check_concentration, ConcentratorKind, ConcentratorSwitch};
 use crate::staged::StagedSwitch;
+
+/// Patterns per screening chunk: bounds peak matrix memory while keeping
+/// whole words busy.
+const SCREEN_CHUNK: usize = 2048;
 
 /// Deterministic SplitMix64 — a tiny seeded generator so verification runs
 /// are reproducible without threading an RNG type through the API.
@@ -51,7 +66,10 @@ where
     S: ConcentratorSwitch + Sync,
 {
     let n = switch.inputs();
-    assert!(n <= 24, "exhaustive check over 2^{n} patterns is infeasible");
+    assert!(
+        n <= 24,
+        "exhaustive check over 2^{n} patterns is infeasible"
+    );
     (0u64..(1u64 << n))
         .into_par_iter()
         .map(|pattern| {
@@ -79,8 +97,7 @@ pub fn adversarial_patterns(n: usize) -> Vec<Vec<bool>> {
     // Checkerboard and inverse.
     if side * side == n {
         for phase in 0..2 {
-            patterns
-                .push((0..n).map(|x| (x / side + x % side) % 2 == phase).collect());
+            patterns.push((0..n).map(|x| (x / side + x % side) % 2 == phase).collect());
         }
         // Alternating full rows.
         patterns.push((0..n).map(|x| (x / side).is_multiple_of(2)).collect());
@@ -142,7 +159,198 @@ where
             });
         }
     }
-    MonteCarloReport { trials: trials + adversary_count, failures }
+    MonteCarloReport {
+        trials: trials + adversary_count,
+        failures,
+    }
+}
+
+/// Bit-sliced vertical counter over 64 lanes: adding `j` one-bit words
+/// leaves each lane's count readable across the planes. Turns "popcount of
+/// one column per pattern" into a handful of word operations shared by all
+/// 64 patterns of a word.
+#[derive(Default)]
+struct LaneCounts {
+    planes: Vec<u64>,
+}
+
+impl LaneCounts {
+    /// Add a one-bit addend to all 64 lanes (ripple-carry across planes).
+    fn add(&mut self, word: u64) {
+        let mut carry = word;
+        for plane in &mut self.planes {
+            let sum = *plane ^ carry;
+            carry &= *plane;
+            *plane = sum;
+            if carry == 0 {
+                return;
+            }
+        }
+        if carry != 0 {
+            self.planes.push(carry);
+        }
+    }
+
+    /// The accumulated count in one lane.
+    fn get(&self, lane: usize) -> usize {
+        self.planes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (((p >> lane) & 1) as usize) << i)
+            .sum()
+    }
+}
+
+/// Screen a block of valid-bit patterns (one per [`BitMatrix`] column)
+/// against `switch`'s guarantee using one compiled datapath sweep. Returns
+/// the column indices that *may* violate the guarantee; every column not
+/// returned is proven clean.
+///
+/// The valid bits are fed on both the valid and the data rails, so an
+/// output carries a *real* (non-padding) message exactly when its valid
+/// and data bits are both set — padding constants carry data 0, and a
+/// staged switch cannot route an invalid input by construction, so
+/// phantom-message checks need no per-pattern work.
+fn staged_screen(switch: &StagedSwitch, patterns: &BitMatrix) -> Vec<usize> {
+    let n = switch.n;
+    let m = switch.m;
+    assert_eq!(patterns.rows(), n, "one row per switch input");
+    let cap = switch.guaranteed_capacity();
+    let hyper = matches!(switch.kind, ConcentratorKind::Hyperconcentrator);
+    let elab = switch.datapath_logic(false);
+
+    let vectors = patterns.vectors();
+    let mut fed = BitMatrix::zeroed(2 * n, vectors);
+    for r in 0..n {
+        for w in 0..patterns.words_per_row() {
+            let word = patterns.word(r, w);
+            *fed.word_mut(r, w) = word;
+            *fed.word_mut(n + r, w) = word;
+        }
+    }
+    let out = elab.compiled.eval_matrix(&fed);
+
+    let mut suspects = Vec::new();
+    for w in 0..patterns.words_per_row() {
+        let mut offered = LaneCounts::default();
+        for r in 0..n {
+            offered.add(patterns.word(r, w));
+        }
+        let mut routed = LaneCounts::default();
+        // A hyperconcentrator's delivered set must be a prefix: flag any
+        // lane where a silent output is followed by a carrying one.
+        let mut prefix_break = 0u64;
+        let mut prev_real = !0u64;
+        for o in 0..m {
+            let real = out.word(o, w) & out.word(m + o, w);
+            routed.add(real);
+            prefix_break |= !prev_real & real;
+            prev_real = real;
+        }
+        let base = w * netlist::WORD_BITS;
+        let lanes = netlist::WORD_BITS.min(vectors - base);
+        for lane in 0..lanes {
+            let k = offered.get(lane);
+            let delivered = routed.get(lane);
+            let mut bad = delivered < k.min(cap);
+            if hyper {
+                bad |= (prefix_break >> lane) & 1 == 1 || delivered != k.min(m);
+            }
+            if bad {
+                suspects.push(base + lane);
+            }
+        }
+    }
+    suspects
+}
+
+/// Pack boolean patterns (one per column) into a [`BitMatrix`].
+fn pack_columns(n: usize, patterns: &[Vec<bool>]) -> BitMatrix {
+    let mut m = BitMatrix::zeroed(n, patterns.len());
+    for (v, pattern) in patterns.iter().enumerate() {
+        assert_eq!(pattern.len(), n, "pattern length mismatch");
+        for (r, &bit) in pattern.iter().enumerate() {
+            if bit {
+                m.set(r, v, true);
+            }
+        }
+    }
+    m
+}
+
+/// [`exhaustive_check`] over the compiled batch engine: all `2^n` patterns
+/// stream through the cached compiled datapath netlist, 64 per word;
+/// `route()` runs only on screened suspects to reconstruct the violation
+/// report.
+pub fn exhaustive_check_compiled(switch: &StagedSwitch) -> Result<(), CheckFailure> {
+    let n = switch.n;
+    assert!(
+        n <= 24,
+        "exhaustive check over 2^{n} patterns is infeasible"
+    );
+    let total = 1u64 << n;
+    let mut base = 0u64;
+    while base < total {
+        let count = (SCREEN_CHUNK as u64).min(total - base) as usize;
+        let block = BitMatrix::from_fn(n, count, |row, v| (base + v as u64) >> row & 1 == 1);
+        for suspect in staged_screen(switch, &block) {
+            let valid = block.column(suspect);
+            let violations = check_concentration(switch, &valid);
+            if !violations.is_empty() {
+                return Err(CheckFailure {
+                    pattern: valid,
+                    violations: violations.iter().map(|v| format!("{v:?}")).collect(),
+                });
+            }
+        }
+        base += count as u64;
+    }
+    Ok(())
+}
+
+/// [`monte_carlo_check`] over the compiled batch engine. Pattern generation
+/// is identical (same seeds, densities, and adversarial suite), so reports
+/// are comparable; only the evaluation strategy differs.
+pub fn monte_carlo_check_compiled(
+    switch: &StagedSwitch,
+    trials: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    let n = switch.n;
+    let densities = [0.05, 0.25, 0.5, 0.75, 0.95];
+    let adversaries = adversarial_patterns(n);
+    let total = trials + adversaries.len();
+    let mut failures = Vec::new();
+    let mut base = 0usize;
+    while base < total {
+        let count = SCREEN_CHUNK.min(total - base);
+        let patterns: Vec<Vec<bool>> = (base..base + count)
+            .map(|t| {
+                if t < trials {
+                    let mut rng = SplitMix64(seed ^ (t as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                    rng.valid_bits(n, densities[t % densities.len()])
+                } else {
+                    adversaries[t - trials].clone()
+                }
+            })
+            .collect();
+        let block = pack_columns(n, &patterns);
+        for suspect in staged_screen(switch, &block) {
+            let valid = patterns[suspect].clone();
+            let violations = check_concentration(switch, &valid);
+            if !violations.is_empty() {
+                failures.push(CheckFailure {
+                    pattern: valid,
+                    violations: violations.iter().map(|v| format!("{v:?}")).collect(),
+                });
+            }
+        }
+        base += count;
+    }
+    MonteCarloReport {
+        trials: total,
+        failures,
+    }
 }
 
 /// Empirical nearsortedness of a staged switch: the worst ε observed over
@@ -159,26 +367,44 @@ pub struct EpsilonReport {
 
 /// Measure the ε the switch's *full wire vector* achieves (before the
 /// output truncation to `m` wires).
+///
+/// Patterns are evaluated 64 at a time through the cached compiled
+/// full-trace netlist ([`StagedSwitch::trace_logic`]) rather than through
+/// the message-level [`StagedSwitch::trace`]; the two agree gate-for-gate
+/// (see the staged tests), so reports are unchanged.
 pub fn measure_epsilon(switch: &StagedSwitch, trials: usize, seed: u64) -> EpsilonReport {
     let n = switch.n;
     let densities = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let random = (0..trials).into_par_iter().map(|t| {
-        let mut rng = SplitMix64(seed ^ (t as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
-        let p = densities[t % densities.len()];
-        rng.valid_bits(n, p)
-    });
-    let structured = adversarial_patterns(n).into_par_iter();
-    let (worst_epsilon, worst_dirty) = random
-        .chain(structured)
-        .map(|valid| {
-            let bits: Vec<bool> = switch.trace(&valid).iter().map(|&(v, _)| v).collect();
+    let elab = switch.trace_logic(false);
+    let adversaries = adversarial_patterns(n);
+    let total = trials + adversaries.len();
+    let (mut worst_epsilon, mut worst_dirty) = (0usize, 0usize);
+    let mut base = 0usize;
+    while base < total {
+        let count = SCREEN_CHUNK.min(total - base);
+        let patterns: Vec<Vec<bool>> = (base..base + count)
+            .map(|t| {
+                if t < trials {
+                    let mut rng = SplitMix64(seed ^ (t as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+                    rng.valid_bits(n, densities[t % densities.len()])
+                } else {
+                    adversaries[t - trials].clone()
+                }
+            })
+            .collect();
+        let block = pack_columns(n, &patterns);
+        let out = elab.compiled.eval_matrix(&block);
+        for v in 0..count {
+            let bits = out.column(v);
             let eps = meshsort::nearsort_epsilon(&bits, meshsort::SortOrder::Descending);
             let dirty = meshsort::clean_dirty_split(&bits).dirty_len;
-            (eps, dirty)
-        })
-        .reduce(|| (0, 0), |a, b| (a.0.max(b.0), a.1.max(b.1)));
+            worst_epsilon = worst_epsilon.max(eps);
+            worst_dirty = worst_dirty.max(dirty);
+        }
+        base += count;
+    }
     EpsilonReport {
-        trials: trials + adversarial_patterns(n).len(),
+        trials: total,
         worst_epsilon,
         worst_dirty,
     }
@@ -229,5 +455,62 @@ mod tests {
         let patterns = adversarial_patterns(16);
         assert!(patterns.len() >= 10);
         assert!(patterns.iter().all(|p| p.len() == 16));
+    }
+
+    #[test]
+    fn compiled_monte_carlo_matches_routed_monte_carlo() {
+        let switch = RevsortSwitch::new(64, 40, RevsortLayout::TwoDee);
+        let legacy = monte_carlo_check(&switch, 300, 7);
+        let compiled = monte_carlo_check_compiled(switch.staged(), 300, 7);
+        assert_eq!(compiled.trials, legacy.trials);
+        assert_eq!(compiled.failures.len(), legacy.failures.len());
+        assert!(
+            compiled.failures.is_empty(),
+            "{:?}",
+            compiled.failures.first()
+        );
+    }
+
+    #[test]
+    fn compiled_exhaustive_matches_routed_exhaustive_on_small_switch() {
+        use crate::columnsort_switch::ColumnsortSwitch;
+        let switch = ColumnsortSwitch::new(4, 4, 12);
+        assert!(exhaustive_check(switch.staged()).is_ok());
+        assert!(exhaustive_check_compiled(switch.staged()).is_ok());
+    }
+
+    #[test]
+    fn compiled_exhaustive_covers_hyperconcentrator_prefix_property() {
+        // Full-Columnsort staged switches make the Hyperconcentrator
+        // guarantee and contain ±∞ padding constants — the case the
+        // valid∧data real-message mask exists for.
+        use crate::full_columnsort::FullColumnsortHyperconcentrator;
+        let switch = FullColumnsortHyperconcentrator::new(4, 2);
+        assert!(exhaustive_check_compiled(switch.staged()).is_ok());
+    }
+
+    #[test]
+    fn compiled_screen_catches_broken_switches() {
+        use crate::staged::{sort_stage, Axis};
+        // A 4-to-2 switch reading its outputs off the *highest* pins: the
+        // compactor pushes messages to low pins, so any single message is
+        // dropped under capacity.
+        let stage = sort_stage(4, 1, Axis::Columns, None, None, "col");
+        let broken = StagedSwitch::new(
+            "broken read-off",
+            4,
+            2,
+            crate::spec::ConcentratorKind::Partial { alpha: 1.0 },
+            vec![stage],
+            vec![2, 3],
+        );
+        let report = monte_carlo_check_compiled(&broken, 100, 11);
+        assert!(
+            !report.failures.is_empty(),
+            "screen must flag dropped messages"
+        );
+        let legacy = monte_carlo_check(&broken, 100, 11);
+        assert_eq!(report.failures.len(), legacy.failures.len());
+        assert!(exhaustive_check_compiled(&broken).is_err());
     }
 }

@@ -191,7 +191,10 @@ mod tests {
             let mut g = bit_grid_from_u64(4, 4, pattern);
             columnsort_steps123(&mut g, SortOrder::Descending);
             let eps = nearsort_epsilon(g.as_row_major(), SortOrder::Descending);
-            assert!(eps <= shape.nearsort_bound(), "pattern {pattern:#06x}: eps {eps}");
+            assert!(
+                eps <= shape.nearsort_bound(),
+                "pattern {pattern:#06x}: eps {eps}"
+            );
         }
     }
 

@@ -38,7 +38,10 @@ impl ComparatorNetwork {
     /// An empty network on `width` wires.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "network needs at least one wire");
-        ComparatorNetwork { width, comparators: Vec::new() }
+        ComparatorNetwork {
+            width,
+            comparators: Vec::new(),
+        }
     }
 
     /// Number of wires.
@@ -61,7 +64,10 @@ impl ComparatorNetwork {
     /// # Panics
     /// If either index is out of range or they coincide.
     pub fn push(&mut self, first: usize, second: usize) {
-        assert!(first < self.width && second < self.width, "comparator out of range");
+        assert!(
+            first < self.width && second < self.width,
+            "comparator out of range"
+        );
         assert_ne!(first, second, "degenerate comparator");
         self.comparators.push(Comparator { first, second });
     }
@@ -91,10 +97,12 @@ impl ComparatorNetwork {
     /// sorts every 0/1 input (into `order` read left to right). Only for
     /// widths ≤ ~24.
     pub fn sorts_all_bit_inputs(&self, order: SortOrder) -> bool {
-        assert!(self.width <= 24, "exhaustive 0/1 check infeasible at this width");
+        assert!(
+            self.width <= 24,
+            "exhaustive 0/1 check infeasible at this width"
+        );
         for pattern in 0u64..(1u64 << self.width) {
-            let mut bits: Vec<bool> =
-                (0..self.width).map(|i| (pattern >> i) & 1 == 1).collect();
+            let mut bits: Vec<bool> = (0..self.width).map(|i| (pattern >> i) & 1 == 1).collect();
             self.apply(&mut bits, order);
             if !order.is_sorted(&bits) {
                 return false;
@@ -150,7 +158,10 @@ impl ComparatorNetwork {
     /// the mesh" primitive when the mesh is stored row-major.
     pub fn strided_sorter(width: usize, start: usize, stride: usize, count: usize) -> Self {
         assert!(stride > 0 && count > 0);
-        assert!(start + (count - 1) * stride < width, "progression out of range");
+        assert!(
+            start + (count - 1) * stride < width,
+            "progression out of range"
+        );
         let mut network = ComparatorNetwork::new(width);
         for pass in 0..count {
             let mut k = pass % 2;
@@ -171,10 +182,7 @@ impl ComparatorNetwork {
 /// `apply` the network, then read wire `read_order[q]` as logical
 /// (row-major) position `q`: the result equals
 /// [`crate::columnsort_steps123`] on the same input.
-pub fn columnsort_steps123_network(
-    rows: usize,
-    cols: usize,
-) -> (ComparatorNetwork, Vec<usize>) {
+pub fn columnsort_steps123_network(rows: usize, cols: usize) -> (ComparatorNetwork, Vec<usize>) {
     let n = rows * cols;
     let mut network = ComparatorNetwork::new(n);
     // Step 1: sort each column; matrix is row-major, so column c is the
@@ -312,8 +320,7 @@ mod tests {
             let bits: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
             let mut wires = bits.clone();
             network.apply(&mut wires, SortOrder::Descending);
-            let via_network: Vec<bool> =
-                (0..n).map(|q| wires[read_order[q]]).collect();
+            let via_network: Vec<bool> = (0..n).map(|q| wires[read_order[q]]).collect();
             let mut grid = Grid::from_row_major(rows, cols, bits);
             columnsort_steps123(&mut grid, SortOrder::Descending);
             assert_eq!(&via_network, grid.as_row_major(), "pattern {pattern:#x}");

@@ -197,7 +197,9 @@ impl<T: Clone> Grid<T> {
 
     /// Copy out a column.
     pub fn column(&self, col: usize) -> Vec<T> {
-        (0..self.rows).map(|row| self.get(row, col).clone()).collect()
+        (0..self.rows)
+            .map(|row| self.get(row, col).clone())
+            .collect()
     }
 
     /// Overwrite a column.
@@ -242,7 +244,9 @@ impl<T: Clone> Grid<T> {
         Grid::from_row_major(
             self.rows,
             self.cols,
-            out.into_iter().map(|v| v.expect("not a permutation: hole")).collect(),
+            out.into_iter()
+                .map(|v| v.expect("not a permutation: hole"))
+                .collect(),
         )
     }
 }
@@ -264,7 +268,11 @@ impl<T: Ord> Grid<T> {
     /// reversed direction, and so on (Shearsort's row phase).
     pub fn sort_rows_snake(&mut self, order: SortOrder) {
         for row in 0..self.rows {
-            let dir = if row % 2 == 0 { order } else { order.reversed() };
+            let dir = if row % 2 == 0 {
+                order
+            } else {
+                order.reversed()
+            };
             self.sort_row(row, dir);
         }
     }

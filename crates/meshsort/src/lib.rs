@@ -31,8 +31,8 @@ mod shearsort;
 pub use columnsort::{columnsort_full, columnsort_steps123, ColumnsortShape};
 pub use comparator::{columnsort_steps123_network, Comparator, ComparatorNetwork};
 pub use grid::{Grid, SortOrder};
-pub use parallel::par_revsort_steps123;
 pub use metrics::{clean_dirty_split, dirty_row_band, nearsort_epsilon, CleanDirtySplit};
+pub use parallel::par_revsort_steps123;
 pub use perm::{
     cm_to_rm_permutation, compose, identity_permutation, invert, is_permutation, rev_bits,
     revsort_interstage_permutation, rm_to_cm_permutation, row_reversal_permutation,

@@ -70,7 +70,13 @@ pub fn clean_dirty_split(bits: &[bool]) -> CleanDirtySplit {
     let clean_ones = bits.iter().take_while(|&&b| b).count();
     let clean_zeros = bits.iter().rev().take_while(|&&b| !b).count();
     let dirty_len = n.saturating_sub(clean_ones + clean_zeros);
-    CleanDirtySplit { clean_ones, dirty_start: clean_ones, dirty_len, clean_zeros, ones }
+    CleanDirtySplit {
+        clean_ones,
+        dirty_start: clean_ones,
+        dirty_len,
+        clean_zeros,
+        ones,
+    }
 }
 
 /// Clean/dirty row structure of a 0/1 grid: `(clean 1-rows on top,
@@ -108,7 +114,10 @@ mod tests {
     #[test]
     fn epsilon_paper_example() {
         // §3: "5, 3, 6, 1, 4, 2 is 2-nearsorted".
-        assert_eq!(nearsort_epsilon(&[5, 3, 6, 1, 4, 2], SortOrder::Descending), 2);
+        assert_eq!(
+            nearsort_epsilon(&[5, 3, 6, 1, 4, 2], SortOrder::Descending),
+            2
+        );
     }
 
     #[test]

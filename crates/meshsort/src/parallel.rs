@@ -15,7 +15,9 @@ impl<T: Ord + Send> Grid<T> {
     /// task.
     pub fn par_sort_rows(&mut self, order: SortOrder) {
         let cols = self.cols();
-        self.data_mut().par_chunks_mut(cols).for_each(|row| order.sort(row));
+        self.data_mut()
+            .par_chunks_mut(cols)
+            .for_each(|row| order.sort(row));
     }
 
     /// Parallel snake row phase (Shearsort's row step).
@@ -40,8 +42,7 @@ impl<T: Ord + Clone + Send + Sync> Grid<T> {
         let sorted: Vec<Vec<T>> = (0..cols)
             .into_par_iter()
             .map(|c| {
-                let mut column: Vec<T> =
-                    (0..rows).map(|r| self.get(r, c).clone()).collect();
+                let mut column: Vec<T> = (0..rows).map(|r| self.get(r, c).clone()).collect();
                 order.sort(&mut column);
                 column
             })
@@ -53,10 +54,7 @@ impl<T: Ord + Clone + Send + Sync> Grid<T> {
 }
 
 /// Parallel Revsort steps 1–3 (Algorithm 1's loop body).
-pub fn par_revsort_steps123<T: Ord + Clone + Send + Sync>(
-    grid: &mut Grid<T>,
-    order: SortOrder,
-) {
+pub fn par_revsort_steps123<T: Ord + Clone + Send + Sync>(grid: &mut Grid<T>, order: SortOrder) {
     assert_eq!(grid.rows(), grid.cols(), "Revsort requires a square mesh");
     assert!(grid.rows().is_power_of_two(), "Revsort requires √n = 2^q");
     let side = grid.rows();

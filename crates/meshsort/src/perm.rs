@@ -104,7 +104,10 @@ pub fn rm_to_cm_permutation(rows: usize, cols: usize) -> Vec<usize> {
 ///
 /// `side` must be a power of two (the paper assumes `√n = 2^q`).
 pub fn revsort_interstage_permutation(side: usize) -> Vec<usize> {
-    assert!(side.is_power_of_two(), "Revsort requires a power-of-two side");
+    assert!(
+        side.is_power_of_two(),
+        "Revsort requires a power-of-two side"
+    );
     let q = side.trailing_zeros();
     let mut perm = vec![0usize; side * side];
     for i in 0..side {
@@ -185,7 +188,10 @@ mod tests {
                 assert_eq!(p[i * cols + j], rows * j + i);
             }
         }
-        assert_eq!(compose(&p, &rm_to_cm_permutation(rows, cols)), identity_permutation(18));
+        assert_eq!(
+            compose(&p, &rm_to_cm_permutation(rows, cols)),
+            identity_permutation(18)
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ pub fn revsort_repetitions(side: usize) -> usize {
 pub fn algorithm1_report(grid: &mut Grid<bool>) -> RevsortReport {
     revsort_algorithm1(grid, SortOrder::Descending);
     let (clean_top, dirty_rows, clean_bottom) = dirty_row_band(grid);
-    RevsortReport { clean_top, dirty_rows, clean_bottom }
+    RevsortReport {
+        clean_top,
+        dirty_rows,
+        clean_bottom,
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,10 @@ impl ShearsortSchedule {
     /// The finishing schedule used after full Revsort's repetitions (§6):
     /// three pairs plus the direction-fixing uniform row phase.
     pub fn paper_finish() -> Self {
-        ShearsortSchedule { pairs: 3, final_uniform_row: true }
+        ShearsortSchedule {
+            pairs: 3,
+            final_uniform_row: true,
+        }
     }
 
     /// A schedule that fully sorts an arbitrary r×s matrix from scratch:
@@ -38,7 +41,10 @@ impl ShearsortSchedule {
     /// every input, which the uniform row phase then fixes).
     pub fn full_sort(rows: usize) -> Self {
         let lg = rows.next_power_of_two().trailing_zeros() as usize;
-        ShearsortSchedule { pairs: lg + 1, final_uniform_row: true }
+        ShearsortSchedule {
+            pairs: lg + 1,
+            final_uniform_row: true,
+        }
     }
 
     /// Number of chip stacks (row/column sorting stages) this schedule
@@ -55,7 +61,11 @@ pub fn shearsort_pair<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder) {
 }
 
 /// Run a full Shearsort schedule.
-pub fn shearsort<T: Ord + Clone>(grid: &mut Grid<T>, order: SortOrder, schedule: ShearsortSchedule) {
+pub fn shearsort<T: Ord + Clone>(
+    grid: &mut Grid<T>,
+    order: SortOrder,
+    schedule: ShearsortSchedule,
+) {
     for _ in 0..schedule.pairs {
         shearsort_pair(grid, order);
     }
@@ -151,7 +161,11 @@ mod tests {
                 }
             }
             let mut g = Grid::from_row_major(rows, cols, data);
-            shearsort(&mut g, SortOrder::Descending, ShearsortSchedule::paper_finish());
+            shearsort(
+                &mut g,
+                SortOrder::Descending,
+                ShearsortSchedule::paper_finish(),
+            );
             assert!(
                 SortOrder::Descending.is_sorted(g.as_row_major()),
                 "seed {seed}:\n{}",
@@ -163,6 +177,13 @@ mod tests {
     #[test]
     fn stacks_counts_stages() {
         assert_eq!(ShearsortSchedule::paper_finish().stacks(), 7);
-        assert_eq!(ShearsortSchedule { pairs: 2, final_uniform_row: false }.stacks(), 4);
+        assert_eq!(
+            ShearsortSchedule {
+                pairs: 2,
+                final_uniform_row: false
+            }
+            .stacks(),
+            4
+        );
     }
 }

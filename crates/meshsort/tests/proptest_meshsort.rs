@@ -3,9 +3,9 @@
 
 use meshsort::{
     clean_dirty_split, cm_to_rm_permutation, columnsort_full, columnsort_steps123, compose,
-    dirty_row_band, identity_permutation, invert, is_permutation, nearsort_epsilon,
-    rev_bits, revsort_algorithm1, revsort_full, rm_to_cm_permutation,
-    row_reversal_permutation, shearsort, ColumnsortShape, Grid, ShearsortSchedule, SortOrder,
+    dirty_row_band, identity_permutation, invert, is_permutation, nearsort_epsilon, rev_bits,
+    revsort_algorithm1, revsort_full, rm_to_cm_permutation, row_reversal_permutation, shearsort,
+    ColumnsortShape, Grid, ShearsortSchedule, SortOrder,
 };
 use proptest::prelude::*;
 

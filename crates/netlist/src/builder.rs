@@ -118,7 +118,11 @@ impl Netlist {
         }
         let gate_idx = u32::try_from(self.gates.len()).expect("too many gates");
         let output = self.fresh_wire(Driver::Gate(gate_idx));
-        self.gates.push(Gate { kind, inputs, output });
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
         Literal::pos(output)
     }
 
@@ -184,7 +188,10 @@ impl Netlist {
             "import requires one connection per sub-circuit input"
         );
         for lit in connections {
-            assert!(lit.wire.index() < self.drivers.len(), "import reads undefined wire");
+            assert!(
+                lit.wire.index() < self.drivers.len(),
+                "import reads undefined wire"
+            );
         }
         // Map from sub-circuit wire index to a literal in `self`.
         let mut map: Vec<Literal> = Vec::with_capacity(sub.drivers.len());

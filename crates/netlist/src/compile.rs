@@ -1,0 +1,680 @@
+//! Compiled netlist engine: levelized schedule, flattened literal arena,
+//! and multi-word batch evaluation.
+//!
+//! [`Netlist::eval`] and [`Netlist::eval_block`] walk the builder's data
+//! structures directly: every gate dereferences a `Vec<Literal>` of its own,
+//! and every wire dispatches through the driver table. That is fine for
+//! one vector, but Monte Carlo verification and load-ratio sweeps push
+//! millions of vectors through the same circuit, so this module compiles a
+//! netlist **once** into a form built for throughput:
+//!
+//! * the gate list is **levelized** using the existing depth machinery
+//!   ([`Netlist::depth_report`]): gates are re-ordered level by level, so the
+//!   schedule makes the circuit's parallel structure explicit and each
+//!   level's gates may be evaluated in any order (or concurrently),
+//! * every gate's fan-in literals are flattened into **one contiguous
+//!   arena** (`lits`), indexed by a prefix-offset table — no per-gate `Vec`,
+//!   no pointer chasing, and
+//! * evaluation is **bit-parallel over arbitrarily many vectors**: a
+//!   [`BitMatrix`] carries `vectors` test patterns as ⌈vectors/64⌉ machine
+//!   words per signal, and [`CompiledNetlist::eval_matrix`] sweeps the
+//!   compiled schedule once per word, optionally fanning word-chunks out to
+//!   scoped threads (each with a private scratch buffer).
+//!
+//! Literal semantics are shared with the interpreters through
+//! [`Literal::apply`] / [`Literal::apply_word`], so all three paths agree by
+//! construction; the equivalence is additionally enforced by truth-table and
+//! property tests.
+
+use crate::builder::Netlist;
+use crate::gate::GateKind;
+use crate::wire::{Literal, Wire};
+
+/// Compiled gate opcode. [`GateKind::Const`] splits into two opcodes so the
+/// hot loop never touches a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    And,
+    Or,
+    Xor,
+    Buf,
+    ConstTrue,
+    ConstFalse,
+}
+
+/// A literal packed into one word: wire index in the high bits, inversion
+/// flag in bit 0.
+type PackedLit = u32;
+
+#[inline]
+fn pack(lit: Literal) -> PackedLit {
+    let w = lit.wire.index() as u32;
+    assert!(w < (1 << 31), "netlist exceeds 2^31 wires");
+    (w << 1) | lit.inverted as u32
+}
+
+#[inline]
+fn unpack(packed: PackedLit) -> Literal {
+    Literal {
+        wire: Wire(packed >> 1),
+        inverted: packed & 1 == 1,
+    }
+}
+
+/// A netlist compiled for batch evaluation.
+///
+/// Construction is `O(wires + literals)` after one depth pass; the compiled
+/// form is immutable and holds no reference to the source [`Netlist`], so it
+/// can be cached and shared across verification, simulation, and search.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    /// Total wire count (scratch buffer size).
+    wire_count: usize,
+    /// Wire index of each primary input, in input-ordinal order.
+    input_wires: Vec<u32>,
+    /// Opcode per scheduled gate, in levelized order.
+    ops: Vec<Op>,
+    /// Output wire index per scheduled gate.
+    outs: Vec<u32>,
+    /// Prefix offsets into `lits`: gate `g` reads `lits[bounds[g]..bounds[g+1]]`.
+    lit_bounds: Vec<u32>,
+    /// Flattened fan-in literal arena.
+    lits: Vec<PackedLit>,
+    /// Level boundaries over the scheduled gate list: level `l` is the gate
+    /// range `levels[l]..levels[l+1]`. Within a level no gate reads another's
+    /// output, so a level is a parallel-safe unit of work.
+    levels: Vec<u32>,
+    /// Packed primary-output literals, in marking order.
+    outputs: Vec<PackedLit>,
+}
+
+impl Netlist {
+    /// Compile this netlist for batch evaluation.
+    pub fn compile(&self) -> CompiledNetlist {
+        CompiledNetlist::new(self)
+    }
+}
+
+impl CompiledNetlist {
+    /// Compile `nl`: levelize via the depth report, then flatten.
+    pub fn new(nl: &Netlist) -> Self {
+        let depth = nl.depth_report();
+        // Stable sort by output-wire depth keeps builder order within a
+        // level, so compilation is deterministic.
+        let mut order: Vec<u32> = (0..nl.gates.len() as u32).collect();
+        order.sort_by_key(|&g| depth.wire_depth[nl.gates[g as usize].output.index()]);
+
+        let lit_total: usize = nl.gates.iter().map(|g| g.inputs.len()).sum();
+        let mut ops = Vec::with_capacity(order.len());
+        let mut outs = Vec::with_capacity(order.len());
+        let mut lit_bounds = Vec::with_capacity(order.len() + 1);
+        let mut lits = Vec::with_capacity(lit_total);
+        let mut levels = vec![0u32];
+        lit_bounds.push(0u32);
+
+        let mut current_depth = None;
+        for (slot, &g) in order.iter().enumerate() {
+            let gate = &nl.gates[g as usize];
+            let d = depth.wire_depth[gate.output.index()];
+            match current_depth {
+                Some(prev) if prev == d => {}
+                Some(_) => levels.push(slot as u32),
+                None => {}
+            }
+            current_depth = Some(d);
+            ops.push(match gate.kind {
+                GateKind::And => Op::And,
+                GateKind::Or => Op::Or,
+                GateKind::Xor => Op::Xor,
+                GateKind::Buf => Op::Buf,
+                GateKind::Const(true) => Op::ConstTrue,
+                GateKind::Const(false) => Op::ConstFalse,
+            });
+            outs.push(gate.output.index() as u32);
+            for &lit in &gate.inputs {
+                lits.push(pack(lit));
+            }
+            lit_bounds.push(lits.len() as u32);
+        }
+        levels.push(order.len() as u32);
+
+        CompiledNetlist {
+            wire_count: nl.wire_count(),
+            input_wires: nl.inputs().iter().map(|w| w.index() as u32).collect(),
+            ops,
+            outs,
+            lit_bounds,
+            lits,
+            levels,
+            outputs: nl.outputs().iter().map(|&l| pack(l)).collect(),
+        }
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.input_wires.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of scheduled gates.
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of wires (scratch words per 64-vector word).
+    #[inline]
+    pub fn wire_count(&self) -> usize {
+        self.wire_count
+    }
+
+    /// Number of levels in the schedule.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Total fan-in literals in the arena.
+    #[inline]
+    pub fn literal_count(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// A fresh scratch buffer sized for this circuit.
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch {
+            wires: vec![0u64; self.wire_count],
+        }
+    }
+
+    /// One levelized sweep over 64 lanes. Input wires must already be
+    /// written into `wires`; all gate-output wires are overwritten.
+    #[inline]
+    fn sweep(&self, wires: &mut [u64]) {
+        for level in self.levels.windows(2) {
+            for g in level[0] as usize..level[1] as usize {
+                let span = &self.lits[self.lit_bounds[g] as usize..self.lit_bounds[g + 1] as usize];
+                let fetch = |&packed: &PackedLit| -> u64 {
+                    let lit = unpack(packed);
+                    lit.apply_word(wires[lit.wire.index()])
+                };
+                let v = match self.ops[g] {
+                    Op::And => span.iter().map(fetch).fold(!0u64, |a, b| a & b),
+                    Op::Or => span.iter().map(fetch).fold(0u64, |a, b| a | b),
+                    Op::Xor => span.iter().map(fetch).fold(0u64, |a, b| a ^ b),
+                    Op::Buf => fetch(&span[0]),
+                    Op::ConstTrue => !0u64,
+                    Op::ConstFalse => 0u64,
+                };
+                wires[self.outs[g] as usize] = v;
+            }
+        }
+    }
+
+    /// Evaluate 64 vectors: bit `j` of `inputs[i]` is primary input `i` in
+    /// vector `j`. Compiled counterpart of [`Netlist::eval_block`], writing
+    /// one word per output into `out`.
+    pub fn eval_word_into(&self, inputs: &[u64], scratch: &mut EvalScratch, out: &mut [u64]) {
+        assert_eq!(
+            inputs.len(),
+            self.input_wires.len(),
+            "wrong number of input blocks"
+        );
+        assert_eq!(
+            out.len(),
+            self.outputs.len(),
+            "wrong number of output blocks"
+        );
+        assert_eq!(
+            scratch.wires.len(),
+            self.wire_count,
+            "scratch sized for another circuit"
+        );
+        let wires = &mut scratch.wires[..];
+        for (ord, &w) in self.input_wires.iter().enumerate() {
+            wires[w as usize] = inputs[ord];
+        }
+        self.sweep(wires);
+        for (o, &packed) in self.outputs.iter().enumerate() {
+            let lit = unpack(packed);
+            out[o] = lit.apply_word(wires[lit.wire.index()]);
+        }
+    }
+
+    /// Allocating convenience over [`CompiledNetlist::eval_word_into`].
+    pub fn eval_word(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut scratch = self.scratch();
+        let mut out = vec![0u64; self.outputs.len()];
+        self.eval_word_into(inputs, &mut scratch, &mut out);
+        out
+    }
+
+    /// Evaluate every vector of `inputs` (one row per primary input).
+    ///
+    /// Unused lanes in the final word of every output row are zeroed, so
+    /// row popcounts are exact over the matrix's `vectors` columns.
+    pub fn eval_matrix(&self, inputs: &BitMatrix) -> BitMatrix {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.eval_matrix_threads(inputs, threads)
+    }
+
+    /// [`CompiledNetlist::eval_matrix`] with an explicit worker count.
+    ///
+    /// Word-chunks of the matrix fan out to `threads` scoped threads, each
+    /// with a private scratch buffer; with one thread (or few words) the
+    /// sweep runs inline. Results are identical either way.
+    pub fn eval_matrix_threads(&self, inputs: &BitMatrix, threads: usize) -> BitMatrix {
+        assert_eq!(
+            inputs.rows(),
+            self.input_wires.len(),
+            "wrong number of input rows"
+        );
+        let words = inputs.words_per_row();
+        let mut out = BitMatrix::zeroed(self.outputs.len(), inputs.vectors());
+        let threads = threads.clamp(1, words.max(1));
+        if threads <= 1 || words < 2 {
+            let mut scratch = self.scratch();
+            let mut word_out = vec![0u64; self.outputs.len()];
+            let mut word_in = vec![0u64; self.input_wires.len()];
+            for w in 0..words {
+                for (ord, slot) in word_in.iter_mut().enumerate() {
+                    *slot = inputs.word(ord, w);
+                }
+                self.eval_word_into(&word_in, &mut scratch, &mut word_out);
+                for (o, &v) in word_out.iter().enumerate() {
+                    *out.word_mut(o, w) = v;
+                }
+            }
+        } else {
+            // Chunk the word range; each worker owns disjoint columns and a
+            // private scratch, and returns its output slab for stitching.
+            let chunk = words.div_ceil(threads);
+            let slabs = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(words);
+                    if lo >= hi {
+                        break;
+                    }
+                    let inputs = &inputs;
+                    handles.push((
+                        lo,
+                        hi,
+                        scope.spawn(move || {
+                            let mut scratch = self.scratch();
+                            let mut word_in = vec![0u64; self.input_wires.len()];
+                            let mut slab = vec![0u64; self.outputs.len() * (hi - lo)];
+                            let mut word_out = vec![0u64; self.outputs.len()];
+                            for w in lo..hi {
+                                for (ord, slot) in word_in.iter_mut().enumerate() {
+                                    *slot = inputs.word(ord, w);
+                                }
+                                self.eval_word_into(&word_in, &mut scratch, &mut word_out);
+                                for (o, &v) in word_out.iter().enumerate() {
+                                    slab[o * (hi - lo) + (w - lo)] = v;
+                                }
+                            }
+                            slab
+                        }),
+                    ));
+                }
+                handles
+                    .into_iter()
+                    .map(|(lo, hi, h)| (lo, hi, h.join().expect("eval worker panicked")))
+                    .collect::<Vec<_>>()
+            });
+            for (lo, hi, slab) in slabs {
+                for o in 0..self.outputs.len() {
+                    for w in lo..hi {
+                        *out.word_mut(o, w) = slab[o * (hi - lo) + (w - lo)];
+                    }
+                }
+            }
+        }
+        out.mask_tail();
+        out
+    }
+}
+
+/// Reusable per-evaluation scratch: one 64-lane word per wire.
+///
+/// Allocated once via [`CompiledNetlist::scratch`] and reused across calls
+/// (e.g. across clock cycles of a frame simulation) to keep the hot loop
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    wires: Vec<u64>,
+}
+
+/// A rows × vectors bit matrix: `rows` signals, each carrying `vectors`
+/// independent boolean test patterns packed 64 per machine word.
+///
+/// Row-major storage: row `r` occupies `words_per_row` consecutive words,
+/// vector `j` living in word `j / 64` bit `j % 64`. Inputs to
+/// [`CompiledNetlist::eval_matrix`] use one row per primary input; outputs
+/// come back with one row per primary output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    vectors: usize,
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-zero matrix carrying `vectors` patterns over `rows` signals.
+    pub fn zeroed(rows: usize, vectors: usize) -> Self {
+        let words = vectors.div_ceil(crate::eval::WORD_BITS);
+        BitMatrix {
+            rows,
+            vectors,
+            words,
+            data: vec![0u64; rows * words],
+        }
+    }
+
+    /// Build from a per-bit function: `f(row, vector)`.
+    pub fn from_fn(rows: usize, vectors: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = BitMatrix::zeroed(rows, vectors);
+        for r in 0..rows {
+            for v in 0..vectors {
+                if f(r, v) {
+                    m.set(r, v, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of signal rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of test vectors (columns).
+    #[inline]
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Words per row (`⌈vectors/64⌉`).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// Bit of `row` in test vector `vector`.
+    #[inline]
+    pub fn get(&self, row: usize, vector: usize) -> bool {
+        assert!(
+            row < self.rows && vector < self.vectors,
+            "bit matrix index out of range"
+        );
+        let w = self.data[row * self.words + vector / 64];
+        (w >> (vector % 64)) & 1 == 1
+    }
+
+    /// Set the bit of `row` in test vector `vector`.
+    #[inline]
+    pub fn set(&mut self, row: usize, vector: usize, value: bool) {
+        assert!(
+            row < self.rows && vector < self.vectors,
+            "bit matrix index out of range"
+        );
+        let slot = &mut self.data[row * self.words + vector / 64];
+        let mask = 1u64 << (vector % 64);
+        if value {
+            *slot |= mask;
+        } else {
+            *slot &= !mask;
+        }
+    }
+
+    /// The `w`-th 64-lane word of `row`.
+    #[inline]
+    pub fn word(&self, row: usize, w: usize) -> u64 {
+        self.data[row * self.words + w]
+    }
+
+    /// Mutable access to the `w`-th 64-lane word of `row`.
+    #[inline]
+    pub fn word_mut(&mut self, row: usize, w: usize) -> &mut u64 {
+        &mut self.data[row * self.words + w]
+    }
+
+    /// The words of one row.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        &self.data[row * self.words..(row + 1) * self.words]
+    }
+
+    /// Extract test vector `vector` as one bit per row.
+    pub fn column(&self, vector: usize) -> Vec<bool> {
+        (0..self.rows).map(|r| self.get(r, vector)).collect()
+    }
+
+    /// Count set bits in `row` across all vectors.
+    pub fn row_popcount(&self, row: usize) -> usize {
+        self.row_words(row)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Zero the lanes past `vectors` in the final word of every row, so
+    /// popcounts never see garbage from inverted or constant signals.
+    pub(crate) fn mask_tail(&mut self) {
+        let used = self.vectors % 64;
+        if used == 0 || self.words == 0 {
+            return;
+        }
+        let mask = (1u64 << used) - 1;
+        for r in 0..self.rows {
+            self.data[r * self.words + self.words - 1] &= mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let ab = nl.and([a, b]);
+        let bc = nl.and([b, c]);
+        let ac = nl.and([a, c]);
+        let out = nl.or([ab, bc, ac]);
+        nl.mark_output(out);
+        nl
+    }
+
+    /// A circuit hitting every opcode, inverted fan-ins, and an inverted
+    /// output literal.
+    fn kitchen_sink() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let d = nl.input();
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        let x1 = nl.xor([Literal::pos(a), Literal::neg(b), t]);
+        let x2 = nl.and([x1, Literal::pos(c), f.complement()]);
+        let x3 = nl.or([x2, Literal::neg(d), x1.complement()]);
+        let x4 = nl.buf(x3);
+        nl.mark_output(x4);
+        nl.mark_output(x3.complement());
+        nl.mark_output(f);
+        nl
+    }
+
+    fn assert_full_truth_table(nl: &Netlist) {
+        let n = nl.input_count();
+        assert!(n <= 16, "truth-table check limited to 16 inputs");
+        let compiled = nl.compile();
+        let vectors = 1usize << n;
+        let m = BitMatrix::from_fn(n, vectors, |row, vector| (vector >> row) & 1 == 1);
+        let out = compiled.eval_matrix(&m);
+        for vector in 0..vectors {
+            let bits: Vec<bool> = (0..n).map(|i| (vector >> i) & 1 == 1).collect();
+            let expected = nl.eval(&bits);
+            assert_eq!(out.column(vector), expected, "vector {vector}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_eval_on_majority_truth_table() {
+        assert_full_truth_table(&majority3());
+    }
+
+    #[test]
+    fn compiled_matches_eval_on_kitchen_sink_truth_table() {
+        assert_full_truth_table(&kitchen_sink());
+    }
+
+    #[test]
+    fn eval_word_matches_eval_block() {
+        let nl = kitchen_sink();
+        let compiled = nl.compile();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..10 {
+            let blocks: Vec<u64> = (0..nl.input_count())
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    state
+                })
+                .collect();
+            assert_eq!(compiled.eval_word(&blocks), nl.eval_block(&blocks));
+        }
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let nl = kitchen_sink();
+        let compiled = nl.compile();
+        assert!(compiled.level_count() >= 3);
+        // Every gate's fan-in wires must be written by an earlier level or
+        // be primary inputs.
+        let mut written_level = vec![0usize; compiled.wire_count()];
+        for (l, level) in compiled.levels.windows(2).enumerate() {
+            for g in level[0] as usize..level[1] as usize {
+                written_level[compiled.outs[g] as usize] = l + 1;
+            }
+        }
+        for (l, level) in compiled.levels.windows(2).enumerate() {
+            for g in level[0] as usize..level[1] as usize {
+                let span = &compiled.lits
+                    [compiled.lit_bounds[g] as usize..compiled.lit_bounds[g + 1] as usize];
+                for &p in span {
+                    let src = unpack(p).wire.index();
+                    assert!(
+                        written_level[src] <= l,
+                        "gate at level {} reads wire written at level {}",
+                        l + 1,
+                        written_level[src]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matrix_handles_ragged_vector_counts() {
+        let nl = kitchen_sink();
+        let compiled = nl.compile();
+        for vectors in [1usize, 63, 64, 65, 127, 130, 257] {
+            let m = BitMatrix::from_fn(nl.input_count(), vectors, |row, v| {
+                (v.wrapping_mul(2654435761) >> row) & 1 == 1
+            });
+            let out = compiled.eval_matrix(&m);
+            assert_eq!(out.vectors(), vectors);
+            for v in 0..vectors {
+                assert_eq!(out.column(v), nl.eval(&m.column(v)), "vector {v}");
+            }
+            // Tail lanes must be masked: popcounts bounded by vectors.
+            for o in 0..out.rows() {
+                assert!(out.row_popcount(o) <= vectors);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matrix_threads_matches_inline() {
+        let nl = majority3();
+        let compiled = nl.compile();
+        let m = BitMatrix::from_fn(3, 1000, |row, v| (v >> row) & 1 == 1);
+        let inline = compiled.eval_matrix_threads(&m, 1);
+        for threads in [2usize, 3, 7, 16] {
+            assert_eq!(compiled.eval_matrix_threads(&m, threads), inline);
+        }
+    }
+
+    #[test]
+    fn const_only_netlist_evaluates() {
+        let mut nl = Netlist::new();
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        nl.mark_output(t);
+        nl.mark_output(f.complement());
+        let compiled = nl.compile();
+        let out = compiled.eval_matrix(&BitMatrix::zeroed(0, 70));
+        assert_eq!(out.row_popcount(0), 70);
+        assert_eq!(out.row_popcount(1), 70);
+    }
+
+    #[test]
+    fn empty_netlist_compiles() {
+        let compiled = Netlist::new().compile();
+        assert_eq!(compiled.gate_count(), 0);
+        assert_eq!(compiled.level_count(), 1);
+        let out = compiled.eval_matrix(&BitMatrix::zeroed(0, 0));
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let nl = kitchen_sink();
+        let compiled = nl.compile();
+        let mut scratch = compiled.scratch();
+        let mut out1 = vec![0u64; compiled.output_count()];
+        let mut out2 = vec![0u64; compiled.output_count()];
+        let inputs = vec![0xAAAA_AAAA_AAAA_AAAAu64; compiled.input_count()];
+        compiled.eval_word_into(&inputs, &mut scratch, &mut out1);
+        compiled.eval_word_into(&inputs, &mut scratch, &mut out2);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn bit_matrix_set_get_round_trip() {
+        let mut m = BitMatrix::zeroed(2, 130);
+        m.set(0, 0, true);
+        m.set(0, 129, true);
+        m.set(1, 64, true);
+        assert!(m.get(0, 0) && m.get(0, 129) && m.get(1, 64));
+        assert!(!m.get(0, 1) && !m.get(1, 0));
+        assert_eq!(m.row_popcount(0), 2);
+        m.set(0, 129, false);
+        assert_eq!(m.row_popcount(0), 1);
+        assert_eq!(m.words_per_row(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_matrix_get_bounds_checked() {
+        BitMatrix::zeroed(1, 64).get(0, 64);
+    }
+}

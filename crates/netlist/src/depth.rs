@@ -41,10 +41,17 @@ impl Netlist {
                 }
             }
         }
-        let output_depth: Vec<u32> =
-            self.outputs.iter().map(|l| wire_depth[l.wire.index()]).collect();
+        let output_depth: Vec<u32> = self
+            .outputs
+            .iter()
+            .map(|l| wire_depth[l.wire.index()])
+            .collect();
         let critical_path = output_depth.iter().copied().max().unwrap_or(0);
-        DepthReport { wire_depth, output_depth, critical_path }
+        DepthReport {
+            wire_depth,
+            output_depth,
+            critical_path,
+        }
     }
 
     /// Convenience: the critical-path gate-delay count.

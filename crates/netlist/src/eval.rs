@@ -17,10 +17,17 @@ impl Netlist {
     /// `inputs[i]` is the value of the `i`-th primary input; the result
     /// holds one value per marked output, in marking order.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.inputs.len(), "wrong number of input values");
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "wrong number of input values"
+        );
         let mut values = vec![false; self.drivers.len()];
         self.eval_into(inputs, &mut values);
-        self.outputs.iter().map(|l| l.apply(values[l.wire.index()])).collect()
+        self.outputs
+            .iter()
+            .map(|l| l.apply(values[l.wire.index()]))
+            .collect()
     }
 
     /// Evaluate and expose every wire value (for waveform inspection).
@@ -29,8 +36,16 @@ impl Netlist {
     /// overwritten. Reusing the buffer avoids per-call allocation in
     /// clocked simulation loops.
     pub fn eval_into(&self, inputs: &[bool], values: &mut [bool]) {
-        assert_eq!(inputs.len(), self.inputs.len(), "wrong number of input values");
-        assert_eq!(values.len(), self.drivers.len(), "wire buffer has wrong length");
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "wrong number of input values"
+        );
+        assert_eq!(
+            values.len(),
+            self.drivers.len(),
+            "wire buffer has wrong length"
+        );
         let mut gate_cursor = 0usize;
         for (idx, driver) in self.drivers.iter().enumerate() {
             match driver {
@@ -54,7 +69,11 @@ impl Netlist {
     /// path for Monte Carlo load-ratio verification, where millions of
     /// valid-bit patterns are pushed through a switch netlist.
     pub fn eval_block(&self, inputs: &[BitBlock]) -> Vec<BitBlock> {
-        assert_eq!(inputs.len(), self.inputs.len(), "wrong number of input blocks");
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "wrong number of input blocks"
+        );
         let mut values = vec![0u64; self.drivers.len()];
         let mut gate_cursor = 0usize;
         for (idx, driver) in self.drivers.iter().enumerate() {
@@ -63,14 +82,7 @@ impl Netlist {
                 Driver::Gate(_) => {
                     let gate = &self.gates[gate_cursor];
                     gate_cursor += 1;
-                    let lit = |l: &crate::Literal| -> u64 {
-                        let v = values[l.wire.index()];
-                        if l.inverted {
-                            !v
-                        } else {
-                            v
-                        }
-                    };
+                    let lit = |l: &crate::Literal| -> u64 { l.apply_word(values[l.wire.index()]) };
                     values[idx] = match gate.kind {
                         GateKind::And => gate.inputs.iter().map(lit).fold(!0u64, |a, b| a & b),
                         GateKind::Or => gate.inputs.iter().map(lit).fold(0u64, |a, b| a | b),
@@ -89,14 +101,7 @@ impl Netlist {
         }
         self.outputs
             .iter()
-            .map(|l| {
-                let v = values[l.wire.index()];
-                if l.inverted {
-                    !v
-                } else {
-                    v
-                }
-            })
+            .map(|l| l.apply_word(values[l.wire.index()]))
             .collect()
     }
 }

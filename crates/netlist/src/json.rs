@@ -1,0 +1,291 @@
+//! JSON serialization of netlists.
+//!
+//! An explicit, versionable schema rather than a derived one: wires are
+//! implied by the `inputs` list and gate `output` ids, so a document is
+//! exactly the information needed to rebuild the netlist, and every
+//! structural invariant (single driver per wire, topological gate order)
+//! is revalidated on load.
+//!
+//! ```text
+//! {
+//!   "inputs":  [0, 1],                      // wire ids of primary inputs
+//!   "gates":   [{"kind": "and",             // and|or|xor|buf|const
+//!                "value": true,             // const gates only
+//!                "inputs": [[0, false], [1, true]],   // [wire, inverted]
+//!                "output": 2}],
+//!   "outputs": [[2, false]]                 // [wire, inverted]
+//! }
+//! ```
+
+use serde_json::{object, ToJson, Value};
+
+use crate::builder::{Driver, Netlist};
+use crate::gate::{Gate, GateKind};
+use crate::wire::{Literal, Wire};
+
+/// A malformed or invariant-violating document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "netlist json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err(msg: impl Into<String>) -> JsonError {
+    JsonError(msg.into())
+}
+
+fn literal_to_json(lit: Literal) -> Value {
+    Value::Array(vec![
+        Value::Number(lit.wire.index() as f64),
+        Value::Bool(lit.inverted),
+    ])
+}
+
+fn literal_from_json(value: &Value) -> Result<Literal, JsonError> {
+    let pair = value
+        .as_array()
+        .ok_or_else(|| err("literal must be [wire, inverted]"))?;
+    if pair.len() != 2 {
+        return Err(err("literal must be [wire, inverted]"));
+    }
+    let wire = pair[0]
+        .as_u64()
+        .ok_or_else(|| err("literal wire must be an id"))?;
+    let wire = u32::try_from(wire).map_err(|_| err("literal wire id out of range"))?;
+    match pair[1] {
+        Value::Bool(inverted) => Ok(Literal {
+            wire: Wire(wire),
+            inverted,
+        }),
+        _ => Err(err("literal inversion must be a bool")),
+    }
+}
+
+fn kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::And => "and",
+        GateKind::Or => "or",
+        GateKind::Xor => "xor",
+        GateKind::Buf => "buf",
+        GateKind::Const(_) => "const",
+    }
+}
+
+impl ToJson for Netlist {
+    fn to_json(&self) -> Value {
+        let inputs: Vec<Value> = self
+            .inputs
+            .iter()
+            .map(|w| Value::Number(w.index() as f64))
+            .collect();
+        let gates: Vec<Value> = self
+            .gates
+            .iter()
+            .map(|gate| {
+                let mut fields = vec![
+                    ("kind", Value::String(kind_name(gate.kind).to_string())),
+                    (
+                        "inputs",
+                        Value::Array(gate.inputs.iter().map(|&l| literal_to_json(l)).collect()),
+                    ),
+                    ("output", Value::Number(gate.output.index() as f64)),
+                ];
+                if let GateKind::Const(v) = gate.kind {
+                    fields.push(("value", Value::Bool(v)));
+                }
+                object(fields)
+            })
+            .collect();
+        let outputs: Vec<Value> = self.outputs.iter().map(|&l| literal_to_json(l)).collect();
+        object([
+            ("inputs", Value::Array(inputs)),
+            ("gates", Value::Array(gates)),
+            ("outputs", Value::Array(outputs)),
+        ])
+    }
+}
+
+/// Serialize a netlist to a compact JSON string.
+pub fn to_string(netlist: &Netlist) -> String {
+    netlist.to_json().to_compact()
+}
+
+/// Rebuild a netlist from a parsed JSON document, revalidating every
+/// builder invariant.
+pub fn from_value(value: &Value) -> Result<Netlist, JsonError> {
+    let input_ids = value
+        .get("inputs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing `inputs` array"))?;
+    let gate_docs = value
+        .get("gates")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing `gates` array"))?;
+    let output_docs = value
+        .get("outputs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing `outputs` array"))?;
+
+    let wire_count = input_ids.len() + gate_docs.len();
+    // Reconstruct the driver table: every wire id must be claimed exactly
+    // once, by an input or by a gate output.
+    let mut drivers: Vec<Option<Driver>> = vec![None; wire_count];
+    let mut inputs = Vec::with_capacity(input_ids.len());
+    for (ordinal, id) in input_ids.iter().enumerate() {
+        let id = id
+            .as_u64()
+            .ok_or_else(|| err("input wire id must be a number"))? as usize;
+        let slot = drivers
+            .get_mut(id)
+            .ok_or_else(|| err("input wire id out of range"))?;
+        if slot.is_some() {
+            return Err(err(format!("wire {id} driven twice")));
+        }
+        *slot = Some(Driver::Input(ordinal as u32));
+        inputs.push(Wire(id as u32));
+    }
+
+    let mut gates = Vec::with_capacity(gate_docs.len());
+    for (gate_idx, doc) in gate_docs.iter().enumerate() {
+        let kind = match doc.get("kind").and_then(Value::as_str) {
+            Some("and") => GateKind::And,
+            Some("or") => GateKind::Or,
+            Some("xor") => GateKind::Xor,
+            Some("buf") => GateKind::Buf,
+            Some("const") => match doc.get("value") {
+                Some(Value::Bool(v)) => GateKind::Const(*v),
+                _ => return Err(err("const gate requires a bool `value`")),
+            },
+            other => return Err(err(format!("unknown gate kind {other:?}"))),
+        };
+        let output = doc
+            .get("output")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("gate output must be a wire id"))? as usize;
+        let slot = drivers
+            .get_mut(output)
+            .ok_or_else(|| err("gate output wire out of range"))?;
+        if slot.is_some() {
+            return Err(err(format!("wire {output} driven twice")));
+        }
+        *slot = Some(Driver::Gate(gate_idx as u32));
+        let lit_docs = doc
+            .get("inputs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("gate requires an `inputs` array"))?;
+        let mut lits = Vec::with_capacity(lit_docs.len());
+        for lit in lit_docs {
+            let lit = literal_from_json(lit)?;
+            // Builder invariant: a gate only reads wires created before
+            // its output, which keeps the gate list topological.
+            if lit.wire.index() >= output {
+                return Err(err(format!(
+                    "gate {gate_idx} reads wire {} at or after its output {output}",
+                    lit.wire.index()
+                )));
+            }
+            lits.push(lit);
+        }
+        if matches!(kind, GateKind::Buf) && lits.len() != 1 {
+            return Err(err("buf gate requires exactly one input"));
+        }
+        if matches!(kind, GateKind::Const(_)) && !lits.is_empty() {
+            return Err(err("const gate takes no inputs"));
+        }
+        gates.push(Gate {
+            kind,
+            inputs: lits,
+            output: Wire(output as u32),
+        });
+    }
+
+    let drivers: Vec<Driver> = drivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, d)| d.ok_or_else(|| err(format!("wire {id} has no driver"))))
+        .collect::<Result<_, _>>()?;
+
+    let mut outputs = Vec::with_capacity(output_docs.len());
+    for doc in output_docs {
+        let lit = literal_from_json(doc)?;
+        if lit.wire.index() >= wire_count {
+            return Err(err("output literal references undefined wire"));
+        }
+        outputs.push(lit);
+    }
+
+    Ok(Netlist {
+        drivers,
+        gates,
+        inputs,
+        outputs,
+    })
+}
+
+/// Parse a netlist from a JSON string.
+pub fn from_str(text: &str) -> Result<Netlist, JsonError> {
+    let value = serde_json::from_str(text).map_err(|e| err(e.to_string()))?;
+    from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let t = nl.constant(true);
+        let g = nl.and([Literal::pos(a), Literal::neg(b), t]);
+        let h = nl.or([g, Literal::pos(a)]);
+        nl.mark_output(h.complement());
+        nl.mark_output(g);
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        let nl = sample();
+        let text = to_string(&nl);
+        let back = from_str(&text).expect("round trip");
+        assert_eq!(back.gate_count(), nl.gate_count());
+        assert_eq!(back.input_count(), nl.input_count());
+        assert_eq!(back.output_count(), nl.output_count());
+        for bits in 0u8..4 {
+            let input = [(bits & 1) != 0, (bits & 2) != 0];
+            assert_eq!(back.eval(&input), nl.eval(&input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_double_driven_wires() {
+        let text = r#"{"inputs": [0, 0], "gates": [], "outputs": []}"#;
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn rejects_forward_references() {
+        // Gate at wire 1 reading wire 2 (not yet created) must fail.
+        let text = r#"{
+            "inputs": [0],
+            "gates": [
+                {"kind": "and", "inputs": [[2, false]], "output": 1},
+                {"kind": "buf", "inputs": [[0, false]], "output": 2}
+            ],
+            "outputs": [[1, false]]
+        }"#;
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_driver() {
+        let text = r#"{"inputs": [1], "gates": [], "outputs": []}"#;
+        assert!(from_str(text).is_err());
+    }
+}

@@ -35,15 +35,18 @@
 //! ```
 
 mod builder;
+mod compile;
 mod depth;
 mod eval;
 mod fold;
 mod gate;
+pub mod json;
 mod stats;
 mod verilog;
 mod wire;
 
 pub use builder::Netlist;
+pub use compile::{BitMatrix, CompiledNetlist, EvalScratch};
 pub use depth::DepthReport;
 pub use eval::{BitBlock, WORD_BITS};
 pub use gate::{Gate, GateKind};

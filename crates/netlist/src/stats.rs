@@ -40,7 +40,12 @@ impl Netlist {
             literals += gate.fan_in();
             max_fan_in = max_fan_in.max(gate.fan_in());
         }
-        AreaReport { gates, literals, max_fan_in, area_units: gates + literals }
+        AreaReport {
+            gates,
+            literals,
+            max_fan_in,
+            area_units: gates + literals,
+        }
     }
 }
 

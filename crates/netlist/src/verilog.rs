@@ -20,14 +20,20 @@ impl Netlist {
     /// every gate is one continuous assignment.
     pub fn to_verilog(&self, module_name: &str) -> String {
         assert!(
-            module_name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                && module_name.chars().next().is_some_and(|c| c.is_ascii_alphabetic()),
+            module_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && module_name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic()),
             "invalid Verilog module name `{module_name}`"
         );
         let mut out = String::new();
         let ins: Vec<String> = (0..self.input_count()).map(|k| format!("in_{k}")).collect();
-        let outs: Vec<String> =
-            (0..self.output_count()).map(|k| format!("out_{k}")).collect();
+        let outs: Vec<String> = (0..self.output_count())
+            .map(|k| format!("out_{k}"))
+            .collect();
         writeln!(out, "module {module_name} (").unwrap();
         for name in &ins {
             writeln!(out, "    input  wire {name},").unwrap();
@@ -113,7 +119,9 @@ mod tests {
         let mut outputs: Vec<(usize, bool)> = Vec::new();
         for line in verilog.lines() {
             let line = line.trim();
-            let Some(rest) = line.strip_prefix("assign ") else { continue };
+            let Some(rest) = line.strip_prefix("assign ") else {
+                continue;
+            };
             let (lhs, rhs) = rest.split_once('=').expect("assign form");
             let lhs = lhs.trim();
             let rhs = rhs.trim().trim_end_matches(';');
@@ -126,7 +134,11 @@ mod tests {
             } else {
                 ('|', false) // single term; neutral unused
             };
-            let mut value = if rhs.contains(['&', '|', '^']) { neutral } else { false };
+            let mut value = if rhs.contains(['&', '|', '^']) {
+                neutral
+            } else {
+                false
+            };
             let mut single: Option<bool> = None;
             for term in rhs.split(['&', '|', '^']) {
                 let term = term.trim();
@@ -137,7 +149,9 @@ mod tests {
                 let bit = match name {
                     "1'b0" => false,
                     "1'b1" => true,
-                    other => *env.get(other).unwrap_or_else(|| panic!("undefined {other}")),
+                    other => *env
+                        .get(other)
+                        .unwrap_or_else(|| panic!("undefined {other}")),
                 } ^ neg;
                 if rhs.contains(['&', '|', '^']) {
                     value = match op {
@@ -174,7 +188,11 @@ mod tests {
         assert!(verilog.trim_end().ends_with("endmodule"));
         for pattern in 0u8..16 {
             let bits: Vec<bool> = (0..4).map(|i| (pattern >> i) & 1 == 1).collect();
-            assert_eq!(interpret(&verilog, &bits), nl.eval(&bits), "pattern {pattern:#x}");
+            assert_eq!(
+                interpret(&verilog, &bits),
+                nl.eval(&bits),
+                "pattern {pattern:#x}"
+            );
         }
     }
 

@@ -36,25 +36,45 @@ impl Literal {
     /// Positive (true-rail) literal of `wire`.
     #[inline]
     pub fn pos(wire: Wire) -> Self {
-        Literal { wire, inverted: false }
+        Literal {
+            wire,
+            inverted: false,
+        }
     }
 
     /// Negative (complement-rail) literal of `wire`.
     #[inline]
     pub fn neg(wire: Wire) -> Self {
-        Literal { wire, inverted: true }
+        Literal {
+            wire,
+            inverted: true,
+        }
     }
 
     /// The literal reading the opposite rail of the same wire.
     #[inline]
     pub fn complement(self) -> Self {
-        Literal { wire: self.wire, inverted: !self.inverted }
+        Literal {
+            wire: self.wire,
+            inverted: !self.inverted,
+        }
     }
 
     /// Apply this literal to a concrete bit value of its wire.
     #[inline]
     pub fn apply(self, value: bool) -> bool {
         value ^ self.inverted
+    }
+
+    /// Apply this literal to a 64-lane word of its wire's values.
+    ///
+    /// This is the single source of truth for literal semantics in every
+    /// bit-parallel evaluator (block interpreter and compiled engine): an
+    /// inverted literal complements all 64 lanes at once.
+    #[inline]
+    pub fn apply_word(self, word: u64) -> u64 {
+        // Branch-free: a true flag becomes an all-ones mask.
+        word ^ (self.inverted as u64).wrapping_neg()
     }
 }
 
@@ -75,6 +95,22 @@ mod tests {
         assert!(!Literal::pos(w).apply(false));
         assert!(!Literal::neg(w).apply(true));
         assert!(Literal::neg(w).apply(false));
+    }
+
+    #[test]
+    fn apply_word_inverts_all_lanes() {
+        let w = Wire(0);
+        let word = 0xDEAD_BEEF_0123_4567u64;
+        assert_eq!(Literal::pos(w).apply_word(word), word);
+        assert_eq!(Literal::neg(w).apply_word(word), !word);
+        // Lane-by-lane agreement with the scalar form.
+        for lane in [0usize, 1, 31, 63] {
+            let bit = (word >> lane) & 1 == 1;
+            assert_eq!(
+                (Literal::neg(w).apply_word(word) >> lane) & 1 == 1,
+                Literal::neg(w).apply(bit)
+            );
+        }
     }
 
     #[test]

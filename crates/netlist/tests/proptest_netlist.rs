@@ -23,8 +23,11 @@ fn recipe_strategy() -> impl Strategy<Value = GateRecipe> {
 /// and prior gate outputs) is a candidate gate input.
 fn build(n_inputs: usize, recipes: &[GateRecipe]) -> Netlist {
     let mut nl = Netlist::new();
-    let mut wires: Vec<Literal> =
-        nl.inputs_n(n_inputs).into_iter().map(Literal::pos).collect();
+    let mut wires: Vec<Literal> = nl
+        .inputs_n(n_inputs)
+        .into_iter()
+        .map(Literal::pos)
+        .collect();
     let c = nl.constant(true);
     wires.push(c);
     let c = nl.constant(false);
@@ -117,7 +120,42 @@ proptest! {
         prop_assert_eq!(d64, wide);
     }
 
-    /// Serde round trip preserves structure and function.
+    /// The compiled engine agrees with both interpreters — scalar
+    /// [`Netlist::eval`] and 64-lane [`Netlist::eval_block`] — on random
+    /// netlists (which include Const gates and inverted fan-ins) and on
+    /// inverted output literals, across ragged vector counts.
+    #[test]
+    fn compiled_matches_interpreters(
+        n_inputs in 1usize..6,
+        recipes in proptest::collection::vec(recipe_strategy(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut nl = build(n_inputs, &recipes);
+        // Mark an inverted twin of an existing output so output-literal
+        // application is exercised in the compiled path.
+        let twin = nl.outputs()[0].complement();
+        nl.mark_output(twin);
+        let compiled = nl.compile();
+
+        // 64-lane word path vs the block interpreter.
+        let blocks: Vec<u64> = (0..n_inputs)
+            .map(|i| seed.rotate_left(i as u32 * 11).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        prop_assert_eq!(compiled.eval_word(&blocks), nl.eval_block(&blocks));
+
+        // Multi-word matrix path vs the scalar interpreter, with a vector
+        // count that is not a multiple of 64.
+        let vectors = 97usize;
+        let m = netlist::BitMatrix::from_fn(n_inputs, vectors, |row, v| {
+            (seed.rotate_left((row * 13 + v) as u32) & 1) == 1
+        });
+        let out = compiled.eval_matrix(&m);
+        for v in [0usize, 1, 42, 63, 64, 96] {
+            prop_assert_eq!(out.column(v), nl.eval(&m.column(v)));
+        }
+    }
+
+    /// JSON round trip preserves structure and function.
     #[test]
     fn serde_round_trip(
         n_inputs in 1usize..5,
@@ -125,8 +163,8 @@ proptest! {
         pattern in any::<u8>(),
     ) {
         let nl = build(n_inputs, &recipes);
-        let json = serde_json::to_string(&nl).expect("serialize");
-        let back: Netlist = serde_json::from_str(&json).expect("deserialize");
+        let json = netlist::json::to_string(&nl);
+        let back: Netlist = netlist::json::from_str(&json).expect("deserialize");
         let bits: Vec<bool> = (0..n_inputs).map(|i| (pattern >> i) & 1 == 1).collect();
         prop_assert_eq!(back.eval(&bits), nl.eval(&bits));
         prop_assert_eq!(back.gate_count(), nl.gate_count());

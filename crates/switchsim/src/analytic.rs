@@ -62,11 +62,7 @@ pub fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
 /// delivery function `delivered(k)` (how many of `k` offered messages get
 /// paths — use the guarantee for a worst-case model or a measured curve
 /// for a typical-case model).
-pub fn predict_drop<F: Fn(usize) -> usize>(
-    n: usize,
-    p: f64,
-    delivered: F,
-) -> DropModelPrediction {
+pub fn predict_drop<F: Fn(usize) -> usize>(n: usize, p: f64, delivered: F) -> DropModelPrediction {
     let pmf = binomial_pmf(n, p);
     let mut expected_delivered = 0.0;
     for (k, &prob) in pmf.iter().enumerate() {
@@ -76,7 +72,11 @@ pub fn predict_drop<F: Fn(usize) -> usize>(
     DropModelPrediction {
         offered_per_frame: offered,
         delivered_per_frame: expected_delivered,
-        delivery_ratio: if offered == 0.0 { 1.0 } else { expected_delivered / offered },
+        delivery_ratio: if offered == 0.0 {
+            1.0
+        } else {
+            expected_delivered / offered
+        },
     }
 }
 
@@ -120,18 +120,27 @@ pub fn measure_delivery_curve<S: concentrator::spec::ConcentratorSwitch + ?Sized
 mod tests {
     use super::*;
     use crate::traffic::TrafficGenerator;
-    use crate::{CongestionPolicy, ConcentrationStage, TrafficModel};
+    use crate::{ConcentrationStage, CongestionPolicy, TrafficModel};
     use concentrator::spec::ConcentratorSwitch;
     use concentrator::{ColumnsortSwitch, Hyperconcentrator};
 
     #[test]
     fn binomial_pmf_is_a_distribution_with_right_mean() {
-        for (n, p) in [(10usize, 0.3f64), (100, 0.5), (1000, 0.05), (7, 0.0), (7, 1.0)] {
+        for (n, p) in [
+            (10usize, 0.3f64),
+            (100, 0.5),
+            (1000, 0.05),
+            (7, 0.0),
+            (7, 1.0),
+        ] {
             let pmf = binomial_pmf(n, p);
             let total: f64 = pmf.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "n={n}, p={p}: total {total}");
             let mean: f64 = pmf.iter().enumerate().map(|(k, &q)| k as f64 * q).sum();
-            assert!((mean - n as f64 * p).abs() < 1e-6, "n={n}, p={p}: mean {mean}");
+            assert!(
+                (mean - n as f64 * p).abs() < 1e-6,
+                "n={n}, p={p}: mean {mean}"
+            );
         }
     }
 
@@ -174,13 +183,12 @@ mod tests {
         let p = 0.4;
         let prediction = predict_drop(n, p, |k| k.min(m));
 
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p }, n, 1, 0xA11A);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p }, n, 1, 0xA11A);
         let mut stage = ConcentrationStage::new(&switch, CongestionPolicy::Drop);
         let report = stage.run(&mut generator, 3000);
         let simulated = report.stats.delivered as f64 / report.stats.frames as f64;
-        let relative = (simulated - prediction.delivered_per_frame).abs()
-            / prediction.delivered_per_frame;
+        let relative =
+            (simulated - prediction.delivered_per_frame).abs() / prediction.delivered_per_frame;
         assert!(
             relative < 0.05,
             "model {} vs simulation {simulated} ({relative:.3} off)",
@@ -195,13 +203,11 @@ mod tests {
         let p = 0.5;
         let prediction = predict_drop(32, p, |k| curve[k].round() as usize);
 
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p }, 32, 1, 0xB22);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p }, 32, 1, 0xB22);
         let mut stage = ConcentrationStage::new(&switch, CongestionPolicy::Drop);
         let report = stage.run(&mut generator, 4000);
         let simulated = report.stats.delivered as f64 / report.stats.frames as f64;
-        let relative =
-            (simulated - prediction.delivered_per_frame).abs() / simulated;
+        let relative = (simulated - prediction.delivered_per_frame).abs() / simulated;
         assert!(
             relative < 0.05,
             "model {} vs simulation {simulated}",

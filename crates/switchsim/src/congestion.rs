@@ -69,7 +69,10 @@ mod tests {
         assert_eq!(p.queue_capacity(), 3);
         assert_eq!(p.retries_allowed(), usize::MAX);
         // Degenerate capacity still admits the in-flight message.
-        assert_eq!(CongestionPolicy::InputBuffer { capacity: 0 }.queue_capacity(), 1);
+        assert_eq!(
+            CongestionPolicy::InputBuffer { capacity: 0 }.queue_capacity(),
+            1
+        );
     }
 
     #[test]

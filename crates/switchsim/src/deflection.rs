@@ -142,7 +142,8 @@ where
             if deflect_routing.assignment[input].is_some() {
                 let (msg, _, born) = q.pop_front().expect("loser is queued");
                 self.stats.misrouted += 1;
-                self.in_detour.push_back((self.frame + self.detour_frames, msg, born));
+                self.in_detour
+                    .push_back((self.frame + self.detour_frames, msg, born));
             } else {
                 // Lost twice: fall back to the base policy.
                 let head = q.front_mut().expect("loser is queued");
@@ -186,20 +187,21 @@ mod tests {
 
     fn switches() -> (ColumnsortSwitch, ColumnsortSwitch) {
         // Primary: 64 -> 16 ports; detour: 64 -> 8 ports.
-        (ColumnsortSwitch::new(16, 4, 16), ColumnsortSwitch::new(16, 4, 8))
+        (
+            ColumnsortSwitch::new(16, 4, 16),
+            ColumnsortSwitch::new(16, 4, 8),
+        )
     }
 
     #[test]
     fn deflection_beats_plain_drop_under_overload() {
         let (primary, detour) = switches();
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.6 }, 64, 1, 21);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.6 }, 64, 1, 21);
         let mut stage = DeflectionStage::new(&primary, &detour, 3, CongestionPolicy::Drop);
         let with_deflection = stage.run(&mut generator, 300);
 
         // Same traffic through a drop-only single stage.
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.6 }, 64, 1, 21);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.6 }, 64, 1, 21);
         let mut plain = crate::network::ConcentrationStage::new(&primary, CongestionPolicy::Drop);
         let plain_report = plain.run(&mut generator, 300);
 
@@ -215,8 +217,7 @@ mod tests {
     #[test]
     fn detour_deliveries_pay_latency() {
         let (primary, detour) = switches();
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.7 }, 64, 1, 5);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.7 }, 64, 1, 5);
         let detour_frames = 5;
         let mut stage =
             DeflectionStage::new(&primary, &detour, detour_frames, CongestionPolicy::Drop);
@@ -229,9 +230,19 @@ mod tests {
     #[test]
     fn conservation_with_deflection() {
         let (primary, detour) = switches();
-        for fallback in [CongestionPolicy::Drop, CongestionPolicy::AckResend { max_retries: 2 }] {
-            let mut generator =
-                TrafficGenerator::new(TrafficModel::Bursty { p: 0.5, mean_burst: 4.0 }, 64, 1, 9);
+        for fallback in [
+            CongestionPolicy::Drop,
+            CongestionPolicy::AckResend { max_retries: 2 },
+        ] {
+            let mut generator = TrafficGenerator::new(
+                TrafficModel::Bursty {
+                    p: 0.5,
+                    mean_burst: 4.0,
+                },
+                64,
+                1,
+                9,
+            );
             let mut stage = DeflectionStage::new(&primary, &detour, 2, fallback);
             let stats = stage.run(&mut generator, 250);
             assert_eq!(
@@ -246,8 +257,7 @@ mod tests {
     #[test]
     fn no_deflection_needed_under_light_load() {
         let (primary, detour) = switches();
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.05 }, 64, 1, 2);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.05 }, 64, 1, 2);
         let mut stage = DeflectionStage::new(&primary, &detour, 3, CongestionPolicy::Drop);
         let stats = stage.run(&mut generator, 100);
         assert_eq!(stats.misrouted, 0);

@@ -80,7 +80,11 @@ pub fn measure_fairness<S: ConcentratorSwitch + ?Sized>(
             }
         }
     }
-    FairnessReport { frames, offered, delivered }
+    FairnessReport {
+        frames,
+        offered,
+        delivered,
+    }
 }
 
 /// A fairness wrapper: each setup cycle, the processor-to-input assignment
@@ -94,7 +98,10 @@ pub struct RotatingSwitch<S> {
 impl<S: ConcentratorSwitch> RotatingSwitch<S> {
     /// Wrap a switch.
     pub fn new(inner: S) -> Self {
-        RotatingSwitch { inner, counter: Mutex::new(0) }
+        RotatingSwitch {
+            inner,
+            counter: Mutex::new(0),
+        }
     }
 
     /// The wrapped switch.

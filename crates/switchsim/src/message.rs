@@ -12,28 +12,17 @@ pub struct Message {
     /// The input wire (processor) the message enters on.
     pub source: usize,
     /// Payload octets, serialized LSB-first onto the wire.
-    #[serde(with = "bytes_serde")]
     pub payload: Bytes,
-}
-
-mod bytes_serde {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v: Vec<u8> = Deserialize::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Message {
     /// Create a message.
     pub fn new(id: u64, source: usize, payload: impl Into<Bytes>) -> Self {
-        Message { id, source, payload: payload.into() }
+        Message {
+            id,
+            source,
+            payload: payload.into(),
+        }
     }
 
     /// Payload length in bits.

@@ -73,7 +73,11 @@ impl<'a, S: ConcentratorSwitch + ?Sized> ConcentrationStage<'a, S> {
             if queue.len() >= self.policy.queue_capacity() {
                 self.stats.dropped += 1;
             } else {
-                queue.push_back(Pending { message: msg, attempts: 0, born_frame: self.frame });
+                queue.push_back(Pending {
+                    message: msg,
+                    attempts: 0,
+                    born_frame: self.frame,
+                });
             }
         }
     }
@@ -96,7 +100,8 @@ impl<'a, S: ConcentratorSwitch + ?Sized> ConcentrationStage<'a, S> {
             let pending = queue.pop_front().expect("delivered message was queued");
             debug_assert_eq!(pending.message.id, delivered.id);
             self.stats.delivered += 1;
-            self.stats.record_wait((self.frame - pending.born_frame) as u64);
+            self.stats
+                .record_wait((self.frame - pending.born_frame) as u64);
         }
         // Losers: retry or drop per policy.
         for lost in &outcome.unrouted {
@@ -130,7 +135,10 @@ impl<'a, S: ConcentratorSwitch + ?Sized> ConcentrationStage<'a, S> {
             self.offer(generator.next_frame());
             self.step();
         }
-        SimulationReport { stats: self.stats.clone(), in_flight: self.in_flight() }
+        SimulationReport {
+            stats: self.stats.clone(),
+            in_flight: self.in_flight(),
+        }
     }
 }
 
@@ -144,8 +152,7 @@ mod tests {
     #[test]
     fn light_load_delivers_everything() {
         let switch = RevsortSwitch::new(64, 48, RevsortLayout::TwoDee);
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.1 }, 64, 2, 5);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.1 }, 64, 2, 5);
         let mut stage = ConcentrationStage::new(&switch, CongestionPolicy::Drop);
         let report = stage.run(&mut generator, 200);
         // Offered load ~6.4/frame << guaranteed capacity; nothing drops.
@@ -156,8 +163,7 @@ mod tests {
     #[test]
     fn overload_saturates_at_m_per_frame() {
         let switch = Hyperconcentrator::new(16);
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 1.0 }, 16, 1, 2);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 1.0 }, 16, 1, 2);
         let mut stage = ConcentrationStage::new(&switch, CongestionPolicy::Drop);
         let report = stage.run(&mut generator, 50);
         // m = n = 16, full offered load: everything routed.
@@ -188,8 +194,7 @@ mod tests {
     #[test]
     fn ack_resend_limits_attempts() {
         let switch = RevsortSwitch::new(16, 4, RevsortLayout::TwoDee);
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 1.0 }, 16, 1, 3);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 1.0 }, 16, 1, 3);
         let mut stage =
             ConcentrationStage::new(&switch, CongestionPolicy::AckResend { max_retries: 2 });
         let report = stage.run(&mut generator, 100);
@@ -211,8 +216,15 @@ mod tests {
             CongestionPolicy::InputBuffer { capacity: 4 },
             CongestionPolicy::AckResend { max_retries: 1 },
         ] {
-            let mut generator =
-                TrafficGenerator::new(TrafficModel::Bursty { p: 0.7, mean_burst: 5.0 }, 16, 1, 13);
+            let mut generator = TrafficGenerator::new(
+                TrafficModel::Bursty {
+                    p: 0.7,
+                    mean_burst: 5.0,
+                },
+                16,
+                1,
+                13,
+            );
             let mut stage = ConcentrationStage::new(&switch, policy);
             let report = stage.run(&mut generator, 150);
             assert_eq!(

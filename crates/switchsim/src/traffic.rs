@@ -47,7 +47,10 @@ impl TrafficGenerator {
     /// Create a generator for `n` inputs with fixed-size payloads.
     pub fn new(model: TrafficModel, n: usize, payload_bytes: usize, seed: u64) -> Self {
         let (TrafficModel::Bernoulli { p } | TrafficModel::Bursty { p, .. }) = model;
-        assert!((0.0..=1.0).contains(&p), "offer probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "offer probability must be in [0, 1]"
+        );
         TrafficGenerator {
             model,
             n,
@@ -88,8 +91,7 @@ impl TrafficGenerator {
                 }
             };
             if offers {
-                let payload: Vec<u8> =
-                    (0..self.payload_bytes).map(|_| self.rng.random()).collect();
+                let payload: Vec<u8> = (0..self.payload_bytes).map(|_| self.rng.random()).collect();
                 offered.push(Message::new(self.next_id, source, payload));
                 self.next_id += 1;
             }
@@ -104,8 +106,7 @@ mod tests {
 
     #[test]
     fn bernoulli_hits_target_load() {
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.3 }, 64, 2, 42);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.3 }, 64, 2, 42);
         let frames = 500;
         let total: usize = (0..frames).map(|_| generator.next_frame().len()).sum();
         let load = total as f64 / (frames * 64) as f64;
@@ -115,7 +116,10 @@ mod tests {
     #[test]
     fn bursty_hits_target_load_with_runs() {
         let mut generator = TrafficGenerator::new(
-            TrafficModel::Bursty { p: 0.4, mean_burst: 8.0 },
+            TrafficModel::Bursty {
+                p: 0.4,
+                mean_burst: 8.0,
+            },
             64,
             2,
             7,
@@ -128,8 +132,7 @@ mod tests {
 
     #[test]
     fn ids_are_unique_and_sources_in_range() {
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.9 }, 16, 1, 1);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.9 }, 16, 1, 1);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             for msg in generator.next_frame() {

@@ -42,7 +42,10 @@ impl VcdBuilder {
         } else {
             assert_eq!(values.len(), self.cycles, "track length mismatch");
         }
-        self.tracks.push(Track { name: name.into(), values });
+        self.tracks.push(Track {
+            name: name.into(),
+            values,
+        });
         self
     }
 
@@ -143,7 +146,13 @@ mod tests {
         let vcd = frame_vcd(&switch, &offered);
         // Input X3 and output Y0 carry the message; their setup values at
         // #0 must be 1 while X0..X2 are 0.
-        let after_t0: &str = vcd.split("#0\n").nth(1).unwrap().split("#1\n").next().unwrap();
+        let after_t0: &str = vcd
+            .split("#0\n")
+            .nth(1)
+            .unwrap()
+            .split("#1\n")
+            .next()
+            .unwrap();
         // Track idents: inputs 0..3 are !,",#,$ and outputs 4..7 are %,&,',(.
         assert!(after_t0.contains("0!"), "X0 idle at setup");
         assert!(after_t0.contains("1$"), "X3 valid at setup");
@@ -167,7 +176,9 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Property-based tests for the bit-serial simulator.
 
+use concentrator::spec::ConcentratorSwitch;
 use concentrator::{ColumnsortSwitch, Hyperconcentrator};
 use proptest::prelude::*;
 use switchsim::deflection::DeflectionStage;
 use switchsim::traffic::TrafficGenerator;
 use switchsim::{
-    measure_fairness, regular_tree, simulate_frame, CongestionPolicy, ConcentrationStage,
-    Message, RotatingSwitch, TrafficModel,
+    measure_fairness, regular_tree, simulate_frame, ConcentrationStage, CongestionPolicy, Message,
+    RotatingSwitch, TrafficModel,
 };
-use concentrator::spec::ConcentratorSwitch;
 
 proptest! {
     /// Wire serialization round-trips arbitrary payloads.

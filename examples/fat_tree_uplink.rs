@@ -12,7 +12,7 @@
 use concentrator::spec::ConcentratorSwitch;
 use concentrator::ColumnsortSwitch;
 use switchsim::traffic::TrafficGenerator;
-use switchsim::{regular_tree, CongestionPolicy, ConcentrationStage, TrafficModel};
+use switchsim::{regular_tree, ConcentrationStage, CongestionPolicy, TrafficModel};
 
 fn main() {
     let n = 512;
@@ -35,12 +35,7 @@ fn main() {
         "load", "offered", "delivered", "ratio", "mean wait"
     );
     for load in [0.01, 0.03, 0.05, 0.08, 0.12, 0.2] {
-        let mut generator = TrafficGenerator::new(
-            TrafficModel::Bernoulli { p: load },
-            n,
-            4,
-            0xFA7,
-        );
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: load }, n, 4, 0xFA7);
         let mut stage =
             ConcentrationStage::new(&net, CongestionPolicy::InputBuffer { capacity: 8 });
         let report = stage.run(&mut generator, 300);

@@ -16,7 +16,10 @@ fn main() {
     let nl = chip.build_netlist(false);
     let area = nl.area_report();
     println!("{n}-by-{n} hyperconcentrator chip netlist:");
-    println!("  gates: {}, literals: {}, max fan-in: {}", area.gates, area.literals, area.max_fan_in);
+    println!(
+        "  gates: {}, literals: {}, max fan-in: {}",
+        area.gates, area.literals, area.max_fan_in
+    );
     println!("  depth (wide gates):   {} = 2 lg n", nl.depth());
     println!("  depth @ fan-in 4:     {}", nl.depth_bounded_fanin(4));
     println!("  depth @ fan-in 2:     {}", nl.depth_bounded_fanin(2));

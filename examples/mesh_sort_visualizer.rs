@@ -8,8 +8,7 @@
 
 use concentrator::verify::SplitMix64;
 use meshsort::{
-    columnsort_steps123, dirty_row_band, nearsort_epsilon, rev_bits, revsort_full, Grid,
-    SortOrder,
+    columnsort_steps123, dirty_row_band, nearsort_epsilon, rev_bits, revsort_full, Grid, SortOrder,
 };
 
 fn show(grid: &Grid<bool>, label: &str) {

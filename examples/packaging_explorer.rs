@@ -69,7 +69,11 @@ fn print_row(name: &str, pack: &PackagingReport, budget: usize, capacity: usize)
         name,
         pack.total_chips(),
         pack.max_pins_per_chip(),
-        if pack.max_pins_per_chip() <= budget { "yes" } else { "NO" },
+        if pack.max_pins_per_chip() <= budget {
+            "yes"
+        } else {
+            "NO"
+        },
         pack.gate_delays,
         pack.volume_units,
         capacity

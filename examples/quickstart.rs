@@ -71,8 +71,9 @@ fn main() {
     //    deliver its guaranteed capacity.
     // ------------------------------------------------------------------
     let switch = ColumnsortSwitch::new(64, 4, 192);
-    let overload: Vec<Message> =
-        (0..230).map(|i| Message::new(i as u64, i, vec![0x55])).collect();
+    let overload: Vec<Message> = (0..230)
+        .map(|i| Message::new(i as u64, i, vec![0x55]))
+        .collect();
     let outcome = simulate_frame(&switch, &overload);
     println!(
         "\noverload: offered {} > m = {}, delivered {} (guarantee: ≥ {})",

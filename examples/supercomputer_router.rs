@@ -12,7 +12,7 @@
 use concentrator::spec::ConcentratorSwitch;
 use concentrator::ColumnsortSwitch;
 use switchsim::traffic::TrafficGenerator;
-use switchsim::{CongestionPolicy, ConcentrationStage, TrafficModel};
+use switchsim::{ConcentrationStage, CongestionPolicy, TrafficModel};
 
 fn main() {
     let n = 256;
@@ -31,7 +31,10 @@ fn main() {
     let policies = [
         ("drop", CongestionPolicy::Drop),
         ("buffer(16)", CongestionPolicy::InputBuffer { capacity: 16 }),
-        ("ack-resend(4)", CongestionPolicy::AckResend { max_retries: 4 }),
+        (
+            "ack-resend(4)",
+            CongestionPolicy::AckResend { max_retries: 4 },
+        ),
     ];
 
     println!(
@@ -41,7 +44,10 @@ fn main() {
     for load in [0.05, 0.15, 0.25, 0.35, 0.5] {
         for (name, policy) in policies {
             let mut generator = TrafficGenerator::new(
-                TrafficModel::Bursty { p: load, mean_burst: 6.0 },
+                TrafficModel::Bursty {
+                    p: load,
+                    mean_burst: 6.0,
+                },
                 n,
                 8, // 64-bit payloads
                 0xACE,

@@ -7,9 +7,7 @@ use concentrator::verify::SplitMix64;
 use concentrator::{
     ColumnsortSwitch, FullColumnsortHyperconcentrator, FullRevsortHyperconcentrator,
 };
-use meshsort::{
-    columnsort_steps123, revsort_algorithm1, revsort_full, Grid, SortOrder,
-};
+use meshsort::{columnsort_steps123, revsort_algorithm1, revsort_full, Grid, SortOrder};
 
 fn random_bits(n: usize, seed: u64, density: f64) -> Vec<bool> {
     SplitMix64(seed).valid_bits(n, density)
@@ -26,11 +24,23 @@ fn revsort_switch_equals_algorithm_equals_netlist() {
         let mut grid = Grid::from_row_major(8, 8, valid.clone());
         revsort_algorithm1(&mut grid, SortOrder::Descending);
         // Layer 2: the staged switch trace.
-        let traced: Vec<bool> =
-            switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
-        assert_eq!(&traced, grid.as_row_major(), "seed {seed}: trace != algorithm");
+        let traced: Vec<bool> = switch
+            .staged()
+            .trace(&valid)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
+        assert_eq!(
+            &traced,
+            grid.as_row_major(),
+            "seed {seed}: trace != algorithm"
+        );
         // Layer 3: the flat gate-level netlist.
-        assert_eq!(netlist.eval(&valid), traced, "seed {seed}: netlist != trace");
+        assert_eq!(
+            netlist.eval(&valid),
+            traced,
+            "seed {seed}: netlist != trace"
+        );
     }
 }
 
@@ -44,8 +54,12 @@ fn columnsort_switch_equals_algorithm_equals_netlist() {
         let valid = random_bits(n, seed * 31 + 7, 0.5);
         let mut grid = Grid::from_row_major(r, s, valid.clone());
         columnsort_steps123(&mut grid, SortOrder::Descending);
-        let traced: Vec<bool> =
-            switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+        let traced: Vec<bool> = switch
+            .staged()
+            .trace(&valid)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
         assert_eq!(&traced, grid.as_row_major(), "seed {seed}");
         assert_eq!(netlist.eval(&valid), traced, "seed {seed}");
     }
@@ -59,10 +73,17 @@ fn full_revsort_switch_matches_full_algorithm() {
         let valid = random_bits(n, seed * 13 + 1, 0.4);
         let mut grid = Grid::from_row_major(8, 8, valid.clone());
         revsort_full(&mut grid, SortOrder::Descending);
-        let traced: Vec<bool> =
-            switch.staged().trace(&valid).iter().map(|&(v, _)| v).collect();
+        let traced: Vec<bool> = switch
+            .staged()
+            .trace(&valid)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
         assert_eq!(&traced, grid.as_row_major(), "seed {seed}");
-        assert!(SortOrder::Descending.is_sorted(&traced), "seed {seed}: not sorted");
+        assert!(
+            SortOrder::Descending.is_sorted(&traced),
+            "seed {seed}: not sorted"
+        );
     }
 }
 
@@ -76,7 +97,12 @@ fn full_columnsort_netlist_matches_trace_with_constants() {
         let valid = random_bits(27, seed * 17 + 3, 0.5);
         let expected: Vec<bool> = {
             let t = switch.staged().trace(&valid);
-            switch.staged().output_positions.iter().map(|&p| t[p].0).collect()
+            switch
+                .staged()
+                .output_positions
+                .iter()
+                .map(|&p| t[p].0)
+                .collect()
         };
         assert_eq!(netlist.eval(&valid), expected, "seed {seed}");
         // And the output order is compacted.

@@ -5,14 +5,18 @@ use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::spec::ConcentratorSwitch;
 use concentrator::{ColumnsortSwitch, Hyperconcentrator};
 use switchsim::traffic::TrafficGenerator;
-use switchsim::{simulate_frame, CongestionPolicy, ConcentrationStage, Message, TrafficModel};
+use switchsim::{simulate_frame, ConcentrationStage, CongestionPolicy, Message, TrafficModel};
 
 #[test]
 fn payloads_survive_the_revsort_switch() {
     let switch = RevsortSwitch::new(64, 48, RevsortLayout::ThreeDee);
     let offered: Vec<Message> = (0..30)
         .map(|i| {
-            Message::new(i as u64, (i * 7 + 2) % 64, vec![i as u8, (i * 3) as u8, 0xC3])
+            Message::new(
+                i as u64,
+                (i * 7 + 2) % 64,
+                vec![i as u8, (i * 3) as u8, 0xC3],
+            )
         })
         .collect();
     let outcome = simulate_frame(&switch, &offered);
@@ -39,7 +43,9 @@ fn gate_level_datapath_matches_frame_simulation() {
         .collect();
     let outcome = simulate_frame(&chip, &offered);
 
-    let valid: Vec<bool> = (0..n).map(|i| offered.iter().any(|m| m.source == i)).collect();
+    let valid: Vec<bool> = (0..n)
+        .map(|i| offered.iter().any(|m| m.source == i))
+        .collect();
     for cycle in 0..8 {
         // Inputs: valid bits held, plus this cycle's data bit per wire.
         let mut inputs = valid.clone();
@@ -71,8 +77,7 @@ fn stage_statistics_are_consistent_over_long_runs() {
         CongestionPolicy::InputBuffer { capacity: 4 },
         CongestionPolicy::AckResend { max_retries: 2 },
     ] {
-        let mut generator =
-            TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.7 }, 128, 2, 0xEE);
+        let mut generator = TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.7 }, 128, 2, 0xEE);
         let mut stage = ConcentrationStage::new(&switch, policy);
         let report = stage.run(&mut generator, 500);
         assert_eq!(
@@ -90,12 +95,18 @@ fn under_capacity_traffic_never_drops_regardless_of_policy() {
     // ε = 9 at s = 4, m = 96 ⇒ capacity 87; offer ~32/frame.
     let switch = ColumnsortSwitch::new(32, 4, 96);
     assert!(switch.guaranteed_capacity() >= 87);
-    for policy in [CongestionPolicy::Drop, CongestionPolicy::AckResend { max_retries: 1 }] {
+    for policy in [
+        CongestionPolicy::Drop,
+        CongestionPolicy::AckResend { max_retries: 1 },
+    ] {
         let mut generator =
             TrafficGenerator::new(TrafficModel::Bernoulli { p: 0.25 }, 128, 2, 0x77);
         let mut stage = ConcentrationStage::new(&switch, policy);
         let report = stage.run(&mut generator, 300);
         assert_eq!(report.stats.dropped, 0, "policy {policy:?}");
-        assert_eq!(report.stats.delivered + report.in_flight, report.stats.offered);
+        assert_eq!(
+            report.stats.delivered + report.in_flight,
+            report.stats.offered
+        );
     }
 }

@@ -17,10 +17,7 @@ fn verilog_export_of_a_real_switch_is_self_consistent() {
     // (+ m output assigns).
     assert_eq!(verilog.matches("input  wire").count(), 16);
     assert_eq!(verilog.matches("output wire").count(), 12);
-    assert_eq!(
-        verilog.matches("assign").count(),
-        nl.gates().len() + 12
-    );
+    assert_eq!(verilog.matches("assign").count(), nl.gates().len() + 12);
     // Folding before export drops assigns but keeps ports.
     let folded = nl.fold_constants().to_verilog("columnsort_8x2_folded");
     assert_eq!(folded.matches("input  wire").count(), 16);
@@ -38,7 +35,13 @@ fn vcd_of_a_multichip_frame_covers_all_wires() {
     let vcd = frame_vcd(&switch, &offered);
     assert_eq!(vcd.matches("$var wire 1 ").count(), 16 + 12);
     // Three valid setup bits on the inputs.
-    let setup: &str = vcd.split("#0\n").nth(1).unwrap().split("#1\n").next().unwrap();
+    let setup: &str = vcd
+        .split("#0\n")
+        .nth(1)
+        .unwrap()
+        .split("#1\n")
+        .next()
+        .unwrap();
     let input_ones = (0..16)
         .filter(|&i| {
             let id: String = {
@@ -88,7 +91,11 @@ fn analytic_model_tracks_fault_degradation() {
     // healthy ones.
     let switch = RevsortSwitch::new(64, 48, RevsortLayout::TwoDee);
     let healthy_curve = measure_delivery_curve(&switch, 40, 0xAB);
-    let fault = ChipFault { stage: 0, chip: 1, mode: FaultMode::StuckInvalid };
+    let fault = ChipFault {
+        stage: 0,
+        chip: 1,
+        mode: FaultMode::StuckInvalid,
+    };
     let faulty = FaultySwitch::new(switch.staged(), vec![fault]);
     let faulty_curve = measure_delivery_curve(&faulty, 40, 0xAB);
     let p = 0.5;

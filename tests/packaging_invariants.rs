@@ -41,9 +41,18 @@ fn revsort_table1_row() {
         volume.push(pack.volume_units as f64);
     }
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
-    assert!((fit_exponent(&xs, &pins) - 0.5).abs() < 0.05, "pins not Θ(n^1/2)");
-    assert!((fit_exponent(&xs, &chips) - 0.5).abs() < 0.05, "chips not Θ(n^1/2)");
-    assert!((fit_exponent(&xs, &volume) - 1.5).abs() < 0.05, "volume not Θ(n^3/2)");
+    assert!(
+        (fit_exponent(&xs, &pins) - 0.5).abs() < 0.05,
+        "pins not Θ(n^1/2)"
+    );
+    assert!(
+        (fit_exponent(&xs, &chips) - 0.5).abs() < 0.05,
+        "chips not Θ(n^1/2)"
+    );
+    assert!(
+        (fit_exponent(&xs, &volume) - 1.5).abs() < 0.05,
+        "volume not Θ(n^3/2)"
+    );
 }
 
 #[test]
@@ -95,8 +104,11 @@ fn two_dee_layouts_are_crossbar_dominated() {
     for n in [64usize, 256, 1024, 4096] {
         let switch = RevsortSwitch::new(n, n / 2, RevsortLayout::TwoDee);
         let pack = PackagingReport::revsort(&switch);
-        let chip_area: u64 =
-            pack.chip_types.iter().map(|c| c.area_units * c.count as u64).sum();
+        let chip_area: u64 = pack
+            .chip_types
+            .iter()
+            .map(|c| c.area_units * c.count as u64)
+            .sum();
         let wiring = pack.area_units - chip_area;
         let ratio = wiring as f64 / chip_area as f64;
         assert!(ratio > prev_ratio, "crossbar dominance must grow with n");

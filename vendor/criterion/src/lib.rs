@@ -1,0 +1,324 @@
+//! Offline shim for `criterion` (see `vendor/README.md`).
+//!
+//! Same `benchmark_group` / `bench_with_input` / `b.iter` surface, but
+//! measurement is a plain two-phase wall-clock loop (calibrate, then one
+//! timed batch) with no statistics, plots, or saved baselines. Results
+//! print one line per benchmark. Under `cargo test` (cargo passes
+//! `--test` to `harness = false` bench targets) every benchmark body
+//! runs exactly once so the suite stays fast while still exercising the
+//! bench code paths.
+
+use std::time::{Duration, Instant};
+
+/// Work units per iteration, used to report a throughput rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function_name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter` label.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations in the timed batch.
+    pub iterations: u64,
+}
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    quick: bool,
+    /// Every result measured so far (inspectable by custom `main`s).
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Apply command-line configuration. The shim recognizes `--test`
+    /// (run every benchmark once — what cargo passes bench targets
+    /// during `cargo test`) and ignores everything else (`--bench`,
+    /// filters, baseline flags).
+    pub fn configure_from_args(mut self) -> Self {
+        self.quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let quick = self.quick;
+        run_one(self, None, id.to_string(), quick, f);
+        self
+    }
+
+    /// Print the closing summary.
+    pub fn final_summary(&self) {
+        if !self.quick {
+            println!("\n{} benchmarks measured", self.results.len());
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work, reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let quick = self.criterion.quick;
+        let throughput = self.throughput;
+        run_one_with(self.criterion, throughput, label, quick, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let quick = self.criterion.quick;
+        let throughput = self.throughput;
+        run_one_with(self.criterion, throughput, label, quick, f);
+        self
+    }
+
+    /// Close the group (printing happens as benchmarks run).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    throughput: Option<Throughput>,
+    label: String,
+    quick: bool,
+    f: F,
+) {
+    run_one_with(criterion, throughput, label, quick, f)
+}
+
+fn run_one_with<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    throughput: Option<Throughput>,
+    label: String,
+    quick: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        quick,
+        ns_per_iter: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let result = BenchResult {
+        id: label.clone(),
+        ns_per_iter: bencher.ns_per_iter,
+        iterations: bencher.iterations,
+    };
+    if quick {
+        println!("{label}: ok (test mode)");
+    } else {
+        let rate = throughput
+            .map(|t| {
+                let (units, suffix) = match t {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                let per_sec = units as f64 * 1e9 / bencher.ns_per_iter.max(1e-9);
+                format!("   thrpt: {} {}", human_rate(per_sec), suffix)
+            })
+            .unwrap_or_default();
+        println!(
+            "{label:<48} time: {} /iter{rate}",
+            human_time(bencher.ns_per_iter)
+        );
+    }
+    criterion.results.push(result);
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly and record mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            std::hint::black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut batch = 1u64;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 28 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch = batch.saturating_mul(4);
+        };
+        // Measure: one batch targeting ~60 ms of work.
+        let iterations = ((6e7 / per_iter_ns).ceil() as u64).clamp(1, 5_000_000);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+/// Define a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            quick: true,
+            results: Vec::new(),
+        };
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(1));
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "g/count");
+    }
+
+    #[test]
+    fn measured_mode_times_the_routine() {
+        let mut c = Criterion {
+            quick: false,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| std::hint::black_box(3u64.pow(7))));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter > 0.0);
+        assert!(c.results[0].iterations >= 1);
+    }
+}

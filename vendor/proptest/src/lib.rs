@@ -1,0 +1,338 @@
+//! Offline shim for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the strategy/macro surface this workspace uses — ranges,
+//! `any::<T>()`, tuples, `prop_map`, `collection::{vec, btree_set}`,
+//! and the `proptest!` / `prop_assert*` macros — over a deterministic
+//! SplitMix64 case generator. Failing cases panic with the case number
+//! (reproducible, since generation is seeded from the test name) but
+//! are **not shrunk** to minimal counterexamples.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test values — the shim's `proptest::Strategy`.
+    pub trait Strategy {
+        /// The value produced.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every produced value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Always produce the same (cloned) value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain.
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_range_float!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple!(A: 0);
+    impl_tuple!(A: 0, B: 1);
+    impl_tuple!(A: 0, B: 1, C: 2);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Types with a whole-domain default strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draw from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`crate::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Whole-domain strategy for `bool` and the integer types.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Vectors with length drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Sets with *up to* `size` elements drawn from `element` (duplicate
+    /// draws collapse; the real proptest retries to hit the exact size).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy produced by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let draws = self.size.clone().generate(rng);
+            (0..draws).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic per-case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeded from the test name and case index, so every run of a
+        /// given test explores the same sequence of cases.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+            for byte in test_name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Cases per property: `PROPTEST_CASES` env override, default 64.
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over [`test_runner::cases`]
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            for case in 0..cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let run = || -> () { $body };
+                run();
+            }
+        }
+    )*};
+}
+
+/// Assert within a property body (panics; the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in 3usize..17,
+            y in 1u8..=4,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn collections_and_maps_compose(
+            v in crate::collection::vec((0u8..4, any::<bool>()), 1..5),
+            s in crate::collection::btree_set(0usize..16, 0..16),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&(k, _)| k < 4));
+            prop_assert!(s.len() < 16);
+            prop_assert!(s.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u32..1000, 5..6);
+        let a = strat.generate(&mut TestRng::for_case("t", 9));
+        let b = strat.generate(&mut TestRng::for_case("t", 9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        let v = doubled.generate(&mut TestRng::for_case("m", 0));
+        assert!(v % 2 == 0 && v < 20);
+    }
+}

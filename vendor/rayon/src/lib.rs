@@ -1,0 +1,198 @@
+//! Offline shim for `rayon` (see `vendor/README.md`).
+//!
+//! `ParIter` wraps a plain sequential iterator and mirrors the adapter
+//! names rayon exposes, so `into_par_iter()` call sites compile
+//! unchanged and produce identical results in deterministic order. No
+//! threads are spawned — callers that need real parallelism use
+//! `std::thread::scope` directly (the compiled netlist engine does).
+
+/// A "parallel" iterator: a sequential iterator behind rayon's API.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Apply `f` to every item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep the `Some` results of `f`.
+    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Keep items satisfying the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Concatenate with another parallel iterator.
+    pub fn chain<J: Iterator<Item = I::Item>>(
+        self,
+        other: ParIter<J>,
+    ) -> ParIter<std::iter::Chain<I, J>> {
+        ParIter(self.0.chain(other.0))
+    }
+
+    /// Run `f` for every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// First `Some` produced by `f`. Rayon's version returns the match
+    /// earliest in the iteration order, which sequential `find_map`
+    /// matches exactly.
+    pub fn find_map_first<R, F: FnMut(I::Item) -> Option<R>>(self, f: F) -> Option<R> {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.find_map(&mut f)
+    }
+
+    /// First item satisfying the predicate (earliest in order).
+    pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.find(&mut f)
+    }
+
+    /// Whether any item satisfies the predicate.
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut iter = self.0;
+        let mut f = f;
+        iter.any(&mut f)
+    }
+
+    /// Fold with rayon's identity-producing signature.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Maximum item by key.
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.max_by_key(f)
+    }
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented so everything
+/// iterable gains `into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Enter the parallel-iterator API.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_chunks_mut` / `par_iter_mut` over mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunks of `size` elements (last may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+
+    /// Every element mutably.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait ParallelSlice<T> {
+    /// Every element by reference.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let squares: Vec<u64> = (0u64..10).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, (0u64..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn find_map_first_takes_earliest() {
+        let hit = (0u64..100)
+            .into_par_iter()
+            .find_map_first(|x| (x % 7 == 3).then_some(x));
+        assert_eq!(hit, Some(3));
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let total = (1usize..=5).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_chunk() {
+        let mut data = vec![1u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += i as u32;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! The real serde defines a reflection-style data model; this shim only
+//! needs to make `#[derive(Serialize, Deserialize)]` compile, so the two
+//! traits are blanket-implemented markers and the derive macros expand to
+//! nothing. Code that needs actual JSON serialization uses the vendored
+//! `serde_json`'s `ToJson` trait instead.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type implements it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The companion `serde` shim blanket-implements its marker traits, so
+//! these derives have nothing to generate; they exist so the attribute
+//! positions (`#[derive(Serialize)]`, `#[serde(...)]`) stay legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
