@@ -1,0 +1,196 @@
+//! Fabric serving bench: the batching win, latency-vs-load curves, and
+//! shard scaling for the sharded concentrator-switch serving engine.
+//!
+//! Writes `BENCH_fabric.json` at the repository root. The file separates
+//! two kinds of data:
+//!
+//! * `deterministic` sections — counters (deliveries, sweeps, wait
+//!   percentiles) produced by the synchronous [`fabric::Fabric`]. These
+//!   are bit-identical on every run of the same binary (the bench
+//!   re-runs the reference workload and asserts it).
+//! * `timing` sections — wall-clock throughput, which varies run to run
+//!   and is explicitly excluded from the reproducibility claim.
+//!
+//! The headline acceptance claim: at n = 1024 the batched engine moves
+//! ≥ 10× the messages per second of the one-request-per-sweep baseline
+//! on the same workload (it wins on sweep count by far more).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{banner, TextTable};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::StagedSwitch;
+use fabric::{drive_sync, drive_sync_unbatched, DriveReport, Fabric, FabricConfig, LoadPlan};
+use switchsim::TrafficModel;
+
+const N: usize = 1024;
+const M: usize = 512;
+const PAYLOAD_BYTES: usize = 8; // 64 payload cycles: one full SWAR sweep
+const SEED: u64 = 0xFAB0;
+
+fn staged() -> Arc<StagedSwitch> {
+    Arc::new(
+        RevsortSwitch::new(N, M, RevsortLayout::TwoDee)
+            .staged()
+            .clone(),
+    )
+}
+
+fn plan(p: f64, frames: usize) -> LoadPlan {
+    LoadPlan {
+        model: TrafficModel::Bernoulli { p },
+        payload_bytes: PAYLOAD_BYTES,
+        seed: SEED,
+        frames,
+    }
+}
+
+struct Timed {
+    report: DriveReport,
+    secs: f64,
+}
+
+fn run_batched(switch: &Arc<StagedSwitch>, shards: usize, p: f64, frames: usize) -> Timed {
+    let mut fabric = Fabric::new(Arc::clone(switch), FabricConfig::new(shards));
+    let started = Instant::now();
+    let report = drive_sync(&mut fabric, N, &plan(p, frames));
+    Timed {
+        report,
+        secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    banner(
+        "Fabric serving: batched SWAR sweeps vs one-request-per-sweep",
+        "serving-engine evidence (not a paper artifact)",
+    );
+    let switch = staged();
+
+    // ---- Determinism: the reference workload, driven twice. ----------
+    let first = run_batched(&switch, 2, 0.5, 12);
+    let second = run_batched(&switch, 2, 0.5, 12);
+    assert_eq!(
+        first.report.snapshot, second.report.snapshot,
+        "synchronous drives must be bit-reproducible"
+    );
+    assert!(first.report.snapshot.conserved());
+
+    // ---- The batching win at n = 1024. -------------------------------
+    let batched = first;
+    let started = Instant::now();
+    let mut unbatched_fabric = Fabric::new(Arc::clone(&switch), FabricConfig::new(2));
+    let unbatched_report = drive_sync_unbatched(&mut unbatched_fabric, N, &plan(0.5, 12));
+    let unbatched = Timed {
+        report: unbatched_report,
+        secs: started.elapsed().as_secs_f64(),
+    };
+    let b = batched.report.snapshot.totals();
+    let u = unbatched.report.snapshot.totals();
+    assert_eq!(batched.report.delivered, batched.report.generated);
+    assert_eq!(unbatched.report.delivered, unbatched.report.generated);
+    assert_eq!(
+        batched.report.generated, unbatched.report.generated,
+        "both engines must serve the identical workload"
+    );
+    let batched_mps = b.delivered as f64 / batched.secs;
+    let unbatched_mps = u.delivered as f64 / unbatched.secs;
+    let throughput_ratio = batched_mps / unbatched_mps;
+    let sweep_ratio = u.sweeps as f64 / b.sweeps as f64;
+    println!(
+        "n={N}: {} msgs  batched {:.0} msgs/s ({} sweeps)  unbatched {:.0} msgs/s ({} sweeps)  throughput x{:.1}  sweeps x{:.1}",
+        batched.report.generated, batched_mps, b.sweeps, unbatched_mps, u.sweeps, throughput_ratio, sweep_ratio
+    );
+    assert!(
+        throughput_ratio >= 10.0,
+        "batched engine must be >= 10x the unbatched baseline, got {throughput_ratio:.1}x"
+    );
+
+    // ---- Wait percentiles vs offered load. ---------------------------
+    // One shard so the m = n/2 capacity bound actually bites: above 50%
+    // offered load, congestion losers retry and the wait tail grows.
+    let mut load_table = TextTable::new(["load", "generated", "delivered", "p50 wait", "p99 wait"]);
+    let mut load_rows = Vec::new();
+    for p in [0.2, 0.5, 0.8, 1.0] {
+        let timed = run_batched(&switch, 1, p, 12);
+        let totals = timed.report.snapshot.totals();
+        let (p50, p50_lb) = totals.wait_frames.percentile(50.0);
+        let (p99, p99_lb) = totals.wait_frames.percentile(99.0);
+        load_table.row([
+            format!("{p:.1}"),
+            timed.report.generated.to_string(),
+            totals.delivered.to_string(),
+            format!("{p50}{}", if p50_lb { "+" } else { "" }),
+            format!("{p99}{}", if p99_lb { "+" } else { "" }),
+        ]);
+        load_rows.push((p, timed.report.generated, totals.delivered, p50, p99));
+    }
+    load_table.print();
+
+    // ---- Shard scaling (same workload, more shards). -----------------
+    let mut scale_table = TextTable::new(["shards", "sweeps", "frames", "msgs/s (wall)"]);
+    let mut scale_rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let timed = run_batched(&switch, shards, 0.5, 12);
+        let totals = timed.report.snapshot.totals();
+        let mps = totals.delivered as f64 / timed.secs;
+        scale_table.row([
+            shards.to_string(),
+            totals.sweeps.to_string(),
+            totals.frames.to_string(),
+            format!("{mps:.0}"),
+        ]);
+        scale_rows.push((shards, totals.sweeps, totals.frames, mps));
+    }
+    scale_table.print();
+
+    // ---- BENCH_fabric.json ------------------------------------------
+    let mut json = String::from("{\n  \"benchmark\": \"fabric\",\n");
+    let _ = writeln!(
+        json,
+        "  \"switch\": \"Revsort n={N} m={M} (2-D layout)\",\n  \"workload\": \"Bernoulli, {PAYLOAD_BYTES}-byte payloads, seed {SEED}\","
+    );
+    json.push_str("  \"deterministic\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"generated\": {},\n    \"delivered\": {},\n    \"batched_sweeps\": {},\n    \"unbatched_sweeps\": {},\n    \"sweep_ratio\": {:.2},",
+        batched.report.generated, b.delivered, b.sweeps, u.sweeps, sweep_ratio
+    );
+    json.push_str("    \"wait_vs_load\": [\n");
+    for (i, (p, generated, delivered, p50, p99)) in load_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"load\": {p:.1}, \"generated\": {generated}, \"delivered\": {delivered}, \"p50_wait_frames\": {p50}, \"p99_wait_frames\": {p99}}}{}",
+            if i + 1 < load_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n    \"shard_scaling\": [\n");
+    for (i, (shards, sweeps, frames, _)) in scale_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"shards\": {shards}, \"sweeps\": {sweeps}, \"frames\": {frames}}}{}",
+            if i + 1 < scale_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"timing_not_reproducible\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"batched_msgs_per_sec\": {batched_mps:.0},\n    \"unbatched_msgs_per_sec\": {unbatched_mps:.0},\n    \"throughput_ratio\": {throughput_ratio:.1},"
+    );
+    json.push_str("    \"shard_scaling_msgs_per_sec\": [\n");
+    for (i, (shards, _, _, mps)) in scale_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"shards\": {shards}, \"msgs_per_sec\": {mps:.0}}}{}",
+            if i + 1 < scale_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json");
+    std::fs::write(path, &json).expect("write BENCH_fabric.json");
+    println!("wrote {path}");
+}

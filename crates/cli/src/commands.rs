@@ -32,6 +32,12 @@ commands:
   export  --design <spec> --format verilog|vcd --out <file>
           emit the flat control netlist as Verilog, or a sample frame as
           a VCD waveform
+  fabric-bench [--design <spec>] [--frames <count>] [--shards <count>]
+          [--load <p>] [--payload <bytes>] [--seed <seed>]
+          [--policy block|shed|reject] [--placement rr|hash] [--json]
+          drive the sharded serving fabric closed-loop and report the
+          batched-vs-unbatched sweep counts, throughput, and wait
+          percentiles
 
 design specs: revsort:<n>:<m> | columnsort:<r>x<s>:<m>
 "
@@ -288,6 +294,144 @@ pub fn svg(args: &Parsed) -> Result<String, String> {
     Ok(format!("wrote {out_path} ({} bytes)\n", svg.len()))
 }
 
+/// `fabric-bench`: drive the sharded serving fabric closed-loop and
+/// compare the batching executor against the one-request-per-sweep
+/// baseline on the same workload.
+pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
+    use fabric::{drive_sync, drive_sync_unbatched, Fabric, FabricConfig, LoadPlan};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use switchsim::TrafficModel;
+
+    let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
+    let shards: usize = args.parse_or("shards", 2)?;
+    let frames: usize = args.parse_or("frames", 64)?;
+    let payload: usize = args.parse_or("payload", 8)?;
+    let load: f64 = args.parse_or("load", 0.5)?;
+    let seed: u64 = args.parse_or("seed", 0xFAB)?;
+    if !(0.0..=1.0).contains(&load) {
+        return Err(format!("--load must be in [0, 1], got {load}"));
+    }
+    let mut config = FabricConfig::new(shards.max(1));
+    config.backpressure = match args.optional("policy").unwrap_or("block") {
+        "block" => fabric::Backpressure::Block,
+        "shed" => fabric::Backpressure::ShedOldest,
+        "reject" => fabric::Backpressure::Reject,
+        other => return Err(format!("--policy must be block|shed|reject, got `{other}`")),
+    };
+    config.placement = match args.optional("placement").unwrap_or("rr") {
+        "rr" => fabric::Placement::RoundRobin,
+        "hash" => fabric::Placement::SourceHash,
+        other => return Err(format!("--placement must be rr|hash, got `{other}`")),
+    };
+
+    let switch = Arc::new(design.staged().clone());
+    let n = switch.n;
+    let workload = LoadPlan {
+        model: TrafficModel::Bernoulli { p: load },
+        payload_bytes: payload,
+        seed,
+        frames,
+    };
+
+    let mut batched = Fabric::new(Arc::clone(&switch), config);
+    let started = Instant::now();
+    let batched_report = drive_sync(&mut batched, n, &workload);
+    let batched_secs = started.elapsed().as_secs_f64();
+
+    let mut unbatched = Fabric::new(switch, config);
+    let started = Instant::now();
+    let unbatched_report = drive_sync_unbatched(&mut unbatched, n, &workload);
+    let unbatched_secs = started.elapsed().as_secs_f64();
+
+    let batched_totals = batched_report.snapshot.totals();
+    let unbatched_totals = unbatched_report.snapshot.totals();
+    if !batched_report.snapshot.conserved() || !unbatched_report.snapshot.conserved() {
+        return Err("conservation identity violated (fabric bug)".into());
+    }
+    let sweep_ratio = unbatched_totals.sweeps as f64 / batched_totals.sweeps.max(1) as f64;
+    let (p50, p50_lb) = batched_totals.wait_frames.percentile(50.0);
+    let (p99, p99_lb) = batched_totals.wait_frames.percentile(99.0);
+
+    if args.has_flag("json") {
+        use serde_json::{object, ToJson};
+        let value = object([
+            ("design", design.name().to_json()),
+            ("shards", (shards as u64).to_json()),
+            ("frames", (frames as u64).to_json()),
+            ("offered_load", load.to_json()),
+            ("generated", batched_report.generated.to_json()),
+            ("batched", batched_report.snapshot.to_json()),
+            ("unbatched", unbatched_report.snapshot.to_json()),
+            ("sweep_ratio", sweep_ratio.to_json()),
+            (
+                "batched_msgs_per_sec",
+                (batched_totals.delivered as f64 / batched_secs).to_json(),
+            ),
+            (
+                "unbatched_msgs_per_sec",
+                (unbatched_totals.delivered as f64 / unbatched_secs).to_json(),
+            ),
+        ]);
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&value).unwrap()
+        ));
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fabric bench: {} over {} shard(s)",
+        design.name(),
+        shards
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  workload: Bernoulli p = {load}, {frames} frames, {payload}-byte payloads, seed {seed}"
+    )
+    .unwrap();
+    writeln!(out, "  generated: {}", batched_report.generated).unwrap();
+    writeln!(
+        out,
+        "  batched:   {} delivered in {} sweeps ({:.2} deliveries/sweep, {:.0} msgs/s)",
+        batched_totals.delivered,
+        batched_totals.sweeps,
+        batched_totals.deliveries_per_sweep(),
+        batched_totals.delivered as f64 / batched_secs
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  unbatched: {} delivered in {} sweeps ({:.2} deliveries/sweep, {:.0} msgs/s)",
+        unbatched_totals.delivered,
+        unbatched_totals.sweeps,
+        unbatched_totals.deliveries_per_sweep(),
+        unbatched_totals.delivered as f64 / unbatched_secs
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  sweep speedup: {sweep_ratio:.1}x fewer compiled sweeps"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  wait frames: p50 = {p50}{} p99 = {p99}{}",
+        if p50_lb { "+ (lower bound)" } else { "" },
+        if p99_lb { "+ (lower bound)" } else { "" }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  dropped: {} rejected, {} shed, {} retry-exhausted",
+        batched_totals.rejected, batched_totals.shed, batched_totals.retry_dropped
+    )
+    .unwrap();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +463,46 @@ mod tests {
         let args = parse(&["--design", "columnsort:8x4:18"]);
         let text = package(&args).unwrap();
         assert!(text.contains("8-by-8 hyperconcentrator"));
+    }
+
+    #[test]
+    fn fabric_bench_reports_batching_win() {
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "12",
+            "--shards",
+            "2",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        assert!(text.contains("sweep speedup"), "{text}");
+        assert!(text.contains("batched:"), "{text}");
+    }
+
+    #[test]
+    fn fabric_bench_json_is_valid() {
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "8",
+            "--policy",
+            "reject",
+            "--placement",
+            "hash",
+            "--json",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert!(v["sweep_ratio"].as_f64().unwrap() >= 1.0);
+        assert_eq!(v["shards"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn fabric_bench_rejects_bad_policy() {
+        let args = parse(&["--design", "revsort:16:8", "--policy", "nope"]);
+        assert!(fabric_bench(&args).is_err());
     }
 
     #[test]

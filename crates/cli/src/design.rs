@@ -69,6 +69,14 @@ impl Design {
             Design::Columnsort(s) => s.staged().name.clone(),
         }
     }
+
+    /// The staged view of the switch (shared elaboration cache included).
+    pub fn staged(&self) -> &concentrator::StagedSwitch {
+        match self {
+            Design::Revsort(s) => s.staged(),
+            Design::Columnsort(s) => s.staged(),
+        }
+    }
 }
 
 #[cfg(test)]

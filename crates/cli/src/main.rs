@@ -7,6 +7,7 @@
 //! concentrator verify  --design columnsort:64x4:128 [--trials 2000]
 //! concentrator package --design revsort:1024:512 [--dim 3d] [--json]
 //! concentrator svg     --design columnsort:8x4:18 --out layout.svg
+//! concentrator fabric-bench --frames 64 --shards 2
 //! ```
 //!
 //! Design specifiers: `revsort:<n>:<m>` or `columnsort:<r>x<s>:<m>`.
@@ -45,6 +46,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "package" => commands::package(&rest),
         "svg" => commands::svg(&rest),
         "export" => commands::export(&rest),
+        "fabric-bench" => commands::fabric_bench(&rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -60,7 +62,15 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let text = run_ok(&["help"]);
-        for cmd in ["design", "route", "verify", "package", "svg", "export"] {
+        for cmd in [
+            "design",
+            "route",
+            "verify",
+            "package",
+            "svg",
+            "export",
+            "fabric-bench",
+        ] {
             assert!(text.contains(cmd), "help missing {cmd}");
         }
         assert_eq!(run_ok(&[]), text);

@@ -1,0 +1,316 @@
+//! The synchronous fabric engine: deterministic sharded serving.
+//!
+//! [`Fabric`] is the single-threaded core of the subsystem: `submit` runs
+//! placement, admission control, and backpressure; `tick` runs one
+//! batched routing frame on every shard. Every decision is a pure
+//! function of the submission order, so a fixed workload produces a
+//! bit-identical [`FabricSnapshot`] on every run — this is the engine the
+//! benches use for their reproducibility claims, and the reference the
+//! threaded [`FabricService`](crate::FabricService) is tested against.
+
+use std::sync::Arc;
+
+use concentrator::StagedSwitch;
+use switchsim::Message;
+
+use crate::config::{Backpressure, FabricConfig};
+use crate::metrics::FabricSnapshot;
+use crate::shard::{Delivery, FrameRun, Shard};
+
+/// What happened to a submitted message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued on a shard.
+    Accepted,
+    /// Accepted after shedding the oldest queued message on the target
+    /// shard ([`Backpressure::ShedOldest`]).
+    AcceptedAfterShed,
+    /// Refused: full queue under [`Backpressure::Reject`], or the global
+    /// admission cap.
+    Rejected,
+    /// The target queue is full under [`Backpressure::Block`]: the
+    /// message is handed back, and the closed-loop caller should re-offer
+    /// it after the next [`Fabric::tick`] (the synchronous analogue of a
+    /// blocked producer).
+    Backpressured(Message),
+}
+
+/// A deterministic, synchronous sharded switch fabric.
+pub struct Fabric {
+    config: FabricConfig,
+    shards: Vec<Shard>,
+    rr_cursor: usize,
+    completions: Vec<Delivery>,
+    record_frames: bool,
+    frame_records: Vec<FrameRun>,
+}
+
+impl Fabric {
+    /// Build a fabric of `config.shards` shards over one shared switch.
+    /// The switch's datapath netlist is elaborated and compiled once (via
+    /// its `concentrator::elab` cache) and shared by every shard.
+    ///
+    /// # Panics
+    /// If the configuration is invalid (see [`FabricConfig::validate`]).
+    pub fn new(switch: Arc<StagedSwitch>, config: FabricConfig) -> Fabric {
+        config.validate();
+        let shards = (0..config.shards)
+            .map(|id| Shard::new(id, Arc::clone(&switch), config.retry))
+            .collect();
+        Fabric {
+            config,
+            shards,
+            rr_cursor: 0,
+            completions: Vec::new(),
+            record_frames: false,
+            frame_records: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Messages queued across all shards.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(Shard::pending_len).sum()
+    }
+
+    /// Record every executed frame (offered set + outcomes) for
+    /// cross-checking against the single-frame reference simulator.
+    /// Off by default; costs one clone of each offered message.
+    pub fn set_frame_recording(&mut self, on: bool) {
+        self.record_frames = on;
+    }
+
+    /// Take the recorded frames accumulated since the last call.
+    pub fn take_frame_records(&mut self) -> Vec<FrameRun> {
+        std::mem::take(&mut self.frame_records)
+    }
+
+    /// Submit one routing request. Applies admission control (global
+    /// in-flight cap), placement, and the configured backpressure policy.
+    pub fn submit(&mut self, message: Message) -> SubmitOutcome {
+        let shard_idx =
+            self.config
+                .placement
+                .place(message.source, self.rr_cursor, self.config.shards);
+        // Admission control: shed load before it ever reaches a queue.
+        if let Some(limit) = self.config.admission_limit {
+            if self.in_flight() >= limit {
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                let shard = &mut self.shards[shard_idx];
+                shard.metrics.offered += 1;
+                shard.metrics.rejected += 1;
+                return SubmitOutcome::Rejected;
+            }
+        }
+        let capacity = self.config.queue_capacity;
+        let shard = &mut self.shards[shard_idx];
+        if shard.pending_len() >= capacity {
+            match self.config.backpressure {
+                Backpressure::Block => {
+                    // Hand the message back without counting it offered:
+                    // the producer still holds it.
+                    return SubmitOutcome::Backpressured(message);
+                }
+                Backpressure::Reject => {
+                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                    shard.metrics.offered += 1;
+                    shard.metrics.rejected += 1;
+                    return SubmitOutcome::Rejected;
+                }
+                Backpressure::ShedOldest => {
+                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                    shard.metrics.offered += 1;
+                    shard.shed_oldest();
+                    shard.accept(message);
+                    return SubmitOutcome::AcceptedAfterShed;
+                }
+            }
+        }
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        shard.metrics.offered += 1;
+        shard.accept(message);
+        SubmitOutcome::Accepted
+    }
+
+    /// Run one batched routing frame on every shard with pending work.
+    /// Deliveries accumulate in the completion buffer
+    /// (see [`Fabric::take_completions`]).
+    pub fn tick(&mut self) {
+        for shard in &mut self.shards {
+            let run = shard.run_frame();
+            self.completions.extend(run.delivered.iter().cloned());
+            if self.record_frames && !run.offered.is_empty() {
+                self.frame_records.push(run);
+            }
+        }
+    }
+
+    /// Take all deliveries completed since the last call.
+    pub fn take_completions(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Tick until every shard is empty (graceful drain). `max_frames`
+    /// bounds the loop; panics if the fabric cannot drain within it.
+    pub fn drain(&mut self, max_frames: u64) {
+        let mut frames = 0u64;
+        while self.in_flight() > 0 {
+            assert!(
+                frames < max_frames,
+                "fabric failed to drain within {max_frames} frames"
+            );
+            self.tick();
+            frames += 1;
+        }
+    }
+
+    /// Snapshot all per-shard metrics plus the in-flight count.
+    pub fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot {
+            shards: self.shards.iter().map(|s| s.metrics.clone()).collect(),
+            in_flight: self.in_flight() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Placement;
+    use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+
+    fn fabric(config: FabricConfig) -> Fabric {
+        let switch = Arc::new(
+            RevsortSwitch::new(16, 8, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        );
+        Fabric::new(switch, config)
+    }
+
+    fn msg(id: u64, source: usize) -> Message {
+        Message::new(id, source, vec![id as u8])
+    }
+
+    #[test]
+    fn round_robin_spreads_and_delivers() {
+        let mut f = fabric(FabricConfig::new(4));
+        for i in 0..32u64 {
+            assert_eq!(f.submit(msg(i, (i % 16) as usize)), SubmitOutcome::Accepted);
+        }
+        f.drain(100);
+        let snapshot = f.snapshot();
+        assert_eq!(snapshot.totals().delivered, 32);
+        assert!(snapshot.conserved());
+        for shard in &snapshot.shards {
+            assert_eq!(shard.offered, 8, "round robin splits 32 four ways");
+        }
+        assert_eq!(f.take_completions().len(), 32);
+    }
+
+    #[test]
+    fn reject_policy_bounds_the_queue() {
+        let mut config = FabricConfig::new(1);
+        config.queue_capacity = 4;
+        config.backpressure = Backpressure::Reject;
+        let mut f = fabric(config);
+        let mut rejected = 0;
+        for i in 0..10u64 {
+            if f.submit(msg(i, (i % 16) as usize)) == SubmitOutcome::Rejected {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 6);
+        assert_eq!(f.in_flight(), 4);
+        f.drain(100);
+        let snapshot = f.snapshot();
+        assert_eq!(snapshot.totals().offered, 10);
+        assert_eq!(snapshot.totals().rejected, 6);
+        assert!(snapshot.conserved());
+    }
+
+    #[test]
+    fn shed_oldest_keeps_the_newest() {
+        let mut config = FabricConfig::new(1);
+        config.queue_capacity = 2;
+        config.backpressure = Backpressure::ShedOldest;
+        let mut f = fabric(config);
+        for i in 0..5u64 {
+            let outcome = f.submit(msg(i, i as usize));
+            assert_ne!(outcome, SubmitOutcome::Rejected);
+        }
+        f.drain(100);
+        let mut ids: Vec<u64> = f.take_completions().iter().map(|d| d.message.id).collect();
+        // Within one frame, deliveries come out in output-wire order.
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 4], "oldest three were shed");
+        let snapshot = f.snapshot();
+        assert_eq!(snapshot.totals().shed, 3);
+        assert!(snapshot.conserved());
+    }
+
+    #[test]
+    fn block_policy_hands_the_message_back() {
+        let mut config = FabricConfig::new(1);
+        config.queue_capacity = 1;
+        config.backpressure = Backpressure::Block;
+        let mut f = fabric(config);
+        assert_eq!(f.submit(msg(0, 0)), SubmitOutcome::Accepted);
+        let held = match f.submit(msg(1, 1)) {
+            SubmitOutcome::Backpressured(m) => m,
+            other => panic!("expected backpressure, got {other:?}"),
+        };
+        // After a tick the queue drains and the held message goes in.
+        f.tick();
+        assert_eq!(f.submit(held), SubmitOutcome::Accepted);
+        f.drain(100);
+        let snapshot = f.snapshot();
+        assert_eq!(snapshot.totals().offered, 2);
+        assert_eq!(snapshot.totals().delivered, 2);
+        assert!(snapshot.conserved());
+    }
+
+    #[test]
+    fn admission_limit_rejects_above_cap() {
+        let mut config = FabricConfig::new(2);
+        config.admission_limit = Some(3);
+        let mut f = fabric(config);
+        let mut rejected = 0;
+        for i in 0..8u64 {
+            if f.submit(msg(i, i as usize)) == SubmitOutcome::Rejected {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 5, "cap of 3 in flight rejects the rest");
+        f.drain(100);
+        assert!(f.snapshot().conserved());
+    }
+
+    #[test]
+    fn source_hash_placement_is_sticky() {
+        let mut config = FabricConfig::new(4);
+        config.placement = Placement::SourceHash;
+        let mut f = fabric(config);
+        for round in 0..3u64 {
+            for src in 0..16usize {
+                f.submit(msg(round * 16 + src as u64, src));
+            }
+            f.tick();
+        }
+        f.drain(100);
+        // Every message from one source lands on one shard, so per-source
+        // deliveries must come from a single shard id.
+        let mut shard_of = [None; 16];
+        for d in f.take_completions() {
+            let slot = &mut shard_of[d.message.source];
+            match slot {
+                None => *slot = Some(d.shard),
+                Some(s) => assert_eq!(*s, d.shard, "source {} moved shards", d.message.source),
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `fabric` — a sharded, batching concentrator-switch serving engine.
+//!
+//! The crates below this one answer "how do we build and evaluate one
+//! partial concentrator switch"; `fabric` answers "how do we *serve*
+//! one". Routing requests ([`switchsim::Message`]) are submitted to a
+//! fabric, placed on a shard ([`Placement`]), admitted or refused
+//! ([`FabricConfig::admission_limit`], [`Backpressure`]), and then
+//! coalesced: each shard packs its pending requests one-per-input-wire
+//! into a single routing frame, routes the batch through the shared
+//! [`concentrator::StagedSwitch`], and streams every payload bit
+//! through the *compiled* datapath netlist 64 lanes at a time
+//! (`netlist::CompiledNetlist::eval_word_into`). One SWAR sweep thus
+//! moves one bit-cycle of up to `n` messages — the batching win the
+//! `fabric_bench` harness measures against a one-request-per-sweep
+//! baseline.
+//!
+//! Losers of output contention are retried under a [`RetryBudget`]
+//! (wire-compatible with [`switchsim::CongestionPolicy`] semantics),
+//! and every shard keeps a [`ShardMetrics`] ledger — counters plus
+//! log-bucketed wait histograms — that snapshots to JSON.
+//!
+//! Two execution modes share the same shard executor ([`Shard`]):
+//!
+//! * [`Fabric`] — synchronous and single-threaded; every counter is a
+//!   pure function of the submission order, so runs are bit-reproducible.
+//! * [`FabricService`] — one worker thread per shard behind bounded
+//!   [`IngressQueue`]s; producers get real blocking backpressure, and
+//!   drain is graceful (close, finish backlogs, join, merge metrics).
+//!
+//! The conservation identity both modes guarantee at drain:
+//!
+//! ```text
+//! offered = delivered + rejected + shed + retry_dropped + in_flight
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+pub mod shard;
+
+pub use config::{Backpressure, FabricConfig, Placement, RetryBudget};
+pub use engine::{Fabric, SubmitOutcome};
+pub use loadgen::{drive_service, drive_sync, drive_sync_unbatched, DriveReport, LoadPlan};
+pub use metrics::{FabricSnapshot, LogHistogram, ShardMetrics};
+pub use queue::{IngressQueue, PushOutcome};
+pub use service::{FabricReport, FabricService};
+pub use shard::{Delivery, FrameRun, Shard};

@@ -1,0 +1,240 @@
+//! Bounded multi-producer ingress queues for the threaded service.
+//!
+//! One queue sits in front of each shard worker. Producers apply the
+//! configured [`Backpressure`] policy at the bound: block on a condvar,
+//! shed the oldest queued message, or reject. `close` starts a graceful
+//! drain: producers are refused from then on, the consumer keeps popping
+//! until the queue is empty, and blocked producers wake immediately.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — the vendored `parking_lot`
+//! shim deliberately exposes no condition variables.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use switchsim::Message;
+
+use crate::config::Backpressure;
+
+/// What a push did. Mirrors [`SubmitOutcome`](crate::SubmitOutcome) minus
+/// the synchronous-only backpressure hand-back (a blocked producer really
+/// blocks here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Enqueued.
+    Enqueued,
+    /// Enqueued after dropping the oldest queued message.
+    EnqueuedAfterShed,
+    /// Refused (full queue under [`Backpressure::Reject`], or closed).
+    Rejected,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    messages: VecDeque<Message>,
+    closed: bool,
+    /// Producer-side counters, folded into the shard's metrics at drain.
+    offered: u64,
+    rejected: u64,
+    shed: u64,
+}
+
+/// A bounded MPSC ingress queue with pluggable backpressure.
+#[derive(Debug)]
+pub struct IngressQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl IngressQueue {
+    /// An empty open queue holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> IngressQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        IngressQueue {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Push one message under `policy`. [`Backpressure::Block`] waits for
+    /// space (or for close, which rejects).
+    pub fn push(&self, message: Message, policy: Backpressure) -> PushOutcome {
+        let mut state = self.state.lock().expect("ingress queue poisoned");
+        state.offered += 1;
+        loop {
+            if state.closed {
+                state.rejected += 1;
+                return PushOutcome::Rejected;
+            }
+            if state.messages.len() < self.capacity {
+                state.messages.push_back(message);
+                self.not_empty.notify_one();
+                return PushOutcome::Enqueued;
+            }
+            match policy {
+                Backpressure::Block => {
+                    state = self.not_full.wait(state).expect("ingress queue poisoned");
+                }
+                Backpressure::Reject => {
+                    state.rejected += 1;
+                    return PushOutcome::Rejected;
+                }
+                Backpressure::ShedOldest => {
+                    state.messages.pop_front();
+                    state.shed += 1;
+                    state.messages.push_back(message);
+                    self.not_empty.notify_one();
+                    return PushOutcome::EnqueuedAfterShed;
+                }
+            }
+        }
+    }
+
+    /// Pop up to `max` messages, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed **and** empty.
+    pub fn pop_batch_blocking(&self, max: usize) -> Option<Vec<Message>> {
+        let mut state = self.state.lock().expect("ingress queue poisoned");
+        loop {
+            if !state.messages.is_empty() {
+                return Some(self.take(&mut state, max));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("ingress queue poisoned");
+        }
+    }
+
+    /// Pop up to `max` messages without blocking; an empty vec means the
+    /// queue is currently empty (open or closed).
+    pub fn try_pop_batch(&self, max: usize) -> Vec<Message> {
+        let mut state = self.state.lock().expect("ingress queue poisoned");
+        self.take(&mut state, max)
+    }
+
+    fn take(&self, state: &mut QueueState, max: usize) -> Vec<Message> {
+        let count = state.messages.len().min(max);
+        let batch: Vec<Message> = state.messages.drain(..count).collect();
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Close the queue: producers are refused from now on (blocked ones
+    /// wake and get [`PushOutcome::Rejected`]); the consumer drains what
+    /// remains.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("ingress queue poisoned");
+        state.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("ingress queue poisoned")
+            .messages
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer-side counters `(offered, rejected, shed)` accumulated so
+    /// far; the service folds these into the shard's metrics at drain.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let state = self.state.lock().expect("ingress queue poisoned");
+        (state.offered, state.rejected, state.shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn msg(id: u64) -> Message {
+        Message::new(id, 0, vec![id as u8])
+    }
+
+    #[test]
+    fn fifo_order_and_batch_pop() {
+        let q = IngressQueue::new(8);
+        for i in 0..5 {
+            assert_eq!(q.push(msg(i), Backpressure::Reject), PushOutcome::Enqueued);
+        }
+        let batch = q.try_pop_batch(3);
+        let ids: Vec<u64> = batch.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn reject_and_shed_at_capacity() {
+        let q = IngressQueue::new(2);
+        q.push(msg(0), Backpressure::Reject);
+        q.push(msg(1), Backpressure::Reject);
+        assert_eq!(q.push(msg(2), Backpressure::Reject), PushOutcome::Rejected);
+        assert_eq!(
+            q.push(msg(3), Backpressure::ShedOldest),
+            PushOutcome::EnqueuedAfterShed
+        );
+        let ids: Vec<u64> = q.try_pop_batch(9).iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(q.counters(), (4, 1, 1));
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_pop() {
+        let q = Arc::new(IngressQueue::new(1));
+        q.push(msg(0), Backpressure::Block);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(msg(1), Backpressure::Block))
+        };
+        // Give the producer time to block, then make room.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.try_pop_batch(1).len(), 1);
+        assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer_with_rejection() {
+        let q = Arc::new(IngressQueue::new(1));
+        q.push(msg(0), Backpressure::Block);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(msg(1), Backpressure::Block))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), PushOutcome::Rejected);
+        // The consumer still drains the remaining message, then sees None.
+        assert_eq!(q.pop_batch_blocking(4).map(|b| b.len()), Some(1));
+        assert_eq!(q.pop_batch_blocking(4), None);
+    }
+
+    #[test]
+    fn consumer_blocks_until_push() {
+        let q = Arc::new(IngressQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch_blocking(4))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(msg(7), Backpressure::Block);
+        let batch = consumer.join().unwrap().expect("open queue yields batch");
+        assert_eq!(batch[0].id, 7);
+    }
+}

@@ -1,0 +1,215 @@
+//! The threaded fabric service: shard workers behind bounded MPSC
+//! ingress queues.
+//!
+//! [`FabricService`] spawns one worker thread per shard. Producers call
+//! [`FabricService::submit`] from any thread; placement and admission
+//! control run on the producer's thread, then the message lands in the
+//! target shard's [`IngressQueue`] under the configured backpressure
+//! policy (a blocked producer really blocks). Each worker pulls fresh
+//! messages, packs them with its retry backlog into batched routing
+//! frames, and runs the compiled-datapath executor ([`Shard`]).
+//! [`FabricService::drain`] closes every queue, lets the workers finish
+//! their backlogs, joins them, and returns the merged report.
+//!
+//! Frame composition here depends on thread scheduling, so per-run
+//! counters are *not* bit-reproducible — that is what the synchronous
+//! [`Fabric`](crate::Fabric) is for. What the service does guarantee
+//! (and the tests pin) is conservation — every offered message is
+//! delivered, rejected, shed, or retry-dropped by drain — and payload
+//! integrity end to end.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use concentrator::StagedSwitch;
+use switchsim::Message;
+
+use crate::config::FabricConfig;
+use crate::engine::SubmitOutcome;
+use crate::metrics::{FabricSnapshot, ShardMetrics};
+use crate::queue::{IngressQueue, PushOutcome};
+use crate::shard::{Delivery, Shard};
+
+/// Frames a worker may spend clearing its backlog after close before the
+/// service declares the switch unable to drain.
+const DRAIN_FRAME_LIMIT: u64 = 1 << 22;
+
+struct WorkerResult {
+    metrics: ShardMetrics,
+    deliveries: Vec<Delivery>,
+}
+
+/// The merged outcome of a service run, produced by
+/// [`FabricService::drain`].
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Per-shard metrics (queue-side counters folded in); `in_flight` is
+    /// zero — drain completes the backlog.
+    pub snapshot: FabricSnapshot,
+    /// Every delivery, grouped by shard in shard order.
+    pub completions: Vec<Delivery>,
+}
+
+/// A concurrent sharded switch-serving engine.
+pub struct FabricService {
+    config: FabricConfig,
+    queues: Vec<Arc<IngressQueue>>,
+    workers: Vec<JoinHandle<WorkerResult>>,
+    rr_cursor: AtomicUsize,
+    in_flight: Arc<AtomicU64>,
+    admission_rejected: Vec<AtomicU64>,
+}
+
+impl FabricService {
+    /// Spawn `config.shards` workers over one shared switch. The first
+    /// shard's construction compiles the datapath netlist (through the
+    /// switch's shared elaboration cache); the rest reuse it, so startup
+    /// cost is one compile regardless of shard count.
+    pub fn start(switch: Arc<StagedSwitch>, config: FabricConfig) -> FabricService {
+        config.validate();
+        let batch_window = switch.n.max(1);
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let mut queues = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for id in 0..config.shards {
+            let queue = Arc::new(IngressQueue::new(config.queue_capacity));
+            let mut shard = Shard::new(id, Arc::clone(&switch), config.retry);
+            let worker_queue = Arc::clone(&queue);
+            let worker_in_flight = Arc::clone(&in_flight);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fabric-shard-{id}"))
+                    .spawn(move || {
+                        let deliveries =
+                            run_worker(&mut shard, &worker_queue, &worker_in_flight, batch_window);
+                        WorkerResult {
+                            metrics: shard.metrics.clone(),
+                            deliveries,
+                        }
+                    })
+                    .expect("spawn fabric worker"),
+            );
+            queues.push(queue);
+        }
+        FabricService {
+            config,
+            queues,
+            workers,
+            rr_cursor: AtomicUsize::new(0),
+            in_flight,
+            admission_rejected: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Submit one routing request from any thread. Under
+    /// [`Backpressure::Block`](crate::Backpressure) this blocks while the
+    /// target queue is full; after [`FabricService::drain`] has begun it
+    /// returns [`SubmitOutcome::Rejected`].
+    pub fn submit(&self, message: Message) -> SubmitOutcome {
+        let cursor = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
+        let shard = self
+            .config
+            .placement
+            .place(message.source, cursor, self.config.shards);
+        if let Some(limit) = self.config.admission_limit {
+            if self.in_flight.load(Ordering::Acquire) >= limit as u64 {
+                self.admission_rejected[shard].fetch_add(1, Ordering::Relaxed);
+                return SubmitOutcome::Rejected;
+            }
+        }
+        // Count the message in flight *before* it becomes poppable: a fast
+        // worker could otherwise complete (and decrement) it first and wrap
+        // the gauge below zero.
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        match self.queues[shard].push(message, self.config.backpressure) {
+            PushOutcome::Enqueued => SubmitOutcome::Accepted,
+            // A shed swaps one queued message for another that will never
+            // complete: net in-flight change is zero, so undo our add.
+            PushOutcome::EnqueuedAfterShed => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                SubmitOutcome::AcceptedAfterShed
+            }
+            PushOutcome::Rejected => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                SubmitOutcome::Rejected
+            }
+        }
+    }
+
+    /// Messages currently in flight (queued or pending in a shard).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: refuse new work, let every worker finish its
+    /// backlog, join them, and merge queue-side counters into the
+    /// per-shard metrics.
+    pub fn drain(self) -> FabricReport {
+        for queue in &self.queues {
+            queue.close();
+        }
+        let mut shards = Vec::with_capacity(self.workers.len());
+        let mut completions = Vec::new();
+        for (i, worker) in self.workers.into_iter().enumerate() {
+            let mut result = worker.join().expect("fabric worker panicked");
+            let (offered, rejected, shed) = self.queues[i].counters();
+            let admission = self.admission_rejected[i].load(Ordering::Relaxed);
+            result.metrics.offered += offered + admission;
+            result.metrics.rejected += rejected + admission;
+            result.metrics.shed += shed;
+            completions.append(&mut result.deliveries);
+            shards.push(result.metrics);
+        }
+        FabricReport {
+            snapshot: FabricSnapshot {
+                shards,
+                in_flight: 0,
+            },
+            completions,
+        }
+    }
+}
+
+/// The shard worker loop: pull fresh messages (blocking only when the
+/// shard is otherwise idle), batch them with the retry backlog, run
+/// frames, and account completed work against the global in-flight gauge.
+fn run_worker(
+    shard: &mut Shard,
+    queue: &IngressQueue,
+    in_flight: &AtomicU64,
+    batch_window: usize,
+) -> Vec<Delivery> {
+    let mut deliveries = Vec::new();
+    let mut drain_frames = 0u64;
+    loop {
+        let fresh = if shard.pending_len() == 0 {
+            match queue.pop_batch_blocking(batch_window) {
+                Some(batch) => batch,
+                // Closed and empty, nothing pending: done.
+                None => return deliveries,
+            }
+        } else {
+            queue.try_pop_batch(batch_window)
+        };
+        for message in fresh {
+            shard.accept(message);
+        }
+        if shard.pending_len() > 0 {
+            let run = shard.run_frame();
+            let completed = (run.delivered.len() + run.dropped.len()) as u64;
+            deliveries.extend(run.delivered);
+            if completed > 0 {
+                in_flight.fetch_sub(completed, Ordering::AcqRel);
+                drain_frames = 0;
+            } else {
+                drain_frames += 1;
+                assert!(
+                    drain_frames < DRAIN_FRAME_LIMIT,
+                    "shard {} made no progress for {DRAIN_FRAME_LIMIT} frames",
+                    shard.id()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! One serving shard: a pending-request queue in front of one switch
+//! instance, with a batching executor that packs requests into routing
+//! frames and transports every payload through the switch's *compiled*
+//! gate-level datapath — one 64-lane SWAR sweep per 64 payload cycles.
+//!
+//! All shards of a fabric share one [`StagedSwitch`] (the switches are
+//! stateless combinational logic), so the expensive elaborate-and-compile
+//! step runs **once** through the switch's `concentrator::elab` cache and
+//! every shard holds the same `Arc<Elaboration>`; what is per-shard is the
+//! mutable state: the pending queue, the evaluation scratch, the lane
+//! buffers, and the metrics.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use concentrator::spec::ConcentratorSwitch;
+use concentrator::{Elaboration, StagedSwitch};
+use netlist::{EvalScratch, WORD_BITS};
+use switchsim::Message;
+
+use crate::config::RetryBudget;
+use crate::metrics::ShardMetrics;
+
+/// A message waiting in a shard with its bookkeeping.
+#[derive(Debug, Clone)]
+struct Ticket {
+    message: Message,
+    /// Unsuccessful send attempts so far.
+    attempts: usize,
+    /// Shard frame counter when the message was accepted.
+    born_frame: u64,
+}
+
+/// One delivered message with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Shard that served the request.
+    pub shard: usize,
+    /// Output wire the message arrived on.
+    pub output: usize,
+    /// The message, payload reassembled from the wire bits.
+    pub message: Message,
+    /// Frames waited from acceptance to delivery.
+    pub waited_frames: u64,
+}
+
+/// What one executed frame did — returned so callers (and the equivalence
+/// tests) can cross-check the batch against the single-frame reference.
+#[derive(Debug, Clone, Default)]
+pub struct FrameRun {
+    /// The messages offered to the switch this frame (≤ 1 per input wire).
+    pub offered: Vec<Message>,
+    /// Deliveries completed this frame.
+    pub delivered: Vec<Delivery>,
+    /// Messages dropped this frame after exhausting their retry budget.
+    pub dropped: Vec<Message>,
+}
+
+/// A shard: pending queue + compiled-datapath batch executor + metrics.
+pub struct Shard {
+    id: usize,
+    switch: Arc<StagedSwitch>,
+    elab: Arc<Elaboration>,
+    scratch: EvalScratch,
+    word_in: Vec<u64>,
+    word_out: Vec<u64>,
+    pending: VecDeque<Ticket>,
+    retry: RetryBudget,
+    /// Frames this shard has executed (its local clock).
+    clock: u64,
+    /// Counters; public so the engine/service can fold in queue-side
+    /// events (rejections, sheds) that never reach the shard proper.
+    pub metrics: ShardMetrics,
+}
+
+impl Shard {
+    /// Create shard `id` over the shared `switch`. The datapath
+    /// elaboration comes from the switch's shared cache: the first shard
+    /// pays the compile, the rest reuse it.
+    pub fn new(id: usize, switch: Arc<StagedSwitch>, retry: RetryBudget) -> Shard {
+        let elab = switch.datapath_logic(false);
+        let scratch = elab.compiled.scratch();
+        let word_in = vec![0u64; elab.compiled.input_count()];
+        let word_out = vec![0u64; elab.compiled.output_count()];
+        Shard {
+            id,
+            switch,
+            elab,
+            scratch,
+            word_in,
+            word_out,
+            pending: VecDeque::new(),
+            retry,
+            clock: 0,
+            metrics: ShardMetrics::default(),
+        }
+    }
+
+    /// Shard id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Messages waiting for a frame slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Shard-local frame counter.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Accept a message into the pending queue. The caller has already
+    /// applied admission control and backpressure; this always enqueues.
+    pub fn accept(&mut self, message: Message) {
+        assert!(
+            message.source < self.switch.n,
+            "message source {} out of range for n = {}",
+            message.source,
+            self.switch.n
+        );
+        self.pending.push_back(Ticket {
+            message,
+            attempts: 0,
+            born_frame: self.clock,
+        });
+        self.metrics.max_pending = self.metrics.max_pending.max(self.pending.len() as u64);
+    }
+
+    /// Drop the oldest pending message (shed-oldest backpressure),
+    /// returning it if the queue was non-empty. Counts as `shed`.
+    pub fn shed_oldest(&mut self) -> Option<Message> {
+        let ticket = self.pending.pop_front()?;
+        self.metrics.shed += 1;
+        Some(ticket.message)
+    }
+
+    /// Run one routing frame: pack pending messages onto free input wires
+    /// (FIFO, at most one per wire), route, transport every payload
+    /// through the compiled datapath, deliver winners, and re-queue or
+    /// drop congestion losers per the retry budget.
+    ///
+    /// A shard with nothing pending executes nothing and returns an empty
+    /// run (frames and sweeps only count real work).
+    pub fn run_frame(&mut self) -> FrameRun {
+        if self.pending.is_empty() {
+            return FrameRun::default();
+        }
+        let n = self.switch.n;
+        let m = self.switch.m;
+
+        // Pack: claim input wires in FIFO order; conflicting tickets stay
+        // queued (in order) for a later frame.
+        let mut by_input: Vec<Option<Ticket>> = (0..n).map(|_| None).collect();
+        let mut stay = VecDeque::with_capacity(self.pending.len());
+        let mut batched = 0usize;
+        for ticket in self.pending.drain(..) {
+            let slot = &mut by_input[ticket.message.source];
+            if slot.is_none() {
+                *slot = Some(ticket);
+                batched += 1;
+            } else {
+                stay.push_back(ticket);
+            }
+        }
+        self.pending = stay;
+        debug_assert!(batched > 0);
+
+        // Setup cycle: the valid bits establish the electrical paths.
+        let valid: Vec<bool> = by_input.iter().map(Option::is_some).collect();
+        let routing = self.switch.route(&valid);
+
+        // Payload cycles through the compiled datapath netlist: the valid
+        // rail holds the frozen setup pattern on every lane, the data rail
+        // carries one payload bit per lane — 64 clock cycles per sweep.
+        let cycles = by_input
+            .iter()
+            .flatten()
+            .map(|t| t.message.bit_len())
+            .max()
+            .unwrap_or(0);
+        let mut received: Vec<Vec<bool>> = vec![Vec::with_capacity(cycles); m];
+        let mut cycle = 0usize;
+        while cycle < cycles {
+            let lanes = (cycles - cycle).min(WORD_BITS);
+            let lane_mask = if lanes == WORD_BITS {
+                !0u64
+            } else {
+                (1u64 << lanes) - 1
+            };
+            for i in 0..n {
+                self.word_in[i] = if valid[i] { lane_mask } else { 0 };
+                let mut data = 0u64;
+                if let Some(ticket) = &by_input[i] {
+                    let msg = &ticket.message;
+                    let last = msg.bit_len().min(cycle + lanes);
+                    for (lane, c) in (cycle..last).enumerate() {
+                        data |= (msg.bit(c) as u64) << lane;
+                    }
+                }
+                self.word_in[n + i] = data;
+            }
+            self.elab
+                .compiled
+                .eval_word_into(&self.word_in, &mut self.scratch, &mut self.word_out);
+            self.metrics.sweeps += 1;
+            for (out, src) in routing.output_source.iter().enumerate() {
+                if src.is_some() {
+                    debug_assert_eq!(
+                        self.word_out[out] & lane_mask,
+                        lane_mask,
+                        "routed output {out} lost its valid bit in the netlist"
+                    );
+                    let data = self.word_out[m + out];
+                    for lane in 0..lanes {
+                        received[out].push(data >> lane & 1 == 1);
+                    }
+                }
+            }
+            cycle += lanes;
+        }
+
+        // Deliver winners, reassembling payloads from the arrived bits.
+        let mut run = FrameRun {
+            offered: by_input
+                .iter()
+                .flatten()
+                .map(|t| t.message.clone())
+                .collect(),
+            ..FrameRun::default()
+        };
+        for (out, src) in routing.output_source.iter().enumerate() {
+            if let Some(src) = src {
+                let ticket = by_input[*src].take().expect("routed inputs carry tickets");
+                let payload =
+                    Message::payload_from_bits(&received[out][..ticket.message.bit_len()]);
+                let waited = self.clock - ticket.born_frame;
+                self.metrics.delivered += 1;
+                self.metrics.wait_frames.record(waited);
+                run.delivered.push(Delivery {
+                    shard: self.id,
+                    output: out,
+                    message: Message {
+                        id: ticket.message.id,
+                        source: ticket.message.source,
+                        payload,
+                    },
+                    waited_frames: waited,
+                });
+            }
+        }
+
+        // Congestion losers: retry within budget (re-queued at the front,
+        // preserving age order), or drop.
+        let mut requeue: Vec<Ticket> = Vec::new();
+        for slot in by_input.into_iter() {
+            let Some(mut ticket) = slot else { continue };
+            ticket.attempts += 1;
+            if self.retry.allows(ticket.attempts) {
+                self.metrics.retries += 1;
+                requeue.push(ticket);
+            } else {
+                self.metrics.retry_dropped += 1;
+                run.dropped.push(ticket.message);
+            }
+        }
+        for ticket in requeue.into_iter().rev() {
+            self.pending.push_front(ticket);
+        }
+
+        self.metrics.frames += 1;
+        self.clock += 1;
+        run
+    }
+
+    /// Run frames until the pending queue is empty (graceful drain),
+    /// collecting deliveries. `max_frames` bounds the loop against a
+    /// misconfigured switch that routes nothing.
+    pub fn drain(&mut self, max_frames: u64) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        let mut frames = 0u64;
+        while !self.pending.is_empty() {
+            assert!(
+                frames < max_frames,
+                "shard {} failed to drain within {max_frames} frames",
+                self.id
+            );
+            deliveries.extend(self.run_frame().delivered);
+            frames += 1;
+        }
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+
+    fn test_switch() -> Arc<StagedSwitch> {
+        Arc::new(
+            RevsortSwitch::new(16, 8, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        )
+    }
+
+    #[test]
+    fn delivers_packed_batch_with_intact_payloads() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        for src in [1usize, 4, 9] {
+            shard.accept(Message::new(src as u64, src, vec![0xA0 | src as u8, 0x5C]));
+        }
+        let run = shard.run_frame();
+        assert_eq!(run.offered.len(), 3);
+        assert_eq!(run.delivered.len(), 3);
+        for d in &run.delivered {
+            assert_eq!(d.message.payload[0], 0xA0 | d.message.source as u8);
+            assert_eq!(d.message.payload[1], 0x5C);
+            assert_eq!(d.waited_frames, 0);
+        }
+        assert_eq!(shard.metrics.frames, 1);
+        // 16 payload cycles fit in one 64-lane sweep.
+        assert_eq!(shard.metrics.sweeps, 1);
+    }
+
+    #[test]
+    fn input_conflicts_wait_their_turn_in_fifo_order() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        shard.accept(Message::new(1, 3, vec![0x11]));
+        shard.accept(Message::new(2, 3, vec![0x22]));
+        shard.accept(Message::new(3, 3, vec![0x33]));
+        let first = shard.run_frame();
+        assert_eq!(first.offered.len(), 1, "one wire, one slot per frame");
+        assert_eq!(first.delivered[0].message.id, 1);
+        let second = shard.run_frame();
+        assert_eq!(second.delivered[0].message.id, 2);
+        assert_eq!(second.delivered[0].waited_frames, 1);
+        let third = shard.run_frame();
+        assert_eq!(third.delivered[0].message.id, 3);
+        assert_eq!(shard.pending_len(), 0);
+    }
+
+    #[test]
+    fn retry_budget_drops_persistent_losers() {
+        // m = 4 ≪ n = 16: overload 12 inputs so some lose every frame.
+        let switch = Arc::new(
+            RevsortSwitch::new(16, 4, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        );
+        let mut shard = Shard::new(0, switch, RetryBudget::limited(0));
+        for src in 0..12 {
+            shard.accept(Message::new(src as u64, src, vec![src as u8]));
+        }
+        let run = shard.run_frame();
+        assert_eq!(run.delivered.len() + run.dropped.len(), 12);
+        assert!(!run.dropped.is_empty(), "budget 0 drops every loser");
+        assert_eq!(shard.pending_len(), 0);
+        assert_eq!(shard.metrics.retry_dropped as usize, run.dropped.len());
+    }
+
+    #[test]
+    fn drain_empties_the_shard() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        for i in 0..40u64 {
+            shard.accept(Message::new(i, (i % 16) as usize, vec![i as u8]));
+        }
+        let deliveries = shard.drain(1000);
+        assert_eq!(deliveries.len(), 40);
+        assert_eq!(shard.pending_len(), 0);
+        assert_eq!(shard.metrics.delivered, 40);
+    }
+
+    #[test]
+    fn idle_shard_does_no_work() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        let run = shard.run_frame();
+        assert!(run.offered.is_empty());
+        assert_eq!(shard.metrics.frames, 0);
+        assert_eq!(shard.metrics.sweeps, 0);
+    }
+}

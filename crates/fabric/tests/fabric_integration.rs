@@ -1,0 +1,280 @@
+//! Integration tests for the fabric serving engine.
+//!
+//! The load-bearing claims from the subsystem's acceptance criteria:
+//!
+//! * **Equivalence** — every frame the batching executor runs produces
+//!   exactly the deliveries (outputs, payloads) of the single-frame
+//!   reference simulator `switchsim::simulate_frame` on the same offered
+//!   set.
+//! * **Conservation** — `offered = delivered + rejected + shed +
+//!   retry_dropped + in_flight` at drain, for all three backpressure
+//!   policies, in both the synchronous and the threaded mode.
+//! * **Determinism** — two identical synchronous drives produce
+//!   bit-identical snapshots and completion streams.
+//! * **Batching** — the coalescing executor spends an order of magnitude
+//!   fewer compiled sweeps than the one-request-per-sweep baseline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::StagedSwitch;
+use fabric::{
+    drive_service, drive_sync, drive_sync_unbatched, Backpressure, Fabric, FabricConfig,
+    FabricService, LoadPlan, Placement, RetryBudget,
+};
+use switchsim::traffic::TrafficGenerator;
+use switchsim::{simulate_frame, TrafficModel};
+
+fn staged(n: usize, m: usize) -> Arc<StagedSwitch> {
+    Arc::new(
+        RevsortSwitch::new(n, m, RevsortLayout::TwoDee)
+            .staged()
+            .clone(),
+    )
+}
+
+fn plan(model: TrafficModel, seed: u64, frames: usize) -> LoadPlan {
+    LoadPlan {
+        model,
+        payload_bytes: 3,
+        seed,
+        frames,
+    }
+}
+
+/// Every recorded frame of the batching/sharded path must match the
+/// single-frame reference simulator delivery-for-delivery: same output
+/// wires, same message ids, same reassembled payloads, and the frame's
+/// non-winners are exactly the reference's unrouted set.
+#[test]
+fn batched_frames_match_single_frame_reference() {
+    let switch = staged(16, 8);
+    let mut config = FabricConfig::new(2);
+    config.retry = RetryBudget::limited(2);
+    let mut fabric = Fabric::new(Arc::clone(&switch), config);
+    fabric.set_frame_recording(true);
+    let workload = plan(TrafficModel::Bernoulli { p: 0.9 }, 11, 40);
+    drive_sync(&mut fabric, 16, &workload);
+
+    let records = fabric.take_frame_records();
+    assert!(!records.is_empty(), "the drive must have executed frames");
+    for run in &records {
+        let reference = simulate_frame(&*switch, &run.offered);
+        let mut expected: HashMap<u64, (usize, Vec<u8>)> = reference
+            .delivered
+            .iter()
+            .map(|(out, msg)| (msg.id, (*out, msg.payload.to_vec())))
+            .collect();
+        assert_eq!(
+            run.delivered.len(),
+            expected.len(),
+            "batched frame delivered a different count than the reference"
+        );
+        for delivery in &run.delivered {
+            let (out, payload) = expected
+                .remove(&delivery.message.id)
+                .expect("batched path delivered a message the reference did not");
+            assert_eq!(delivery.output, out, "output wire mismatch");
+            assert_eq!(
+                delivery.message.payload.to_vec(),
+                payload,
+                "payload corrupted through the compiled datapath"
+            );
+        }
+        // Offered minus delivered must be exactly the reference's
+        // congestion losers, whether the fabric retried or dropped them.
+        let mut losers: Vec<u64> = run
+            .offered
+            .iter()
+            .map(|m| m.id)
+            .filter(|id| !run.delivered.iter().any(|d| d.message.id == *id))
+            .collect();
+        let mut unrouted: Vec<u64> = reference.unrouted.iter().map(|m| m.id).collect();
+        losers.sort_unstable();
+        unrouted.sort_unstable();
+        assert_eq!(losers, unrouted);
+    }
+}
+
+/// Conservation at drain for every backpressure policy, synchronous mode.
+#[test]
+fn sync_conservation_for_all_backpressure_policies() {
+    for policy in [
+        Backpressure::Block,
+        Backpressure::ShedOldest,
+        Backpressure::Reject,
+    ] {
+        let mut config = FabricConfig::new(3);
+        config.queue_capacity = 8;
+        config.backpressure = policy;
+        config.retry = RetryBudget::limited(4);
+        let mut fabric = Fabric::new(staged(16, 4), config);
+        // Full offered load against m = 4 outputs per frame: queues fill,
+        // so every policy's bound actually gets exercised.
+        let workload = plan(TrafficModel::Adversarial, 5, 80);
+        let report = drive_sync(&mut fabric, 16, &workload);
+        let totals = report.snapshot.totals();
+        assert!(
+            report.snapshot.conserved(),
+            "{policy:?}: offered {} != delivered {} + dropped {} + in_flight {}",
+            totals.offered,
+            totals.delivered,
+            totals.dropped(),
+            report.snapshot.in_flight
+        );
+        assert_eq!(report.snapshot.in_flight, 0, "{policy:?}: drain left work");
+        assert!(totals.delivered > 0, "{policy:?}: nothing delivered");
+        // The overload (m = 4 ≪ offered load) must exercise the policy.
+        match policy {
+            Backpressure::ShedOldest => assert!(totals.shed > 0, "shed never triggered"),
+            Backpressure::Reject => assert!(totals.rejected > 0, "reject never triggered"),
+            Backpressure::Block => assert_eq!(totals.rejected + totals.shed, 0),
+        }
+    }
+}
+
+/// Conservation and payload integrity for the threaded service under all
+/// three policies, with concurrent producers.
+#[test]
+fn service_conservation_for_all_backpressure_policies() {
+    for policy in [
+        Backpressure::Block,
+        Backpressure::ShedOldest,
+        Backpressure::Reject,
+    ] {
+        let mut config = FabricConfig::new(2);
+        config.queue_capacity = 16;
+        config.backpressure = policy;
+        let service = FabricService::start(staged(16, 8), config);
+        let workload = plan(TrafficModel::Bernoulli { p: 0.7 }, 99, 30);
+        let producers = 3;
+        let generated = drive_service(&service, producers, &workload, 16);
+        let report = service.drain();
+        let totals = report.snapshot.totals();
+        assert!(
+            report.snapshot.conserved(),
+            "{policy:?}: conservation violated: {totals:?}"
+        );
+        assert_eq!(
+            totals.offered, generated,
+            "{policy:?}: every generated message must be accounted as offered"
+        );
+        assert_eq!(
+            totals.delivered as usize,
+            report.completions.len(),
+            "{policy:?}: completion stream disagrees with the counters"
+        );
+
+        // Payload integrity end to end: regenerate each producer's traffic
+        // and check every delivery against the original payload.
+        let mut originals: HashMap<u64, Vec<u8>> = HashMap::new();
+        for p in 0..producers as u64 {
+            let mut generator = TrafficGenerator::new(
+                workload.model,
+                16,
+                workload.payload_bytes,
+                workload.seed.wrapping_add(p),
+            );
+            for _ in 0..workload.frames {
+                for msg in generator.next_frame() {
+                    originals.insert(msg.id | (p << 48), msg.payload.to_vec());
+                }
+            }
+        }
+        for delivery in &report.completions {
+            let original = originals
+                .get(&delivery.message.id)
+                .expect("delivered a message nobody generated");
+            assert_eq!(
+                &delivery.message.payload.to_vec(),
+                original,
+                "{policy:?}: payload corrupted in flight"
+            );
+        }
+    }
+}
+
+/// Two identical synchronous drives are bit-identical: same snapshot
+/// (counters *and* histograms) and same completion stream.
+#[test]
+fn sync_drives_are_deterministic() {
+    let make_report = || {
+        let mut config = FabricConfig::new(4);
+        config.queue_capacity = 12;
+        config.backpressure = Backpressure::ShedOldest;
+        config.placement = Placement::SourceHash;
+        config.retry = RetryBudget::limited(3);
+        let mut fabric = Fabric::new(staged(16, 8), config);
+        let workload = plan(TrafficModel::Adversarial, 1234, 25);
+        let report = drive_sync(&mut fabric, 16, &workload);
+        (report, fabric.take_completions())
+    };
+    let (a, completions_a) = make_report();
+    let (b, completions_b) = make_report();
+    assert_eq!(a.snapshot, b.snapshot, "snapshots diverged across runs");
+    assert_eq!(a.generated, b.generated);
+    assert_eq!(completions_a, completions_b);
+}
+
+/// The batching claim at integration scale: coalescing n-wide frames must
+/// beat the one-request-per-sweep baseline by ≥ 10× in sweeps spent on
+/// the same workload (the bench repeats this at n = 1024).
+#[test]
+fn batched_sweeps_are_an_order_of_magnitude_fewer() {
+    let switch = staged(64, 32);
+    let workload = LoadPlan {
+        model: TrafficModel::Bernoulli { p: 0.45 },
+        payload_bytes: 8, // 64 payload cycles: exactly one sweep per frame
+        seed: 3,
+        frames: 30,
+    };
+    let mut batched = Fabric::new(Arc::clone(&switch), FabricConfig::new(1));
+    let batched_report = drive_sync(&mut batched, 64, &workload);
+    let mut unbatched = Fabric::new(switch, FabricConfig::new(1));
+    let unbatched_report = drive_sync_unbatched(&mut unbatched, 64, &workload);
+
+    assert_eq!(batched_report.delivered, batched_report.generated);
+    assert_eq!(unbatched_report.delivered, unbatched_report.generated);
+    let batched_sweeps = batched_report.snapshot.totals().sweeps;
+    let unbatched_sweeps = unbatched_report.snapshot.totals().sweeps;
+    assert!(
+        unbatched_sweeps >= 10 * batched_sweeps,
+        "batching won only {unbatched_sweeps}/{batched_sweeps} sweeps"
+    );
+}
+
+/// Hotspot traffic under source-hash placement skews load to the shards
+/// owning the hot inputs; round-robin spreads the same workload evenly.
+#[test]
+fn hotspot_traffic_skews_source_hash_placement() {
+    let run = |placement: Placement| {
+        let mut config = FabricConfig::new(4);
+        config.placement = placement;
+        let mut fabric = Fabric::new(staged(16, 8), config);
+        let workload = plan(
+            TrafficModel::Hotspot {
+                p_hot: 0.95,
+                p_cold: 0.02,
+                hot_inputs: 2,
+            },
+            77,
+            200,
+        );
+        let report = drive_sync(&mut fabric, 16, &workload);
+        let offered: Vec<u64> = report.snapshot.shards.iter().map(|s| s.offered).collect();
+        (
+            offered.iter().copied().max().unwrap(),
+            offered.iter().copied().min().unwrap(),
+        )
+    };
+    let (hash_max, _) = run(Placement::SourceHash);
+    let (rr_max, rr_min) = run(Placement::RoundRobin);
+    // Round-robin is balanced regardless of traffic skew…
+    assert!(rr_max - rr_min <= 1, "round robin must stay balanced");
+    // …while source hash concentrates the two hot inputs' traffic.
+    assert!(
+        hash_max > rr_max * 3 / 2,
+        "source hash should pile hot traffic onto few shards (max {hash_max} vs rr {rr_max})"
+    );
+}

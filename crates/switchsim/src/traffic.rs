@@ -3,8 +3,10 @@
 //! The paper's switches sit in "a parallel supercomputer" whose traffic it
 //! never characterizes beyond the load ratio; per the reproduction's
 //! substitution rule we synthesize sources that sweep the interesting
-//! operating range: independent Bernoulli offers and bursty on/off sources
-//! (the two standard stress shapes for concentration stages).
+//! operating range: independent Bernoulli offers, bursty on/off sources
+//! (the two standard stress shapes for concentration stages), skewed
+//! hotspot sources (for shard-imbalance stress), and the adversarial
+//! all-inputs-fire pattern that pins the switch at its capacity bound.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -30,6 +32,42 @@ pub enum TrafficModel {
         /// Mean frames per burst.
         mean_burst: f64,
     },
+    /// Skewed per-input weights: the first `hot_inputs` inputs offer with
+    /// probability `p_hot` per frame, every other input with `p_cold`.
+    /// Stresses placement imbalance in sharded serving setups.
+    Hotspot {
+        /// Offer probability of a hot input.
+        p_hot: f64,
+        /// Offer probability of every other input.
+        p_cold: f64,
+        /// How many of the lowest-numbered inputs are hot.
+        hot_inputs: usize,
+    },
+    /// Every input offers a message every frame — the adversarial pattern
+    /// that holds the switch at its congestion bound indefinitely.
+    Adversarial,
+}
+
+impl TrafficModel {
+    /// The long-run offered load per input (expected fraction of
+    /// input-frames carrying a fresh message) over `n` inputs.
+    pub fn offered_load(&self, n: usize) -> f64 {
+        match *self {
+            TrafficModel::Bernoulli { p } | TrafficModel::Bursty { p, .. } => p,
+            TrafficModel::Hotspot {
+                p_hot,
+                p_cold,
+                hot_inputs,
+            } => {
+                if n == 0 {
+                    return 0.0;
+                }
+                let hot = hot_inputs.min(n);
+                (hot as f64 * p_hot + (n - hot) as f64 * p_cold) / n as f64
+            }
+            TrafficModel::Adversarial => 1.0,
+        }
+    }
 }
 
 /// A deterministic, seedable traffic generator over `n` inputs.
@@ -46,11 +84,24 @@ pub struct TrafficGenerator {
 impl TrafficGenerator {
     /// Create a generator for `n` inputs with fixed-size payloads.
     pub fn new(model: TrafficModel, n: usize, payload_bytes: usize, seed: u64) -> Self {
-        let (TrafficModel::Bernoulli { p } | TrafficModel::Bursty { p, .. }) = model;
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "offer probability must be in [0, 1]"
-        );
+        let unit = 0.0..=1.0;
+        match model {
+            TrafficModel::Bernoulli { p } | TrafficModel::Bursty { p, .. } => {
+                assert!(unit.contains(&p), "offer probability must be in [0, 1]");
+            }
+            TrafficModel::Hotspot {
+                p_hot,
+                p_cold,
+                hot_inputs,
+            } => {
+                assert!(
+                    unit.contains(&p_hot) && unit.contains(&p_cold),
+                    "offer probabilities must be in [0, 1]"
+                );
+                assert!(hot_inputs <= n, "hot_inputs {hot_inputs} exceeds n = {n}");
+            }
+            TrafficModel::Adversarial => {}
+        }
         TrafficGenerator {
             model,
             n,
@@ -89,6 +140,15 @@ impl TrafficGenerator {
                     }
                     self.on[source]
                 }
+                TrafficModel::Hotspot {
+                    p_hot,
+                    p_cold,
+                    hot_inputs,
+                } => {
+                    let p = if source < hot_inputs { p_hot } else { p_cold };
+                    self.rng.random_bool(p)
+                }
+                TrafficModel::Adversarial => true,
             };
             if offers {
                 let payload: Vec<u8> = (0..self.payload_bytes).map(|_| self.rng.random()).collect();
@@ -140,6 +200,62 @@ mod tests {
                 assert!(seen.insert(msg.id), "duplicate id {}", msg.id);
             }
         }
+    }
+
+    #[test]
+    fn hotspot_hits_skewed_target_load() {
+        let model = TrafficModel::Hotspot {
+            p_hot: 0.9,
+            p_cold: 0.1,
+            hot_inputs: 8,
+        };
+        // 8 hot of 64 inputs: long-run load = (8·0.9 + 56·0.1)/64 = 0.2.
+        assert!((model.offered_load(64) - 0.2).abs() < 1e-12);
+        let mut generator = TrafficGenerator::new(model, 64, 1, 17);
+        let frames = 2000;
+        let mut hot_msgs = 0usize;
+        let mut total = 0usize;
+        for _ in 0..frames {
+            for msg in generator.next_frame() {
+                total += 1;
+                if msg.source < 8 {
+                    hot_msgs += 1;
+                }
+            }
+        }
+        let load = total as f64 / (frames * 64) as f64;
+        assert!((load - 0.2).abs() < 0.02, "measured load {load}");
+        // The hot inputs really are skewed: they carry (8·0.9)/12.8 = 56%
+        // of the traffic from 12.5% of the inputs.
+        let hot_share = hot_msgs as f64 / total as f64;
+        assert!((hot_share - 0.5625).abs() < 0.05, "hot share {hot_share}");
+    }
+
+    #[test]
+    fn adversarial_fires_every_input_every_frame() {
+        assert_eq!(TrafficModel::Adversarial.offered_load(16), 1.0);
+        let mut generator = TrafficGenerator::new(TrafficModel::Adversarial, 16, 2, 3);
+        for _ in 0..20 {
+            let frame = generator.next_frame();
+            assert_eq!(frame.len(), 16);
+            let sources: Vec<usize> = frame.iter().map(|m| m.source).collect();
+            assert_eq!(sources, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_inputs")]
+    fn hotspot_rejects_more_hot_inputs_than_n() {
+        TrafficGenerator::new(
+            TrafficModel::Hotspot {
+                p_hot: 0.5,
+                p_cold: 0.1,
+                hot_inputs: 9,
+            },
+            8,
+            1,
+            0,
+        );
     }
 
     #[test]

@@ -99,6 +99,35 @@ proptest! {
         }
     }
 
+    /// Identical (seed, model, n) produce bit-identical message streams
+    /// across two independent generators — the reproducibility guarantee
+    /// the fabric bench's deterministic sections rest on.
+    #[test]
+    fn traffic_deterministic_across_generators(
+        seed in any::<u64>(),
+        n in 1usize..48,
+        payload_bytes in 1usize..4,
+        p in 0.0f64..1.0,
+        model_idx in 0usize..4,
+        frames in 1usize..25,
+    ) {
+        let model = [
+            TrafficModel::Bernoulli { p },
+            TrafficModel::Bursty { p, mean_burst: 6.0 },
+            TrafficModel::Hotspot {
+                p_hot: p,
+                p_cold: p / 2.0,
+                hot_inputs: n / 2,
+            },
+            TrafficModel::Adversarial,
+        ][model_idx];
+        let mut a = TrafficGenerator::new(model, n, payload_bytes, seed);
+        let mut b = TrafficGenerator::new(model, n, payload_bytes, seed);
+        for _ in 0..frames {
+            prop_assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+
     /// Multistage cascades never duplicate or invent messages: routing is
     /// a partial injection from inputs to root ports.
     #[test]

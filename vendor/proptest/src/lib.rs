@@ -159,7 +159,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
