@@ -38,6 +38,11 @@ commands:
           drive the sharded serving fabric closed-loop and report the
           batched-vs-unbatched sweep counts, throughput, and wait
           percentiles
+  fault-campaign [--design <spec>] [--frames <count>] [--seed <seed>]
+          [--load <density>] [--permanent <rate>] [--intermittent <rate>]
+          [--period <frames>] [--transient <rate>] [--json] [--out <file>]
+          run a seeded chip-fault injection campaign on the compiled
+          fault path and report degraded capacity vs a quiet baseline
 
 design specs: revsort:<n>:<m> | columnsort:<r>x<s>:<m>
 "
@@ -432,6 +437,111 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     Ok(out)
 }
 
+/// `fault-campaign`: run a seeded chip-fault injection campaign on the
+/// compiled fault path and report degraded capacity against a fault-free
+/// baseline of the same length and traffic.
+pub fn fault_campaign(args: &Parsed) -> Result<String, String> {
+    use concentrator::faults::{run_campaign, CampaignSpec, FaultCampaign};
+
+    let design = Design::parse(args.optional("design").unwrap_or("revsort:64:32"))?;
+    let frames: usize = args.parse_or("frames", 64)?;
+    let seed: u64 = args.parse_or("seed", 0xFA57)?;
+    let density: f64 = args.parse_or("load", 0.5)?;
+    let spec = CampaignSpec {
+        seed,
+        frames,
+        permanent_rate: args.parse_or("permanent", 0.05)?,
+        intermittent_rate: args.parse_or("intermittent", 0.05)?,
+        intermittent_period: args.parse_or("period", 16)?,
+        transient_rate: args.parse_or("transient", 0.01)?,
+    };
+    if !(0.0..=1.0).contains(&density) {
+        return Err(format!("--load must be in [0, 1], got {density}"));
+    }
+    for (flag, rate) in [
+        ("permanent", spec.permanent_rate),
+        ("intermittent", spec.intermittent_rate),
+        ("transient", spec.transient_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--{flag} must be in [0, 1], got {rate}"));
+        }
+    }
+    let staged = design.staged();
+    let campaign = FaultCampaign::generate(staged, &spec);
+    let report = run_campaign(staged, &campaign, density);
+    let baseline = run_campaign(
+        staged,
+        &FaultCampaign::generate(staged, &CampaignSpec::quiet(seed, frames)),
+        density,
+    );
+
+    if args.has_flag("json") || args.optional("out").is_some() {
+        use serde_json::{object, ToJson};
+        let value = object([
+            ("design", design.name().to_json()),
+            ("spec", spec.to_json()),
+            ("density", density.to_json()),
+            ("delivery_rate", report.delivery_rate().to_json()),
+            ("worst_frame_rate", report.worst_frame_rate().to_json()),
+            ("baseline_delivery_rate", baseline.delivery_rate().to_json()),
+            ("report", report.to_json()),
+        ]);
+        let text = format!("{}\n", serde_json::to_string_pretty(&value).unwrap());
+        if let Some(path) = args.optional("out") {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            return Ok(format!("wrote {path} ({} bytes)\n", text.len()));
+        }
+        return Ok(text);
+    }
+
+    let mut out = String::new();
+    writeln!(out, "fault campaign: {} (seed {seed})", design.name()).unwrap();
+    writeln!(
+        out,
+        "  {} frames over {} chips, rates: permanent {}, intermittent {} (period {}), transient {}",
+        report.frames,
+        report.chips,
+        spec.permanent_rate,
+        spec.intermittent_rate,
+        spec.intermittent_period,
+        spec.transient_rate
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  distinct fault sets: {} (compiled overlays materialized)",
+        report.distinct_fault_sets
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  offered {} at density {density}, delivered {}",
+        report.offered, report.delivered
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  delivery rate: {:.4} (worst frame {:.4}, quiet baseline {:.4})",
+        report.delivery_rate(),
+        report.worst_frame_rate(),
+        baseline.delivery_rate()
+    )
+    .unwrap();
+    let worst = report
+        .per_frame
+        .iter()
+        .max_by_key(|f| f.faults_active)
+        .expect("campaign has frames");
+    writeln!(
+        out,
+        "  most faulted frame: #{} with {} chip(s) down, {}/{} delivered",
+        worst.frame, worst.faults_active, worst.delivered, worst.offered
+    )
+    .unwrap();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +613,51 @@ mod tests {
     fn fabric_bench_rejects_bad_policy() {
         let args = parse(&["--design", "revsort:16:8", "--policy", "nope"]);
         assert!(fabric_bench(&args).is_err());
+    }
+
+    #[test]
+    fn fault_campaign_reports_degradation() {
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "16",
+            "--seed",
+            "3",
+            "--permanent",
+            "0.2",
+        ]);
+        let text = fault_campaign(&args).unwrap();
+        assert!(text.contains("delivery rate"), "{text}");
+        assert!(text.contains("distinct fault sets"), "{text}");
+        // Same seed, same report.
+        assert_eq!(text, fault_campaign(&args).unwrap());
+    }
+
+    #[test]
+    fn fault_campaign_json_is_valid() {
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "8",
+            "--seed",
+            "9",
+            "--json",
+        ]);
+        let text = fault_campaign(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["report"]["frames"].as_u64(), Some(8));
+        assert!(v["delivery_rate"].as_f64().unwrap() <= 1.0);
+        assert!(v["baseline_delivery_rate"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fault_campaign_rejects_bad_rates() {
+        let args = parse(&["--design", "revsort:16:8", "--permanent", "1.5"]);
+        assert!(fault_campaign(&args).is_err());
+        let args = parse(&["--design", "revsort:16:8", "--load", "-0.1"]);
+        assert!(fault_campaign(&args).is_err());
     }
 
     #[test]

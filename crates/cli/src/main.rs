@@ -8,6 +8,7 @@
 //! concentrator package --design revsort:1024:512 [--dim 3d] [--json]
 //! concentrator svg     --design columnsort:8x4:18 --out layout.svg
 //! concentrator fabric-bench --frames 64 --shards 2
+//! concentrator fault-campaign --design revsort:64:32 --seed 7 --json
 //! ```
 //!
 //! Design specifiers: `revsort:<n>:<m>` or `columnsort:<r>x<s>:<m>`.
@@ -47,6 +48,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "svg" => commands::svg(&rest),
         "export" => commands::export(&rest),
         "fabric-bench" => commands::fabric_bench(&rest),
+        "fault-campaign" => commands::fault_campaign(&rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -70,6 +72,7 @@ mod tests {
             "svg",
             "export",
             "fabric-bench",
+            "fault-campaign",
         ] {
             assert!(text.contains(cmd), "help missing {cmd}");
         }

@@ -22,6 +22,8 @@ use std::sync::{Arc, OnceLock};
 
 use netlist::{CompiledNetlist, Netlist};
 
+use crate::faults::FaultableElab;
+
 /// One elaboration product: the flat netlist and its compiled form.
 #[derive(Debug, Clone)]
 pub struct Elaboration {
@@ -48,6 +50,9 @@ pub struct ElabCache {
     control: [Slot; 2],
     datapath: [Slot; 2],
     trace: [Slot; 2],
+    /// The healthy faultable-datapath base (chip-output taps, no pads).
+    /// Per-fault-set overlays are derived from this, never stored here.
+    faultable: OnceLock<Arc<FaultableElab>>,
 }
 
 impl ElabCache {
@@ -64,6 +69,11 @@ impl ElabCache {
     /// The cached full-trace elaboration, building via `make` on first use.
     pub fn trace(&self, with_pads: bool, make: impl FnOnce() -> Netlist) -> Arc<Elaboration> {
         Self::get(&self.trace[with_pads as usize], make)
+    }
+
+    /// The cached faultable-datapath elaboration, building on first use.
+    pub fn faultable(&self, make: impl FnOnce() -> FaultableElab) -> Arc<FaultableElab> {
+        self.faultable.get_or_init(|| Arc::new(make())).clone()
     }
 
     fn get(slot: &Slot, make: impl FnOnce() -> Netlist) -> Arc<Elaboration> {
@@ -96,10 +106,11 @@ impl std::fmt::Debug for ElabCache {
         };
         write!(
             f,
-            "ElabCache {{ control: {}/2, datapath: {}/2, trace: {}/2 }}",
+            "ElabCache {{ control: {}/2, datapath: {}/2, trace: {}/2, faultable: {} }}",
             state(&self.control),
             state(&self.datapath),
-            state(&self.trace)
+            state(&self.trace),
+            self.faultable.get().is_some()
         )
     }
 }

@@ -2,18 +2,44 @@
 //!
 //! A multichip switch has a failure surface a single chip does not: one
 //! dead hyperconcentrator silences (or worse, garbles) a whole row or
-//! column of the mesh. This module injects the two classic failure modes
+//! column of the mesh. This module injects the classic failure modes
 //! into a [`StagedSwitch`] and measures the degraded switch — the
 //! availability analysis a 1987 machine builder would have run before
 //! committing to a stack design.
+//!
+//! Two evaluation paths cover the same fault model:
+//!
+//! * [`FaultySwitch`] — the message-level *reference*: faults applied
+//!   during [`StagedSwitch::trace`]-style slot propagation. Slow, obviously
+//!   correct, and the oracle the compiled path is differentially tested
+//!   against.
+//! * [`FaultableElab`] — the *compiled* path: the datapath elaboration with
+//!   an explicit tap gate on every chip output pin
+//!   ([`StagedSwitch::build_faultable_datapath`]), onto which a fault set
+//!   is lowered as [`WireFault`]s ([`FaultableElab::wire_faults`]) and
+//!   compiled into the levelized schedule
+//!   ([`FaultableElab::compile_faulted`]). The 64-lane SWAR evaluator then
+//!   runs the *faulted* switch at full batch speed.
+//!
+//! On top of both sits the campaign machinery: [`FaultCampaign`] draws a
+//! deterministic, seeded schedule of permanent / intermittent / transient
+//! chip faults, and [`run_campaign`] measures the degraded delivered
+//! capacity frame by frame using the compiled path (64 random offered
+//! patterns per evaluated word).
 
+use std::borrow::Borrow;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use netlist::{CompiledNetlist, Netlist, Wire, WireFault};
 use serde::{Deserialize, Serialize};
 
 use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
 use crate::staged::{StageKind, StagedSwitch};
+use crate::verify::SplitMix64;
 
 /// How a failed chip misbehaves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FaultMode {
     /// All outputs stuck invalid: every message entering the chip is lost.
     StuckInvalid,
@@ -22,10 +48,14 @@ pub enum FaultMode {
     /// lost). The worst mode for a concentrator, since phantoms steal
     /// output slots.
     StuckValid,
+    /// All output valid rails complemented — a failed dual-rail pad driver
+    /// presenting the wrong rail. The chip floods where it was empty and
+    /// silences where it was full; payloads are lost either way.
+    Inverted,
 }
 
 /// A located fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChipFault {
     /// Stage index within the switch.
     pub stage: usize,
@@ -35,29 +65,122 @@ pub struct ChipFault {
     pub mode: FaultMode,
 }
 
+/// Chip-output tap wires of a faultable datapath elaboration:
+/// `stages[s][c][p]` is the `(valid, data)` wire pair driven by the tap
+/// `Buf` on pin `p` of chip `c` in stage `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTaps {
+    /// Per stage, per chip, per pin: the tapped `(valid, data)` wires.
+    pub stages: Vec<Vec<Vec<(Wire, Wire)>>>,
+}
+
+/// The faultable datapath elaboration of one switch: the tapped netlist,
+/// its healthy compiled form, and the tap map fault sets are lowered
+/// through. Obtained from [`StagedSwitch::faultable_logic`]; the cached
+/// value is always the *healthy* base — per-fault-set overlays are derived
+/// by [`FaultableElab::compile_faulted`] and owned by the caller, so
+/// injection never pollutes the shared elaboration cache.
+#[derive(Debug, Clone)]
+pub struct FaultableElab {
+    /// The tapped flat netlist (valid + data rails, no pads).
+    pub netlist: Netlist,
+    /// The healthy compiled engine for it.
+    pub compiled: CompiledNetlist,
+    /// Chip-output tap wires, for lowering [`ChipFault`]s.
+    pub taps: FaultTaps,
+}
+
+impl FaultableElab {
+    /// Lower chip faults to wire faults on the tap wires.
+    ///
+    /// Mode mapping, per output pin of the faulted chip:
+    ///
+    /// * `StuckInvalid` → valid stuck-at-0, data stuck-at-0;
+    /// * `StuckValid`   → valid stuck-at-1, data stuck-at-0 (phantoms
+    ///   carry no payload);
+    /// * `Inverted`     → valid flipped,    data stuck-at-0 (whatever the
+    ///   rail now claims, the payload path is garbage).
+    ///
+    /// When several faults name the same chip only the first applies,
+    /// matching the reference [`FaultySwitch`] lookup.
+    ///
+    /// # Panics
+    /// If a fault names a stage or chip that does not exist.
+    pub fn wire_faults(&self, faults: &[ChipFault]) -> Vec<WireFault> {
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut out = Vec::new();
+        for fault in faults {
+            let stage = self
+                .taps
+                .stages
+                .get(fault.stage)
+                .expect("fault names missing stage");
+            let pins = stage.get(fault.chip).expect("fault names missing chip");
+            if seen.contains(&(fault.stage, fault.chip)) {
+                continue;
+            }
+            seen.push((fault.stage, fault.chip));
+            for &(valid, data) in pins {
+                match fault.mode {
+                    FaultMode::StuckInvalid => out.push(WireFault::stuck(valid, false)),
+                    FaultMode::StuckValid => out.push(WireFault::stuck(valid, true)),
+                    FaultMode::Inverted => out.push(WireFault::flip(valid)),
+                }
+                out.push(WireFault::stuck(data, false));
+            }
+        }
+        out
+    }
+
+    /// A compiled engine with `faults` burned into the schedule. The
+    /// overlay shares nothing mutable with the healthy base and runs at
+    /// identical batch speed.
+    pub fn compile_faulted(&self, faults: &[ChipFault]) -> CompiledNetlist {
+        self.compiled.with_faults(&self.wire_faults(faults))
+    }
+}
+
 /// A staged switch with injected chip faults.
-pub struct FaultySwitch<'a> {
-    inner: &'a StagedSwitch,
+///
+/// Generic over ownership of the underlying switch: borrow for scoped use
+/// (`FaultySwitch::new(&staged, …)`), or hand it an `Arc<StagedSwitch>`
+/// (the default type parameter) when the faulty view must outlive a scope
+/// or cross threads, as fabric shards do.
+pub struct FaultySwitch<S: Borrow<StagedSwitch> = Arc<StagedSwitch>> {
+    inner: S,
     faults: Vec<ChipFault>,
 }
 
-impl<'a> FaultySwitch<'a> {
+impl<S: Borrow<StagedSwitch>> FaultySwitch<S> {
     /// Inject `faults` into `inner`.
     ///
     /// # Panics
     /// If a fault names a stage or chip that does not exist.
-    pub fn new(inner: &'a StagedSwitch, faults: Vec<ChipFault>) -> Self {
-        for fault in &faults {
-            assert!(
-                fault.stage < inner.stages.len(),
-                "fault names missing stage"
-            );
-            assert!(
-                fault.chip < inner.stages[fault.stage].chip_count,
-                "fault names missing chip"
-            );
+    pub fn new(inner: S, faults: Vec<ChipFault>) -> Self {
+        {
+            let switch = inner.borrow();
+            for fault in &faults {
+                assert!(
+                    fault.stage < switch.stages.len(),
+                    "fault names missing stage"
+                );
+                assert!(
+                    fault.chip < switch.stages[fault.stage].chip_count,
+                    "fault names missing chip"
+                );
+            }
         }
         FaultySwitch { inner, faults }
+    }
+
+    /// The underlying healthy switch.
+    pub fn inner(&self) -> &StagedSwitch {
+        self.inner.borrow()
+    }
+
+    /// The injected faults, in injection order.
+    pub fn faults(&self) -> &[ChipFault] {
+        &self.faults
     }
 
     fn fault_at(&self, stage: usize, chip: usize) -> Option<FaultMode> {
@@ -67,15 +190,18 @@ impl<'a> FaultySwitch<'a> {
             .map(|f| f.mode)
     }
 
-    /// Trace wire occupancy through the faulty switch.
-    fn trace(&self, valid: &[bool]) -> Vec<(bool, Option<usize>)> {
-        assert_eq!(valid.len(), self.inner.n);
+    /// Trace wire occupancy through the faulty switch: the faulted
+    /// equivalent of [`StagedSwitch::trace`]. Public so differential
+    /// harnesses can compare per-wire, not just per-routing.
+    pub fn trace(&self, valid: &[bool]) -> Vec<(bool, Option<usize>)> {
+        let inner = self.inner.borrow();
+        assert_eq!(valid.len(), inner.n);
         let mut wires: Vec<(bool, Option<usize>)> = valid
             .iter()
             .enumerate()
             .map(|(i, &v)| (v, v.then_some(i)))
             .collect();
-        for (stage_idx, stage) in self.inner.stages.iter().enumerate() {
+        for (stage_idx, stage) in inner.stages.iter().enumerate() {
             let pins = stage.chip_pins;
             let mut next = vec![(false, None); stage.out_len];
             for chip in 0..stage.chip_count {
@@ -86,18 +212,23 @@ impl<'a> FaultySwitch<'a> {
                         crate::staged::PinSource::Const(v) => (v, None),
                     })
                     .collect();
-                let outputs: Vec<(bool, Option<usize>)> =
-                    match (self.fault_at(stage_idx, chip), stage.kind) {
-                        (Some(FaultMode::StuckInvalid), _) => vec![(false, None); pins],
-                        (Some(FaultMode::StuckValid), _) => vec![(true, None); pins],
-                        (None, StageKind::Compactor) => {
-                            let mut compacted: Vec<(bool, Option<usize>)> =
-                                gathered.iter().copied().filter(|&(v, _)| v).collect();
-                            compacted.resize(pins, (false, None));
-                            compacted
-                        }
-                        (None, StageKind::PassThrough) => gathered,
-                    };
+                // What the chip would do if healthy…
+                let healthy: Vec<(bool, Option<usize>)> = match stage.kind {
+                    StageKind::Compactor => {
+                        let mut compacted: Vec<(bool, Option<usize>)> =
+                            gathered.iter().copied().filter(|&(v, _)| v).collect();
+                        compacted.resize(pins, (false, None));
+                        compacted
+                    }
+                    StageKind::PassThrough => gathered,
+                };
+                // …and what its failed pads actually present.
+                let outputs: Vec<(bool, Option<usize>)> = match self.fault_at(stage_idx, chip) {
+                    None => healthy,
+                    Some(FaultMode::StuckInvalid) => vec![(false, None); pins],
+                    Some(FaultMode::StuckValid) => vec![(true, None); pins],
+                    Some(FaultMode::Inverted) => healthy.iter().map(|&(v, _)| (!v, None)).collect(),
+                };
                 // Faulty switches may drop real messages at padding
                 // positions; that is exactly the failure being modeled,
                 // so no assertion on dropped wires here.
@@ -113,13 +244,13 @@ impl<'a> FaultySwitch<'a> {
     }
 }
 
-impl ConcentratorSwitch for FaultySwitch<'_> {
+impl<S: Borrow<StagedSwitch>> ConcentratorSwitch for FaultySwitch<S> {
     fn inputs(&self) -> usize {
-        self.inner.n
+        self.inner.borrow().n
     }
 
     fn outputs(&self) -> usize {
-        self.inner.m
+        self.inner.borrow().m
     }
 
     fn kind(&self) -> ConcentratorKind {
@@ -128,9 +259,10 @@ impl ConcentratorSwitch for FaultySwitch<'_> {
     }
 
     fn route(&self, valid: &[bool]) -> Routing {
+        let inner = self.inner.borrow();
         let wires = self.trace(valid);
-        let mut assignment = vec![None; self.inner.n];
-        for (out_idx, &pos) in self.inner.output_positions.iter().enumerate() {
+        let mut assignment = vec![None; inner.n];
+        for (out_idx, &pos) in inner.output_positions.iter().enumerate() {
             let (v, source) = wires[pos];
             if v {
                 if let Some(src) = source {
@@ -138,7 +270,7 @@ impl ConcentratorSwitch for FaultySwitch<'_> {
                 }
             }
         }
-        Routing::from_assignment(assignment, self.inner.m)
+        Routing::from_assignment(assignment, inner.m)
     }
 }
 
@@ -151,7 +283,7 @@ pub fn degradation<S: ConcentratorSwitch + ?Sized>(
     seed: u64,
 ) -> f64 {
     let n = switch.inputs();
-    let mut rng = crate::verify::SplitMix64(seed);
+    let mut rng = SplitMix64(seed);
     let mut offered = 0usize;
     let mut delivered = 0usize;
     for _ in 0..trials {
@@ -163,6 +295,315 @@ pub fn degradation<S: ConcentratorSwitch + ?Sized>(
         1.0
     } else {
         delivered as f64 / offered as f64
+    }
+}
+
+/// Arrival model of a seeded fault campaign. All draws are pure functions
+/// of `(seed, stage, chip, frame)`, so the schedule is reproducible and
+/// independent of evaluation order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Root seed; same seed + same switch ⇒ same schedule.
+    pub seed: u64,
+    /// Campaign length in routing frames.
+    pub frames: usize,
+    /// Probability a chip suffers a *permanent* fault at some uniformly
+    /// drawn frame (active from that frame onward).
+    pub permanent_rate: f64,
+    /// Probability a chip is an *intermittent* flapper, faulted during
+    /// pseudo-random half of its epochs.
+    pub intermittent_rate: f64,
+    /// Epoch length (frames) of the intermittent on/off pattern.
+    pub intermittent_period: usize,
+    /// Per-chip-per-frame probability of a one-frame *transient* fault.
+    pub transient_rate: f64,
+}
+
+impl CampaignSpec {
+    /// A fault-free campaign: useful as a baseline of the same length.
+    pub fn quiet(seed: u64, frames: usize) -> Self {
+        CampaignSpec {
+            seed,
+            frames,
+            permanent_rate: 0.0,
+            intermittent_rate: 0.0,
+            intermittent_period: 16,
+            transient_rate: 0.0,
+        }
+    }
+}
+
+fn chip_key(seed: u64, stage: usize, chip: usize) -> u64 {
+    let mut h = seed ^ 0x517C_C1B7_2722_0A95;
+    h ^= (stage as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.rotate_left(23);
+    h ^ (chip as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+fn pick_mode(rng: &mut SplitMix64) -> FaultMode {
+    match rng.next_u64() % 3 {
+        0 => FaultMode::StuckInvalid,
+        1 => FaultMode::StuckValid,
+        _ => FaultMode::Inverted,
+    }
+}
+
+/// A fully materialized fault schedule: for every frame, the canonical
+/// (sorted, one-per-chip) set of active chip faults. When a chip is
+/// eligible for several classes in one frame, permanent wins over
+/// intermittent wins over transient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaign {
+    spec: CampaignSpec,
+    frames: Vec<Vec<ChipFault>>,
+}
+
+impl FaultCampaign {
+    /// Draw the schedule for `switch` under `spec`.
+    pub fn generate(switch: &StagedSwitch, spec: &CampaignSpec) -> FaultCampaign {
+        let mut frames: Vec<Vec<ChipFault>> = vec![Vec::new(); spec.frames];
+        for (stage_idx, stage) in switch.stages.iter().enumerate() {
+            for chip in 0..stage.chip_count {
+                let key = chip_key(spec.seed, stage_idx, chip);
+                let mut rng = SplitMix64(key);
+                let permanent = rng.bernoulli(spec.permanent_rate).then(|| {
+                    let start = (rng.next_u64() % (spec.frames.max(1) as u64)) as usize;
+                    (start, pick_mode(&mut rng))
+                });
+                let intermittent = rng.bernoulli(spec.intermittent_rate).then(|| {
+                    let phase = rng.next_u64();
+                    (phase, pick_mode(&mut rng))
+                });
+                for (frame, active) in frames.iter_mut().enumerate() {
+                    let mode = if let Some((_, mode)) =
+                        permanent.filter(|&(start, _)| frame >= start)
+                    {
+                        Some(mode)
+                    } else if let Some((phase, mode)) = intermittent {
+                        let epoch = frame / spec.intermittent_period.max(1);
+                        let coin =
+                            SplitMix64(phase ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                                .next_u64();
+                        (coin & 1 == 0).then_some(mode)
+                    } else {
+                        let mut transient =
+                            SplitMix64(key ^ (frame as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+                        transient
+                            .bernoulli(spec.transient_rate)
+                            .then(|| pick_mode(&mut transient))
+                    };
+                    if let Some(mode) = mode {
+                        active.push(ChipFault {
+                            stage: stage_idx,
+                            chip,
+                            mode,
+                        });
+                    }
+                }
+            }
+        }
+        for frame in &mut frames {
+            frame.sort_unstable();
+        }
+        FaultCampaign {
+            spec: *spec,
+            frames,
+        }
+    }
+
+    /// The spec this schedule was drawn from.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Campaign length in frames.
+    pub fn frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The canonical fault set active during `frame`.
+    pub fn faults_at(&self, frame: usize) -> &[ChipFault] {
+        &self.frames[frame]
+    }
+
+    /// Number of distinct fault sets across the campaign — the number of
+    /// compiled overlays [`run_campaign`] materializes.
+    pub fn distinct_fault_sets(&self) -> usize {
+        self.frames.iter().collect::<HashSet<_>>().len()
+    }
+}
+
+/// Degradation measured over one campaign frame (64 offered patterns,
+/// one per SWAR lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameDegradation {
+    /// Frame index.
+    pub frame: usize,
+    /// Chips faulted during this frame.
+    pub faults_active: usize,
+    /// Valid inputs offered across the frame's 64 lanes.
+    pub offered: u64,
+    /// Real messages delivered (phantoms excluded).
+    pub delivered: u64,
+}
+
+/// The degraded-capacity report of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign length in frames.
+    pub frames: usize,
+    /// Total chips in the switch (the failure surface).
+    pub chips: usize,
+    /// Offered traffic density per input per lane.
+    pub density: f64,
+    /// Distinct fault sets, i.e. compiled overlays materialized.
+    pub distinct_fault_sets: usize,
+    /// Total valid inputs offered.
+    pub offered: u64,
+    /// Total real messages delivered.
+    pub delivered: u64,
+    /// Per-frame degradation curve.
+    pub per_frame: Vec<FrameDegradation>,
+}
+
+impl CampaignReport {
+    /// Overall delivered fraction.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+
+    /// The worst per-frame delivered fraction (empty frames count as 1).
+    pub fn worst_frame_rate(&self) -> f64 {
+        self.per_frame
+            .iter()
+            .map(|f| {
+                if f.offered == 0 {
+                    1.0
+                } else {
+                    f.delivered as f64 / f.offered as f64
+                }
+            })
+            .fold(1.0, f64::min)
+    }
+}
+
+/// Run `campaign` against `switch` at offered `density`, measuring the
+/// delivered capacity of every frame on the compiled fault path.
+///
+/// Each frame evaluates 64 independent offered patterns in one SWAR sweep
+/// of the frame's fault-compiled overlay. The data rail carries a *marker
+/// bit* per real message (data in = valid in), so
+/// `popcount(valid_out & data_out)` counts exactly the delivered real
+/// messages: phantom carriers injected by `StuckValid`/`Inverted` chips
+/// and padding constants all carry data 0 and are excluded. Overlays are
+/// memoized per distinct fault set, so a campaign pays one `with_faults`
+/// per set, not per frame.
+pub fn run_campaign(
+    switch: &StagedSwitch,
+    campaign: &FaultCampaign,
+    density: f64,
+) -> CampaignReport {
+    let elab = switch.faultable_logic();
+    let n = switch.n;
+    let m = switch.m;
+    let mut scratch = elab.compiled.scratch();
+    let mut overlays: HashMap<&[ChipFault], CompiledNetlist> = HashMap::new();
+    let mut word_in = vec![0u64; 2 * n];
+    let mut word_out = vec![0u64; 2 * m];
+    // Traffic stream: keyed off the campaign seed but distinct from the
+    // fault-schedule streams.
+    let mut rng = SplitMix64(campaign.spec.seed ^ 0xA076_1D64_78BD_642F);
+    let mut per_frame = Vec::with_capacity(campaign.frames());
+    let (mut total_offered, mut total_delivered) = (0u64, 0u64);
+    for frame in 0..campaign.frames() {
+        let faults = campaign.faults_at(frame);
+        let compiled = overlays
+            .entry(faults)
+            .or_insert_with(|| elab.compile_faulted(faults));
+        let mut offered = 0u64;
+        for i in 0..n {
+            let mut word = 0u64;
+            for bit in 0..64 {
+                if rng.bernoulli(density) {
+                    word |= 1u64 << bit;
+                }
+            }
+            offered += u64::from(word.count_ones());
+            word_in[i] = word;
+            word_in[n + i] = word; // marker rail
+        }
+        compiled.eval_word_into(&word_in, &mut scratch, &mut word_out);
+        let delivered: u64 = (0..m)
+            .map(|j| u64::from((word_out[j] & word_out[m + j]).count_ones()))
+            .sum();
+        debug_assert!(delivered <= offered, "markers multiplied in flight");
+        total_offered += offered;
+        total_delivered += delivered;
+        per_frame.push(FrameDegradation {
+            frame,
+            faults_active: faults.len(),
+            offered,
+            delivered,
+        });
+    }
+    CampaignReport {
+        frames: campaign.frames(),
+        chips: switch.chip_count(),
+        density,
+        distinct_fault_sets: overlays.len(),
+        offered: total_offered,
+        delivered: total_delivered,
+        per_frame,
+    }
+}
+
+impl serde_json::ToJson for CampaignSpec {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::object([
+            ("seed", self.seed.to_json()),
+            ("frames", (self.frames as u64).to_json()),
+            ("permanent_rate", self.permanent_rate.to_json()),
+            ("intermittent_rate", self.intermittent_rate.to_json()),
+            (
+                "intermittent_period",
+                (self.intermittent_period as u64).to_json(),
+            ),
+            ("transient_rate", self.transient_rate.to_json()),
+        ])
+    }
+}
+
+impl serde_json::ToJson for FrameDegradation {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::object([
+            ("frame", (self.frame as u64).to_json()),
+            ("faults_active", (self.faults_active as u64).to_json()),
+            ("offered", self.offered.to_json()),
+            ("delivered", self.delivered.to_json()),
+        ])
+    }
+}
+
+impl serde_json::ToJson for CampaignReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::object([
+            ("frames", (self.frames as u64).to_json()),
+            ("chips", (self.chips as u64).to_json()),
+            ("density", self.density.to_json()),
+            (
+                "distinct_fault_sets",
+                (self.distinct_fault_sets as u64).to_json(),
+            ),
+            ("offered", self.offered.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("delivery_rate", self.delivery_rate().to_json()),
+            ("worst_frame_rate", self.worst_frame_rate().to_json()),
+            ("per_frame", self.per_frame.to_json()),
+        ])
     }
 }
 
@@ -237,6 +678,175 @@ mod tests {
         // One of eight first-stage chips dead: expect roughly 7/8 of
         // healthy delivery under light-to-moderate load.
         assert!(rate > 0.6 && rate < 0.98, "rate {rate}");
+    }
+
+    #[test]
+    fn inverted_chip_floods_when_idle_and_silences_when_full() {
+        let healthy = switch();
+        let fault = ChipFault {
+            stage: 0,
+            chip: 1,
+            mode: FaultMode::Inverted,
+        };
+        let faulty = FaultySwitch::new(healthy.staged(), vec![fault]);
+        // Column 1 fully loaded: the healthy chip would deliver all 8;
+        // inverted, its outputs all read invalid — everything lost.
+        let valid: Vec<bool> = (0..64).map(|i| i % 8 == 1).collect();
+        assert_eq!(faulty.route(&valid).routed(), 0);
+        // Column 1 idle: the inverted chip floods 8 phantoms into the
+        // switch, which steal output slots from the real column-5 traffic
+        // but are never counted as deliveries themselves.
+        let valid: Vec<bool> = (0..64).map(|i| i % 8 == 5).collect();
+        let flooded = faulty.route(&valid).routed();
+        assert!(flooded <= 8, "phantoms must not be counted as real");
+    }
+
+    #[test]
+    fn arc_owned_variant_routes_identically() {
+        let healthy = switch();
+        let arc = Arc::new(healthy.staged().clone());
+        let fault = ChipFault {
+            stage: 0,
+            chip: 3,
+            mode: FaultMode::StuckValid,
+        };
+        let borrowed = FaultySwitch::new(healthy.staged(), vec![fault]);
+        let owned: FaultySwitch = FaultySwitch::new(Arc::clone(&arc), vec![fault]);
+        let mut rng = SplitMix64(21);
+        for _ in 0..100 {
+            let valid = rng.valid_bits(64, 0.4);
+            assert_eq!(borrowed.route(&valid), owned.route(&valid));
+        }
+        // The owned variant is 'static: it can move into a thread.
+        let handle = std::thread::spawn(move || owned.route(&[true; 64]).routed());
+        assert!(handle.join().unwrap() > 0);
+    }
+
+    #[test]
+    fn faultable_elaboration_matches_untapped_datapath_when_healthy() {
+        let healthy = RevsortSwitch::new(16, 8, RevsortLayout::TwoDee);
+        let staged = healthy.staged();
+        let untapped = staged.datapath_logic(false);
+        let tapped = staged.faultable_logic();
+        let mut rng = SplitMix64(3);
+        for _ in 0..50 {
+            let inputs: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+            assert_eq!(
+                untapped.compiled.eval_word(&inputs),
+                tapped.compiled.eval_word(&inputs),
+                "chip-output taps must be semantically invisible"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_faults_applies_only_the_first_fault_per_chip() {
+        let healthy = RevsortSwitch::new(16, 8, RevsortLayout::TwoDee);
+        let elab = healthy.staged().faultable_logic();
+        let first = ChipFault {
+            stage: 0,
+            chip: 0,
+            mode: FaultMode::StuckValid,
+        };
+        let second = ChipFault {
+            stage: 0,
+            chip: 0,
+            mode: FaultMode::StuckInvalid,
+        };
+        assert_eq!(
+            elab.wire_faults(&[first, second]),
+            elab.wire_faults(&[first]),
+            "duplicate chip faults must resolve first-wins, like the reference"
+        );
+    }
+
+    #[test]
+    fn campaign_schedule_is_deterministic_and_one_fault_per_chip() {
+        let healthy = switch();
+        let spec = CampaignSpec {
+            seed: 77,
+            frames: 64,
+            permanent_rate: 0.2,
+            intermittent_rate: 0.3,
+            intermittent_period: 8,
+            transient_rate: 0.05,
+        };
+        let a = FaultCampaign::generate(healthy.staged(), &spec);
+        let b = FaultCampaign::generate(healthy.staged(), &spec);
+        assert_eq!(a, b, "same seed must draw the same schedule");
+        let mut any = false;
+        for frame in 0..a.frames() {
+            let faults = a.faults_at(frame);
+            any |= !faults.is_empty();
+            let mut chips: Vec<(usize, usize)> = faults.iter().map(|f| (f.stage, f.chip)).collect();
+            chips.dedup();
+            assert_eq!(chips.len(), faults.len(), "one fault per chip per frame");
+            assert!(faults.windows(2).all(|w| w[0] <= w[1]), "canonical order");
+        }
+        assert!(any, "these rates must actually draw faults");
+    }
+
+    #[test]
+    fn permanent_faults_never_recover() {
+        let healthy = switch();
+        let spec = CampaignSpec {
+            seed: 5,
+            frames: 40,
+            permanent_rate: 1.0,
+            intermittent_rate: 0.0,
+            intermittent_period: 16,
+            transient_rate: 0.0,
+        };
+        let campaign = FaultCampaign::generate(healthy.staged(), &spec);
+        for frame in 1..campaign.frames() {
+            let prev: HashSet<_> = campaign.faults_at(frame - 1).iter().collect();
+            let now: HashSet<_> = campaign.faults_at(frame).iter().collect();
+            assert!(
+                prev.is_subset(&now),
+                "a permanent fault disappeared at frame {frame}"
+            );
+        }
+        // Every chip fails by the end (rate 1.0).
+        assert_eq!(
+            campaign.faults_at(campaign.frames() - 1).len(),
+            healthy.staged().chip_count()
+        );
+    }
+
+    #[test]
+    fn quiet_campaign_reports_healthy_capacity() {
+        let healthy = RevsortSwitch::new(16, 8, RevsortLayout::TwoDee);
+        let campaign = FaultCampaign::generate(healthy.staged(), &CampaignSpec::quiet(1, 20));
+        let report = run_campaign(healthy.staged(), &campaign, 0.3);
+        assert_eq!(report.distinct_fault_sets, 1);
+        assert!(report.offered > 0);
+        // Light load on a healthy switch: nearly everything lands.
+        assert!(report.delivery_rate() > 0.9, "{}", report.delivery_rate());
+    }
+
+    #[test]
+    fn campaign_reports_are_reproducible_and_degraded() {
+        let healthy = RevsortSwitch::new(16, 8, RevsortLayout::TwoDee);
+        let spec = CampaignSpec {
+            seed: 13,
+            frames: 30,
+            permanent_rate: 0.5,
+            intermittent_rate: 0.0,
+            intermittent_period: 8,
+            transient_rate: 0.0,
+        };
+        let campaign = FaultCampaign::generate(healthy.staged(), &spec);
+        let a = run_campaign(healthy.staged(), &campaign, 0.4);
+        let b = run_campaign(healthy.staged(), &campaign, 0.4);
+        assert_eq!(a, b, "same campaign must measure identically");
+        let quiet = FaultCampaign::generate(healthy.staged(), &CampaignSpec::quiet(13, 30));
+        let baseline = run_campaign(healthy.staged(), &quiet, 0.4);
+        assert!(
+            a.delivery_rate() < baseline.delivery_rate(),
+            "permanent faults must cost capacity: {} vs {}",
+            a.delivery_rate(),
+            baseline.delivery_rate()
+        );
     }
 
     #[test]

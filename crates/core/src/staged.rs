@@ -14,6 +14,7 @@ use netlist::{Literal, Netlist};
 use serde::{Deserialize, Serialize};
 
 use crate::elab::{ElabCache, Elaboration};
+use crate::faults::{FaultTaps, FaultableElab};
 use crate::hyper::{ceil_lg, Hyperconcentrator, PAD_LEVELS};
 use crate::spec::{ConcentratorKind, ConcentratorSwitch, Routing};
 
@@ -393,6 +394,100 @@ impl StagedSwitch {
         nl
     }
 
+    /// Elaborate the no-pads datapath with an explicit `Buf` *tap* on every
+    /// chip output pin (valid and data rails), recording the tap wires per
+    /// `(stage, chip, pin)`. Faults compiled onto the tap wires cut in at
+    /// exactly the chip package boundary — including pass-through boards,
+    /// whose output literals would otherwise alias their inputs, and
+    /// compactor chips whose `import` returns inverted literals.
+    ///
+    /// Tap bufs change gate counts and depth, so this flavor is only used
+    /// for fault injection; healthy evaluation keeps using
+    /// [`StagedSwitch::build_datapath_netlist`].
+    pub fn build_faultable_datapath(&self) -> (Netlist, FaultTaps) {
+        let mut nl = Netlist::new();
+        let mut taps = FaultTaps {
+            stages: Vec::with_capacity(self.stages.len()),
+        };
+        let mut valid: Vec<Literal> = nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        let mut data: Vec<Literal> = nl.inputs_n(self.n).into_iter().map(Literal::pos).collect();
+        for stage in &self.stages {
+            let pins = stage.chip_pins;
+            let chip_netlist = match stage.kind {
+                StageKind::Compactor => {
+                    Some(Hyperconcentrator::new(pins).build_datapath_netlist(false))
+                }
+                StageKind::PassThrough => None,
+            };
+            let mut stage_taps: Vec<Vec<(netlist::Wire, netlist::Wire)>> =
+                Vec::with_capacity(stage.chip_count);
+            let mut next_valid: Vec<Option<Literal>> = vec![None; stage.out_len];
+            let mut next_data: Vec<Option<Literal>> = vec![None; stage.out_len];
+            for chip in 0..stage.chip_count {
+                let base = chip * pins;
+                let chip_valid_in: Vec<Literal> = (0..pins)
+                    .map(|p| match stage.input_map[base + p] {
+                        PinSource::Prev(i) => valid[i],
+                        PinSource::Const(v) => nl.constant(v),
+                    })
+                    .collect();
+                let chip_data_in: Vec<Literal> = (0..pins)
+                    .map(|p| match stage.input_map[base + p] {
+                        PinSource::Prev(i) => data[i],
+                        PinSource::Const(_) => nl.constant(false),
+                    })
+                    .collect();
+                let (chip_valid_out, chip_data_out): (Vec<Literal>, Vec<Literal>) = match stage.kind
+                {
+                    StageKind::Compactor => {
+                        let sub = chip_netlist
+                            .as_ref()
+                            .expect("compactor stages elaborate a chip");
+                        let mut connections = chip_valid_in;
+                        connections.extend(chip_data_in);
+                        let outs = nl.import(sub, &connections);
+                        let (v, d) = outs.split_at(pins);
+                        (v.to_vec(), d.to_vec())
+                    }
+                    StageKind::PassThrough => (chip_valid_in, chip_data_in),
+                };
+                // The taps: one pad driver per output pin and rail, each a
+                // freshly-driven wire faults can seize.
+                let chip_valid_out: Vec<Literal> =
+                    chip_valid_out.into_iter().map(|l| nl.buf(l)).collect();
+                let chip_data_out: Vec<Literal> =
+                    chip_data_out.into_iter().map(|l| nl.buf(l)).collect();
+                stage_taps.push(
+                    (0..pins)
+                        .map(|p| (chip_valid_out[p].wire, chip_data_out[p].wire))
+                        .collect(),
+                );
+                for p in 0..pins {
+                    if let Some(dst) = stage.output_map[base + p] {
+                        next_valid[dst] = Some(chip_valid_out[p]);
+                        next_data[dst] = Some(chip_data_out[p]);
+                    }
+                }
+            }
+            taps.stages.push(stage_taps);
+            valid = next_valid
+                .into_iter()
+                .map(|l| l.expect("validated stages drive every output"))
+                .collect();
+            data = next_data
+                .into_iter()
+                .map(|l| l.expect("validated stages drive every output"))
+                .collect();
+        }
+        for &pos in &self.output_positions {
+            nl.mark_output(valid[pos]);
+        }
+        for &pos in &self.output_positions {
+            nl.mark_output(data[pos]);
+        }
+        (nl, taps)
+    }
+
     /// Elaborate the whole switch to one flat control netlist (valid bits
     /// in, the `m` output valid bits out). `with_pads` adds per-chip pad
     /// levels so the netlist depth equals [`StagedSwitch::delay`].
@@ -491,6 +586,23 @@ impl StagedSwitch {
     pub fn trace_logic(&self, with_pads: bool) -> Arc<Elaboration> {
         self.cache
             .trace(with_pads, || self.build_trace_netlist(with_pads))
+    }
+
+    /// The cached *faultable* datapath elaboration (netlist + compiled
+    /// engine + chip-output tap map). The cache holds only the healthy
+    /// base; per-fault-set overlays are derived from it with
+    /// [`FaultableElab::compile_faulted`] and owned by the caller, so
+    /// injecting faults never pollutes the shared slots.
+    pub fn faultable_logic(&self) -> Arc<FaultableElab> {
+        self.cache.faultable(|| {
+            let (netlist, taps) = self.build_faultable_datapath();
+            let compiled = netlist.compile();
+            FaultableElab {
+                netlist,
+                compiled,
+                taps,
+            }
+        })
     }
 }
 

@@ -87,6 +87,63 @@ impl From<CongestionPolicy> for RetryBudget {
     }
 }
 
+/// Shard health monitoring and quarantine thresholds.
+///
+/// Every executed frame updates a per-shard delivery-health EWMA: the
+/// frame's delivered count over what the switch's analytic capacity bound
+/// says it *should* have delivered (`min(batched, ⌊α·m⌋)` for a partial
+/// concentrator of guarantee `α` — Lemma 2's capacity floor — and
+/// `min(batched, m)` otherwise). A healthy shard holds the EWMA near 1;
+/// chip faults pull it down. Once the EWMA has `min_frames` of history
+/// and sinks below `quarantine_below`, the shard is quarantined: it keeps
+/// draining its own backlog, but placement steers *new* traffic to
+/// healthy shards. Recovery uses a higher threshold (`recover_above`),
+/// the usual hysteresis so a borderline shard does not flap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// EWMA weight of the newest frame, in `(0, 1]`.
+    pub alpha: f64,
+    /// Enter quarantine when the EWMA drops below this.
+    pub quarantine_below: f64,
+    /// Leave quarantine when the EWMA recovers above this (hysteresis;
+    /// should exceed `quarantine_below`).
+    pub recover_above: f64,
+    /// Executed frames before the EWMA is trusted for quarantine calls.
+    pub min_frames: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            alpha: 0.25,
+            quarantine_below: 0.7,
+            recover_above: 0.85,
+            min_frames: 4,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// If the smoothing weight or thresholds are out of range.
+    pub fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "EWMA weight must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.quarantine_below),
+            "quarantine threshold must be in [0, 1]"
+        );
+        assert!(
+            self.recover_above >= self.quarantine_below,
+            "recovery threshold below quarantine threshold would flap"
+        );
+    }
+}
+
 /// Full configuration of a fabric instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FabricConfig {
@@ -104,6 +161,8 @@ pub struct FabricConfig {
     pub admission_limit: Option<usize>,
     /// Re-offer budget for congestion losers.
     pub retry: RetryBudget,
+    /// Shard health monitoring and quarantine thresholds.
+    pub health: HealthPolicy,
 }
 
 impl FabricConfig {
@@ -118,6 +177,7 @@ impl FabricConfig {
             backpressure: Backpressure::Block,
             admission_limit: None,
             retry: RetryBudget::UNLIMITED,
+            health: HealthPolicy::default(),
         }
     }
 
@@ -131,6 +191,7 @@ impl FabricConfig {
         if let Some(limit) = self.admission_limit {
             assert!(limit > 0, "admission limit must be positive");
         }
+        self.health.validate();
     }
 }
 

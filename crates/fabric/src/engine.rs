@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use concentrator::faults::ChipFault;
 use concentrator::StagedSwitch;
 use switchsim::Message;
 
@@ -55,7 +56,9 @@ impl Fabric {
     pub fn new(switch: Arc<StagedSwitch>, config: FabricConfig) -> Fabric {
         config.validate();
         let shards = (0..config.shards)
-            .map(|id| Shard::new(id, Arc::clone(&switch), config.retry))
+            .map(|id| {
+                Shard::new(id, Arc::clone(&switch), config.retry).with_health_policy(config.health)
+            })
             .collect();
         Fabric {
             config,
@@ -89,13 +92,47 @@ impl Fabric {
         std::mem::take(&mut self.frame_records)
     }
 
+    /// Inject (or, with an empty vector, clear) chip faults on one shard's
+    /// switch. Takes effect from the next frame; the shard's health EWMA
+    /// and quarantine state respond over the following frames.
+    pub fn inject_faults(&mut self, shard: usize, faults: Vec<ChipFault>) {
+        self.shards[shard].set_faults(faults);
+    }
+
+    /// Whether a shard is currently quarantined by its health monitor.
+    pub fn shard_quarantined(&self, shard: usize) -> bool {
+        self.shards[shard].is_quarantined()
+    }
+
+    /// A shard's delivery-health EWMA (1.0 = meeting the capacity bound).
+    pub fn shard_health(&self, shard: usize) -> f64 {
+        self.shards[shard].health()
+    }
+
+    /// Steer a placement away from quarantined shards: keep the preferred
+    /// shard when healthy, otherwise take the next healthy shard in a
+    /// deterministic wrapping scan. If every shard is quarantined the
+    /// preferred one keeps the traffic — degraded service beats none.
+    fn steer(&self, preferred: usize) -> usize {
+        if !self.shards[preferred].is_quarantined() {
+            return preferred;
+        }
+        let shards = self.config.shards;
+        (1..shards)
+            .map(|step| (preferred + step) % shards)
+            .find(|&idx| !self.shards[idx].is_quarantined())
+            .unwrap_or(preferred)
+    }
+
     /// Submit one routing request. Applies admission control (global
-    /// in-flight cap), placement, and the configured backpressure policy.
+    /// in-flight cap), placement (steered away from quarantined shards),
+    /// and the configured backpressure policy.
     pub fn submit(&mut self, message: Message) -> SubmitOutcome {
-        let shard_idx =
-            self.config
-                .placement
-                .place(message.source, self.rr_cursor, self.config.shards);
+        let shard_idx = self.steer(self.config.placement.place(
+            message.source,
+            self.rr_cursor,
+            self.config.shards,
+        ));
         // Admission control: shed load before it ever reaches a queue.
         if let Some(limit) = self.config.admission_limit {
             if self.in_flight() >= limit {
@@ -287,6 +324,132 @@ mod tests {
         }
         assert_eq!(rejected, 5, "cap of 3 in flight rejects the rest");
         f.drain(100);
+        assert!(f.snapshot().conserved());
+    }
+
+    #[test]
+    fn quarantined_shard_stops_receiving_new_traffic() {
+        use concentrator::faults::FaultMode;
+        let mut config = FabricConfig::new(2);
+        config.retry = crate::config::RetryBudget::limited(0);
+        let mut f = fabric(config);
+        // Kill every first-stage chip on shard 0: nothing it routes lands.
+        f.inject_faults(
+            0,
+            (0..4)
+                .map(|chip| ChipFault {
+                    stage: 0,
+                    chip,
+                    mode: FaultMode::StuckInvalid,
+                })
+                .collect(),
+        );
+        // Drive until the health monitor quarantines shard 0.
+        let mut id = 0u64;
+        while !f.shard_quarantined(0) {
+            assert!(id < 10_000, "shard 0 never quarantined");
+            for src in 0..16 {
+                f.submit(msg(id, src));
+                id += 1;
+            }
+            f.tick();
+        }
+        assert!(f.shard_health(0) < 0.7);
+        assert!(
+            !f.shard_quarantined(1),
+            "healthy shard must stay in service"
+        );
+        // From here on, round-robin placements that prefer shard 0 are
+        // steered to shard 1: shard 0's offered count freezes.
+        f.drain(1_000);
+        let before = f.snapshot();
+        for src in 0..16 {
+            f.submit(msg(id, src));
+            id += 1;
+        }
+        f.drain(1_000);
+        let snapshot = f.snapshot();
+        assert_eq!(
+            snapshot.shards[0].offered, before.shards[0].offered,
+            "new traffic must steer away from the quarantined shard"
+        );
+        // All 16 steered messages terminate on the healthy shard (under
+        // limited(0) retry, losers of a 16-into-8 frame drop).
+        assert_eq!(
+            snapshot.shards[1].delivered + snapshot.shards[1].retry_dropped,
+            before.shards[1].delivered + before.shards[1].retry_dropped + 16,
+            "the healthy shard must absorb the steered traffic"
+        );
+        assert!(snapshot.shards[1].delivered > before.shards[1].delivered);
+        assert!(snapshot.conserved());
+        assert_eq!(snapshot.totals().quarantines, 1);
+        assert!(snapshot.totals().quarantined_frames > 0);
+        assert_eq!(snapshot.totals().faults_active, 4);
+    }
+
+    #[test]
+    fn failover_is_reproducible() {
+        use concentrator::faults::FaultMode;
+        let run = || {
+            let mut config = FabricConfig::new(3);
+            config.retry = crate::config::RetryBudget::limited(1);
+            let mut f = fabric(config);
+            for round in 0..40u64 {
+                if round == 10 {
+                    f.inject_faults(
+                        1,
+                        vec![ChipFault {
+                            stage: 0,
+                            chip: 2,
+                            mode: FaultMode::StuckValid,
+                        }],
+                    );
+                }
+                for src in 0..16 {
+                    f.submit(msg(round * 16 + src as u64, src as usize));
+                }
+                f.tick();
+            }
+            f.drain(10_000);
+            f.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same fault schedule must give identical snapshots");
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn all_shards_quarantined_still_accepts_traffic() {
+        use concentrator::faults::FaultMode;
+        let mut config = FabricConfig::new(2);
+        config.retry = crate::config::RetryBudget::limited(0);
+        let mut f = fabric(config);
+        for shard in 0..2 {
+            f.inject_faults(
+                shard,
+                (0..4)
+                    .map(|chip| ChipFault {
+                        stage: 0,
+                        chip,
+                        mode: FaultMode::StuckInvalid,
+                    })
+                    .collect(),
+            );
+        }
+        let mut id = 0u64;
+        while !(f.shard_quarantined(0) && f.shard_quarantined(1)) {
+            assert!(id < 10_000, "shards never quarantined");
+            for src in 0..16 {
+                f.submit(msg(id, src));
+                id += 1;
+            }
+            f.tick();
+        }
+        // With nowhere healthy to steer, the preferred shard keeps the
+        // message rather than deadlocking placement.
+        assert_eq!(f.submit(msg(id, 3)), SubmitOutcome::Accepted);
+        f.drain(1_000);
         assert!(f.snapshot().conserved());
     }
 

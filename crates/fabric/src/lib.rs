@@ -27,6 +27,15 @@
 //!   [`IngressQueue`]s; producers get real blocking backpressure, and
 //!   drain is graceful (close, finish backlogs, join, merge metrics).
 //!
+//! Both modes are fault-aware: chip faults
+//! ([`concentrator::faults::ChipFault`]) can be injected on a shard
+//! mid-run (`inject_faults`), which swaps the shard onto a
+//! fault-compiled netlist overlay. A per-shard delivery-health EWMA
+//! ([`HealthPolicy`]) compares delivered counts against the analytic
+//! capacity bound, quarantines degraded shards (placement steers new
+//! traffic to healthy ones while the sick shard drains its backlog),
+//! and recovers them with hysteresis once repaired.
+//!
 //! The conservation identity both modes guarantee at drain:
 //!
 //! ```text
@@ -41,9 +50,12 @@ pub mod queue;
 pub mod service;
 pub mod shard;
 
-pub use config::{Backpressure, FabricConfig, Placement, RetryBudget};
+pub use config::{Backpressure, FabricConfig, HealthPolicy, Placement, RetryBudget};
 pub use engine::{Fabric, SubmitOutcome};
-pub use loadgen::{drive_service, drive_sync, drive_sync_unbatched, DriveReport, LoadPlan};
+pub use loadgen::{
+    drive_service, drive_sync, drive_sync_faulted, drive_sync_unbatched, DriveReport, FaultEvent,
+    LoadPlan,
+};
 pub use metrics::{FabricSnapshot, LogHistogram, ShardMetrics};
 pub use queue::{IngressQueue, PushOutcome};
 pub use service::{FabricReport, FabricService};

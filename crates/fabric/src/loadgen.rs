@@ -13,6 +13,7 @@
 //!   under the service's real backpressure (a blocked producer blocks —
 //!   the closed loop).
 
+use concentrator::faults::ChipFault;
 use serde::{Deserialize, Serialize};
 use switchsim::traffic::{TrafficGenerator, TrafficModel};
 use switchsim::Message;
@@ -99,6 +100,69 @@ pub fn drive_sync_unbatched(fabric: &mut Fabric, inputs: usize, plan: &LoadPlan)
         }
     }
     fabric.drain(DRAIN_LIMIT);
+    let delivered = fabric.take_completions().len() as u64;
+    DriveReport {
+        generated,
+        delivered,
+        snapshot: fabric.snapshot(),
+    }
+}
+
+/// A scheduled fault change: at the start of generation frame `frame`,
+/// replace shard `shard`'s fault set with `faults` (empty = repair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Generation frame (0-based) at which the change lands.
+    pub frame: usize,
+    /// Target shard.
+    pub shard: usize,
+    /// The shard's new complete fault set.
+    pub faults: Vec<ChipFault>,
+}
+
+/// [`drive_sync`] with a fault schedule: each [`FaultEvent`] is injected
+/// at its frame boundary, so a fixed `(plan, schedule)` pair replays the
+/// same failure story bit-for-bit. Events must be sorted by frame.
+pub fn drive_sync_faulted(
+    fabric: &mut Fabric,
+    inputs: usize,
+    plan: &LoadPlan,
+    schedule: &[FaultEvent],
+) -> DriveReport {
+    assert!(
+        schedule.windows(2).all(|w| w[0].frame <= w[1].frame),
+        "fault schedule must be sorted by frame"
+    );
+    let mut generator = TrafficGenerator::new(plan.model, inputs, plan.payload_bytes, plan.seed);
+    let mut held: Vec<Message> = Vec::new();
+    let mut generated = 0u64;
+    let mut next_event = 0usize;
+    for frame in 0..plan.frames {
+        while next_event < schedule.len() && schedule[next_event].frame <= frame {
+            let event = &schedule[next_event];
+            fabric.inject_faults(event.shard, event.faults.clone());
+            next_event += 1;
+        }
+        let fresh = generator.next_frame();
+        generated += fresh.len() as u64;
+        held = offer_all(fabric, held.into_iter().chain(fresh));
+        fabric.tick();
+    }
+    // Late events (frame ≥ plan.frames) land before the drain begins.
+    for event in &schedule[next_event..] {
+        fabric.inject_faults(event.shard, event.faults.clone());
+    }
+    let mut drain_frames = 0u64;
+    while !held.is_empty() || fabric.in_flight() > 0 {
+        assert!(
+            drain_frames < DRAIN_LIMIT,
+            "faulted sync drive failed to drain (held {})",
+            held.len()
+        );
+        held = offer_all(fabric, held.into_iter());
+        fabric.tick();
+        drain_frames += 1;
+    }
     let delivered = fabric.take_completions().len() as u64;
     DriveReport {
         generated,

@@ -146,6 +146,16 @@ pub struct ShardMetrics {
     pub sweeps: u64,
     /// Largest pending-queue depth observed.
     pub max_pending: u64,
+    /// Delivery-health EWMA in thousandths (1000 = meeting the analytic
+    /// capacity bound). Zero only before the shard has executed a frame;
+    /// merged snapshots report the *worst* shard.
+    pub health_milli: u64,
+    /// Times the shard entered quarantine.
+    pub quarantines: u64,
+    /// Frames executed while quarantined.
+    pub quarantined_frames: u64,
+    /// Chip faults currently injected into the shard's switch.
+    pub faults_active: u64,
     /// Frames each delivered message waited from acceptance to delivery.
     pub wait_frames: LogHistogram,
 }
@@ -186,6 +196,15 @@ impl ShardMetrics {
         self.frames += other.frames;
         self.sweeps += other.sweeps;
         self.max_pending = self.max_pending.max(other.max_pending);
+        // Health is a gauge, not a counter: a merged view reports the
+        // least healthy shard (ignoring shards that never ran a frame).
+        self.health_milli = match (self.health_milli, other.health_milli) {
+            (0, h) | (h, 0) => h,
+            (a, b) => a.min(b),
+        };
+        self.quarantines += other.quarantines;
+        self.quarantined_frames += other.quarantined_frames;
+        self.faults_active += other.faults_active;
         self.wait_frames.merge(&other.wait_frames);
     }
 }
@@ -202,6 +221,10 @@ impl ToJson for ShardMetrics {
             ("frames", self.frames.to_json()),
             ("sweeps", self.sweeps.to_json()),
             ("max_pending", self.max_pending.to_json()),
+            ("health_milli", self.health_milli.to_json()),
+            ("quarantines", self.quarantines.to_json()),
+            ("quarantined_frames", self.quarantined_frames.to_json()),
+            ("faults_active", self.faults_active.to_json()),
             (
                 "deliveries_per_sweep",
                 self.deliveries_per_sweep().to_json(),

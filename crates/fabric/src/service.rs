@@ -18,10 +18,11 @@
 //! delivered, rejected, shed, or retry-dropped by drain — and payload
 //! integrity end to end.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use concentrator::faults::ChipFault;
 use concentrator::StagedSwitch;
 use switchsim::Message;
 
@@ -51,6 +52,11 @@ pub struct FabricReport {
     pub completions: Vec<Delivery>,
 }
 
+/// A pending fault-set change for one shard's worker: `None` means no
+/// change requested; `Some(faults)` is applied (and taken) at the
+/// worker's next loop iteration.
+type FaultSignal = Arc<Mutex<Option<Vec<ChipFault>>>>;
+
 /// A concurrent sharded switch-serving engine.
 pub struct FabricService {
     config: FabricConfig,
@@ -59,6 +65,8 @@ pub struct FabricService {
     rr_cursor: AtomicUsize,
     in_flight: Arc<AtomicU64>,
     admission_rejected: Vec<AtomicU64>,
+    fault_signals: Vec<FaultSignal>,
+    quarantined: Vec<Arc<AtomicBool>>,
 }
 
 impl FabricService {
@@ -72,17 +80,30 @@ impl FabricService {
         let in_flight = Arc::new(AtomicU64::new(0));
         let mut queues = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
+        let mut fault_signals = Vec::with_capacity(config.shards);
+        let mut quarantined = Vec::with_capacity(config.shards);
         for id in 0..config.shards {
             let queue = Arc::new(IngressQueue::new(config.queue_capacity));
-            let mut shard = Shard::new(id, Arc::clone(&switch), config.retry);
+            let mut shard =
+                Shard::new(id, Arc::clone(&switch), config.retry).with_health_policy(config.health);
+            let signal: FaultSignal = Arc::new(Mutex::new(None));
+            let flag = Arc::new(AtomicBool::new(false));
             let worker_queue = Arc::clone(&queue);
             let worker_in_flight = Arc::clone(&in_flight);
+            let worker_signal = Arc::clone(&signal);
+            let worker_flag = Arc::clone(&flag);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fabric-shard-{id}"))
                     .spawn(move || {
-                        let deliveries =
-                            run_worker(&mut shard, &worker_queue, &worker_in_flight, batch_window);
+                        let deliveries = run_worker(
+                            &mut shard,
+                            &worker_queue,
+                            &worker_in_flight,
+                            batch_window,
+                            &worker_signal,
+                            &worker_flag,
+                        );
                         WorkerResult {
                             metrics: shard.metrics.clone(),
                             deliveries,
@@ -91,6 +112,8 @@ impl FabricService {
                     .expect("spawn fabric worker"),
             );
             queues.push(queue);
+            fault_signals.push(signal);
+            quarantined.push(flag);
         }
         FabricService {
             config,
@@ -99,7 +122,37 @@ impl FabricService {
             rr_cursor: AtomicUsize::new(0),
             in_flight,
             admission_rejected: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+            fault_signals,
+            quarantined,
         }
+    }
+
+    /// Request chip faults on one shard's switch (an empty vector clears
+    /// them). The shard's worker applies the change at its next loop
+    /// iteration, so the effect lands within a frame or two of the call —
+    /// this models a chip dying (or being hot-swapped) mid-run.
+    pub fn inject_faults(&self, shard: usize, faults: Vec<ChipFault>) {
+        *self.fault_signals[shard].lock().expect("fault signal") = Some(faults);
+    }
+
+    /// Whether a shard's health monitor has quarantined it (as last
+    /// published by its worker).
+    pub fn shard_quarantined(&self, shard: usize) -> bool {
+        self.quarantined[shard].load(Ordering::Acquire)
+    }
+
+    /// Steer a placement away from quarantined shards (same scan as the
+    /// synchronous engine): keep the preferred shard when healthy, else
+    /// the next healthy shard in a wrapping scan, else the preferred one.
+    fn steer(&self, preferred: usize) -> usize {
+        if !self.quarantined[preferred].load(Ordering::Acquire) {
+            return preferred;
+        }
+        let shards = self.config.shards;
+        (1..shards)
+            .map(|step| (preferred + step) % shards)
+            .find(|&idx| !self.quarantined[idx].load(Ordering::Acquire))
+            .unwrap_or(preferred)
     }
 
     /// Submit one routing request from any thread. Under
@@ -108,10 +161,11 @@ impl FabricService {
     /// returns [`SubmitOutcome::Rejected`].
     pub fn submit(&self, message: Message) -> SubmitOutcome {
         let cursor = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
-        let shard = self
-            .config
-            .placement
-            .place(message.source, cursor, self.config.shards);
+        let shard = self.steer(self.config.placement.place(
+            message.source,
+            cursor,
+            self.config.shards,
+        ));
         if let Some(limit) = self.config.admission_limit {
             if self.in_flight.load(Ordering::Acquire) >= limit as u64 {
                 self.admission_rejected[shard].fetch_add(1, Ordering::Relaxed);
@@ -179,10 +233,15 @@ fn run_worker(
     queue: &IngressQueue,
     in_flight: &AtomicU64,
     batch_window: usize,
+    fault_signal: &Mutex<Option<Vec<ChipFault>>>,
+    quarantined: &AtomicBool,
 ) -> Vec<Delivery> {
     let mut deliveries = Vec::new();
     let mut drain_frames = 0u64;
     loop {
+        if let Some(faults) = fault_signal.lock().expect("fault signal").take() {
+            shard.set_faults(faults);
+        }
         let fresh = if shard.pending_len() == 0 {
             match queue.pop_batch_blocking(batch_window) {
                 Some(batch) => batch,
@@ -197,6 +256,7 @@ fn run_worker(
         }
         if shard.pending_len() > 0 {
             let run = shard.run_frame();
+            quarantined.store(shard.is_quarantined(), Ordering::Release);
             let completed = (run.delivered.len() + run.dropped.len()) as u64;
             deliveries.extend(run.delivered);
             if completed > 0 {

@@ -13,12 +13,13 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use concentrator::spec::ConcentratorSwitch;
+use concentrator::faults::{ChipFault, FaultySwitch};
+use concentrator::spec::{ConcentratorKind, ConcentratorSwitch};
 use concentrator::{Elaboration, StagedSwitch};
-use netlist::{EvalScratch, WORD_BITS};
+use netlist::{CompiledNetlist, EvalScratch, WORD_BITS};
 use switchsim::Message;
 
-use crate::config::RetryBudget;
+use crate::config::{HealthPolicy, RetryBudget};
 use crate::metrics::ShardMetrics;
 
 /// A message waiting in a shard with its bookkeeping.
@@ -56,6 +57,18 @@ pub struct FrameRun {
     pub dropped: Vec<Message>,
 }
 
+/// The degraded execution engine of a shard with injected chip faults:
+/// the message-level faulty router (the routing oracle) and the
+/// fault-compiled datapath overlay (the payload transport), which runs at
+/// the same 64-lane batch speed as the healthy engine. Derived from the
+/// switch's shared faultable elaboration; owning the overlay here keeps
+/// the shared cache healthy-only.
+struct FaultedEngine {
+    router: FaultySwitch,
+    compiled: CompiledNetlist,
+    scratch: EvalScratch,
+}
+
 /// A shard: pending queue + compiled-datapath batch executor + metrics.
 pub struct Shard {
     id: usize,
@@ -68,6 +81,12 @@ pub struct Shard {
     retry: RetryBudget,
     /// Frames this shard has executed (its local clock).
     clock: u64,
+    /// Injected chip faults, when any (see [`Shard::set_faults`]).
+    fault: Option<FaultedEngine>,
+    health: HealthPolicy,
+    /// Delivery-health EWMA against the analytic capacity bound.
+    health_ewma: f64,
+    quarantined: bool,
     /// Counters; public so the engine/service can fold in queue-side
     /// events (rejections, sheds) that never reach the shard proper.
     pub metrics: ShardMetrics,
@@ -82,6 +101,10 @@ impl Shard {
         let scratch = elab.compiled.scratch();
         let word_in = vec![0u64; elab.compiled.input_count()];
         let word_out = vec![0u64; elab.compiled.output_count()];
+        let metrics = ShardMetrics {
+            health_milli: 1000,
+            ..ShardMetrics::default()
+        };
         Shard {
             id,
             switch,
@@ -92,13 +115,64 @@ impl Shard {
             pending: VecDeque::new(),
             retry,
             clock: 0,
-            metrics: ShardMetrics::default(),
+            fault: None,
+            health: HealthPolicy::default(),
+            health_ewma: 1.0,
+            quarantined: false,
+            metrics,
         }
+    }
+
+    /// Replace the health policy (builder style; the engine and service
+    /// propagate [`crate::FabricConfig::health`] through this).
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Shard {
+        policy.validate();
+        self.health = policy;
+        self
     }
 
     /// Shard id.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Inject (or, with an empty set, clear) chip faults. The faulted
+    /// engine is derived from the switch's shared faultable elaboration:
+    /// routing goes through the message-level [`FaultySwitch`] reference
+    /// and payload transport through a fault-compiled overlay of the
+    /// tapped datapath, leaving the shared elaboration cache untouched.
+    ///
+    /// # Panics
+    /// If a fault names a stage or chip the switch does not have.
+    pub fn set_faults(&mut self, faults: Vec<ChipFault>) {
+        self.metrics.faults_active = faults.len() as u64;
+        if faults.is_empty() {
+            self.fault = None;
+            return;
+        }
+        let elab = self.switch.faultable_logic();
+        let compiled = elab.compile_faulted(&faults);
+        let scratch = compiled.scratch();
+        self.fault = Some(FaultedEngine {
+            router: FaultySwitch::new(Arc::clone(&self.switch), faults),
+            compiled,
+            scratch,
+        });
+    }
+
+    /// The chip faults currently injected (empty when healthy).
+    pub fn active_faults(&self) -> &[ChipFault] {
+        self.fault.as_ref().map_or(&[], |f| f.router.faults())
+    }
+
+    /// Whether the health monitor has quarantined this shard.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The delivery-health EWMA (1.0 = meeting the capacity bound).
+    pub fn health(&self) -> f64 {
+        self.health_ewma
     }
 
     /// Messages waiting for a frame slot.
@@ -167,9 +241,14 @@ impl Shard {
         self.pending = stay;
         debug_assert!(batched > 0);
 
-        // Setup cycle: the valid bits establish the electrical paths.
+        // Setup cycle: the valid bits establish the electrical paths —
+        // through the faulty router when faults are injected, so the
+        // routing oracle and the datapath degrade together.
         let valid: Vec<bool> = by_input.iter().map(Option::is_some).collect();
-        let routing = self.switch.route(&valid);
+        let routing = match &self.fault {
+            Some(faulted) => faulted.router.route(&valid),
+            None => self.switch.route(&valid),
+        };
 
         // Payload cycles through the compiled datapath netlist: the valid
         // rail holds the frozen setup pattern on every lane, the data rail
@@ -201,9 +280,18 @@ impl Shard {
                 }
                 self.word_in[n + i] = data;
             }
-            self.elab
-                .compiled
-                .eval_word_into(&self.word_in, &mut self.scratch, &mut self.word_out);
+            match &mut self.fault {
+                Some(faulted) => faulted.compiled.eval_word_into(
+                    &self.word_in,
+                    &mut faulted.scratch,
+                    &mut self.word_out,
+                ),
+                None => self.elab.compiled.eval_word_into(
+                    &self.word_in,
+                    &mut self.scratch,
+                    &mut self.word_out,
+                ),
+            }
             self.metrics.sweeps += 1;
             for (out, src) in routing.output_source.iter().enumerate() {
                 if src.is_some() {
@@ -271,7 +359,37 @@ impl Shard {
 
         self.metrics.frames += 1;
         self.clock += 1;
+        self.update_health(batched as u64, run.delivered.len() as u64);
         run
+    }
+
+    /// Fold one executed frame into the delivery-health EWMA and apply the
+    /// quarantine state machine. The denominator is the analytic capacity
+    /// bound: a partial concentrator of guarantee `α` owes `⌊α·m⌋`
+    /// deliveries per saturated frame (Lemma 2), so congestion beyond the
+    /// bound does not read as ill health — only faults do.
+    fn update_health(&mut self, batched: u64, delivered: u64) {
+        let m = self.switch.m as f64;
+        let alpha = match self.switch.kind {
+            ConcentratorKind::Partial { alpha } => alpha,
+            ConcentratorKind::Hyperconcentrator | ConcentratorKind::Perfect => 1.0,
+        };
+        let bound = ((alpha * m).floor() as u64).max(1);
+        let expected = batched.min(bound).max(1);
+        let ratio = (delivered as f64 / expected as f64).min(1.0);
+        self.health_ewma += self.health.alpha * (ratio - self.health_ewma);
+        self.metrics.health_milli = (self.health_ewma * 1000.0).round() as u64;
+        if self.metrics.frames >= self.health.min_frames {
+            if !self.quarantined && self.health_ewma < self.health.quarantine_below {
+                self.quarantined = true;
+                self.metrics.quarantines += 1;
+            } else if self.quarantined && self.health_ewma > self.health.recover_above {
+                self.quarantined = false;
+            }
+        }
+        if self.quarantined {
+            self.metrics.quarantined_frames += 1;
+        }
     }
 
     /// Run frames until the pending queue is empty (graceful drain),
@@ -380,5 +498,73 @@ mod tests {
         assert!(run.offered.is_empty());
         assert_eq!(shard.metrics.frames, 0);
         assert_eq!(shard.metrics.sweeps, 0);
+    }
+
+    use concentrator::faults::FaultMode;
+
+    #[test]
+    fn faulted_shard_degrades_and_accounts_every_message() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::limited(0));
+        shard.set_faults(vec![ChipFault {
+            stage: 0,
+            chip: 0,
+            mode: FaultMode::StuckInvalid,
+        }]);
+        assert_eq!(shard.active_faults().len(), 1);
+        assert_eq!(shard.metrics.faults_active, 1);
+        for src in 0..16 {
+            shard.accept(Message::new(src as u64, src, vec![0x40 | src as u8]));
+        }
+        let run = shard.run_frame();
+        assert_eq!(run.delivered.len() + run.dropped.len(), 16);
+        assert!(
+            !run.dropped.is_empty(),
+            "a dead first-stage chip must cost messages"
+        );
+        // Winners still carry intact payloads through the faulted netlist.
+        for d in &run.delivered {
+            assert_eq!(d.message.payload[0], 0x40 | d.message.source as u8);
+        }
+    }
+
+    #[test]
+    fn health_quarantines_on_faults_and_recovers_after_repair() {
+        // Offer only the faulted chip's column, under the bound: every
+        // frame delivers zero of an expected four, so the EWMA collapses.
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::limited(0));
+        shard.set_faults(vec![ChipFault {
+            stage: 0,
+            chip: 0,
+            mode: FaultMode::StuckInvalid,
+        }]);
+        // TwoDee 16→8: stage 0 chip 0 serves matrix column 0.
+        let dead: Vec<usize> = (0..16).filter(|i| i % 4 == 0).collect();
+        let mut frames = 0;
+        while !shard.is_quarantined() {
+            assert!(frames < 100, "health monitor never quarantined");
+            for &src in &dead {
+                shard.accept(Message::new(src as u64, src, vec![1]));
+            }
+            shard.run_frame();
+            frames += 1;
+        }
+        assert!(shard.health() < 0.7);
+        assert!(shard.metrics.quarantines == 1);
+        assert!(shard.metrics.quarantined_frames > 0);
+        // Repair: clear the faults and the same traffic now lands, so the
+        // EWMA climbs back over the recovery threshold.
+        shard.set_faults(Vec::new());
+        assert_eq!(shard.metrics.faults_active, 0);
+        let mut frames = 0;
+        while shard.is_quarantined() {
+            assert!(frames < 100, "health monitor never recovered");
+            for &src in &dead {
+                shard.accept(Message::new(src as u64, src, vec![1]));
+            }
+            shard.run_frame();
+            frames += 1;
+        }
+        assert!(shard.health() > 0.85);
+        assert_eq!(shard.metrics.quarantines, 1, "no re-entry after recovery");
     }
 }

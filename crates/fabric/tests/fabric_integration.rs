@@ -17,11 +17,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use concentrator::faults::{ChipFault, FaultMode};
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::StagedSwitch;
 use fabric::{
-    drive_service, drive_sync, drive_sync_unbatched, Backpressure, Fabric, FabricConfig,
-    FabricService, LoadPlan, Placement, RetryBudget,
+    drive_service, drive_sync, drive_sync_faulted, drive_sync_unbatched, Backpressure, Fabric,
+    FabricConfig, FabricService, FaultEvent, LoadPlan, Placement, RetryBudget,
 };
 use switchsim::traffic::TrafficGenerator;
 use switchsim::{simulate_frame, TrafficModel};
@@ -242,6 +243,204 @@ fn batched_sweeps_are_an_order_of_magnitude_fewer() {
         unbatched_sweeps >= 10 * batched_sweeps,
         "batching won only {unbatched_sweeps}/{batched_sweeps} sweeps"
     );
+}
+
+/// A mid-run campaign: a whole first-stage chip row dies on shard 0 at
+/// frame 12, is repaired at frame 30, and a second shard takes a
+/// transient single-chip hit in between.
+fn campaign_schedule(switch: &StagedSwitch) -> Vec<FaultEvent> {
+    let dead_row: Vec<ChipFault> = (0..switch.stages[0].chip_count)
+        .map(|chip| ChipFault {
+            stage: 0,
+            chip,
+            mode: FaultMode::StuckInvalid,
+        })
+        .collect();
+    vec![
+        FaultEvent {
+            frame: 12,
+            shard: 0,
+            faults: dead_row,
+        },
+        FaultEvent {
+            frame: 18,
+            shard: 1,
+            faults: vec![ChipFault {
+                stage: 0,
+                chip: 1,
+                mode: FaultMode::StuckValid,
+            }],
+        },
+        FaultEvent {
+            frame: 24,
+            shard: 1,
+            faults: Vec::new(), // repair
+        },
+        FaultEvent {
+            frame: 30,
+            shard: 0,
+            faults: Vec::new(), // repair
+        },
+    ]
+}
+
+/// Conservation at drain under a mid-run fault campaign, synchronous
+/// mode, for every backpressure policy. Retries must be bounded: a dead
+/// column never delivers, so unlimited retry would spin forever.
+#[test]
+fn sync_conservation_under_faults_for_all_policies() {
+    for policy in [
+        Backpressure::Block,
+        Backpressure::ShedOldest,
+        Backpressure::Reject,
+    ] {
+        let switch = staged(16, 8);
+        let mut config = FabricConfig::new(2);
+        config.queue_capacity = 8;
+        config.backpressure = policy;
+        config.retry = RetryBudget::limited(2);
+        let mut fabric = Fabric::new(Arc::clone(&switch), config);
+        let workload = plan(TrafficModel::Bernoulli { p: 0.8 }, 21, 40);
+        let schedule = campaign_schedule(&switch);
+        let report = drive_sync_faulted(&mut fabric, 16, &workload, &schedule);
+        let totals = report.snapshot.totals();
+        assert!(
+            report.snapshot.conserved(),
+            "{policy:?}: conservation violated under faults: {totals:?}"
+        );
+        assert_eq!(report.snapshot.in_flight, 0, "{policy:?}: drain left work");
+        assert!(totals.delivered > 0, "{policy:?}: nothing delivered");
+        assert!(
+            totals.retry_dropped > 0,
+            "{policy:?}: the dead chip row must cost some messages"
+        );
+    }
+}
+
+/// The same faulted campaign is bit-reproducible: schedules key off fixed
+/// frames and the synchronous engine is deterministic.
+#[test]
+fn faulted_sync_drives_are_deterministic() {
+    let run = || {
+        let switch = staged(16, 8);
+        let mut config = FabricConfig::new(2);
+        config.retry = RetryBudget::limited(1);
+        let mut fabric = Fabric::new(Arc::clone(&switch), config);
+        let workload = plan(TrafficModel::Bernoulli { p: 0.7 }, 4242, 48);
+        let schedule = campaign_schedule(&switch);
+        let report = drive_sync_faulted(&mut fabric, 16, &workload, &schedule);
+        (report, fabric.take_completions())
+    };
+    let (a, completions_a) = run();
+    let (b, completions_b) = run();
+    assert_eq!(a.snapshot, b.snapshot, "faulted drives diverged");
+    assert_eq!(completions_a, completions_b);
+    assert!(a.snapshot.totals().quarantines >= 1, "no quarantine fired");
+}
+
+/// A permanent mid-run fault quarantines its shard: health collapses,
+/// placement steers new traffic to the healthy shard, and the backlog
+/// still drains with exact conservation.
+#[test]
+fn mid_run_permanent_fault_quarantines_the_shard() {
+    let switch = staged(16, 8);
+    let mut config = FabricConfig::new(2);
+    config.retry = RetryBudget::limited(1);
+    let mut fabric = Fabric::new(Arc::clone(&switch), config);
+    let workload = plan(TrafficModel::Bernoulli { p: 0.8 }, 7, 60);
+    let schedule = vec![FaultEvent {
+        frame: 10,
+        shard: 0,
+        faults: (0..switch.stages[0].chip_count)
+            .map(|chip| ChipFault {
+                stage: 0,
+                chip,
+                mode: FaultMode::StuckInvalid,
+            })
+            .collect(),
+    }];
+    let report = drive_sync_faulted(&mut fabric, 16, &workload, &schedule);
+    assert!(report.snapshot.conserved());
+    assert!(fabric.shard_quarantined(0), "shard 0 must end quarantined");
+    assert!(!fabric.shard_quarantined(1), "shard 1 must stay healthy");
+    let sick = &report.snapshot.shards[0];
+    let healthy = &report.snapshot.shards[1];
+    assert_eq!(sick.quarantines, 1);
+    assert!(sick.quarantined_frames > 0);
+    assert!(sick.health_milli < 700, "health must reflect the dead row");
+    assert!(
+        healthy.offered > sick.offered,
+        "steering must shift load to the healthy shard ({} vs {})",
+        healthy.offered,
+        sick.offered
+    );
+    // Bounded loss: the healthy shard picks up the steered traffic, so
+    // losing one shard of two costs far less than half the messages.
+    let totals = report.snapshot.totals();
+    assert!(
+        totals.dropped() * 2 < totals.offered,
+        "loss must stay bounded: dropped {} of {}",
+        totals.dropped(),
+        totals.offered
+    );
+}
+
+/// Conservation and quarantine through the threaded service: inject a
+/// permanent fault mid-run from the control thread, keep producing, then
+/// drain gracefully mid-campaign.
+#[test]
+fn service_conservation_under_mid_run_faults() {
+    for policy in [
+        Backpressure::Block,
+        Backpressure::ShedOldest,
+        Backpressure::Reject,
+    ] {
+        let switch = staged(16, 8);
+        let mut config = FabricConfig::new(2);
+        config.queue_capacity = 16;
+        config.retry = RetryBudget::limited(2);
+        config.backpressure = policy;
+        let service = FabricService::start(Arc::clone(&switch), config);
+        let workload = plan(TrafficModel::Bernoulli { p: 0.7 }, 33, 20);
+        let before = drive_service(&service, 2, &workload, 16);
+        // A chip row dies while the service is live…
+        service.inject_faults(
+            0,
+            (0..switch.stages[0].chip_count)
+                .map(|chip| ChipFault {
+                    stage: 0,
+                    chip,
+                    mode: FaultMode::StuckInvalid,
+                })
+                .collect(),
+        );
+        // …traffic keeps flowing…
+        let after = drive_service(&service, 2, &workload, 16);
+        // …and the drain is graceful mid-campaign: workers finish their
+        // backlogs through the faulted switch and every message is
+        // accounted for.
+        let report = service.drain();
+        let totals = report.snapshot.totals();
+        assert!(
+            report.snapshot.conserved(),
+            "{policy:?}: conservation violated under live faults: {totals:?}"
+        );
+        assert_eq!(
+            totals.offered,
+            before + after,
+            "{policy:?}: offered must cover both halves of the campaign"
+        );
+        assert_eq!(
+            totals.delivered as usize,
+            report.completions.len(),
+            "{policy:?}: completion stream disagrees with the counters"
+        );
+        assert!(totals.delivered > 0, "{policy:?}: nothing delivered");
+        assert_eq!(
+            totals.faults_active, switch.stages[0].chip_count as u64,
+            "{policy:?}: the injected faults must be visible in metrics"
+        );
+    }
 }
 
 /// Hotspot traffic under source-hash placement skews load to the shards

@@ -30,6 +30,48 @@ use crate::builder::Netlist;
 use crate::gate::GateKind;
 use crate::wire::{Literal, Wire};
 
+/// How a faulted wire misbehaves (see [`CompiledNetlist::with_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WireFaultKind {
+    /// The wire reads constant 0 regardless of its driver.
+    Stuck0,
+    /// The wire reads constant 1 regardless of its driver.
+    Stuck1,
+    /// Every reader of the wire sees the complement of the driven value.
+    Flip,
+}
+
+/// A located wire fault: which wire, and how it misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireFault {
+    /// The faulted wire.
+    pub wire: Wire,
+    /// The failure mode.
+    pub kind: WireFaultKind,
+}
+
+impl WireFault {
+    /// A stuck-at fault forcing `wire` to `value`.
+    pub fn stuck(wire: Wire, value: bool) -> WireFault {
+        WireFault {
+            wire,
+            kind: if value {
+                WireFaultKind::Stuck1
+            } else {
+                WireFaultKind::Stuck0
+            },
+        }
+    }
+
+    /// An inversion fault on `wire`.
+    pub fn flip(wire: Wire) -> WireFault {
+        WireFault {
+            wire,
+            kind: WireFaultKind::Flip,
+        }
+    }
+}
+
 /// Compiled gate opcode. [`GateKind::Const`] splits into two opcodes so the
 /// hot loop never touches a payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +128,12 @@ pub struct CompiledNetlist {
     levels: Vec<u32>,
     /// Packed primary-output literals, in marking order.
     outputs: Vec<PackedLit>,
+    /// Stuck-at values applied to *non-gate* wires (primary inputs) after
+    /// the input words are loaded and before the sweep: `(wire, value)`.
+    /// Empty for healthy circuits, so the hot path never pays for the
+    /// fault machinery. Gate-output stucks are compiled into the opcode
+    /// stream instead (see [`CompiledNetlist::with_faults`]).
+    forces: Vec<(u32, bool)>,
 }
 
 impl Netlist {
@@ -147,7 +195,74 @@ impl CompiledNetlist {
             lits,
             levels,
             outputs: nl.outputs().iter().map(|&l| pack(l)).collect(),
+            forces: Vec::new(),
         }
+    }
+
+    /// Derive a *faulted* copy of this compiled netlist: the returned
+    /// engine evaluates the same schedule with the given wire faults
+    /// permanently injected, at the same batch-evaluation speed.
+    ///
+    /// Injection strategy, chosen so the sweep hot loop is untouched:
+    ///
+    /// * **stuck-at on a gate-output wire** — the driving gate's opcode is
+    ///   replaced with `ConstTrue`/`ConstFalse` in the schedule;
+    /// * **stuck-at on a primary-input wire** — recorded in a force list
+    ///   applied once per sweep, right after the input words are loaded;
+    /// * **flip** — every reader literal of the wire (fan-in arena and
+    ///   primary outputs) has its inversion bit toggled, which is exactly
+    ///   "every consumer sees the complement".
+    ///
+    /// Faults are applied in order; flipping the same wire twice cancels,
+    /// and a stuck-at composed with a flip yields the complemented
+    /// constant at every reader — the physical semantics of a shorted
+    /// line feeding an inverting receiver.
+    ///
+    /// Cost is `O(gates + literals)` for the copy plus `O(literals)` per
+    /// flip — negligible next to one evaluation sweep — and the source
+    /// engine is untouched, so cached healthy elaborations stay clean.
+    pub fn with_faults(&self, faults: &[WireFault]) -> CompiledNetlist {
+        let mut faulted = self.clone();
+        // Map wire index -> schedule slot of the gate driving it.
+        let mut driver_slot: Vec<Option<u32>> = vec![None; self.wire_count];
+        for (slot, &w) in self.outs.iter().enumerate() {
+            driver_slot[w as usize] = Some(slot as u32);
+        }
+        for fault in faults {
+            let w = fault.wire.index();
+            assert!(w < self.wire_count, "fault names missing wire {w}");
+            match fault.kind {
+                WireFaultKind::Stuck0 | WireFaultKind::Stuck1 => {
+                    let value = fault.kind == WireFaultKind::Stuck1;
+                    match driver_slot[w] {
+                        Some(slot) => {
+                            faulted.ops[slot as usize] =
+                                if value { Op::ConstTrue } else { Op::ConstFalse };
+                        }
+                        None => faulted.forces.push((w as u32, value)),
+                    }
+                }
+                WireFaultKind::Flip => {
+                    for lit in &mut faulted.lits {
+                        if (*lit >> 1) as usize == w {
+                            *lit ^= 1;
+                        }
+                    }
+                    for out in &mut faulted.outputs {
+                        if (*out >> 1) as usize == w {
+                            *out ^= 1;
+                        }
+                    }
+                }
+            }
+        }
+        faulted
+    }
+
+    /// Whether this engine carries injected faults that force primary
+    /// input wires (gate-level faults are invisible here by design).
+    pub fn has_input_forces(&self) -> bool {
+        !self.forces.is_empty()
     }
 
     /// Number of primary inputs.
@@ -239,6 +354,9 @@ impl CompiledNetlist {
         let wires = &mut scratch.wires[..];
         for (ord, &w) in self.input_wires.iter().enumerate() {
             wires[w as usize] = inputs[ord];
+        }
+        for &(w, value) in &self.forces {
+            wires[w as usize] = if value { !0u64 } else { 0u64 };
         }
         self.sweep(wires);
         for (o, &packed) in self.outputs.iter().enumerate() {
@@ -676,5 +794,118 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bit_matrix_get_bounds_checked() {
         BitMatrix::zeroed(1, 64).get(0, 64);
+    }
+
+    /// Reference model of a wire fault: re-evaluate the interpreter with
+    /// the faulted wire's value overridden at every read.
+    fn eval_with_fault(nl: &Netlist, fault: WireFault, bits: &[bool]) -> Vec<bool> {
+        // Evaluate healthy wire values in topological order, then replay
+        // with the fault applied to every *read* of the wire.
+        let mut values = vec![false; nl.wire_count()];
+        for (ord, w) in nl.inputs().iter().enumerate() {
+            values[w.index()] = bits[ord];
+        }
+        let read = |values: &[bool], lit: Literal| -> bool {
+            let mut v = values[lit.wire.index()];
+            if lit.wire == fault.wire {
+                v = match fault.kind {
+                    WireFaultKind::Stuck0 => false,
+                    WireFaultKind::Stuck1 => true,
+                    WireFaultKind::Flip => !v,
+                };
+            }
+            v ^ lit.inverted
+        };
+        for gate in nl.gates() {
+            let ins: Vec<bool> = gate.inputs.iter().map(|&l| read(&values, l)).collect();
+            values[gate.output.index()] = match gate.kind {
+                GateKind::And => ins.iter().all(|&b| b),
+                GateKind::Or => ins.iter().any(|&b| b),
+                GateKind::Xor => ins.iter().fold(false, |a, b| a ^ b),
+                GateKind::Buf => ins[0],
+                GateKind::Const(v) => v,
+            };
+        }
+        nl.outputs().iter().map(|&l| read(&values, l)).collect()
+    }
+
+    #[test]
+    fn single_wire_faults_match_the_reference_model() {
+        let nl = kitchen_sink();
+        let compiled = nl.compile();
+        let n = nl.input_count();
+        for wire in 0..nl.wire_count() as u32 {
+            for kind in [
+                WireFaultKind::Stuck0,
+                WireFaultKind::Stuck1,
+                WireFaultKind::Flip,
+            ] {
+                let fault = WireFault {
+                    wire: Wire(wire),
+                    kind,
+                };
+                let faulted = compiled.with_faults(&[fault]);
+                for vector in 0..(1usize << n) {
+                    let bits: Vec<bool> = (0..n).map(|i| (vector >> i) & 1 == 1).collect();
+                    let words: Vec<u64> = bits.iter().map(|&b| if b { !0u64 } else { 0 }).collect();
+                    let got: Vec<bool> = faulted
+                        .eval_word(&words)
+                        .iter()
+                        .map(|&w| w & 1 == 1)
+                        .collect();
+                    assert_eq!(
+                        got,
+                        eval_with_fault(&nl, fault, &bits),
+                        "wire {wire} {kind:?} vector {vector:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_twice_cancels_and_source_is_untouched() {
+        let nl = kitchen_sink();
+        let compiled = nl.compile();
+        let wire = nl.inputs()[1];
+        let twice = compiled.with_faults(&[WireFault::flip(wire), WireFault::flip(wire)]);
+        let inputs = vec![0xDEAD_BEEF_0123_4567u64, 0x0F0F_0F0F_0F0F_0F0Fu64, 0, !0u64];
+        assert_eq!(twice.eval_word(&inputs), compiled.eval_word(&inputs));
+        // The healthy engine must not have been mutated by the derivation.
+        let once = compiled.with_faults(&[WireFault::flip(wire)]);
+        assert_ne!(once.eval_word(&inputs), compiled.eval_word(&inputs));
+        assert_eq!(
+            compiled.eval_word(&inputs),
+            nl.compile().eval_word(&inputs),
+            "with_faults mutated its source engine"
+        );
+    }
+
+    #[test]
+    fn input_wire_stuck_forces_every_lane() {
+        let nl = majority3();
+        let compiled = nl.compile();
+        let stuck = compiled.with_faults(&[WireFault::stuck(nl.inputs()[0], true)]);
+        assert!(stuck.has_input_forces());
+        assert!(!compiled.has_input_forces());
+        // majority(1, b, c) = b | c.
+        let b = 0b1100u64;
+        let c = 0b1010u64;
+        assert_eq!(stuck.eval_word(&[0, b, c])[0], b | c);
+        // Matrix path applies the same forces.
+        let m = BitMatrix::from_fn(3, 100, |row, v| (v >> row) & 1 == 1);
+        let out = stuck.eval_matrix(&m);
+        for v in 0..100 {
+            let col = m.column(v);
+            assert_eq!(out.get(0, v), col[1] | col[2], "vector {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing wire")]
+    fn fault_location_is_validated() {
+        majority3()
+            .compile()
+            .with_faults(&[WireFault::stuck(Wire(1000), false)]);
     }
 }

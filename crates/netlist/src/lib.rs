@@ -46,7 +46,7 @@ mod verilog;
 mod wire;
 
 pub use builder::Netlist;
-pub use compile::{BitMatrix, CompiledNetlist, EvalScratch};
+pub use compile::{BitMatrix, CompiledNetlist, EvalScratch, WireFault, WireFaultKind};
 pub use depth::DepthReport;
 pub use eval::{BitBlock, WORD_BITS};
 pub use gate::{Gate, GateKind};
