@@ -1,0 +1,61 @@
+//! **Harness throughput**: how many seeded interleavings per second the
+//! deterministic simulation harness explores, per scenario, with every
+//! model-based oracle enabled.
+//!
+//! This is the number that prices the CI smoke budget (64 seeds × the
+//! scenario catalogue) and the nightly deep-exploration budget: the
+//! harness only earns its keep if a full oracle-checked interleaving is
+//! cheap. Wall time is measured with the real clock *around* the runs —
+//! inside them, time is purely virtual.
+
+use std::time::Instant;
+
+use bench::{banner, TextTable};
+use simtest::{catalogue, explore};
+
+fn main() {
+    banner(
+        "Simulation harness throughput: oracle-checked interleavings/sec",
+        "deterministic virtual-time exploration of the serving fabric (DESIGN.md §10)",
+    );
+    const SEEDS: u64 = 48;
+    let mut t = TextTable::new([
+        "scenario",
+        "seeds",
+        "virtual ticks",
+        "frames",
+        "wall ms",
+        "interleavings/s",
+        "ticks/s",
+    ]);
+    let mut total_runs = 0u64;
+    let mut total_wall = 0.0f64;
+    for scenario in catalogue() {
+        let start = Instant::now();
+        let report = explore(&scenario, 1..=SEEDS);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(
+            report.passed(),
+            "{}: failing seeds {:?}",
+            report.scenario,
+            report.failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+        );
+        total_runs += report.runs;
+        total_wall += wall;
+        t.row([
+            report.scenario.clone(),
+            report.runs.to_string(),
+            report.ticks.to_string(),
+            report.frames.to_string(),
+            format!("{:.1}", wall * 1e3),
+            format!("{:.0}", report.runs as f64 / wall),
+            format!("{:.2e}", report.ticks as f64 / wall),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ntotal: {total_runs} oracle-checked interleavings in {:.2} s ({:.0}/s)",
+        total_wall,
+        total_runs as f64 / total_wall
+    );
+}

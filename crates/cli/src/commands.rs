@@ -43,6 +43,11 @@ commands:
           [--period <frames>] [--transient <rate>] [--json] [--out <file>]
           run a seeded chip-fault injection campaign on the compiled
           fault path and report degraded capacity vs a quiet baseline
+  sim     [--scenario <name>|all] [--seeds <count>] [--base <seed>]
+          [--seed <seed>] [--trace] [--json] [--out <file>]
+          deterministic simulation harness: explore seeded interleavings
+          of the serving fabric under model-based oracles, or replay one
+          failing seed bit-for-bit (--seed, optionally --trace)
 
 design specs: revsort:<n>:<m> | columnsort:<r>x<s>:<m>
 "
@@ -542,6 +547,121 @@ pub fn fault_campaign(args: &Parsed) -> Result<String, String> {
     Ok(out)
 }
 
+/// `sim`: the deterministic simulation harness. Explores seeded
+/// interleavings of the full fabric stack under model-based oracles, or
+/// replays a single failing seed bit-for-bit.
+pub fn sim(args: &Parsed) -> Result<String, String> {
+    use serde_json::{object, ToJson, Value};
+    use simtest::{by_name, catalogue, explore, run_scenario, Scenario};
+
+    let which = args.optional("scenario").unwrap_or("all");
+    let scenarios: Vec<Scenario> = if which == "all" {
+        catalogue()
+    } else {
+        let scenario = by_name(which).ok_or_else(|| {
+            let names: Vec<String> = catalogue().into_iter().map(|s| s.name).collect();
+            format!(
+                "unknown scenario `{which}` (available: {}, or all)",
+                names.join(", ")
+            )
+        })?;
+        vec![scenario]
+    };
+
+    let (first, last) = match args.optional("seed") {
+        Some(_) => {
+            let seed: u64 = args.required_parse("seed")?;
+            (seed, seed)
+        }
+        None => {
+            let base: u64 = args.parse_or("base", 1)?;
+            let count: u64 = args.parse_or("seeds", 64)?;
+            if count == 0 {
+                return Err("--seeds must be at least 1".into());
+            }
+            (base, base + (count - 1))
+        }
+    };
+    if args.has_flag("trace") && (scenarios.len() != 1 || first != last) {
+        return Err("--trace needs a single --scenario and a single --seed".into());
+    }
+
+    let mut out = String::new();
+    let mut reports = Vec::new();
+    let mut failing_seeds = 0usize;
+    for scenario in &scenarios {
+        if args.has_flag("trace") {
+            let run = run_scenario(scenario, first);
+            writeln!(out, "trace: {} seed {first}", scenario.name).unwrap();
+            for event in &run.trace {
+                writeln!(out, "  {event:?}").unwrap();
+            }
+        }
+        let report = explore(scenario, first..=last);
+        writeln!(
+            out,
+            "{}: seeds {first}..={last} runs={} ticks={} frames={} failures={}",
+            report.scenario,
+            report.runs,
+            report.ticks,
+            report.frames,
+            report.failures.len()
+        )
+        .unwrap();
+        for failure in &report.failures {
+            failing_seeds += 1;
+            writeln!(
+                out,
+                "  FAIL seed {}: {:?}",
+                failure.seed, failure.violations
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    shrunk reproducer: faults={} frames={} producers={}",
+                failure.shrunk_faults, failure.shrunk_frames, failure.shrunk_producers
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    replay: concentrator sim --scenario {} --seed {} --trace",
+                report.scenario, failure.seed
+            )
+            .unwrap();
+        }
+        reports.push(report);
+    }
+
+    if args.has_flag("json") || args.optional("out").is_some() {
+        let value = object([
+            ("passed", (failing_seeds == 0).to_json()),
+            ("first_seed", first.to_json()),
+            ("last_seed", last.to_json()),
+            (
+                "reports",
+                Value::Array(reports.iter().map(ToJson::to_json).collect()),
+            ),
+        ]);
+        let text = format!("{}\n", serde_json::to_string_pretty(&value).unwrap());
+        if let Some(path) = args.optional("out") {
+            // Written even on failure: CI uploads this as the
+            // failing-seed artifact.
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            writeln!(out, "wrote {path} ({} bytes)", text.len()).unwrap();
+        } else {
+            out = text;
+        }
+    }
+
+    if failing_seeds > 0 {
+        return Err(format!(
+            "{out}{failing_seeds} failing seed(s) — replay each with \
+             `concentrator sim --scenario <name> --seed <s> --trace`"
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +778,46 @@ mod tests {
         assert!(fault_campaign(&args).is_err());
         let args = parse(&["--design", "revsort:16:8", "--load", "-0.1"]);
         assert!(fault_campaign(&args).is_err());
+    }
+
+    #[test]
+    fn sim_replay_is_bit_identical() {
+        // The replay contract end to end: same scenario, same seed, same
+        // CLI invocation → byte-identical trace output, twice.
+        let args = parse(&["--scenario", "drain-shed", "--seed", "5", "--trace"]);
+        let first = sim(&args).unwrap();
+        let second = sim(&args).unwrap();
+        assert_eq!(first, second, "replay diverged between identical runs");
+        assert!(first.contains("trace: drain-shed seed 5"), "{first}");
+        assert!(first.contains("Frame {"), "{first}");
+        assert!(first.contains("failures=0"), "{first}");
+    }
+
+    #[test]
+    fn sim_explores_a_seed_range() {
+        let args = parse(&["--scenario", "drain-block", "--seeds", "4", "--base", "10"]);
+        let text = sim(&args).unwrap();
+        assert!(text.contains("seeds 10..=13 runs=4"), "{text}");
+        assert!(text.contains("failures=0"), "{text}");
+    }
+
+    #[test]
+    fn sim_json_report_is_valid() {
+        let args = parse(&["--scenario", "campaign", "--seeds", "2", "--json"]);
+        let text = sim(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["passed"], true);
+        assert_eq!(v["reports"][0]["scenario"], "campaign");
+        assert_eq!(v["reports"][0]["runs"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn sim_rejects_unknown_scenario_and_bad_trace_usage() {
+        let err = sim(&parse(&["--scenario", "nope"])).unwrap_err();
+        assert!(err.contains("drain-block"), "{err}");
+        // --trace without a pinned seed is ambiguous.
+        assert!(sim(&parse(&["--scenario", "flap", "--trace"])).is_err());
+        assert!(sim(&parse(&["--trace", "--seed", "1"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! concentrator svg     --design columnsort:8x4:18 --out layout.svg
 //! concentrator fabric-bench --frames 64 --shards 2
 //! concentrator fault-campaign --design revsort:64:32 --seed 7 --json
+//! concentrator sim --scenario flap --seed 31 --trace
 //! ```
 //!
 //! Design specifiers: `revsort:<n>:<m>` or `columnsort:<r>x<s>:<m>`.
@@ -49,6 +50,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "export" => commands::export(&rest),
         "fabric-bench" => commands::fabric_bench(&rest),
         "fault-campaign" => commands::fault_campaign(&rest),
+        "sim" => commands::sim(&rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -73,6 +75,7 @@ mod tests {
             "export",
             "fabric-bench",
             "fault-campaign",
+            "sim",
         ] {
             assert!(text.contains(cmd), "help missing {cmd}");
         }

@@ -426,6 +426,26 @@ impl FaultCampaign {
         &self.frames[frame]
     }
 
+    /// The fault set active at the clock's current tick, mapping
+    /// `ticks_per_frame` clock ticks to one campaign frame and clamping
+    /// past the end (a finished campaign holds its final state). Under a
+    /// [`VirtualClock`](crate::clock::VirtualClock) this makes a live
+    /// fault schedule a pure function of virtual time — the hook the
+    /// deterministic simulation harness drives mid-run chip failures
+    /// through.
+    pub fn faults_at_clock(
+        &self,
+        clock: &dyn crate::clock::Clock,
+        ticks_per_frame: u64,
+    ) -> &[ChipFault] {
+        assert!(ticks_per_frame > 0, "ticks_per_frame must be positive");
+        if self.frames.is_empty() {
+            return &[];
+        }
+        let frame = (clock.now() / ticks_per_frame) as usize;
+        self.faults_at(frame.min(self.frames.len() - 1))
+    }
+
     /// Number of distinct fault sets across the campaign — the number of
     /// compiled overlays [`run_campaign`] materializes.
     pub fn distinct_fault_sets(&self) -> usize {
@@ -784,6 +804,39 @@ mod tests {
             assert!(faults.windows(2).all(|w| w[0] <= w[1]), "canonical order");
         }
         assert!(any, "these rates must actually draw faults");
+    }
+
+    #[test]
+    fn clock_sampling_scales_and_clamps() {
+        use crate::clock::{Clock, VirtualClock};
+        let healthy = switch();
+        let spec = CampaignSpec {
+            seed: 77,
+            frames: 8,
+            permanent_rate: 0.5,
+            intermittent_rate: 0.3,
+            intermittent_period: 4,
+            transient_rate: 0.1,
+        };
+        let campaign = FaultCampaign::generate(healthy.staged(), &spec);
+        let clock = VirtualClock::new();
+        // Four ticks per frame: ticks 0..4 sample frame 0, 4..8 frame 1, …
+        for frame in 0..spec.frames {
+            for _ in 0..4 {
+                assert_eq!(
+                    campaign.faults_at_clock(&clock, 4),
+                    campaign.faults_at(frame)
+                );
+                clock.advance(1);
+            }
+        }
+        // Past the end the campaign holds its final state.
+        clock.advance(1000);
+        assert_eq!(
+            campaign.faults_at_clock(&clock, 4),
+            campaign.faults_at(spec.frames - 1)
+        );
+        assert_eq!(clock.now(), 4 * spec.frames as u64 + 1000);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod barrel;
 pub mod cellular;
+pub mod clock;
 pub mod columnsort_switch;
 pub mod elab;
 pub mod faults;
@@ -49,6 +50,7 @@ pub mod timing;
 pub mod verify;
 
 pub use cellular::CellularCompactor;
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use columnsort_switch::ColumnsortSwitch;
 pub use elab::Elaboration;
 pub use full_columnsort::FullColumnsortHyperconcentrator;

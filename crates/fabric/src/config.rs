@@ -32,6 +32,22 @@ impl Placement {
     }
 }
 
+/// Steer a preferred placement away from quarantined shards — the one
+/// scan both execution modes (and the simulation harness's oracles) share:
+/// keep `preferred` when healthy, otherwise take the next healthy shard in
+/// a deterministic wrapping scan. If every shard is quarantined the
+/// preferred one keeps the traffic — degraded service beats none.
+pub fn steer_scan(preferred: usize, shards: usize, quarantined: impl Fn(usize) -> bool) -> usize {
+    debug_assert!(preferred < shards);
+    if !quarantined(preferred) {
+        return preferred;
+    }
+    (1..shards)
+        .map(|step| (preferred + step) % shards)
+        .find(|&idx| !quarantined(idx))
+        .unwrap_or(preferred)
+}
+
 /// What happens when a message arrives at a full ingress queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Backpressure {

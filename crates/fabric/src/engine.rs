@@ -14,7 +14,7 @@ use concentrator::faults::ChipFault;
 use concentrator::StagedSwitch;
 use switchsim::Message;
 
-use crate::config::{Backpressure, FabricConfig};
+use crate::config::{steer_scan, Backpressure, FabricConfig};
 use crate::metrics::FabricSnapshot;
 use crate::shard::{Delivery, FrameRun, Shard};
 
@@ -109,19 +109,14 @@ impl Fabric {
         self.shards[shard].health()
     }
 
-    /// Steer a placement away from quarantined shards: keep the preferred
-    /// shard when healthy, otherwise take the next healthy shard in a
-    /// deterministic wrapping scan. If every shard is quarantined the
-    /// preferred one keeps the traffic — degraded service beats none.
+    /// Steer a placement away from quarantined shards (the shared
+    /// [`steer_scan`]): keep the preferred shard when healthy, otherwise
+    /// the next healthy shard in a deterministic wrapping scan, otherwise
+    /// the preferred one — degraded service beats none.
     fn steer(&self, preferred: usize) -> usize {
-        if !self.shards[preferred].is_quarantined() {
-            return preferred;
-        }
-        let shards = self.config.shards;
-        (1..shards)
-            .map(|step| (preferred + step) % shards)
-            .find(|&idx| !self.shards[idx].is_quarantined())
-            .unwrap_or(preferred)
+        steer_scan(preferred, self.config.shards, |idx| {
+            self.shards[idx].is_quarantined()
+        })
     }
 
     /// Submit one routing request. Applies admission control (global

@@ -50,13 +50,14 @@ pub mod queue;
 pub mod service;
 pub mod shard;
 
-pub use config::{Backpressure, FabricConfig, HealthPolicy, Placement, RetryBudget};
+pub use concentrator::clock::{Clock, VirtualClock, WallClock};
+pub use config::{steer_scan, Backpressure, FabricConfig, HealthPolicy, Placement, RetryBudget};
 pub use engine::{Fabric, SubmitOutcome};
 pub use loadgen::{
-    drive_service, drive_sync, drive_sync_faulted, drive_sync_unbatched, DriveReport, FaultEvent,
-    LoadPlan,
+    drive_service, drive_sync, drive_sync_faulted, drive_sync_unbatched, producer_script,
+    DriveReport, FaultEvent, LoadPlan,
 };
 pub use metrics::{FabricSnapshot, LogHistogram, ShardMetrics};
-pub use queue::{IngressQueue, PushOutcome};
-pub use service::{FabricReport, FabricService};
+pub use queue::{IngressQueue, PushOutcome, TryPush};
+pub use service::{FabricReport, FabricService, ServiceCore, SubmitStep, WorkerCore, WorkerStep};
 pub use shard::{Delivery, FrameRun, Shard};

@@ -181,10 +181,33 @@ fn offer_all(fabric: &mut Fabric, messages: impl Iterator<Item = Message>) -> Ve
     held
 }
 
+/// The exact message sequence producer `producer` submits when playing
+/// `plan` against a switch with `inputs` inputs: its own seeded generator
+/// (`plan.seed + producer`) and a disjoint id space (producer index in
+/// the id's top bits). A pure function of its arguments — the threaded
+/// [`drive_service`] and the deterministic simulation harness replay
+/// identical workloads through it.
+pub fn producer_script(plan: &LoadPlan, inputs: usize, producer: usize) -> Vec<Message> {
+    let mut generator = TrafficGenerator::new(
+        plan.model,
+        inputs,
+        plan.payload_bytes,
+        plan.seed.wrapping_add(producer as u64),
+    );
+    let mut script = Vec::new();
+    for _ in 0..plan.frames {
+        for mut message in generator.next_frame() {
+            message.id |= (producer as u64) << 48;
+            script.push(message);
+        }
+    }
+    script
+}
+
 /// Drive a live [`FabricService`] from `producers` concurrent threads,
-/// each playing `plan` with its own seed (`plan.seed + producer index`)
-/// and a disjoint id space. Returns the total number of messages
-/// generated; call [`FabricService::drain`] afterwards for the report.
+/// each submitting its [`producer_script`] in order. Returns the total
+/// number of messages generated; call [`FabricService::drain`]
+/// afterwards for the report.
 pub fn drive_service(
     service: &FabricService,
     producers: usize,
@@ -195,20 +218,10 @@ pub fn drive_service(
         let handles: Vec<_> = (0..producers)
             .map(|p| {
                 scope.spawn(move || {
-                    let mut generator = TrafficGenerator::new(
-                        plan.model,
-                        inputs,
-                        plan.payload_bytes,
-                        plan.seed.wrapping_add(p as u64),
-                    );
-                    let mut generated = 0u64;
-                    for _ in 0..plan.frames {
-                        for mut message in generator.next_frame() {
-                            // Disjoint id space per producer thread.
-                            message.id |= (p as u64) << 48;
-                            generated += 1;
-                            service.submit(message);
-                        }
+                    let script = producer_script(plan, inputs, p);
+                    let generated = script.len() as u64;
+                    for message in script {
+                        service.submit(message);
                     }
                     generated
                 })

@@ -6,6 +6,15 @@
 //! drain: producers are refused from then on, the consumer keeps popping
 //! until the queue is empty, and blocked producers wake immediately.
 //!
+//! Every state transition is also reachable without blocking:
+//! [`IngressQueue::try_push`] returns [`TryPush::WouldBlock`] (handing the
+//! message back) where [`IngressQueue::push`] would wait, and
+//! [`IngressQueue::try_pop_batch`] plus [`IngressQueue::is_closed`] cover
+//! the consumer side. The deterministic simulation harness drives the
+//! queue exclusively through these non-blocking steps, so a seeded
+//! scheduler — not the host OS — decides every interleaving; the blocking
+//! entry points are thin condvar loops over the same admission logic.
+//!
 //! Built on `std::sync::{Mutex, Condvar}` — the vendored `parking_lot`
 //! shim deliberately exposes no condition variables.
 
@@ -16,9 +25,9 @@ use switchsim::Message;
 
 use crate::config::Backpressure;
 
-/// What a push did. Mirrors [`SubmitOutcome`](crate::SubmitOutcome) minus
-/// the synchronous-only backpressure hand-back (a blocked producer really
-/// blocks here).
+/// What a blocking push did. Mirrors [`SubmitOutcome`](crate::SubmitOutcome)
+/// minus the synchronous-only backpressure hand-back (a blocked producer
+/// really blocks here).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PushOutcome {
     /// Enqueued.
@@ -29,11 +38,29 @@ pub enum PushOutcome {
     Rejected,
 }
 
+/// What a non-blocking push did: [`PushOutcome`] plus the would-block
+/// hand-back a cooperative scheduler parks on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryPush {
+    /// Enqueued.
+    Enqueued,
+    /// Enqueued after dropping the oldest queued message.
+    EnqueuedAfterShed,
+    /// Refused (full queue under [`Backpressure::Reject`], or closed).
+    Rejected,
+    /// The queue is full under [`Backpressure::Block`]: the message is
+    /// handed back; retry after the consumer pops or the queue closes.
+    WouldBlock(Message),
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
     messages: VecDeque<Message>,
     closed: bool,
     /// Producer-side counters, folded into the shard's metrics at drain.
+    /// Counted when a push resolves (enqueued, shed, or rejected) — a
+    /// would-block hand-back counts nothing, since the producer still
+    /// holds the message.
     offered: u64,
     rejected: u64,
     shed: u64,
@@ -50,6 +77,10 @@ pub struct IngressQueue {
 
 impl IngressQueue {
     /// An empty open queue holding at most `capacity` messages.
+    ///
+    /// # Panics
+    /// If `capacity` is zero — a zero-capacity queue could admit nothing
+    /// and would deadlock every blocking producer.
     pub fn new(capacity: usize) -> IngressQueue {
         assert!(capacity > 0, "queue capacity must be positive");
         IngressQueue {
@@ -60,35 +91,64 @@ impl IngressQueue {
         }
     }
 
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// One admission attempt under the lock — the single state machine
+    /// both the blocking and non-blocking push share.
+    fn admit(&self, state: &mut QueueState, message: Message, policy: Backpressure) -> TryPush {
+        if state.closed {
+            state.offered += 1;
+            state.rejected += 1;
+            return TryPush::Rejected;
+        }
+        if state.messages.len() < self.capacity {
+            state.offered += 1;
+            state.messages.push_back(message);
+            self.not_empty.notify_one();
+            return TryPush::Enqueued;
+        }
+        match policy {
+            Backpressure::Block => TryPush::WouldBlock(message),
+            Backpressure::Reject => {
+                state.offered += 1;
+                state.rejected += 1;
+                TryPush::Rejected
+            }
+            Backpressure::ShedOldest => {
+                state.offered += 1;
+                state.messages.pop_front();
+                state.shed += 1;
+                state.messages.push_back(message);
+                self.not_empty.notify_one();
+                TryPush::EnqueuedAfterShed
+            }
+        }
+    }
+
+    /// Push one message under `policy` without ever blocking. Where
+    /// [`IngressQueue::push`] would wait, this hands the message back as
+    /// [`TryPush::WouldBlock`] and counts nothing.
+    pub fn try_push(&self, message: Message, policy: Backpressure) -> TryPush {
+        let mut state = self.state.lock().expect("ingress queue poisoned");
+        self.admit(&mut state, message, policy)
+    }
+
     /// Push one message under `policy`. [`Backpressure::Block`] waits for
     /// space (or for close, which rejects).
     pub fn push(&self, message: Message, policy: Backpressure) -> PushOutcome {
         let mut state = self.state.lock().expect("ingress queue poisoned");
-        state.offered += 1;
+        let mut message = message;
         loop {
-            if state.closed {
-                state.rejected += 1;
-                return PushOutcome::Rejected;
-            }
-            if state.messages.len() < self.capacity {
-                state.messages.push_back(message);
-                self.not_empty.notify_one();
-                return PushOutcome::Enqueued;
-            }
-            match policy {
-                Backpressure::Block => {
+            match self.admit(&mut state, message, policy) {
+                TryPush::Enqueued => return PushOutcome::Enqueued,
+                TryPush::EnqueuedAfterShed => return PushOutcome::EnqueuedAfterShed,
+                TryPush::Rejected => return PushOutcome::Rejected,
+                TryPush::WouldBlock(held) => {
+                    message = held;
                     state = self.not_full.wait(state).expect("ingress queue poisoned");
-                }
-                Backpressure::Reject => {
-                    state.rejected += 1;
-                    return PushOutcome::Rejected;
-                }
-                Backpressure::ShedOldest => {
-                    state.messages.pop_front();
-                    state.shed += 1;
-                    state.messages.push_back(message);
-                    self.not_empty.notify_one();
-                    return PushOutcome::EnqueuedAfterShed;
                 }
             }
         }
@@ -135,6 +195,22 @@ impl IngressQueue {
         self.not_empty.notify_all();
     }
 
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("ingress queue poisoned").closed
+    }
+
+    /// Whether a [`TryPush`] right now could resolve without blocking:
+    /// there is headroom, the policy makes room, or close would reject.
+    /// The simulation scheduler's readiness predicate for a parked
+    /// producer.
+    pub fn would_accept(&self, policy: Backpressure) -> bool {
+        let state = self.state.lock().expect("ingress queue poisoned");
+        state.closed
+            || state.messages.len() < self.capacity
+            || !matches!(policy, Backpressure::Block)
+    }
+
     /// Messages currently queued.
     pub fn len(&self) -> usize {
         self.state
@@ -161,7 +237,6 @@ impl IngressQueue {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::time::Duration;
 
     fn msg(id: u64) -> Message {
         Message::new(id, 0, vec![id as u8])
@@ -195,44 +270,125 @@ mod tests {
     }
 
     #[test]
-    fn blocked_producer_wakes_on_pop() {
+    #[should_panic(expected = "queue capacity must be positive")]
+    fn zero_capacity_queue_is_refused() {
+        IngressQueue::new(0);
+    }
+
+    /// The deterministic equivalent of the old sleep-based
+    /// "blocked producer wakes on pop" test: the would-block hand-back,
+    /// a pop, and the retry are explicit steps — no threads, no timing.
+    #[test]
+    fn would_block_hand_back_then_enqueue_after_pop() {
+        let q = IngressQueue::new(1);
+        assert_eq!(q.try_push(msg(0), Backpressure::Block), TryPush::Enqueued);
+        assert!(!q.would_accept(Backpressure::Block));
+        let held = match q.try_push(msg(1), Backpressure::Block) {
+            TryPush::WouldBlock(held) => held,
+            other => panic!("expected would-block, got {other:?}"),
+        };
+        // A hand-back counts nothing: the producer still holds the message.
+        assert_eq!(q.counters(), (1, 0, 0));
+        assert_eq!(q.try_pop_batch(1).len(), 1);
+        assert!(q.would_accept(Backpressure::Block));
+        assert_eq!(q.try_push(held, Backpressure::Block), TryPush::Enqueued);
+        assert_eq!(q.counters(), (2, 0, 0));
+        assert_eq!(q.try_pop_batch(9)[0].id, 1);
+    }
+
+    /// Deterministic close-while-blocked: a parked producer's retry after
+    /// close resolves to rejection, with the queue still full.
+    #[test]
+    fn close_while_blocked_rejects_the_retry() {
+        let q = IngressQueue::new(1);
+        q.try_push(msg(0), Backpressure::Block);
+        let held = match q.try_push(msg(1), Backpressure::Block) {
+            TryPush::WouldBlock(held) => held,
+            other => panic!("expected would-block, got {other:?}"),
+        };
+        q.close();
+        assert!(q.is_closed());
+        // Close makes every parked producer ready: the retry resolves.
+        assert!(q.would_accept(Backpressure::Block));
+        assert_eq!(q.try_push(held, Backpressure::Block), TryPush::Rejected);
+        assert_eq!(q.counters(), (2, 1, 0));
+    }
+
+    /// Drain-after-close: the consumer empties the backlog, then reads the
+    /// closed-and-empty terminal state from both pop entry points.
+    #[test]
+    fn drain_after_close_yields_backlog_then_none() {
+        let q = IngressQueue::new(4);
+        for i in 0..3 {
+            q.push(msg(i), Backpressure::Block);
+        }
+        q.close();
+        assert_eq!(q.try_push(msg(9), Backpressure::Block), TryPush::Rejected);
+        let ids: Vec<u64> = q.try_pop_batch(2).iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(q.pop_batch_blocking(4).map(|b| b.len()), Some(1));
+        assert_eq!(q.pop_batch_blocking(4), None);
+        assert!(q.try_pop_batch(4).is_empty());
+    }
+
+    #[test]
+    fn try_push_matches_push_for_shed_and_reject() {
+        let q = IngressQueue::new(1);
+        q.try_push(msg(0), Backpressure::Reject);
+        assert_eq!(q.try_push(msg(1), Backpressure::Reject), TryPush::Rejected);
+        assert_eq!(
+            q.try_push(msg(2), Backpressure::ShedOldest),
+            TryPush::EnqueuedAfterShed
+        );
+        assert_eq!(q.try_pop_batch(9)[0].id, 2);
+        assert_eq!(q.counters(), (3, 1, 1));
+    }
+
+    /// Threaded smoke test of the real condvar path — no sleeps: whichever
+    /// side runs first, the blocking producer must land its message once
+    /// the consumer makes room.
+    #[test]
+    fn blocking_producer_and_consumer_make_progress() {
         let q = Arc::new(IngressQueue::new(1));
         q.push(msg(0), Backpressure::Block);
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push(msg(1), Backpressure::Block))
         };
-        // Give the producer time to block, then make room.
-        std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(q.try_pop_batch(1).len(), 1);
+        // Pop exactly one message; the producer fills the freed slot
+        // (before or after we pop — both orders end identically).
+        let popped = q.pop_batch_blocking(1).expect("open queue yields batch");
+        assert_eq!(popped.len(), 1);
         assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
         assert_eq!(q.len(), 1);
     }
 
+    /// Threaded smoke test: close wakes a producer stuck on a full queue
+    /// with a rejection (or rejects it on entry — either order is a
+    /// rejection), and the consumer still drains the backlog.
     #[test]
-    fn close_wakes_blocked_producer_with_rejection() {
+    fn close_terminates_blocking_producer_with_rejection() {
         let q = Arc::new(IngressQueue::new(1));
         q.push(msg(0), Backpressure::Block);
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push(msg(1), Backpressure::Block))
         };
-        std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(producer.join().unwrap(), PushOutcome::Rejected);
-        // The consumer still drains the remaining message, then sees None.
         assert_eq!(q.pop_batch_blocking(4).map(|b| b.len()), Some(1));
         assert_eq!(q.pop_batch_blocking(4), None);
     }
 
+    /// Threaded smoke test: a consumer parked on an empty queue is woken
+    /// by the first push, without any timing assumptions.
     #[test]
-    fn consumer_blocks_until_push() {
+    fn consumer_wakes_on_push() {
         let q = Arc::new(IngressQueue::new(4));
         let consumer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.pop_batch_blocking(4))
         };
-        std::thread::sleep(Duration::from_millis(20));
         q.push(msg(7), Backpressure::Block);
         let batch = consumer.join().unwrap().expect("open queue yields batch");
         assert_eq!(batch[0].id, 7);

@@ -11,11 +11,28 @@
 //! [`FabricService::drain`] closes every queue, lets the workers finish
 //! their backlogs, joins them, and returns the merged report.
 //!
-//! Frame composition here depends on thread scheduling, so per-run
-//! counters are *not* bit-reproducible — that is what the synchronous
-//! [`Fabric`](crate::Fabric) is for. What the service does guarantee
-//! (and the tests pin) is conservation — every offered message is
-//! delivered, rejected, shed, or retry-dropped by drain — and payload
+//! The service is split along a scheduler seam. All of its logic lives in
+//! two plain structs that never block or spawn:
+//!
+//! * [`ServiceCore`] — the shared producer-side state (queues, placement
+//!   cursor, in-flight gauge, admission counters, fault signals,
+//!   quarantine flags) with step-wise submission
+//!   ([`ServiceCore::try_submit`] / [`ServiceCore::retry_submit`]);
+//! * [`WorkerCore`] — one shard's serving loop body as a single-step
+//!   state machine ([`WorkerCore::step`]).
+//!
+//! The threaded service is a thin shell: each worker thread loops
+//! [`WorkerCore::step_blocking`], and `submit` is
+//! [`ServiceCore::submit_blocking`]. The deterministic simulation
+//! harness drives the *same* cores through the non-blocking entry points
+//! under a seeded scheduler, so every interleaving the simulator explores
+//! is an interleaving the threaded service could exhibit.
+//!
+//! Frame composition under real threads depends on OS scheduling, so
+//! per-run counters are *not* bit-reproducible — that is what the
+//! synchronous [`Fabric`](crate::Fabric) is for. What the service does
+//! guarantee (and the tests pin) is conservation — every offered message
+//! is delivered, rejected, shed, or retry-dropped by drain — and payload
 //! integrity end to end.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -26,11 +43,11 @@ use concentrator::faults::ChipFault;
 use concentrator::StagedSwitch;
 use switchsim::Message;
 
-use crate::config::FabricConfig;
+use crate::config::{steer_scan, FabricConfig};
 use crate::engine::SubmitOutcome;
 use crate::metrics::{FabricSnapshot, ShardMetrics};
-use crate::queue::{IngressQueue, PushOutcome};
-use crate::shard::{Delivery, Shard};
+use crate::queue::{IngressQueue, PushOutcome, TryPush};
+use crate::shard::{Delivery, FrameRun, Shard};
 
 /// Frames a worker may spend clearing its backlog after close before the
 /// service declares the switch unable to drain.
@@ -54,14 +71,34 @@ pub struct FabricReport {
 
 /// A pending fault-set change for one shard's worker: `None` means no
 /// change requested; `Some(faults)` is applied (and taken) at the
-/// worker's next loop iteration.
+/// worker's next step.
 type FaultSignal = Arc<Mutex<Option<Vec<ChipFault>>>>;
 
-/// A concurrent sharded switch-serving engine.
-pub struct FabricService {
+/// What one non-blocking submission step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitStep {
+    /// The submission resolved.
+    Done(SubmitOutcome),
+    /// The chosen shard's queue is full under blocking backpressure: the
+    /// message is handed back with its placement. A threaded producer
+    /// waits on the queue's condvar; a simulated producer parks until
+    /// [`ServiceCore::queue`]`(shard).would_accept(..)` and then calls
+    /// [`ServiceCore::retry_submit`] — placement and admission are *not*
+    /// re-run, exactly like the blocked thread.
+    Blocked {
+        /// The handed-back message.
+        message: Message,
+        /// The shard placement already chose.
+        shard: usize,
+    },
+}
+
+/// The producer-facing half of the service, with no threads inside: the
+/// shared state every submitter and worker touches, exposed as single
+/// non-blocking steps so a cooperative scheduler can own the interleaving.
+pub struct ServiceCore {
     config: FabricConfig,
     queues: Vec<Arc<IngressQueue>>,
-    workers: Vec<JoinHandle<WorkerResult>>,
     rr_cursor: AtomicUsize,
     in_flight: Arc<AtomicU64>,
     admission_rejected: Vec<AtomicU64>,
@@ -69,68 +106,67 @@ pub struct FabricService {
     quarantined: Vec<Arc<AtomicBool>>,
 }
 
-impl FabricService {
-    /// Spawn `config.shards` workers over one shared switch. The first
-    /// shard's construction compiles the datapath netlist (through the
-    /// switch's shared elaboration cache); the rest reuse it, so startup
-    /// cost is one compile regardless of shard count.
-    pub fn start(switch: Arc<StagedSwitch>, config: FabricConfig) -> FabricService {
+impl ServiceCore {
+    /// Build the shared state for `config.shards` shards.
+    ///
+    /// # Panics
+    /// If the configuration is invalid (see [`FabricConfig::validate`]).
+    pub fn new(config: FabricConfig) -> ServiceCore {
         config.validate();
-        let batch_window = switch.n.max(1);
-        let in_flight = Arc::new(AtomicU64::new(0));
-        let mut queues = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        let mut fault_signals = Vec::with_capacity(config.shards);
-        let mut quarantined = Vec::with_capacity(config.shards);
-        for id in 0..config.shards {
-            let queue = Arc::new(IngressQueue::new(config.queue_capacity));
-            let mut shard =
-                Shard::new(id, Arc::clone(&switch), config.retry).with_health_policy(config.health);
-            let signal: FaultSignal = Arc::new(Mutex::new(None));
-            let flag = Arc::new(AtomicBool::new(false));
-            let worker_queue = Arc::clone(&queue);
-            let worker_in_flight = Arc::clone(&in_flight);
-            let worker_signal = Arc::clone(&signal);
-            let worker_flag = Arc::clone(&flag);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("fabric-shard-{id}"))
-                    .spawn(move || {
-                        let deliveries = run_worker(
-                            &mut shard,
-                            &worker_queue,
-                            &worker_in_flight,
-                            batch_window,
-                            &worker_signal,
-                            &worker_flag,
-                        );
-                        WorkerResult {
-                            metrics: shard.metrics.clone(),
-                            deliveries,
-                        }
-                    })
-                    .expect("spawn fabric worker"),
-            );
-            queues.push(queue);
-            fault_signals.push(signal);
-            quarantined.push(flag);
-        }
-        FabricService {
+        ServiceCore {
             config,
-            queues,
-            workers,
+            queues: (0..config.shards)
+                .map(|_| Arc::new(IngressQueue::new(config.queue_capacity)))
+                .collect(),
             rr_cursor: AtomicUsize::new(0),
-            in_flight,
+            in_flight: Arc::new(AtomicU64::new(0)),
             admission_rejected: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
-            fault_signals,
-            quarantined,
+            fault_signals: (0..config.shards).map(|_| FaultSignal::default()).collect(),
+            quarantined: (0..config.shards)
+                .map(|_| Arc::new(AtomicBool::new(false)))
+                .collect(),
         }
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Shard `id`'s serving loop as a steppable state machine over the
+    /// shared `switch`. Call once per shard; each worker owns its core.
+    pub fn worker(&self, id: usize, switch: Arc<StagedSwitch>) -> WorkerCore {
+        let batch_window = switch.n.max(1);
+        let shard =
+            Shard::new(id, switch, self.config.retry).with_health_policy(self.config.health);
+        WorkerCore {
+            shard,
+            queue: Arc::clone(&self.queues[id]),
+            in_flight: Arc::clone(&self.in_flight),
+            batch_window,
+            fault_signal: Arc::clone(&self.fault_signals[id]),
+            quarantined: Arc::clone(&self.quarantined[id]),
+            drain_frames: 0,
+        }
+    }
+
+    /// Shard `shard`'s ingress queue (readiness checks, counters).
+    pub fn queue(&self, shard: usize) -> &IngressQueue {
+        &self.queues[shard]
+    }
+
+    /// Admission-control rejections charged to shard `shard` so far.
+    pub fn admission_rejected(&self, shard: usize) -> u64 {
+        self.admission_rejected[shard].load(Ordering::Relaxed)
+    }
+
+    /// Messages currently in flight (queued or pending in a shard).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
     /// Request chip faults on one shard's switch (an empty vector clears
-    /// them). The shard's worker applies the change at its next loop
-    /// iteration, so the effect lands within a frame or two of the call —
-    /// this models a chip dying (or being hot-swapped) mid-run.
+    /// them). The shard's worker applies the change at its next step.
     pub fn inject_faults(&self, shard: usize, faults: Vec<ChipFault>) {
         *self.fault_signals[shard].lock().expect("fault signal") = Some(faults);
     }
@@ -141,18 +177,266 @@ impl FabricService {
         self.quarantined[shard].load(Ordering::Acquire)
     }
 
-    /// Steer a placement away from quarantined shards (same scan as the
-    /// synchronous engine): keep the preferred shard when healthy, else
-    /// the next healthy shard in a wrapping scan, else the preferred one.
-    fn steer(&self, preferred: usize) -> usize {
-        if !self.quarantined[preferred].load(Ordering::Acquire) {
-            return preferred;
+    /// Close every ingress queue: producers are refused from now on,
+    /// workers drain their backlogs and then report
+    /// [`WorkerStep::Done`].
+    pub fn close(&self) {
+        for queue in &self.queues {
+            queue.close();
         }
-        let shards = self.config.shards;
-        (1..shards)
-            .map(|step| (preferred + step) % shards)
-            .find(|&idx| !self.quarantined[idx].load(Ordering::Acquire))
-            .unwrap_or(preferred)
+    }
+
+    /// Place a message and advance the round-robin cursor, steering away
+    /// from quarantined shards via the shared [`steer_scan`].
+    fn place(&self, source: usize) -> usize {
+        let cursor = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
+        let preferred = self
+            .config
+            .placement
+            .place(source, cursor, self.config.shards);
+        steer_scan(preferred, self.config.shards, |idx| {
+            self.quarantined[idx].load(Ordering::Acquire)
+        })
+    }
+
+    /// One non-blocking submission step: placement, admission control,
+    /// then a [`TryPush`] on the chosen queue.
+    pub fn try_submit(&self, message: Message) -> SubmitStep {
+        let shard = self.place(message.source);
+        if let Some(limit) = self.config.admission_limit {
+            if self.in_flight.load(Ordering::Acquire) >= limit as u64 {
+                self.admission_rejected[shard].fetch_add(1, Ordering::Relaxed);
+                return SubmitStep::Done(SubmitOutcome::Rejected);
+            }
+        }
+        self.offer(message, shard)
+    }
+
+    /// Re-offer a message a previous step handed back as
+    /// [`SubmitStep::Blocked`]. Skips placement and admission — the
+    /// message already holds a slot on `shard`'s queue order, exactly as
+    /// a producer blocked on the queue's condvar does.
+    pub fn retry_submit(&self, message: Message, shard: usize) -> SubmitStep {
+        self.offer(message, shard)
+    }
+
+    fn offer(&self, message: Message, shard: usize) -> SubmitStep {
+        // Count the message in flight *before* it becomes poppable: a fast
+        // worker could otherwise complete (and decrement) it first and wrap
+        // the gauge below zero.
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        match self.queues[shard].try_push(message, self.config.backpressure) {
+            TryPush::Enqueued => SubmitStep::Done(SubmitOutcome::Accepted),
+            // A shed swaps one queued message for another that will never
+            // complete: net in-flight change is zero, so undo our add.
+            TryPush::EnqueuedAfterShed => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                SubmitStep::Done(SubmitOutcome::AcceptedAfterShed)
+            }
+            TryPush::Rejected => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                SubmitStep::Done(SubmitOutcome::Rejected)
+            }
+            TryPush::WouldBlock(message) => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                SubmitStep::Blocked { message, shard }
+            }
+        }
+    }
+
+    /// Submit one routing request, blocking while the target queue is
+    /// full under [`Backpressure::Block`](crate::Backpressure). The
+    /// threaded service's `submit`.
+    pub fn submit_blocking(&self, message: Message) -> SubmitOutcome {
+        match self.try_submit(message) {
+            SubmitStep::Done(outcome) => outcome,
+            SubmitStep::Blocked { message, shard } => {
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+                match self.queues[shard].push(message, self.config.backpressure) {
+                    PushOutcome::Enqueued => SubmitOutcome::Accepted,
+                    PushOutcome::EnqueuedAfterShed => {
+                        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        SubmitOutcome::AcceptedAfterShed
+                    }
+                    PushOutcome::Rejected => {
+                        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        SubmitOutcome::Rejected
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold shard `shard`'s queue-side counters (and admission
+    /// rejections) into `metrics` — the drain-time merge.
+    pub fn fold_queue_counters(&self, shard: usize, metrics: &mut ShardMetrics) {
+        let (offered, rejected, shed) = self.queues[shard].counters();
+        let admission = self.admission_rejected[shard].load(Ordering::Relaxed);
+        metrics.offered += offered + admission;
+        metrics.rejected += rejected + admission;
+        metrics.shed += shed;
+    }
+}
+
+/// What one worker step did.
+#[derive(Debug)]
+pub enum WorkerStep {
+    /// Executed one batched routing frame.
+    Frame(FrameRun),
+    /// Nothing to do right now (queue empty, nothing pending). A
+    /// simulated worker is re-stepped when work arrives; a threaded one
+    /// never sees this (it blocks instead).
+    Idle,
+    /// Queue closed and drained, backlog empty: the worker is finished.
+    Done,
+}
+
+/// One shard's serving loop as a single-step state machine: apply any
+/// pending fault signal, pull fresh messages, run one batched frame,
+/// publish quarantine state, and account completed work against the
+/// global in-flight gauge.
+pub struct WorkerCore {
+    shard: Shard,
+    queue: Arc<IngressQueue>,
+    in_flight: Arc<AtomicU64>,
+    batch_window: usize,
+    fault_signal: FaultSignal,
+    quarantined: Arc<AtomicBool>,
+    drain_frames: u64,
+}
+
+impl WorkerCore {
+    /// The shard this core serves (metrics, health, pending state).
+    pub fn shard(&self) -> &Shard {
+        &self.shard
+    }
+
+    /// Whether a step right now would make progress: a fault signal is
+    /// pending, messages are queued or pending, or close has been
+    /// requested (so the step would resolve to [`WorkerStep::Done`]).
+    /// The simulation scheduler's readiness predicate for a worker.
+    pub fn ready(&self) -> bool {
+        self.fault_signal.lock().expect("fault signal").is_some()
+            || self.shard.pending_len() > 0
+            || !self.queue.is_empty()
+            || self.queue.is_closed()
+    }
+
+    /// One non-blocking worker step.
+    pub fn step(&mut self) -> WorkerStep {
+        self.step_inner(false)
+    }
+
+    /// One worker step that blocks while there is nothing to do — the
+    /// body of the threaded worker loop. Never returns
+    /// [`WorkerStep::Idle`] with messages outstanding; returns
+    /// [`WorkerStep::Done`] once the queue is closed and everything has
+    /// drained.
+    pub fn step_blocking(&mut self) -> WorkerStep {
+        self.step_inner(true)
+    }
+
+    fn step_inner(&mut self, block: bool) -> WorkerStep {
+        if let Some(faults) = self.fault_signal.lock().expect("fault signal").take() {
+            self.shard.set_faults(faults);
+        }
+        let fresh = if self.shard.pending_len() == 0 {
+            if block {
+                match self.queue.pop_batch_blocking(self.batch_window) {
+                    Some(batch) => batch,
+                    // Closed and empty, nothing pending: done.
+                    None => return WorkerStep::Done,
+                }
+            } else {
+                let batch = self.queue.try_pop_batch(self.batch_window);
+                if batch.is_empty() {
+                    return if self.queue.is_closed() {
+                        WorkerStep::Done
+                    } else {
+                        WorkerStep::Idle
+                    };
+                }
+                batch
+            }
+        } else {
+            self.queue.try_pop_batch(self.batch_window)
+        };
+        for message in fresh {
+            self.shard.accept(message);
+        }
+        if self.shard.pending_len() == 0 {
+            return WorkerStep::Idle;
+        }
+        let run = self.shard.run_frame();
+        self.quarantined
+            .store(self.shard.is_quarantined(), Ordering::Release);
+        let completed = (run.delivered.len() + run.dropped.len()) as u64;
+        if completed > 0 {
+            self.in_flight.fetch_sub(completed, Ordering::AcqRel);
+            self.drain_frames = 0;
+        } else {
+            self.drain_frames += 1;
+            assert!(
+                self.drain_frames < DRAIN_FRAME_LIMIT,
+                "shard {} made no progress for {DRAIN_FRAME_LIMIT} frames",
+                self.shard.id()
+            );
+        }
+        WorkerStep::Frame(run)
+    }
+}
+
+/// A concurrent sharded switch-serving engine: [`ServiceCore`] plus one
+/// OS thread per shard looping [`WorkerCore::step_blocking`].
+pub struct FabricService {
+    core: Arc<ServiceCore>,
+    workers: Vec<JoinHandle<WorkerResult>>,
+}
+
+impl FabricService {
+    /// Spawn `config.shards` workers over one shared switch. The first
+    /// shard's construction compiles the datapath netlist (through the
+    /// switch's shared elaboration cache); the rest reuse it, so startup
+    /// cost is one compile regardless of shard count.
+    pub fn start(switch: Arc<StagedSwitch>, config: FabricConfig) -> FabricService {
+        let core = Arc::new(ServiceCore::new(config));
+        let workers = (0..config.shards)
+            .map(|id| {
+                let mut worker = core.worker(id, Arc::clone(&switch));
+                std::thread::Builder::new()
+                    .name(format!("fabric-shard-{id}"))
+                    .spawn(move || {
+                        let mut deliveries = Vec::new();
+                        loop {
+                            match worker.step_blocking() {
+                                WorkerStep::Frame(run) => deliveries.extend(run.delivered),
+                                WorkerStep::Idle => {}
+                                WorkerStep::Done => break,
+                            }
+                        }
+                        WorkerResult {
+                            metrics: worker.shard().metrics.clone(),
+                            deliveries,
+                        }
+                    })
+                    .expect("spawn fabric worker")
+            })
+            .collect();
+        FabricService { core, workers }
+    }
+
+    /// Request chip faults on one shard's switch (an empty vector clears
+    /// them). The shard's worker applies the change at its next loop
+    /// iteration, so the effect lands within a frame or two of the call —
+    /// this models a chip dying (or being hot-swapped) mid-run.
+    pub fn inject_faults(&self, shard: usize, faults: Vec<ChipFault>) {
+        self.core.inject_faults(shard, faults);
+    }
+
+    /// Whether a shard's health monitor has quarantined it (as last
+    /// published by its worker).
+    pub fn shard_quarantined(&self, shard: usize) -> bool {
+        self.core.shard_quarantined(shard)
     }
 
     /// Submit one routing request from any thread. Under
@@ -160,58 +444,24 @@ impl FabricService {
     /// target queue is full; after [`FabricService::drain`] has begun it
     /// returns [`SubmitOutcome::Rejected`].
     pub fn submit(&self, message: Message) -> SubmitOutcome {
-        let cursor = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
-        let shard = self.steer(self.config.placement.place(
-            message.source,
-            cursor,
-            self.config.shards,
-        ));
-        if let Some(limit) = self.config.admission_limit {
-            if self.in_flight.load(Ordering::Acquire) >= limit as u64 {
-                self.admission_rejected[shard].fetch_add(1, Ordering::Relaxed);
-                return SubmitOutcome::Rejected;
-            }
-        }
-        // Count the message in flight *before* it becomes poppable: a fast
-        // worker could otherwise complete (and decrement) it first and wrap
-        // the gauge below zero.
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
-        match self.queues[shard].push(message, self.config.backpressure) {
-            PushOutcome::Enqueued => SubmitOutcome::Accepted,
-            // A shed swaps one queued message for another that will never
-            // complete: net in-flight change is zero, so undo our add.
-            PushOutcome::EnqueuedAfterShed => {
-                self.in_flight.fetch_sub(1, Ordering::AcqRel);
-                SubmitOutcome::AcceptedAfterShed
-            }
-            PushOutcome::Rejected => {
-                self.in_flight.fetch_sub(1, Ordering::AcqRel);
-                SubmitOutcome::Rejected
-            }
-        }
+        self.core.submit_blocking(message)
     }
 
     /// Messages currently in flight (queued or pending in a shard).
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Acquire)
+        self.core.in_flight()
     }
 
     /// Graceful shutdown: refuse new work, let every worker finish its
     /// backlog, join them, and merge queue-side counters into the
     /// per-shard metrics.
     pub fn drain(self) -> FabricReport {
-        for queue in &self.queues {
-            queue.close();
-        }
+        self.core.close();
         let mut shards = Vec::with_capacity(self.workers.len());
         let mut completions = Vec::new();
         for (i, worker) in self.workers.into_iter().enumerate() {
             let mut result = worker.join().expect("fabric worker panicked");
-            let (offered, rejected, shed) = self.queues[i].counters();
-            let admission = self.admission_rejected[i].load(Ordering::Relaxed);
-            result.metrics.offered += offered + admission;
-            result.metrics.rejected += rejected + admission;
-            result.metrics.shed += shed;
+            self.core.fold_queue_counters(i, &mut result.metrics);
             completions.append(&mut result.deliveries);
             shards.push(result.metrics);
         }
@@ -221,55 +471,6 @@ impl FabricService {
                 in_flight: 0,
             },
             completions,
-        }
-    }
-}
-
-/// The shard worker loop: pull fresh messages (blocking only when the
-/// shard is otherwise idle), batch them with the retry backlog, run
-/// frames, and account completed work against the global in-flight gauge.
-fn run_worker(
-    shard: &mut Shard,
-    queue: &IngressQueue,
-    in_flight: &AtomicU64,
-    batch_window: usize,
-    fault_signal: &Mutex<Option<Vec<ChipFault>>>,
-    quarantined: &AtomicBool,
-) -> Vec<Delivery> {
-    let mut deliveries = Vec::new();
-    let mut drain_frames = 0u64;
-    loop {
-        if let Some(faults) = fault_signal.lock().expect("fault signal").take() {
-            shard.set_faults(faults);
-        }
-        let fresh = if shard.pending_len() == 0 {
-            match queue.pop_batch_blocking(batch_window) {
-                Some(batch) => batch,
-                // Closed and empty, nothing pending: done.
-                None => return deliveries,
-            }
-        } else {
-            queue.try_pop_batch(batch_window)
-        };
-        for message in fresh {
-            shard.accept(message);
-        }
-        if shard.pending_len() > 0 {
-            let run = shard.run_frame();
-            quarantined.store(shard.is_quarantined(), Ordering::Release);
-            let completed = (run.delivered.len() + run.dropped.len()) as u64;
-            deliveries.extend(run.delivered);
-            if completed > 0 {
-                in_flight.fetch_sub(completed, Ordering::AcqRel);
-                drain_frames = 0;
-            } else {
-                drain_frames += 1;
-                assert!(
-                    drain_frames < DRAIN_FRAME_LIMIT,
-                    "shard {} made no progress for {DRAIN_FRAME_LIMIT} frames",
-                    shard.id()
-                );
-            }
         }
     }
 }

@@ -180,6 +180,26 @@ impl Shard {
         self.pending.len()
     }
 
+    /// The switch this shard serves.
+    pub fn switch(&self) -> &Arc<StagedSwitch> {
+        &self.switch
+    }
+
+    /// The analytic per-frame capacity bound this shard's health monitor
+    /// judges frames against: `⌊α·m⌋` for a partial concentrator of
+    /// guarantee `α` (Lemma 2's capacity floor), `m` otherwise, and at
+    /// least 1. A healthy shard offered `k ≤ bound` messages in one frame
+    /// delivers all `k`; the simulation harness's capacity oracle checks
+    /// exactly this.
+    pub fn capacity_bound(&self) -> u64 {
+        let m = self.switch.m as f64;
+        let alpha = match self.switch.kind {
+            ConcentratorKind::Partial { alpha } => alpha,
+            ConcentratorKind::Hyperconcentrator | ConcentratorKind::Perfect => 1.0,
+        };
+        ((alpha * m).floor() as u64).max(1)
+    }
+
     /// Shard-local frame counter.
     pub fn clock(&self) -> u64 {
         self.clock
@@ -369,13 +389,7 @@ impl Shard {
     /// deliveries per saturated frame (Lemma 2), so congestion beyond the
     /// bound does not read as ill health — only faults do.
     fn update_health(&mut self, batched: u64, delivered: u64) {
-        let m = self.switch.m as f64;
-        let alpha = match self.switch.kind {
-            ConcentratorKind::Partial { alpha } => alpha,
-            ConcentratorKind::Hyperconcentrator | ConcentratorKind::Perfect => 1.0,
-        };
-        let bound = ((alpha * m).floor() as u64).max(1);
-        let expected = batched.min(bound).max(1);
+        let expected = batched.min(self.capacity_bound()).max(1);
         let ratio = (delivered as f64 / expected as f64).min(1.0);
         self.health_ewma += self.health.alpha * (ratio - self.health_ewma);
         self.metrics.health_milli = (self.health_ewma * 1000.0).round() as u64;

@@ -1,0 +1,201 @@
+//! Seeded interleaving exploration: run a scenario under many scheduler
+//! seeds, apply every oracle, and shrink whatever fails.
+//!
+//! [`explore`] is the harness entry point the tests, the CLI `sim`
+//! subcommand, and the CI smoke step share. For lossless scenarios it
+//! first computes the delivery reference — the synchronous
+//! [`fabric::Fabric`] playing the *same* producer scripts — once,
+//! then checks every seeded run's completions against it bit-for-bit.
+//! Failures are shrunk to minimal reproducers ([`crate::shrink()`]) and
+//! reported with their seed: `cli sim --scenario <name> --seed <s>
+//! --trace` replays the identical run.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use fabric::{producer_script, Fabric, SubmitOutcome};
+use serde_json::{object, ToJson, Value};
+use switchsim::Message;
+
+use crate::oracles::{check_lossless, Violation};
+use crate::shrink::shrink;
+use crate::sim::{run_scenario, Scenario, SimRun};
+
+/// One failing seed, with its shrunk reproducer's dimensions.
+#[derive(Debug, Clone)]
+pub struct FailureCase {
+    /// The seed that failed — `cli sim --seed <seed>` replays it.
+    pub seed: u64,
+    /// Every oracle violation the run produced.
+    pub violations: Vec<Violation>,
+    /// Fault events surviving the shrink (scenario had more).
+    pub shrunk_faults: usize,
+    /// Workload frames surviving the shrink.
+    pub shrunk_frames: usize,
+    /// Producers surviving the shrink.
+    pub shrunk_producers: usize,
+}
+
+/// The outcome of exploring one scenario across many seeds.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Interleavings explored.
+    pub runs: u64,
+    /// Virtual ticks executed across all runs.
+    pub ticks: u64,
+    /// Routing frames executed across all runs.
+    pub frames: u64,
+    /// Seeds that violated an oracle, with shrunk reproducers.
+    pub failures: Vec<FailureCase>,
+}
+
+impl ExploreReport {
+    /// Whether every explored interleaving passed every oracle.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl ToJson for ExploreReport {
+    fn to_json(&self) -> Value {
+        object([
+            ("scenario", self.scenario.to_json()),
+            ("runs", self.runs.to_json()),
+            ("ticks", self.ticks.to_json()),
+            ("frames", self.frames.to_json()),
+            (
+                "failures",
+                Value::Array(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            object([
+                                ("seed", f.seed.to_json()),
+                                (
+                                    "violations",
+                                    Value::Array(
+                                        f.violations
+                                            .iter()
+                                            .map(|v| format!("{v:?}").to_json())
+                                            .collect(),
+                                    ),
+                                ),
+                                ("shrunk_faults", f.shrunk_faults.to_json()),
+                                ("shrunk_frames", f.shrunk_frames.to_json()),
+                                ("shrunk_producers", f.shrunk_producers.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The delivery reference for a lossless scenario: the synchronous
+/// [`Fabric`] plays the same producer scripts (round-robin across
+/// producers, held messages re-offered oldest-first after each tick) and
+/// must deliver every message. Returns id → payload.
+///
+/// # Panics
+/// If the scenario is not lossless, or the reference itself loses a
+/// message — either is a harness bug, not a system-under-test failure.
+pub fn lossless_reference(scenario: &Scenario) -> HashMap<u64, Vec<u8>> {
+    assert!(
+        scenario.lossless,
+        "reference only defined for lossless runs"
+    );
+    let mut fabric = Fabric::new(Arc::clone(&scenario.switch), scenario.config);
+    let mut scripts: Vec<VecDeque<Message>> = (0..scenario.producers)
+        .map(|p| producer_script(&scenario.plan, scenario.switch.n, p).into())
+        .collect();
+    let mut generated = 0usize;
+    let mut held: VecDeque<Message> = VecDeque::new();
+    loop {
+        let backlog = held.len();
+        for _ in 0..backlog {
+            let message = held.pop_front().expect("backlog counted");
+            if let SubmitOutcome::Backpressured(back) = fabric.submit(message) {
+                held.push_back(back);
+            }
+        }
+        let mut fresh = false;
+        for script in &mut scripts {
+            if let Some(message) = script.pop_front() {
+                generated += 1;
+                fresh = true;
+                if let SubmitOutcome::Backpressured(back) = fabric.submit(message) {
+                    held.push_back(back);
+                }
+            }
+        }
+        fabric.tick();
+        if !fresh && held.is_empty() && fabric.in_flight() == 0 {
+            break;
+        }
+    }
+    let completions = fabric.take_completions();
+    assert_eq!(
+        completions.len(),
+        generated,
+        "the synchronous reference must deliver every message"
+    );
+    completions
+        .into_iter()
+        .map(|d| (d.message.id, d.message.payload.as_ref().to_vec()))
+        .collect()
+}
+
+/// Run `scenario` under every seed, applying all oracles (plus the
+/// lossless delivery-set oracle when the scenario declares it), and
+/// shrink every failure.
+pub fn explore(scenario: &Scenario, seeds: impl IntoIterator<Item = u64>) -> ExploreReport {
+    let reference = scenario.lossless.then(|| lossless_reference(scenario));
+    let mut report = ExploreReport {
+        scenario: scenario.name.clone(),
+        runs: 0,
+        ticks: 0,
+        frames: 0,
+        failures: Vec::new(),
+    };
+    for seed in seeds {
+        let run = check_run(scenario, seed, reference.as_ref());
+        report.runs += 1;
+        report.ticks += run.ticks;
+        report.frames += run.frames;
+        if !run.passed() {
+            // The lossless oracle travels inside run_scenario, so a plain
+            // passed() predicate stays correct for every shrunk candidate
+            // (each candidate's expected set is rebuilt from its own
+            // scripts).
+            let minimal = shrink(scenario, seed, &|r: &SimRun| !r.passed());
+            report.failures.push(FailureCase {
+                seed,
+                violations: run.violations,
+                shrunk_faults: minimal.faults.len(),
+                shrunk_frames: minimal.plan.frames,
+                shrunk_producers: minimal.producers,
+            });
+        }
+    }
+    report
+}
+
+/// One seeded run with every applicable oracle applied (the per-run body
+/// of [`explore`], exposed for replay: the CLI and the corpus test call
+/// this directly).
+pub fn check_run(
+    scenario: &Scenario,
+    seed: u64,
+    reference: Option<&HashMap<u64, Vec<u8>>>,
+) -> SimRun {
+    let mut run = run_scenario(scenario, seed);
+    if let Some(expected) = reference {
+        if let Some(v) = check_lossless(expected, &run.completions) {
+            run.violations.push(v);
+        }
+    }
+    run
+}

@@ -1,0 +1,285 @@
+//! Model-based oracles: what every simulated run is checked against.
+//!
+//! Three independent models judge each run:
+//!
+//! 1. **Per-frame reference** ([`check_frame`]) — every executed frame's
+//!    deliveries must match `switchsim`'s message-level bit-serial
+//!    reference simulator on the same offered set, through the same
+//!    (possibly faulted) switch: identical output wires and bit-exact
+//!    payloads, with every dropped message drawn from the reference's
+//!    unrouted set. This is the oracle that catches routing or datapath
+//!    corruption the moment it happens.
+//! 2. **Conservation** ([`conservation_ledger`]) — at every virtual tick,
+//!    `offered = delivered + rejected + shed + retry_dropped + in_flight`
+//!    across the whole fabric. Each scheduler step is atomic, so the
+//!    ledger must balance *continuously*, not just at drain.
+//! 3. **Analytic capacity bound** ([`check_capacity`]) — a healthy shard
+//!    offered `k ≤ ⌊α·m⌋` messages in one frame must deliver all `k`
+//!    (Lemma 2's capacity floor, [`Shard::capacity_bound`]), and no frame
+//!    may ever deliver more than `min(k, m)`. The aggregate drop rate of
+//!    a lossy run is additionally cross-checked against
+//!    `switchsim::analytic`'s binomial drop model ([`analytic_floor`]).
+//!
+//! Oracles return [`Violation`]s instead of panicking so the explorer can
+//! collect them, shrink the scenario, and print the seed.
+
+use concentrator::faults::{ChipFault, FaultySwitch};
+use concentrator::StagedSwitch;
+use fabric::{FrameRun, ServiceCore, Shard, WorkerCore};
+use std::collections::HashMap;
+use std::sync::Arc;
+use switchsim::frame::simulate_frame;
+
+/// The fabric-wide conservation ledger at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ledger {
+    /// Messages offered (queue-counted plus admission rejections).
+    pub offered: u64,
+    /// Messages delivered to an output wire.
+    pub delivered: u64,
+    /// Messages rejected (queue plus admission).
+    pub rejected: u64,
+    /// Messages shed at full queues.
+    pub shed: u64,
+    /// Messages dropped after exhausting their retry budget.
+    pub retry_dropped: u64,
+    /// Messages currently queued or pending in a shard.
+    pub in_flight: u64,
+}
+
+impl Ledger {
+    /// The conservation identity.
+    pub fn holds(&self) -> bool {
+        self.offered
+            == self.delivered + self.rejected + self.shed + self.retry_dropped + self.in_flight
+    }
+}
+
+/// Snapshot the conservation ledger from the live cores.
+pub fn conservation_ledger(core: &ServiceCore, workers: &[WorkerCore]) -> Ledger {
+    let mut ledger = Ledger {
+        offered: 0,
+        delivered: 0,
+        rejected: 0,
+        shed: 0,
+        retry_dropped: 0,
+        in_flight: core.in_flight(),
+    };
+    for (i, worker) in workers.iter().enumerate() {
+        let (offered, rejected, shed) = core.queue(i).counters();
+        let admission = core.admission_rejected(i);
+        ledger.offered += offered + admission;
+        ledger.rejected += rejected + admission;
+        ledger.shed += shed;
+        let metrics = &worker.shard().metrics;
+        ledger.delivered += metrics.delivered;
+        ledger.retry_dropped += metrics.retry_dropped;
+        ledger.shed += metrics.shed;
+    }
+    ledger
+}
+
+/// A failed oracle check. Everything needed to reproduce is the scenario
+/// name plus the run seed; the violation pins *where* in the run it broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The conservation identity broke at a tick boundary.
+    Conservation {
+        /// Virtual tick of the breaking step.
+        tick: u64,
+        /// The unbalanced ledger.
+        ledger: Ledger,
+    },
+    /// A frame's outcome disagreed with the reference simulator.
+    FrameMismatch {
+        /// Virtual tick of the frame.
+        tick: u64,
+        /// Shard that ran it.
+        shard: usize,
+        /// Human-readable disagreement.
+        detail: String,
+    },
+    /// A healthy frame under the capacity bound failed to deliver
+    /// everything, or any frame over-delivered.
+    CapacityBound {
+        /// Virtual tick of the frame.
+        tick: u64,
+        /// Shard that ran it.
+        shard: usize,
+        /// Messages offered to the switch.
+        offered: usize,
+        /// Messages delivered.
+        delivered: usize,
+        /// The analytic bound `⌊α·m⌋`.
+        bound: u64,
+    },
+    /// No task was ready but the run was not finished.
+    Deadlock {
+        /// Virtual tick of the stall.
+        tick: u64,
+        /// Producers holding a message with nowhere to put it.
+        parked_producers: usize,
+        /// Workers that had not drained.
+        unfinished_workers: usize,
+    },
+    /// The run exceeded its tick budget (liveness failure).
+    TickLimit {
+        /// The budget that was exhausted.
+        tick: u64,
+    },
+    /// A lossless scenario lost, duplicated, or corrupted a message.
+    LosslessDelivery {
+        /// Human-readable disagreement with the reference delivery set.
+        detail: String,
+    },
+    /// The run ended with messages still counted in flight.
+    ResidualInFlight {
+        /// The stuck gauge value.
+        in_flight: u64,
+    },
+}
+
+/// Check one executed frame against the message-level reference
+/// simulator, through the same fault set the shard routed with.
+pub fn check_frame(
+    switch: &Arc<StagedSwitch>,
+    faults: &[ChipFault],
+    run: &FrameRun,
+    shard: usize,
+    tick: u64,
+) -> Option<Violation> {
+    let reference = if faults.is_empty() {
+        simulate_frame(&**switch, &run.offered)
+    } else {
+        let faulty = FaultySwitch::new(Arc::clone(switch), faults.to_vec());
+        simulate_frame(&faulty, &run.offered)
+    };
+    let mismatch = |detail: String| {
+        Some(Violation::FrameMismatch {
+            tick,
+            shard,
+            detail,
+        })
+    };
+    if reference.delivered.len() != run.delivered.len() {
+        return mismatch(format!(
+            "delivered {} messages, reference delivered {}",
+            run.delivered.len(),
+            reference.delivered.len()
+        ));
+    }
+    let expected: HashMap<u64, (usize, &[u8])> = reference
+        .delivered
+        .iter()
+        .map(|(out, m)| (m.id, (*out, m.payload.as_ref())))
+        .collect();
+    for delivery in &run.delivered {
+        match expected.get(&delivery.message.id) {
+            None => {
+                return mismatch(format!(
+                    "delivered id {} the reference did not route",
+                    delivery.message.id
+                ))
+            }
+            Some((out, payload)) => {
+                if *out != delivery.output {
+                    return mismatch(format!(
+                        "id {} arrived on output {}, reference says {}",
+                        delivery.message.id, delivery.output, out
+                    ));
+                }
+                if *payload != delivery.message.payload.as_ref() {
+                    return mismatch(format!(
+                        "id {} payload corrupted in transit",
+                        delivery.message.id
+                    ));
+                }
+            }
+        }
+    }
+    let unrouted: std::collections::HashSet<u64> =
+        reference.unrouted.iter().map(|m| m.id).collect();
+    for dropped in &run.dropped {
+        if !unrouted.contains(&dropped.id) {
+            return mismatch(format!(
+                "dropped id {} which the reference routed",
+                dropped.id
+            ));
+        }
+    }
+    None
+}
+
+/// Check one executed frame against the analytic capacity bound.
+pub fn check_capacity(shard: &Shard, run: &FrameRun, tick: u64) -> Option<Violation> {
+    let bound = shard.capacity_bound();
+    let m = shard.switch().m;
+    let offered = run.offered.len();
+    let delivered = run.delivered.len();
+    let healthy = shard.active_faults().is_empty();
+    let under_bound_shortfall =
+        healthy && offered as u64 <= bound && delivered != offered && offered > 0;
+    let over_delivery = delivered > offered.min(m);
+    if under_bound_shortfall || over_delivery {
+        return Some(Violation::CapacityBound {
+            tick,
+            shard: shard.id(),
+            offered,
+            delivered,
+            bound,
+        });
+    }
+    None
+}
+
+/// The binomial drop-model floor from `switchsim::analytic`: the expected
+/// number of deliveries per generation frame when each of `n` inputs
+/// offers with probability `p` and the switch guarantees Lemma 2's
+/// `min(k, ⌊α·m⌋)` floor. Measured lossy runs must deliver at least this
+/// (minus drops the queues never forwarded); the seed-corpus test pins
+/// the aggregate against it.
+pub fn analytic_floor(switch: &StagedSwitch, p: f64) -> f64 {
+    let bound = {
+        let m = switch.m as f64;
+        let alpha = match switch.kind {
+            concentrator::spec::ConcentratorKind::Partial { alpha } => alpha,
+            _ => 1.0,
+        };
+        ((alpha * m).floor() as usize).max(1)
+    };
+    let prediction = switchsim::analytic::predict_drop(switch.n, p, |k| k.min(bound));
+    prediction.delivered_per_frame
+}
+
+/// Check a lossless run's deliveries against the reference delivery set
+/// (id → payload): every expected message delivered exactly once,
+/// bit-exact, and nothing else.
+pub fn check_lossless(
+    expected: &HashMap<u64, Vec<u8>>,
+    completions: &[fabric::Delivery],
+) -> Option<Violation> {
+    let lost = |detail: String| Some(Violation::LosslessDelivery { detail });
+    if completions.len() != expected.len() {
+        return lost(format!(
+            "delivered {} messages, reference delivers {}",
+            completions.len(),
+            expected.len()
+        ));
+    }
+    let mut seen = std::collections::HashSet::with_capacity(completions.len());
+    for delivery in completions {
+        let id = delivery.message.id;
+        if !seen.insert(id) {
+            return lost(format!("id {id} delivered twice"));
+        }
+        match expected.get(&id) {
+            None => return lost(format!("delivered unknown id {id}")),
+            Some(payload) => {
+                if payload.as_slice() != delivery.message.payload.as_ref() {
+                    return lost(format!("id {id} payload corrupted"));
+                }
+            }
+        }
+    }
+    None
+}

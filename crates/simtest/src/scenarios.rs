@@ -1,0 +1,233 @@
+//! The scenario catalogue: the workloads the harness explores.
+//!
+//! Every scenario serves the same shared 16→8 Revsort partial
+//! concentrator (compiled once per process through the switch's shared
+//! elaboration cache — [`shared_switch`]) and differs in configuration,
+//! workload, and fault schedule:
+//!
+//! * [`drain_block`] — blocking backpressure over tiny queues, unlimited
+//!   retries: the lossless baseline. Producers park and resume; drain
+//!   must deliver every generated message bit-exactly.
+//! * [`drain_shed`] / [`drain_reject`] — the lossy backpressure policies
+//!   (plus a global admission cap on the reject variant): conservation
+//!   must absorb every shed and rejection at every tick.
+//! * [`midrun_fault`] — a chip dies mid-run, the fault set changes shape,
+//!   then the chip is repaired while the drain is already underway.
+//! * [`flap`] — a flapping fault schedule kills every first-stage chip on
+//!   *both* shards, repairs them, and kills them again: quarantine must
+//!   engage on both shards (placement falls back to the preferred shard
+//!   rather than deadlocking when nowhere is healthy) and recover with
+//!   hysteresis once repaired.
+//! * [`campaign`] — a seeded [`FaultCampaign`] chaos schedule sampled
+//!   through the virtual clock ([`FaultCampaign::faults_at_clock`]):
+//!   permanent, intermittent, and transient chip faults land as
+//!   virtual-time events.
+
+use std::sync::{Arc, OnceLock};
+
+use concentrator::clock::VirtualClock;
+use concentrator::faults::{CampaignSpec, ChipFault, FaultCampaign, FaultMode};
+use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
+use concentrator::StagedSwitch;
+use fabric::{Backpressure, FabricConfig, HealthPolicy, LoadPlan, RetryBudget};
+use switchsim::TrafficModel;
+
+use crate::sim::{Scenario, SimFaultEvent};
+
+/// The switch every scenario serves: 16→8 Revsort, two-dimensional
+/// layout. Process-wide so its datapath compiles exactly once no matter
+/// how many seeds the harness explores.
+pub fn shared_switch() -> Arc<StagedSwitch> {
+    static SWITCH: OnceLock<Arc<StagedSwitch>> = OnceLock::new();
+    Arc::clone(SWITCH.get_or_init(|| {
+        Arc::new(
+            RevsortSwitch::new(16, 8, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        )
+    }))
+}
+
+/// Every first-stage chip of the shared switch, dead: traffic through the
+/// shard delivers nothing until repaired.
+fn dead_first_stage() -> Vec<ChipFault> {
+    (0..4)
+        .map(|chip| ChipFault {
+            stage: 0,
+            chip,
+            mode: FaultMode::StuckInvalid,
+        })
+        .collect()
+}
+
+fn base(name: &str, workload_seed: u64, frames: usize, p: f64) -> Scenario {
+    let mut config = FabricConfig::new(2);
+    config.queue_capacity = 4;
+    Scenario {
+        name: name.to_string(),
+        switch: shared_switch(),
+        config,
+        producers: 3,
+        plan: LoadPlan {
+            model: TrafficModel::Bernoulli { p },
+            payload_bytes: 2,
+            seed: workload_seed,
+            frames,
+        },
+        faults: Vec::new(),
+        lossless: false,
+        max_ticks: 50_000,
+    }
+}
+
+/// Blocking backpressure, unlimited retries, no faults: the lossless
+/// drain baseline. Tiny queues force producers to park and resume.
+pub fn drain_block() -> Scenario {
+    let mut s = base("drain-block", 101, 4, 0.6);
+    s.config.queue_capacity = 2;
+    s.config.backpressure = Backpressure::Block;
+    s.lossless = true;
+    s
+}
+
+/// Shed-oldest backpressure over tiny queues: heavy load sheds queued
+/// messages; conservation must account for each one.
+pub fn drain_shed() -> Scenario {
+    let mut s = base("drain-shed", 202, 4, 0.7);
+    s.config.queue_capacity = 2;
+    s.config.backpressure = Backpressure::ShedOldest;
+    s
+}
+
+/// Reject backpressure plus a global admission cap and a finite retry
+/// budget: every refusal path exercised at once.
+pub fn drain_reject() -> Scenario {
+    let mut s = base("drain-reject", 303, 4, 0.7);
+    s.config.queue_capacity = 2;
+    s.config.backpressure = Backpressure::Reject;
+    s.config.admission_limit = Some(6);
+    s.config.retry = RetryBudget::limited(2);
+    s
+}
+
+/// A chip dies mid-run, the fault changes shape, and the repair lands
+/// while the fabric is already draining.
+pub fn midrun_fault() -> Scenario {
+    let mut s = base("midrun-fault", 404, 6, 0.6);
+    s.config.queue_capacity = 8;
+    s.config.retry = RetryBudget::limited(1);
+    s.faults = vec![
+        SimFaultEvent {
+            at_tick: 30,
+            shard: 0,
+            faults: vec![ChipFault {
+                stage: 0,
+                chip: 0,
+                mode: FaultMode::StuckInvalid,
+            }],
+        },
+        SimFaultEvent {
+            at_tick: 90,
+            shard: 0,
+            faults: vec![ChipFault {
+                stage: 0,
+                chip: 2,
+                mode: FaultMode::StuckValid,
+            }],
+        },
+        SimFaultEvent {
+            at_tick: 150,
+            shard: 0,
+            faults: Vec::new(),
+        },
+    ];
+    s
+}
+
+/// A flapping fault schedule on *both* shards: kill every first-stage
+/// chip, repair, kill again, repair again. Both shards must quarantine
+/// (steering falls back to the preferred shard when nowhere is healthy)
+/// and recover with hysteresis; the deadlock oracle guards placement.
+/// The health EWMA weight is raised so recovery resolves within the
+/// workload for every interleaving.
+pub fn flap() -> Scenario {
+    let mut s = base("flap", 505, 20, 0.8);
+    s.config.queue_capacity = 2;
+    s.config.retry = RetryBudget::limited(0);
+    s.config.health = HealthPolicy {
+        alpha: 0.5,
+        ..HealthPolicy::default()
+    };
+    let mut faults = Vec::new();
+    for (at_tick, set) in [
+        (0u64, dead_first_stage()),
+        (140, Vec::new()),
+        (280, dead_first_stage()),
+        (340, Vec::new()),
+    ] {
+        for shard in 0..2 {
+            faults.push(SimFaultEvent {
+                at_tick,
+                shard,
+                faults: set.clone(),
+            });
+        }
+    }
+    s.faults = faults;
+    s
+}
+
+/// A seeded chaos schedule from [`FaultCampaign`], sampled through the
+/// virtual clock: each shard replays its own campaign (seed offset by
+/// shard id), with fault-set changes landing as virtual-time events.
+pub fn campaign() -> Scenario {
+    const TICKS_PER_FRAME: u64 = 24;
+    let mut s = base("campaign", 606, 6, 0.6);
+    s.config.retry = RetryBudget::limited(1);
+    let switch = shared_switch();
+    let mut faults = Vec::new();
+    for shard in 0..s.config.shards {
+        let spec = CampaignSpec {
+            seed: 9000 + shard as u64,
+            frames: 8,
+            permanent_rate: 0.15,
+            intermittent_rate: 0.25,
+            intermittent_period: 2,
+            transient_rate: 0.05,
+        };
+        let schedule = FaultCampaign::generate(&switch, &spec);
+        let mut last: Vec<ChipFault> = Vec::new();
+        for frame in 0..spec.frames {
+            let probe = VirtualClock::at(frame as u64 * TICKS_PER_FRAME);
+            let set = schedule.faults_at_clock(&probe, TICKS_PER_FRAME).to_vec();
+            if set != last {
+                faults.push(SimFaultEvent {
+                    at_tick: frame as u64 * TICKS_PER_FRAME,
+                    shard,
+                    faults: set.clone(),
+                });
+                last = set;
+            }
+        }
+    }
+    faults.sort_by_key(|e| e.at_tick);
+    s.faults = faults;
+    s
+}
+
+/// Every scenario, in catalogue order.
+pub fn catalogue() -> Vec<Scenario> {
+    vec![
+        drain_block(),
+        drain_shed(),
+        drain_reject(),
+        midrun_fault(),
+        flap(),
+        campaign(),
+    ]
+}
+
+/// Look a scenario up by its CLI name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    catalogue().into_iter().find(|s| s.name == name)
+}

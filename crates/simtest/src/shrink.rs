@@ -1,0 +1,127 @@
+//! Schedule shrinking: reduce a failing scenario to a minimal
+//! reproducer.
+//!
+//! Given a scenario, a seed, and a failure predicate, [`shrink`] greedily
+//! removes whatever it can while the re-run (same seed) still fails:
+//! individual fault events first, then workload frames (halving), then
+//! producers. The result is a local minimum — removing any single
+//! remaining fault event, halving the workload again, or dropping
+//! another producer makes the failure disappear — which is what a human
+//! debugging the seed actually wants to stare at.
+//!
+//! Shrinking re-runs the simulator, so it inherits its determinism: the
+//! same `(scenario, seed, predicate)` always shrinks to the same
+//! reproducer.
+
+use crate::sim::{run_scenario, Scenario, SimRun};
+
+/// Shrink `scenario` to a minimal reproducer of `fails` under `seed`.
+/// Returns the scenario unchanged if the failure does not reproduce on
+/// the unshrunk run (nothing to minimize against).
+pub fn shrink(scenario: &Scenario, seed: u64, fails: &dyn Fn(&SimRun) -> bool) -> Scenario {
+    if !fails(&run_scenario(scenario, seed)) {
+        return scenario.clone();
+    }
+    let mut current = scenario.clone();
+    loop {
+        let mut reduced = false;
+
+        // Drop fault events one at a time, keeping each removal that
+        // still fails.
+        let mut i = 0;
+        while i < current.faults.len() {
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            if fails(&run_scenario(&candidate, seed)) {
+                current = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Halve the workload while the failure survives.
+        while current.plan.frames > 1 {
+            let mut candidate = current.clone();
+            candidate.plan.frames /= 2;
+            if fails(&run_scenario(&candidate, seed)) {
+                current = candidate;
+                reduced = true;
+            } else {
+                break;
+            }
+        }
+
+        // Drop producers from the back while the failure survives.
+        while current.producers > 1 {
+            let mut candidate = current.clone();
+            candidate.producers -= 1;
+            if fails(&run_scenario(&candidate, seed)) {
+                current = candidate;
+                reduced = true;
+            } else {
+                break;
+            }
+        }
+
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    /// Shrinking against a synthetic predicate ("the run executed at
+    /// least N frames") must strip the entire fault schedule and converge
+    /// on a minimal workload, without ever losing the failure.
+    #[test]
+    fn shrinks_to_a_local_minimum() {
+        let scenario = scenarios::midrun_fault();
+        let fails = |run: &SimRun| run.frames >= 4;
+        assert!(fails(&run_scenario(&scenario, 11)), "predicate must fire");
+        let minimal = shrink(&scenario, 11, &fails);
+        assert!(fails(&run_scenario(&minimal, 11)), "shrunk run still fails");
+        assert!(minimal.faults.is_empty(), "fault events are not needed");
+        assert!(minimal.plan.frames < scenario.plan.frames);
+        // Local minimality: halving the workload again loses the failure.
+        let mut smaller = minimal.clone();
+        smaller.plan.frames /= 2;
+        assert!(!fails(&run_scenario(&smaller, 11)));
+    }
+
+    /// A predicate that needs a fault event must keep exactly the events
+    /// it needs.
+    #[test]
+    fn keeps_required_fault_events() {
+        let scenario = scenarios::midrun_fault();
+        // Fails iff any fault was ever injected on shard 0.
+        let fails = |run: &SimRun| {
+            run.trace.iter().any(|e| {
+                matches!(
+                    e,
+                    crate::sim::TraceEvent::Fault { shard: 0, faults, .. } if *faults > 0
+                )
+            })
+        };
+        let minimal = shrink(&scenario, 7, &fails);
+        assert_eq!(
+            minimal.faults.len(),
+            1,
+            "exactly one injection event survives"
+        );
+        assert!(!minimal.faults[0].faults.is_empty());
+    }
+
+    /// A passing run shrinks to itself.
+    #[test]
+    fn passing_runs_are_left_alone() {
+        let scenario = scenarios::drain_block();
+        let minimal = shrink(&scenario, 3, &|run| !run.passed());
+        assert_eq!(minimal.plan.frames, scenario.plan.frames);
+        assert_eq!(minimal.producers, scenario.producers);
+    }
+}

@@ -1,0 +1,486 @@
+//! The simulation executor: one seeded cooperative run of the full
+//! service stack under a virtual clock.
+//!
+//! A [`Scenario`] fixes everything about a run except the interleaving:
+//! the switch, the fabric configuration, the producer workload (via
+//! [`fabric::producer_script`] — the same message sequences the threaded
+//! driver submits), a virtual-time fault schedule, and a tick budget.
+//! [`run_scenario`] then executes the scenario's producers and shard
+//! workers as *cooperative tasks*: each scheduler step picks one ready
+//! task uniformly with a [`SplitMix64`] stream seeded by the run's `u64`
+//! seed, executes exactly one non-blocking step of it
+//! ([`ServiceCore::try_submit`] / [`ServiceCore::retry_submit`] /
+//! [`WorkerCore::step`]), and advances the shared [`VirtualClock`] by one
+//! tick. Nothing else in the run consumes entropy or reads wall time, so
+//! the complete trace — every submission outcome, frame, fault
+//! injection, and quarantine transition — is a pure function of
+//! `(scenario, seed)`. That is the property the determinism tests pin
+//! bit-for-bit and the `cli sim --seed` replay workflow relies on.
+//!
+//! Because the cores are the *same* code the threaded
+//! [`FabricService`](fabric::FabricService)
+//! runs (its workers loop `step_blocking`, its `submit` is
+//! `submit_blocking` — thin condvar shells over the identical step
+//! logic), every interleaving this executor explores is an interleaving
+//! the real service could exhibit under some OS schedule; a blocked
+//! producer here is a parked task whose readiness predicate is the
+//! queue's `would_accept`, exactly mirroring the condvar wait.
+//!
+//! Model-based oracles run *inside* the loop: the conservation ledger is
+//! checked after every tick, and every executed frame is checked against
+//! the message-level reference simulator and the analytic capacity bound
+//! (see [`crate::oracles`]). Violations are collected, not panicked, so
+//! the explorer can shrink and report them.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use concentrator::clock::{Clock, VirtualClock};
+use concentrator::faults::ChipFault;
+use concentrator::verify::SplitMix64;
+use concentrator::StagedSwitch;
+use fabric::{
+    producer_script, Delivery, FabricConfig, FabricSnapshot, LoadPlan, ServiceCore, SubmitOutcome,
+    SubmitStep, WorkerCore, WorkerStep,
+};
+use switchsim::Message;
+
+use crate::oracles::{check_capacity, check_frame, conservation_ledger, Violation};
+
+/// A fault-set change at a point in virtual time: at tick `at_tick`,
+/// shard `shard`'s fault set becomes `faults` (empty = repair). The
+/// virtual-time analogue of [`fabric::FaultEvent`]'s frame schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimFaultEvent {
+    /// Virtual tick at which the change is injected.
+    pub at_tick: u64,
+    /// Target shard.
+    pub shard: usize,
+    /// The shard's new complete fault set.
+    pub faults: Vec<ChipFault>,
+}
+
+/// Everything that defines a simulated run except the interleaving seed.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Display name (the CLI's `--scenario` key).
+    pub name: String,
+    /// The switch every shard serves.
+    pub switch: Arc<StagedSwitch>,
+    /// Fabric configuration.
+    pub config: FabricConfig,
+    /// Concurrent producer tasks.
+    pub producers: usize,
+    /// Per-producer workload (seeded off `plan.seed + producer`).
+    pub plan: LoadPlan,
+    /// Virtual-time fault schedule, sorted by `at_tick`.
+    pub faults: Vec<SimFaultEvent>,
+    /// Whether the scenario guarantees every generated message is
+    /// delivered (blocking backpressure, unlimited retries, no faults,
+    /// no admission cap) — enables the delivery-set equivalence oracle.
+    pub lossless: bool,
+    /// Tick budget; exceeding it is a liveness violation.
+    pub max_ticks: u64,
+}
+
+impl Scenario {
+    /// # Panics
+    /// If the fault schedule is unsorted or names a missing shard — a
+    /// malformed scenario would make violations meaningless.
+    pub fn validate(&self) {
+        self.config.validate();
+        assert!(self.producers > 0, "need at least one producer");
+        assert!(
+            self.faults.windows(2).all(|w| w[0].at_tick <= w[1].at_tick),
+            "fault schedule must be sorted by tick"
+        );
+        assert!(
+            self.faults.iter().all(|e| e.shard < self.config.shards),
+            "fault event names a missing shard"
+        );
+    }
+}
+
+/// How a resolved submission step ended (the trace-level view of
+/// [`SubmitOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitKind {
+    /// Queued.
+    Accepted,
+    /// Queued after shedding the oldest queued message.
+    AcceptedAfterShed,
+    /// Refused.
+    Rejected,
+}
+
+impl From<&SubmitOutcome> for SubmitKind {
+    fn from(outcome: &SubmitOutcome) -> SubmitKind {
+        match outcome {
+            SubmitOutcome::Accepted => SubmitKind::Accepted,
+            SubmitOutcome::AcceptedAfterShed => SubmitKind::AcceptedAfterShed,
+            SubmitOutcome::Rejected => SubmitKind::Rejected,
+            SubmitOutcome::Backpressured(_) => {
+                unreachable!("the service core never hands back Backpressured")
+            }
+        }
+    }
+}
+
+/// One scheduled step of a run. The determinism tests compare whole
+/// traces with `==`; the CLI prints them line by line for replay
+/// diffing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A producer's submission resolved in one step.
+    Submit {
+        /// Virtual tick of the step.
+        tick: u64,
+        /// Producer task index.
+        producer: usize,
+        /// Message id (producer-tagged).
+        id: u64,
+        /// How the submission resolved.
+        outcome: SubmitKind,
+    },
+    /// A producer's submission would block: the task parks on the shard's
+    /// queue, holding the message.
+    Parked {
+        /// Virtual tick of the step.
+        tick: u64,
+        /// Producer task index.
+        producer: usize,
+        /// Message id the producer is holding.
+        id: u64,
+        /// Shard whose full queue it waits on.
+        shard: usize,
+    },
+    /// A parked producer's re-offer resolved.
+    Resumed {
+        /// Virtual tick of the step.
+        tick: u64,
+        /// Producer task index.
+        producer: usize,
+        /// Message id re-offered.
+        id: u64,
+        /// How the re-offer resolved.
+        outcome: SubmitKind,
+    },
+    /// A worker executed one batched routing frame.
+    Frame {
+        /// Virtual tick of the step.
+        tick: u64,
+        /// Shard that ran the frame.
+        shard: usize,
+        /// Messages offered to the switch this frame.
+        offered: usize,
+        /// Deliveries completed.
+        delivered: usize,
+        /// Messages dropped (retry budget exhausted).
+        dropped: usize,
+    },
+    /// A fault event fired: the shard's fault set was replaced.
+    Fault {
+        /// Virtual tick of the injection.
+        tick: u64,
+        /// Target shard.
+        shard: usize,
+        /// Size of the new fault set (0 = repair).
+        faults: usize,
+    },
+    /// A shard's published quarantine flag flipped.
+    Quarantine {
+        /// Virtual tick observed.
+        tick: u64,
+        /// The shard.
+        shard: usize,
+        /// New flag value.
+        on: bool,
+    },
+    /// All producers finished; the queues were closed (drain begins).
+    Closed {
+        /// Virtual tick of the close.
+        tick: u64,
+    },
+    /// A worker drained its backlog after close and finished.
+    WorkerDone {
+        /// Virtual tick of the final step.
+        tick: u64,
+        /// The shard.
+        shard: usize,
+    },
+}
+
+/// The complete, deterministic record of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Scenario name.
+    pub scenario: String,
+    /// Interleaving seed.
+    pub seed: u64,
+    /// Every scheduled step, in order.
+    pub trace: Vec<TraceEvent>,
+    /// Final merged metrics (queue counters folded in).
+    pub snapshot: FabricSnapshot,
+    /// Every delivery, in completion order.
+    pub completions: Vec<Delivery>,
+    /// Oracle violations observed (empty = the run passed).
+    pub violations: Vec<Violation>,
+    /// Virtual ticks executed.
+    pub ticks: u64,
+    /// Routing frames executed.
+    pub frames: u64,
+}
+
+impl SimRun {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One producer task: the remainder of its scripted workload plus its
+/// parked state (a held message and the shard whose queue it waits on).
+struct ProducerTask {
+    script: VecDeque<Message>,
+    parked: Option<(Message, usize)>,
+}
+
+impl ProducerTask {
+    fn done(&self) -> bool {
+        self.script.is_empty() && self.parked.is_none()
+    }
+}
+
+/// A ready task the scheduler may step next.
+#[derive(Clone, Copy)]
+enum Task {
+    Producer(usize),
+    Worker(usize),
+}
+
+/// Execute one seeded cooperative run of `scenario`. Never panics on an
+/// oracle violation — failures land in [`SimRun::violations`] so the
+/// caller can shrink and report them with the seed.
+pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
+    scenario.validate();
+    let core = ServiceCore::new(scenario.config);
+    let clock = VirtualClock::new();
+    let mut rng = SplitMix64(seed);
+    let mut workers: Vec<WorkerCore> = (0..scenario.config.shards)
+        .map(|id| core.worker(id, Arc::clone(&scenario.switch)))
+        .collect();
+    let mut worker_done = vec![false; workers.len()];
+    let mut quarantine_flags = vec![false; workers.len()];
+    let mut expected_lossless: std::collections::HashMap<u64, Vec<u8>> =
+        std::collections::HashMap::new();
+    let mut producers: Vec<ProducerTask> = (0..scenario.producers)
+        .map(|p| {
+            let script = producer_script(&scenario.plan, scenario.switch.n, p);
+            if scenario.lossless {
+                for message in &script {
+                    expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
+                }
+            }
+            ProducerTask {
+                script: script.into(),
+                parked: None,
+            }
+        })
+        .collect();
+
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut completions: Vec<Delivery> = Vec::new();
+    let mut frames = 0u64;
+    let mut next_fault = 0usize;
+    let mut closed = false;
+
+    loop {
+        let tick = clock.now();
+        if tick >= scenario.max_ticks {
+            violations.push(Violation::TickLimit { tick });
+            break;
+        }
+
+        // Virtual-time fault schedule: every event due by now fires,
+        // deterministically, before the scheduler draws.
+        while next_fault < scenario.faults.len() && scenario.faults[next_fault].at_tick <= tick {
+            let event = &scenario.faults[next_fault];
+            core.inject_faults(event.shard, event.faults.clone());
+            trace.push(TraceEvent::Fault {
+                tick,
+                shard: event.shard,
+                faults: event.faults.len(),
+            });
+            next_fault += 1;
+        }
+
+        // Graceful drain starts the moment the offered load ends.
+        if !closed && producers.iter().all(ProducerTask::done) {
+            core.close();
+            closed = true;
+            trace.push(TraceEvent::Closed { tick });
+        }
+
+        // Readiness, in fixed task order (determinism): a producer is
+        // ready with a fresh message, or parked on a queue that would now
+        // resolve its re-offer; a worker is ready when stepping it makes
+        // progress.
+        let mut ready: Vec<Task> = Vec::new();
+        for (p, task) in producers.iter().enumerate() {
+            let runnable = match &task.parked {
+                Some((_, shard)) => core
+                    .queue(*shard)
+                    .would_accept(scenario.config.backpressure),
+                None => !task.script.is_empty(),
+            };
+            if runnable {
+                ready.push(Task::Producer(p));
+            }
+        }
+        for (w, worker) in workers.iter().enumerate() {
+            if !worker_done[w] && worker.ready() {
+                ready.push(Task::Worker(w));
+            }
+        }
+
+        if ready.is_empty() {
+            let finished =
+                producers.iter().all(ProducerTask::done) && worker_done.iter().all(|&d| d);
+            if !finished {
+                violations.push(Violation::Deadlock {
+                    tick,
+                    parked_producers: producers.iter().filter(|t| t.parked.is_some()).count(),
+                    unfinished_workers: worker_done.iter().filter(|&&d| !d).count(),
+                });
+            }
+            break;
+        }
+
+        // The seeded draw: the single source of scheduling entropy.
+        let choice = ready[(rng.next_u64() % ready.len() as u64) as usize];
+        clock.advance(1);
+
+        match choice {
+            Task::Producer(p) => {
+                let task = &mut producers[p];
+                match task.parked.take() {
+                    Some((message, shard)) => {
+                        let id = message.id;
+                        match core.retry_submit(message, shard) {
+                            SubmitStep::Done(outcome) => trace.push(TraceEvent::Resumed {
+                                tick,
+                                producer: p,
+                                id,
+                                outcome: SubmitKind::from(&outcome),
+                            }),
+                            SubmitStep::Blocked { message, shard } => {
+                                task.parked = Some((message, shard));
+                            }
+                        }
+                    }
+                    None => {
+                        let message = task.script.pop_front().expect("ready producer has work");
+                        let id = message.id;
+                        match core.try_submit(message) {
+                            SubmitStep::Done(outcome) => trace.push(TraceEvent::Submit {
+                                tick,
+                                producer: p,
+                                id,
+                                outcome: SubmitKind::from(&outcome),
+                            }),
+                            SubmitStep::Blocked { message, shard } => {
+                                trace.push(TraceEvent::Parked {
+                                    tick,
+                                    producer: p,
+                                    id,
+                                    shard,
+                                });
+                                task.parked = Some((message, shard));
+                            }
+                        }
+                    }
+                }
+            }
+            Task::Worker(w) => match workers[w].step() {
+                WorkerStep::Frame(run) => {
+                    frames += 1;
+                    trace.push(TraceEvent::Frame {
+                        tick,
+                        shard: w,
+                        offered: run.offered.len(),
+                        delivered: run.delivered.len(),
+                        dropped: run.dropped.len(),
+                    });
+                    let shard = workers[w].shard();
+                    if let Some(v) =
+                        check_frame(&scenario.switch, shard.active_faults(), &run, w, tick)
+                    {
+                        violations.push(v);
+                    }
+                    if let Some(v) = check_capacity(shard, &run, tick) {
+                        violations.push(v);
+                    }
+                    completions.extend(run.delivered);
+                    let flag = core.shard_quarantined(w);
+                    if flag != quarantine_flags[w] {
+                        quarantine_flags[w] = flag;
+                        trace.push(TraceEvent::Quarantine {
+                            tick,
+                            shard: w,
+                            on: flag,
+                        });
+                    }
+                }
+                WorkerStep::Idle => {}
+                WorkerStep::Done => {
+                    worker_done[w] = true;
+                    trace.push(TraceEvent::WorkerDone { tick, shard: w });
+                }
+            },
+        }
+
+        // The conservation oracle holds at *every* tick boundary: each
+        // scheduled step is atomic, so the ledger can never be caught
+        // mid-update.
+        let ledger = conservation_ledger(&core, &workers);
+        if !ledger.holds() {
+            violations.push(Violation::Conservation { tick, ledger });
+            break;
+        }
+    }
+
+    let residual = core.in_flight();
+    if residual != 0 && violations.is_empty() {
+        violations.push(Violation::ResidualInFlight {
+            in_flight: residual,
+        });
+    }
+    // Lossless scenarios carry their delivery oracle with them: every
+    // scripted message must arrive exactly once, bit-exact.
+    if scenario.lossless && violations.is_empty() {
+        if let Some(v) = crate::oracles::check_lossless(&expected_lossless, &completions) {
+            violations.push(v);
+        }
+    }
+
+    let mut shards = Vec::with_capacity(workers.len());
+    for (i, worker) in workers.iter().enumerate() {
+        let mut metrics = worker.shard().metrics.clone();
+        core.fold_queue_counters(i, &mut metrics);
+        shards.push(metrics);
+    }
+    SimRun {
+        scenario: scenario.name.clone(),
+        seed,
+        trace,
+        snapshot: FabricSnapshot {
+            shards,
+            in_flight: residual,
+        },
+        completions,
+        violations,
+        ticks: clock.now(),
+        frames,
+    }
+}

@@ -1,0 +1,47 @@
+//! Replay the committed regression-seed corpus (`seeds.txt`): every
+//! `<scenario> <seed>` line is one interleaving that must keep passing
+//! every oracle. Seeds that once exposed a bug are appended to the
+//! corpus when the bug is fixed, so the exact schedule stays covered.
+
+use std::collections::{HashMap, HashSet};
+
+use simtest::{by_name, catalogue, check_run, lossless_reference, parse_seed_corpus};
+
+const CORPUS: &str = include_str!("../seeds.txt");
+
+#[test]
+fn corpus_covers_every_scenario() {
+    let named: HashSet<String> = parse_seed_corpus(CORPUS)
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    for scenario in catalogue() {
+        assert!(
+            named.contains(&scenario.name),
+            "seeds.txt has no regression seed for scenario `{}`",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn every_corpus_seed_passes_every_oracle() {
+    let mut references: HashMap<String, HashMap<u64, Vec<u8>>> = HashMap::new();
+    for (name, seed) in parse_seed_corpus(CORPUS) {
+        let scenario =
+            by_name(&name).unwrap_or_else(|| panic!("seeds.txt names unknown scenario `{name}`"));
+        let reference = scenario.lossless.then(|| {
+            references
+                .entry(name.clone())
+                .or_insert_with(|| lossless_reference(&scenario))
+                .clone()
+        });
+        let run = check_run(&scenario, seed, reference.as_ref());
+        assert!(
+            run.passed(),
+            "regression seed regressed — replay with \
+             `cli sim --scenario {name} --seed {seed} --trace`: {:?}",
+            run.violations
+        );
+    }
+}
