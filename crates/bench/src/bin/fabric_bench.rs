@@ -1,5 +1,6 @@
 //! Fabric serving bench: the batching win, latency-vs-load curves, and
-//! shard scaling for the sharded concentrator-switch serving engine.
+//! multichip shard scaling for the sharded concentrator-switch serving
+//! engine.
 //!
 //! Writes `BENCH_fabric.json` at the repository root. The file separates
 //! two kinds of data:
@@ -11,9 +12,15 @@
 //! * `timing` sections — wall-clock throughput, which varies run to run
 //!   and is explicitly excluded from the reproducibility claim.
 //!
-//! The headline acceptance claim: at n = 1024 the batched engine moves
-//! ≥ 10× the messages per second of the one-request-per-sweep baseline
-//! on the same workload (it wins on sweep count by far more).
+//! Two acceptance claims:
+//!
+//! * at n = 1024 the batched engine moves ≥ 10× the messages per second
+//!   of the one-request-per-sweep baseline on the same workload (it wins
+//!   on sweep count by far more);
+//! * the multichip scaling ladder ([`fabric::scaling`]) — the same
+//!   aggregate 1024 → 512 fabric served as 1/2/4/8 Columnsort chips on
+//!   thread-per-shard lanes under constant offered load — is monotone in
+//!   msgs/s, with the 8-chip rung ≥ 3× the single-chip rung.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -129,22 +136,60 @@ fn main() {
     }
     load_table.print();
 
-    // ---- Shard scaling (same workload, more shards). -----------------
-    let mut scale_table = TextTable::new(["shards", "sweeps", "frames", "msgs/s (wall)"]);
+    // ---- Sync shard split (same workload, more shards). --------------
+    // Deterministic sweep/frame counters from the synchronous engine:
+    // how the fixed workload's sweeps divide as shard count grows.
     let mut scale_rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         let timed = run_batched(&switch, shards, 0.5, 12);
         let totals = timed.report.snapshot.totals();
-        let mps = totals.delivered as f64 / timed.secs;
-        scale_table.row([
-            shards.to_string(),
-            totals.sweeps.to_string(),
-            totals.frames.to_string(),
-            format!("{mps:.0}"),
-        ]);
-        scale_rows.push((shards, totals.sweeps, totals.frames, mps));
+        scale_rows.push((shards, totals.sweeps, totals.frames));
     }
-    scale_table.print();
+
+    // ---- Multichip scaling ladder (threaded data plane). -------------
+    // The paper's decomposition as a serving strategy: the same
+    // aggregate 1024 -> 512 fabric served as k Columnsort chips, one
+    // thread-per-shard lane each, constant offered load. Smaller chips
+    // mean superlinearly smaller sort networks, so throughput must rise
+    // with chip count even on one core; on multicore hosts the
+    // independent lanes compound it.
+    let ladder = fabric::scaling::ladder(N, &[1, 2, 4, 8], 2, 8, 0.5, PAYLOAD_BYTES, SEED);
+    let mut ladder_table = TextTable::new([
+        "chips",
+        "chip n->m",
+        "delivered",
+        "msgs/s (wall)",
+        "speedup",
+        "efficiency",
+    ]);
+    let base_mps = ladder.points[0].msgs_per_sec();
+    for (i, point) in ladder.points.iter().enumerate() {
+        ladder_table.row([
+            point.chips.to_string(),
+            format!("{}->{}", point.chip_inputs, point.chip_outputs),
+            point.delivered.to_string(),
+            format!("{:.0}", point.msgs_per_sec()),
+            format!("{:.2}x", point.msgs_per_sec() / base_mps),
+            format!("{:.3}", ladder.efficiency(i)),
+        ]);
+    }
+    ladder_table.print();
+    for window in ladder.points.windows(2) {
+        assert!(
+            window[1].msgs_per_sec() >= window[0].msgs_per_sec(),
+            "scaling ladder must be monotone: {} chips {:.0} msgs/s < {} chips {:.0} msgs/s",
+            window[1].chips,
+            window[1].msgs_per_sec(),
+            window[0].chips,
+            window[0].msgs_per_sec()
+        );
+    }
+    let last = ladder.points.last().unwrap();
+    assert!(
+        last.msgs_per_sec() >= 3.0 * base_mps,
+        "8-chip rung must be >= 3x the 1-chip rung, got {:.2}x",
+        last.msgs_per_sec() / base_mps
+    );
 
     // ---- BENCH_fabric.json ------------------------------------------
     let mut json = String::from("{\n  \"benchmark\": \"fabric\",\n");
@@ -167,7 +212,7 @@ fn main() {
         );
     }
     json.push_str("    ],\n    \"shard_scaling\": [\n");
-    for (i, (shards, sweeps, frames, _)) in scale_rows.iter().enumerate() {
+    for (i, (shards, sweeps, frames)) in scale_rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "      {{\"shards\": {shards}, \"sweeps\": {sweeps}, \"frames\": {frames}}}{}",
@@ -178,14 +223,36 @@ fn main() {
     json.push_str("  \"timing_not_reproducible\": {\n");
     let _ = writeln!(
         json,
-        "    \"batched_msgs_per_sec\": {batched_mps:.0},\n    \"unbatched_msgs_per_sec\": {unbatched_mps:.0},\n    \"throughput_ratio\": {throughput_ratio:.1},"
+        "    \"batched_msgs_per_sec\": {batched_mps:.0},\n    \"unbatched_msgs_per_sec\": {unbatched_mps:.0},\n    \"throughput_ratio\": {throughput_ratio:.1},\n    \"cores\": {},",
+        ladder.cores
+    );
+    let _ = writeln!(
+        json,
+        "    \"scaling_ladder\": \"aggregate {N}->{M} as k Columnsort chips, thread-per-shard, constant offered load\","
     );
     json.push_str("    \"shard_scaling_msgs_per_sec\": [\n");
-    for (i, (shards, _, _, mps)) in scale_rows.iter().enumerate() {
+    for (i, point) in ladder.points.iter().enumerate() {
+        let per_shard: Vec<String> = point
+            .per_shard
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\": {}, \"delivered\": {}, \"msgs_per_sec\": {:.0}, \"utilization\": {:.3}}}",
+                    s.shard, s.delivered, s.msgs_per_sec, s.utilization
+                )
+            })
+            .collect();
         let _ = writeln!(
             json,
-            "      {{\"shards\": {shards}, \"msgs_per_sec\": {mps:.0}}}{}",
-            if i + 1 < scale_rows.len() { "," } else { "" }
+            "      {{\"shards\": {}, \"chip_inputs\": {}, \"chip_outputs\": {}, \"delivered\": {}, \"msgs_per_sec\": {:.0}, \"scaling_efficiency\": {:.3}, \"per_shard\": [{}]}}{}",
+            point.chips,
+            point.chip_inputs,
+            point.chip_outputs,
+            point.delivered,
+            point.msgs_per_sec(),
+            ladder.efficiency(i),
+            per_shard.join(", "),
+            if i + 1 < ladder.points.len() { "," } else { "" }
         );
     }
     json.push_str("    ]\n  }\n}\n");

@@ -38,6 +38,13 @@ commands:
           drive the sharded serving fabric closed-loop and report the
           batched-vs-unbatched sweep counts, throughput, and wait
           percentiles
+  fabric-bench --scaling [--n <aggregate>] [--frames <base>]
+          [--producers <count>] [--load <p>] [--payload <bytes>]
+          [--seed <seed>] [--json]
+          multichip scaling ladder: serve one fixed aggregate fabric at
+          1/2/4/8 chips (one thread-per-shard lane each) under constant
+          offered load; reports per-shard msgs/s, utilization, and
+          parallel efficiency at every rung
   fault-campaign [--design <spec>] [--frames <count>] [--seed <seed>]
           [--load <density>] [--permanent <rate>] [--intermittent <rate>]
           [--period <frames>] [--transient <rate>] [--json] [--out <file>]
@@ -306,12 +313,17 @@ pub fn svg(args: &Parsed) -> Result<String, String> {
 
 /// `fabric-bench`: drive the sharded serving fabric closed-loop and
 /// compare the batching executor against the one-request-per-sweep
-/// baseline on the same workload.
+/// baseline on the same workload. With `--scaling`, run the multichip
+/// scaling ladder instead ([`fabric::scaling`]).
 pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     use fabric::{drive_sync, drive_sync_unbatched, Fabric, FabricConfig, LoadPlan};
     use std::sync::Arc;
     use std::time::Instant;
     use switchsim::TrafficModel;
+
+    if args.has_flag("scaling") {
+        return fabric_bench_scaling(args);
+    }
 
     let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
     let shards: usize = args.parse_or("shards", 2)?;
@@ -439,6 +451,146 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
         batched_totals.rejected, batched_totals.shed, batched_totals.retry_dropped
     )
     .unwrap();
+    Ok(out)
+}
+
+/// `fabric-bench --scaling`: the multichip scaling ladder. One fixed
+/// aggregate fabric (`--n` inputs → `--n`/2 outputs) is served at 1, 2,
+/// 4, and 8 chips, each chip a Columnsort switch on its own
+/// thread-per-shard lane, with the offered workload held constant; the
+/// report shows aggregate and per-shard msgs/s, output-slot
+/// utilization, and the parallel-efficiency ratio at each rung.
+fn fabric_bench_scaling(args: &Parsed) -> Result<String, String> {
+    use fabric::scaling;
+
+    let aggregate: usize = args.parse_or("n", 1024)?;
+    let producers: usize = args.parse_or("producers", 2)?;
+    let base_frames: usize = args.parse_or("frames", 8)?;
+    let load: f64 = args.parse_or("load", 0.5)?;
+    let payload: usize = args.parse_or("payload", 8)?;
+    let seed: u64 = args.parse_or("seed", 0xFAB0)?;
+    if !(0.0..=1.0).contains(&load) {
+        return Err(format!("--load must be in [0, 1], got {load}"));
+    }
+    const CHIP_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    // Every rung's chip needs a column count dividing its row count:
+    // n/k divisible by 16 for k up to 8.
+    if aggregate == 0 || !aggregate.is_multiple_of(128) {
+        return Err(format!(
+            "--n must be a positive multiple of 128, got {aggregate}"
+        ));
+    }
+    if producers == 0 || base_frames == 0 {
+        return Err("--producers and --frames must be positive".into());
+    }
+
+    let ladder = scaling::ladder(
+        aggregate,
+        &CHIP_COUNTS,
+        producers,
+        base_frames,
+        load,
+        payload,
+        seed,
+    );
+
+    if args.has_flag("json") {
+        use serde_json::{object, ToJson, Value};
+        let points: Vec<Value> = ladder
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let per_shard: Vec<Value> = p
+                    .per_shard
+                    .iter()
+                    .map(|s| {
+                        object([
+                            ("shard", (s.shard as u64).to_json()),
+                            ("delivered", s.delivered.to_json()),
+                            ("msgs_per_sec", s.msgs_per_sec.to_json()),
+                            ("utilization", s.utilization.to_json()),
+                        ])
+                    })
+                    .collect();
+                object([
+                    ("chips", (p.chips as u64).to_json()),
+                    ("chip_inputs", (p.chip_inputs as u64).to_json()),
+                    ("chip_outputs", (p.chip_outputs as u64).to_json()),
+                    ("generated", p.generated.to_json()),
+                    ("delivered", p.delivered.to_json()),
+                    ("frames", p.frames.to_json()),
+                    ("sweeps", p.sweeps.to_json()),
+                    ("msgs_per_sec", p.msgs_per_sec().to_json()),
+                    ("scaling_efficiency", ladder.efficiency(i).to_json()),
+                    ("per_shard", per_shard.to_json()),
+                ])
+            })
+            .collect();
+        let value = object([
+            ("aggregate_n", (ladder.aggregate_n as u64).to_json()),
+            ("cores", (ladder.cores as u64).to_json()),
+            ("offered_load", load.to_json()),
+            ("base_frames", (base_frames as u64).to_json()),
+            ("producers", (producers as u64).to_json()),
+            ("seed", seed.to_json()),
+            ("points", points.to_json()),
+        ]);
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&value).unwrap()
+        ));
+    }
+
+    let base_mps = ladder.points[0].msgs_per_sec();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "multichip scaling ladder: {aggregate} -> {} aggregate fabric, {} core(s)",
+        aggregate / 2,
+        ladder.cores
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  workload: Bernoulli p = {load}, {base_frames} base frames x chips, \
+         {payload}-byte payloads, {producers} producer(s), seed {seed}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:<6} {:>10} {:>10} {:>12} {:>9} {:>11}",
+        "chips", "chip n->m", "delivered", "msgs/s", "speedup", "efficiency"
+    )
+    .unwrap();
+    for (i, p) in ladder.points.iter().enumerate() {
+        writeln!(
+            out,
+            "  {:<6} {:>10} {:>10} {:>12.0} {:>8.2}x {:>10.3}",
+            p.chips,
+            format!("{}->{}", p.chip_inputs, p.chip_outputs),
+            p.delivered,
+            p.msgs_per_sec(),
+            if base_mps > 0.0 {
+                p.msgs_per_sec() / base_mps
+            } else {
+                0.0
+            },
+            ladder.efficiency(i)
+        )
+        .unwrap();
+        for s in &p.per_shard {
+            writeln!(
+                out,
+                "    shard {:>2}: {:>8} delivered, {:>10.0} msgs/s, {:>5.1}% utilization",
+                s.shard,
+                s.delivered,
+                s.msgs_per_sec,
+                100.0 * s.utilization
+            )
+            .unwrap();
+        }
+    }
     Ok(out)
 }
 
@@ -732,6 +884,72 @@ mod tests {
     #[test]
     fn fabric_bench_rejects_bad_policy() {
         let args = parse(&["--design", "revsort:16:8", "--policy", "nope"]);
+        assert!(fabric_bench(&args).is_err());
+    }
+
+    #[test]
+    fn fabric_bench_scaling_reports_every_rung_with_shard_breakdown() {
+        let args = parse(&[
+            "--scaling",
+            "--n",
+            "128",
+            "--frames",
+            "1",
+            "--producers",
+            "1",
+            "--payload",
+            "2",
+            "--seed",
+            "5",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        assert!(text.contains("multichip scaling ladder"), "{text}");
+        for rung in ["128->64", "64->32", "32->16", "16->8"] {
+            assert!(text.contains(rung), "missing rung {rung}: {text}");
+        }
+        assert!(text.contains("utilization"), "{text}");
+    }
+
+    #[test]
+    fn fabric_bench_scaling_json_has_efficiency_and_per_shard_rates() {
+        let args = parse(&[
+            "--scaling",
+            "--n",
+            "128",
+            "--frames",
+            "1",
+            "--producers",
+            "1",
+            "--payload",
+            "2",
+            "--seed",
+            "5",
+            "--json",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["aggregate_n"].as_u64(), Some(128));
+        assert!(v["cores"].as_u64().unwrap() >= 1);
+        let points = v["points"].as_array().expect("points array");
+        assert_eq!(points.len(), 4);
+        assert!((points[0]["scaling_efficiency"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+        for (i, point) in points.iter().enumerate() {
+            let chips = point["chips"].as_u64().unwrap();
+            assert_eq!(chips, [1, 2, 4, 8][i]);
+            let shards = point["per_shard"].as_array().expect("per_shard array");
+            assert_eq!(shards.len(), chips as usize);
+            for s in shards {
+                assert!(s["utilization"].as_f64().unwrap() <= 1.0);
+                assert!(s["msgs_per_sec"].as_f64().is_some());
+            }
+            // Constant offered load along the ladder.
+            assert_eq!(point["generated"].as_u64(), points[0]["generated"].as_u64());
+        }
+    }
+
+    #[test]
+    fn fabric_bench_scaling_rejects_misaligned_aggregate() {
+        let args = parse(&["--scaling", "--n", "100"]);
         assert!(fabric_bench(&args).is_err());
     }
 

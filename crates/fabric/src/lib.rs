@@ -47,6 +47,7 @@ pub mod engine;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
+pub mod scaling;
 pub mod service;
 pub mod shard;
 
@@ -54,10 +55,13 @@ pub use concentrator::clock::{Clock, VirtualClock, WallClock};
 pub use config::{steer_scan, Backpressure, FabricConfig, HealthPolicy, Placement, RetryBudget};
 pub use engine::{Fabric, SubmitOutcome};
 pub use loadgen::{
-    drive_service, drive_sync, drive_sync_faulted, drive_sync_unbatched, producer_script,
-    DriveReport, FaultEvent, LoadPlan,
+    drive_service, drive_service_batched, drive_sync, drive_sync_faulted, drive_sync_unbatched,
+    producer_script, producer_script_frames, DriveReport, FaultEvent, LoadPlan,
 };
 pub use metrics::{FabricSnapshot, LogHistogram, ShardMetrics};
-pub use queue::{IngressQueue, PushOutcome, TryPush};
-pub use service::{FabricReport, FabricService, ServiceCore, SubmitStep, WorkerCore, WorkerStep};
+pub use queue::{BatchPush, IngressQueue, PushOutcome, TryPush};
+pub use scaling::{ladder, ScalingLadder, ScalingPoint, ShardScaling};
+pub use service::{
+    BatchSubmit, FabricReport, FabricService, ServiceCore, SubmitStep, WorkerCore, WorkerStep,
+};
 pub use shard::{Delivery, FrameRun, Shard};

@@ -204,6 +204,32 @@ pub fn producer_script(plan: &LoadPlan, inputs: usize, producer: usize) -> Vec<M
     script
 }
 
+/// [`producer_script`] with the frame boundaries kept: element `f` is
+/// the messages producer `producer` generates in frame `f` (possibly
+/// empty). Flattening it yields exactly `producer_script`'s sequence —
+/// the batched and per-message drive paths submit identical workloads.
+pub fn producer_script_frames(
+    plan: &LoadPlan,
+    inputs: usize,
+    producer: usize,
+) -> Vec<Vec<Message>> {
+    let mut generator = TrafficGenerator::new(
+        plan.model,
+        inputs,
+        plan.payload_bytes,
+        plan.seed.wrapping_add(producer as u64),
+    );
+    let mut frames = Vec::with_capacity(plan.frames);
+    for _ in 0..plan.frames {
+        let mut frame = generator.next_frame();
+        for message in &mut frame {
+            message.id |= (producer as u64) << 48;
+        }
+        frames.push(frame);
+    }
+    frames
+}
+
 /// Drive a live [`FabricService`] from `producers` concurrent threads,
 /// each submitting its [`producer_script`] in order. Returns the total
 /// number of messages generated; call [`FabricService::drain`]
@@ -222,6 +248,35 @@ pub fn drive_service(
                     let generated = script.len() as u64;
                     for message in script {
                         service.submit(message);
+                    }
+                    generated
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+/// [`drive_service`] through the frame-batched admission path: each
+/// producer submits whole generation frames via
+/// [`FabricService::submit_batch`] — one placement-cursor reservation
+/// and one ring publication per target shard per frame, instead of the
+/// per-message fast path. Same workload, same conservation guarantees.
+pub fn drive_service_batched(
+    service: &FabricService,
+    producers: usize,
+    plan: &LoadPlan,
+    inputs: usize,
+) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                scope.spawn(move || {
+                    let frames = producer_script_frames(plan, inputs, p);
+                    let mut generated = 0u64;
+                    for frame in frames {
+                        generated += frame.len() as u64;
+                        service.submit_batch(frame);
                     }
                     generated
                 })

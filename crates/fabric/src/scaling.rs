@@ -1,0 +1,243 @@
+//! The multichip scaling ladder: one fixed aggregate fabric served by a
+//! growing number of smaller chips, measured through the threaded
+//! service.
+//!
+//! The paper's multichip decomposition builds one big partial
+//! concentrator from many small hyperconcentrator chips; the serving
+//! fabric mirrors it. A [`ladder`] run fixes the aggregate switching
+//! capacity (`aggregate_n` inputs → `aggregate_n / 2` outputs) and
+//! serves it at each chip count `k` as `k` shards, each shard one
+//! Columnsort-based chip (§5, Theorem 4) over `aggregate_n / k` inputs
+//! with a fixed column count — so doubling the chip count halves every
+//! chip's sort-network size. The workload is scaled to offer the same
+//! total message count at every rung.
+//!
+//! Two effects compound along the ladder:
+//!
+//! * **algorithmic** — a chip's sort networks shrink superlinearly with
+//!   its input count, so even on a single core more, smaller chips move
+//!   more messages per second;
+//! * **parallel** — each chip is an independent shard behind its own
+//!   SPSC ingress ring, so on a multicore host the rungs additionally
+//!   scale with available cores.
+//!
+//! [`ScalingLadder::efficiency`] reports msgs/s at `k` chips divided by
+//! `k ×` msgs/s at one chip — the classic parallel-efficiency ratio,
+//! deliberately pessimistic on a single core (its ceiling there is the
+//! algorithmic win alone, divided by `k`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use concentrator::columnsort_switch::ColumnsortSwitch;
+use switchsim::TrafficModel;
+
+use crate::config::FabricConfig;
+use crate::loadgen::{drive_service_batched, LoadPlan};
+use crate::service::FabricService;
+
+/// Columns of every chip's valid-bit matrix (`s` in §5): fixed along the
+/// ladder so chip size varies only through the row count.
+pub const CHIP_COLS: usize = 4;
+
+/// One shard's share of a ladder rung.
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// Shard (= chip) index.
+    pub shard: usize,
+    /// Messages this shard delivered.
+    pub delivered: u64,
+    /// This shard's delivery rate over the rung's wall time.
+    pub msgs_per_sec: f64,
+    /// Output-slot utilization: delivered over `frames × m` (the chip's
+    /// maximum deliveries had every executed frame filled every output).
+    pub utilization: f64,
+}
+
+/// One rung of the ladder: the aggregate fabric served by `chips` chips.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Chip (= shard) count.
+    pub chips: usize,
+    /// Inputs per chip (`aggregate_n / chips`).
+    pub chip_inputs: usize,
+    /// Outputs per chip.
+    pub chip_outputs: usize,
+    /// Messages generated (constant along the ladder by construction).
+    pub generated: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Compiled sweeps dispatched.
+    pub sweeps: u64,
+    /// Routing frames executed.
+    pub frames: u64,
+    /// Wall-clock seconds for the drive plus drain.
+    pub secs: f64,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardScaling>,
+}
+
+impl ScalingPoint {
+    /// Aggregate delivery rate.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.delivered as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete ladder run.
+#[derive(Debug, Clone)]
+pub struct ScalingLadder {
+    /// Aggregate fabric inputs every rung serves.
+    pub aggregate_n: usize,
+    /// One rung per chip count, in ascending order.
+    pub points: Vec<ScalingPoint>,
+    /// Cores the host reported (`available_parallelism`); single-core
+    /// runs still show the algorithmic win, multicore runs compound it.
+    pub cores: usize,
+}
+
+impl ScalingLadder {
+    /// Parallel efficiency of rung `i`: msgs/s at `k` chips over
+    /// `k ×` msgs/s at the first rung.
+    pub fn efficiency(&self, i: usize) -> f64 {
+        let base = self.points[0].msgs_per_sec() * self.points[i].chips as f64
+            / self.points[0].chips as f64;
+        if base > 0.0 {
+            self.points[i].msgs_per_sec() / base
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the multichip scaling ladder: serve an `aggregate_n →
+/// aggregate_n/2` fabric at each chip count in `chip_counts`, each rung
+/// as one thread-per-shard service (one Columnsort chip per shard,
+/// shared compiled netlist) driven closed-loop by `producers` threads
+/// submitting whole frames, then drained. `base_frames` generation
+/// frames are offered at the first rung; later rungs scale frame count
+/// with chip count so the total offered load is constant.
+///
+/// # Panics
+/// If a rung's chip geometry is invalid: every `aggregate_n /
+/// chip_count` must be divisible by `4 × CHIP_COLS` so the chip's
+/// valid-bit matrix has `CHIP_COLS` columns dividing its row count.
+pub fn ladder(
+    aggregate_n: usize,
+    chip_counts: &[usize],
+    producers: usize,
+    base_frames: usize,
+    load: f64,
+    payload_bytes: usize,
+    seed: u64,
+) -> ScalingLadder {
+    let points = chip_counts
+        .iter()
+        .map(|&chips| {
+            let n = aggregate_n / chips;
+            assert!(
+                chips > 0 && n * chips == aggregate_n && n.is_multiple_of(CHIP_COLS * CHIP_COLS),
+                "chip count {chips} does not divide aggregate {aggregate_n} into valid chips"
+            );
+            let m = n / 2;
+            let switch = Arc::new(
+                ColumnsortSwitch::new(n / CHIP_COLS, CHIP_COLS, m)
+                    .staged()
+                    .clone(),
+            );
+            let mut config = FabricConfig::new(chips);
+            // Deep rings: the ladder measures serving throughput, not
+            // backpressure policy.
+            config.queue_capacity = (4 * n).max(1024);
+            let plan = LoadPlan {
+                model: TrafficModel::Bernoulli { p: load },
+                payload_bytes,
+                seed,
+                frames: base_frames * chips,
+            };
+            let service = FabricService::start(Arc::clone(&switch), config);
+            let started = Instant::now();
+            let generated = drive_service_batched(&service, producers, &plan, n);
+            let report = service.drain();
+            let secs = started.elapsed().as_secs_f64();
+            let totals = report.snapshot.totals();
+            let per_shard = report
+                .snapshot
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardScaling {
+                    shard,
+                    delivered: s.delivered,
+                    msgs_per_sec: if secs > 0.0 {
+                        s.delivered as f64 / secs
+                    } else {
+                        0.0
+                    },
+                    utilization: if s.frames > 0 {
+                        s.delivered as f64 / (s.frames * m as u64) as f64
+                    } else {
+                        0.0
+                    },
+                })
+                .collect();
+            ScalingPoint {
+                chips,
+                chip_inputs: n,
+                chip_outputs: m,
+                generated,
+                delivered: totals.delivered,
+                sweeps: totals.sweeps,
+                frames: totals.frames,
+                secs,
+                per_shard,
+            }
+        })
+        .collect();
+    ScalingLadder {
+        aggregate_n,
+        points,
+        cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature ladder must conserve the workload at every rung and
+    /// produce coherent per-shard breakdowns.
+    #[test]
+    fn miniature_ladder_is_coherent() {
+        let ladder = ladder(64, &[1, 2], 2, 2, 0.5, 2, 7);
+        assert_eq!(ladder.points.len(), 2);
+        for (i, point) in ladder.points.iter().enumerate() {
+            assert_eq!(point.chips, [1, 2][i]);
+            assert_eq!(point.chip_inputs, 64 / point.chips);
+            assert_eq!(point.chip_outputs, point.chip_inputs / 2);
+            assert_eq!(
+                point.delivered, point.generated,
+                "deep queues + blocking backpressure: lossless"
+            );
+            assert_eq!(point.per_shard.len(), point.chips);
+            let summed: u64 = point.per_shard.iter().map(|s| s.delivered).sum();
+            assert_eq!(summed, point.delivered);
+            for shard in &point.per_shard {
+                assert!((0.0..=1.0).contains(&shard.utilization));
+            }
+            assert!((0.0..=1.0).contains(&ladder.efficiency(i)) || i == 0);
+        }
+        // Both rungs offered the identical total workload.
+        assert_eq!(ladder.points[0].generated, ladder.points[1].generated);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid chips")]
+    fn invalid_chip_geometry_is_rejected() {
+        ladder(64, &[3], 1, 1, 0.5, 2, 7);
+    }
+}

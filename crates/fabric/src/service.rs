@@ -1,23 +1,40 @@
-//! The threaded fabric service: shard workers behind bounded MPSC
-//! ingress queues.
+//! The threaded fabric service: thread-per-shard workers behind bounded
+//! SPSC ingress rings.
 //!
 //! [`FabricService`] spawns one worker thread per shard. Producers call
-//! [`FabricService::submit`] from any thread; placement and admission
-//! control run on the producer's thread, then the message lands in the
-//! target shard's [`IngressQueue`] under the configured backpressure
-//! policy (a blocked producer really blocks). Each worker pulls fresh
-//! messages, packs them with its retry backlog into batched routing
-//! frames, and runs the compiled-datapath executor ([`Shard`]).
-//! [`FabricService::drain`] closes every queue, lets the workers finish
+//! [`FabricService::submit`] (or the frame-batched
+//! [`FabricService::submit_batch`]) from any thread; placement and
+//! admission control run on the producer's thread, then the message
+//! lands in the target shard's [`IngressQueue`] ring under the
+//! configured backpressure policy (a blocked producer really blocks).
+//! Each worker pulls fresh messages in frame-sized bursts, packs them
+//! with its retry backlog into batched routing frames, and runs the
+//! compiled-datapath executor ([`Shard`]).
+//! [`FabricService::drain`] closes every ring, lets the workers finish
 //! their backlogs, joins them, and returns the merged report.
 //!
-//! The service is split along a scheduler seam. All of its logic lives in
-//! two plain structs that never block or spawn:
+//! # Data-plane layout
 //!
-//! * [`ServiceCore`] — the shared producer-side state (queues, placement
-//!   cursor, in-flight gauge, admission counters, fault signals,
-//!   quarantine flags) with step-wise submission
-//!   ([`ServiceCore::try_submit`] / [`ServiceCore::retry_submit`]);
+//! All cross-thread state is sharded: each shard owns one cache-line-
+//! aligned `ShardLane` holding its ingress ring, its slice of the
+//! in-flight gauge, its admission counter, its quarantine flag, its
+//! fault mailbox, and its last published metrics. A producer touches
+//! only the lanes it submits to; a worker touches only its own lane —
+//! and only once per *frame*, not per message: the frame-batched
+//! admission path ([`ServiceCore::try_submit_batch`]) reserves a
+//! round-robin cursor block for the whole frame, groups messages by
+//! shard, and lands each group with a single ring publication and a
+//! single in-flight adjustment, while the worker retires a whole frame
+//! with one gauge decrement and one metrics publication.
+//!
+//! # The scheduler seam
+//!
+//! The service is split along a scheduler seam. All of its logic lives
+//! in two plain structs that never block or spawn:
+//!
+//! * [`ServiceCore`] — the shared producer-side state with step-wise
+//!   submission ([`ServiceCore::try_submit`] /
+//!   [`ServiceCore::retry_submit`] / [`ServiceCore::try_submit_batch`]);
 //! * [`WorkerCore`] — one shard's serving loop body as a single-step
 //!   state machine ([`WorkerCore::step`]).
 //!
@@ -25,8 +42,9 @@
 //! [`WorkerCore::step_blocking`], and `submit` is
 //! [`ServiceCore::submit_blocking`]. The deterministic simulation
 //! harness drives the *same* cores through the non-blocking entry points
-//! under a seeded scheduler, so every interleaving the simulator explores
-//! is an interleaving the threaded service could exhibit.
+//! under a seeded scheduler — ring publications and consumes are
+//! scheduler-visible steps — so every interleaving the simulator
+//! explores is an interleaving the threaded service could exhibit.
 //!
 //! Frame composition under real threads depends on OS scheduling, so
 //! per-run counters are *not* bit-reproducible — that is what the
@@ -69,10 +87,47 @@ pub struct FabricReport {
     pub completions: Vec<Delivery>,
 }
 
-/// A pending fault-set change for one shard's worker: `None` means no
-/// change requested; `Some(faults)` is applied (and taken) at the
-/// worker's next step.
-type FaultSignal = Arc<Mutex<Option<Vec<ChipFault>>>>;
+/// One shard's slice of the cross-thread data plane. `align(128)` keeps
+/// each lane on its own cache lines (two, against adjacent-line
+/// prefetchers), so one shard's producers and worker never ping-pong
+/// another shard's counters.
+#[repr(align(128))]
+struct ShardLane {
+    /// The ingress ring producers feed and the worker drains.
+    queue: IngressQueue,
+    /// Messages submitted to this shard and not yet delivered or dropped.
+    /// Incremented by producers *before* the ring publication (a fast
+    /// worker must never race the gauge below zero), decremented by the
+    /// worker once per completed frame.
+    in_flight: AtomicU64,
+    /// Admission-control rejections charged to this shard.
+    admission_rejected: AtomicU64,
+    /// Whether the shard's health monitor has quarantined it (published
+    /// by the worker, read by placement).
+    quarantined: AtomicBool,
+    /// Cheap flag producers of a fault-set change raise so the worker's
+    /// hot path checks one relaxed load instead of taking a mutex.
+    fault_pending: AtomicBool,
+    /// The pending fault-set change (`None` = no change requested).
+    fault_signal: Mutex<Option<Vec<ChipFault>>>,
+    /// The worker's last published metrics, for live snapshots. Written
+    /// once per frame by the worker, read by [`FabricService::snapshot`].
+    published: Mutex<ShardMetrics>,
+}
+
+impl ShardLane {
+    fn new(queue_capacity: usize) -> ShardLane {
+        ShardLane {
+            queue: IngressQueue::new(queue_capacity),
+            in_flight: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            fault_pending: AtomicBool::new(false),
+            fault_signal: Mutex::new(None),
+            published: Mutex::new(ShardMetrics::default()),
+        }
+    }
+}
 
 /// What one non-blocking submission step did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,17 +148,36 @@ pub enum SubmitStep {
     },
 }
 
+/// What one frame-batched submission step did: per-outcome counts plus
+/// the placed-but-unadmitted remainder a full ring handed back under
+/// blocking backpressure. Counts are exactly what the equivalent
+/// sequence of single [`ServiceCore::try_submit`] calls would produce.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct BatchSubmit {
+    /// Messages that landed on a ring (including any an overlong frame
+    /// immediately shed again).
+    pub accepted: u64,
+    /// Queued messages shed to make room.
+    pub shed: u64,
+    /// Messages refused (admission control, full ring under
+    /// [`Backpressure::Reject`](crate::Backpressure), or closed).
+    pub rejected: u64,
+    /// Messages handed back under
+    /// [`Backpressure::Block`](crate::Backpressure), each with the shard
+    /// placement already chose: re-offer through
+    /// [`ServiceCore::retry_submit`] (or a blocking push), exactly like a
+    /// parked producer.
+    pub blocked: Vec<(Message, usize)>,
+}
+
 /// The producer-facing half of the service, with no threads inside: the
-/// shared state every submitter and worker touches, exposed as single
-/// non-blocking steps so a cooperative scheduler can own the interleaving.
+/// sharded state every submitter and worker touches, exposed as single
+/// non-blocking steps so a cooperative scheduler can own the
+/// interleaving.
 pub struct ServiceCore {
     config: FabricConfig,
-    queues: Vec<Arc<IngressQueue>>,
+    lanes: Vec<Arc<ShardLane>>,
     rr_cursor: AtomicUsize,
-    in_flight: Arc<AtomicU64>,
-    admission_rejected: Vec<AtomicU64>,
-    fault_signals: Vec<FaultSignal>,
-    quarantined: Vec<Arc<AtomicBool>>,
 }
 
 impl ServiceCore {
@@ -115,16 +189,10 @@ impl ServiceCore {
         config.validate();
         ServiceCore {
             config,
-            queues: (0..config.shards)
-                .map(|_| Arc::new(IngressQueue::new(config.queue_capacity)))
+            lanes: (0..config.shards)
+                .map(|_| Arc::new(ShardLane::new(config.queue_capacity)))
                 .collect(),
             rr_cursor: AtomicUsize::new(0),
-            in_flight: Arc::new(AtomicU64::new(0)),
-            admission_rejected: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
-            fault_signals: (0..config.shards).map(|_| FaultSignal::default()).collect(),
-            quarantined: (0..config.shards)
-                .map(|_| Arc::new(AtomicBool::new(false)))
-                .collect(),
         }
     }
 
@@ -141,62 +209,70 @@ impl ServiceCore {
             Shard::new(id, switch, self.config.retry).with_health_policy(self.config.health);
         WorkerCore {
             shard,
-            queue: Arc::clone(&self.queues[id]),
-            in_flight: Arc::clone(&self.in_flight),
+            lane: Arc::clone(&self.lanes[id]),
             batch_window,
-            fault_signal: Arc::clone(&self.fault_signals[id]),
-            quarantined: Arc::clone(&self.quarantined[id]),
+            quarantine_published: false,
             drain_frames: 0,
         }
     }
 
     /// Shard `shard`'s ingress queue (readiness checks, counters).
     pub fn queue(&self, shard: usize) -> &IngressQueue {
-        &self.queues[shard]
+        &self.lanes[shard].queue
     }
 
     /// Admission-control rejections charged to shard `shard` so far.
     pub fn admission_rejected(&self, shard: usize) -> u64 {
-        self.admission_rejected[shard].load(Ordering::Relaxed)
+        self.lanes[shard].admission_rejected.load(Ordering::Relaxed)
     }
 
-    /// Messages currently in flight (queued or pending in a shard).
+    /// Messages currently in flight (queued or pending in a shard),
+    /// summed over the per-shard gauges.
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Acquire)
+        self.lanes
+            .iter()
+            .map(|lane| lane.in_flight.load(Ordering::Acquire))
+            .sum()
     }
 
     /// Request chip faults on one shard's switch (an empty vector clears
     /// them). The shard's worker applies the change at its next step.
     pub fn inject_faults(&self, shard: usize, faults: Vec<ChipFault>) {
-        *self.fault_signals[shard].lock().expect("fault signal") = Some(faults);
+        let lane = &self.lanes[shard];
+        *lane.fault_signal.lock().expect("fault signal") = Some(faults);
+        lane.fault_pending.store(true, Ordering::Release);
     }
 
     /// Whether a shard's health monitor has quarantined it (as last
     /// published by its worker).
     pub fn shard_quarantined(&self, shard: usize) -> bool {
-        self.quarantined[shard].load(Ordering::Acquire)
+        self.lanes[shard].quarantined.load(Ordering::Acquire)
     }
 
     /// Close every ingress queue: producers are refused from now on,
     /// workers drain their backlogs and then report
     /// [`WorkerStep::Done`].
     pub fn close(&self) {
-        for queue in &self.queues {
-            queue.close();
+        for lane in &self.lanes {
+            lane.queue.close();
         }
     }
 
-    /// Place a message and advance the round-robin cursor, steering away
-    /// from quarantined shards via the shared [`steer_scan`].
+    /// Steer a preferred placement away from quarantined shards.
+    fn steer(&self, preferred: usize) -> usize {
+        steer_scan(preferred, self.config.shards, |idx| {
+            self.lanes[idx].quarantined.load(Ordering::Acquire)
+        })
+    }
+
+    /// Place a message and advance the round-robin cursor.
     fn place(&self, source: usize) -> usize {
         let cursor = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
-        let preferred = self
-            .config
-            .placement
-            .place(source, cursor, self.config.shards);
-        steer_scan(preferred, self.config.shards, |idx| {
-            self.quarantined[idx].load(Ordering::Acquire)
-        })
+        self.steer(
+            self.config
+                .placement
+                .place(source, cursor, self.config.shards),
+        )
     }
 
     /// One non-blocking submission step: placement, admission control,
@@ -204,8 +280,10 @@ impl ServiceCore {
     pub fn try_submit(&self, message: Message) -> SubmitStep {
         let shard = self.place(message.source);
         if let Some(limit) = self.config.admission_limit {
-            if self.in_flight.load(Ordering::Acquire) >= limit as u64 {
-                self.admission_rejected[shard].fetch_add(1, Ordering::Relaxed);
+            if self.in_flight() >= limit as u64 {
+                self.lanes[shard]
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
                 return SubmitStep::Done(SubmitOutcome::Rejected);
             }
         }
@@ -221,27 +299,92 @@ impl ServiceCore {
     }
 
     fn offer(&self, message: Message, shard: usize) -> SubmitStep {
+        let lane = &self.lanes[shard];
         // Count the message in flight *before* it becomes poppable: a fast
         // worker could otherwise complete (and decrement) it first and wrap
         // the gauge below zero.
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
-        match self.queues[shard].try_push(message, self.config.backpressure) {
+        lane.in_flight.fetch_add(1, Ordering::AcqRel);
+        match lane.queue.try_push(message, self.config.backpressure) {
             TryPush::Enqueued => SubmitStep::Done(SubmitOutcome::Accepted),
             // A shed swaps one queued message for another that will never
             // complete: net in-flight change is zero, so undo our add.
             TryPush::EnqueuedAfterShed => {
-                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                lane.in_flight.fetch_sub(1, Ordering::AcqRel);
                 SubmitStep::Done(SubmitOutcome::AcceptedAfterShed)
             }
             TryPush::Rejected => {
-                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                lane.in_flight.fetch_sub(1, Ordering::AcqRel);
                 SubmitStep::Done(SubmitOutcome::Rejected)
             }
             TryPush::WouldBlock(message) => {
-                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                lane.in_flight.fetch_sub(1, Ordering::AcqRel);
                 SubmitStep::Blocked { message, shard }
             }
         }
+    }
+
+    /// One non-blocking *frame* submission: reserve a round-robin cursor
+    /// block for the whole frame (one `fetch_add` instead of one per
+    /// message — the deficit-round-robin spread: message `i` of the frame
+    /// takes cursor slot `cursor + i`, striding the frame across every
+    /// healthy shard), group by shard, then land each group with a single
+    /// ring publication and a single in-flight adjustment.
+    ///
+    /// Observationally this is the per-message admit state machine run
+    /// `messages.len()` times; only the atomics are amortized.
+    pub fn try_submit_batch(&self, messages: Vec<Message>) -> BatchSubmit {
+        let len = messages.len();
+        let mut result = BatchSubmit::default();
+        if len == 0 {
+            return result;
+        }
+        // Admission control at frame grain: one gauge read bounds the
+        // whole frame (the per-message path re-reads per message; both
+        // are races against concurrent completions, and conservation
+        // charges refusals identically).
+        let admitted = match self.config.admission_limit {
+            Some(limit) => ((limit as u64).saturating_sub(self.in_flight()) as usize).min(len),
+            None => len,
+        };
+        let cursor = self.rr_cursor.fetch_add(len, Ordering::Relaxed);
+        let mut groups: Vec<Vec<Message>> = vec![Vec::new(); self.config.shards];
+        for (i, message) in messages.into_iter().enumerate() {
+            let shard = self.steer(self.config.placement.place(
+                message.source,
+                cursor.wrapping_add(i),
+                self.config.shards,
+            ));
+            if i < admitted {
+                groups[shard].push(message);
+            } else {
+                self.lanes[shard]
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                result.rejected += 1;
+            }
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let submitted = group.len() as u64;
+            let lane = &self.lanes[shard];
+            lane.in_flight.fetch_add(submitted, Ordering::AcqRel);
+            let push = lane.queue.try_push_batch(group, self.config.backpressure);
+            // Undo the gauge for everything that will never complete:
+            // refusals, hand-backs, and the messages a shed evicted.
+            let undo = submitted - push.enqueued as u64 + push.shed;
+            if undo > 0 {
+                lane.in_flight.fetch_sub(undo, Ordering::AcqRel);
+            }
+            result.accepted += push.enqueued as u64;
+            result.shed += push.shed;
+            result.rejected += push.rejected as u64;
+            result
+                .blocked
+                .extend(push.blocked.into_iter().map(|message| (message, shard)));
+        }
+        result
     }
 
     /// Submit one routing request, blocking while the target queue is
@@ -251,15 +394,16 @@ impl ServiceCore {
         match self.try_submit(message) {
             SubmitStep::Done(outcome) => outcome,
             SubmitStep::Blocked { message, shard } => {
-                self.in_flight.fetch_add(1, Ordering::AcqRel);
-                match self.queues[shard].push(message, self.config.backpressure) {
+                let lane = &self.lanes[shard];
+                lane.in_flight.fetch_add(1, Ordering::AcqRel);
+                match lane.queue.push(message, self.config.backpressure) {
                     PushOutcome::Enqueued => SubmitOutcome::Accepted,
                     PushOutcome::EnqueuedAfterShed => {
-                        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        lane.in_flight.fetch_sub(1, Ordering::AcqRel);
                         SubmitOutcome::AcceptedAfterShed
                     }
                     PushOutcome::Rejected => {
-                        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        lane.in_flight.fetch_sub(1, Ordering::AcqRel);
                         SubmitOutcome::Rejected
                     }
                 }
@@ -267,14 +411,74 @@ impl ServiceCore {
         }
     }
 
+    /// Submit a whole frame, blocking under
+    /// [`Backpressure::Block`](crate::Backpressure) until every message
+    /// is placed (or the queues close, which rejects the remainder). The
+    /// threaded service's `submit_batch`; [`BatchSubmit::blocked`] is
+    /// always empty on return.
+    pub fn submit_batch_blocking(&self, messages: Vec<Message>) -> BatchSubmit {
+        let mut result = self.try_submit_batch(messages);
+        if result.blocked.is_empty() {
+            return result;
+        }
+        let mut groups: Vec<Vec<Message>> = vec![Vec::new(); self.config.shards];
+        for (message, shard) in std::mem::take(&mut result.blocked) {
+            groups[shard].push(message);
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let submitted = group.len() as u64;
+            let lane = &self.lanes[shard];
+            lane.in_flight.fetch_add(submitted, Ordering::AcqRel);
+            let push = lane.queue.push_batch(group, self.config.backpressure);
+            let undo = submitted - push.enqueued as u64 + push.shed;
+            if undo > 0 {
+                lane.in_flight.fetch_sub(undo, Ordering::AcqRel);
+            }
+            result.accepted += push.enqueued as u64;
+            result.shed += push.shed;
+            result.rejected += push.rejected as u64;
+        }
+        result
+    }
+
     /// Fold shard `shard`'s queue-side counters (and admission
-    /// rejections) into `metrics` — the drain-time merge.
+    /// rejections) into `metrics`.
+    ///
+    /// This is the **single** fold site: every snapshot path — the live
+    /// [`FabricService::snapshot`], the drain-time merge, and the
+    /// simulation harness's ledger — goes through it exactly once per
+    /// shard per snapshot, against a fresh (un-folded) copy of the
+    /// worker's metrics. Folding twice would double-count queue-level
+    /// rejected/shed against `offered` and break conservation; the drain
+    /// path asserts the identity in debug builds.
     pub fn fold_queue_counters(&self, shard: usize, metrics: &mut ShardMetrics) {
-        let (offered, rejected, shed) = self.queues[shard].counters();
-        let admission = self.admission_rejected[shard].load(Ordering::Relaxed);
+        let (offered, rejected, shed) = self.lanes[shard].queue.counters();
+        let admission = self.lanes[shard].admission_rejected.load(Ordering::Relaxed);
         metrics.offered += offered + admission;
         metrics.rejected += rejected + admission;
         metrics.shed += shed;
+    }
+
+    /// A live snapshot: each worker's last *published* per-frame metrics
+    /// with the queue-side counters folded in (exactly once — see
+    /// [`ServiceCore::fold_queue_counters`]), plus the summed in-flight
+    /// gauge. Counter reads are not mutually atomic while workers run, so
+    /// a live snapshot's conservation identity may be off by the frames
+    /// in progress; the drain-time snapshot is exact.
+    pub fn snapshot(&self) -> FabricSnapshot {
+        let mut shards = Vec::with_capacity(self.lanes.len());
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let mut metrics = lane.published.lock().expect("published metrics").clone();
+            self.fold_queue_counters(i, &mut metrics);
+            shards.push(metrics);
+        }
+        FabricSnapshot {
+            shards,
+            in_flight: self.in_flight(),
+        }
     }
 }
 
@@ -292,16 +496,18 @@ pub enum WorkerStep {
 }
 
 /// One shard's serving loop as a single-step state machine: apply any
-/// pending fault signal, pull fresh messages, run one batched frame,
-/// publish quarantine state, and account completed work against the
-/// global in-flight gauge.
+/// pending fault signal, drain the ring in one frame-sized burst, run
+/// one batched frame, and retire the frame against the lane — one gauge
+/// decrement, one metrics publication, a quarantine store only on
+/// transitions. Between the burst pop and the frame retirement the hot
+/// path touches no cross-thread state at all.
 pub struct WorkerCore {
     shard: Shard,
-    queue: Arc<IngressQueue>,
-    in_flight: Arc<AtomicU64>,
+    lane: Arc<ShardLane>,
     batch_window: usize,
-    fault_signal: FaultSignal,
-    quarantined: Arc<AtomicBool>,
+    /// Last quarantine value published, so the flag is stored only on
+    /// transitions (placement reads it from every producer).
+    quarantine_published: bool,
     drain_frames: u64,
 }
 
@@ -316,10 +522,10 @@ impl WorkerCore {
     /// requested (so the step would resolve to [`WorkerStep::Done`]).
     /// The simulation scheduler's readiness predicate for a worker.
     pub fn ready(&self) -> bool {
-        self.fault_signal.lock().expect("fault signal").is_some()
+        self.lane.fault_pending.load(Ordering::Acquire)
             || self.shard.pending_len() > 0
-            || !self.queue.is_empty()
-            || self.queue.is_closed()
+            || !self.lane.queue.is_empty()
+            || self.lane.queue.is_closed()
     }
 
     /// One non-blocking worker step.
@@ -337,20 +543,23 @@ impl WorkerCore {
     }
 
     fn step_inner(&mut self, block: bool) -> WorkerStep {
-        if let Some(faults) = self.fault_signal.lock().expect("fault signal").take() {
-            self.shard.set_faults(faults);
+        if self.lane.fault_pending.load(Ordering::Acquire) {
+            if let Some(faults) = self.lane.fault_signal.lock().expect("fault signal").take() {
+                self.shard.set_faults(faults);
+            }
+            self.lane.fault_pending.store(false, Ordering::Release);
         }
         let fresh = if self.shard.pending_len() == 0 {
             if block {
-                match self.queue.pop_batch_blocking(self.batch_window) {
+                match self.lane.queue.pop_batch_blocking(self.batch_window) {
                     Some(batch) => batch,
                     // Closed and empty, nothing pending: done.
                     None => return WorkerStep::Done,
                 }
             } else {
-                let batch = self.queue.try_pop_batch(self.batch_window);
+                let batch = self.lane.queue.try_pop_batch(self.batch_window);
                 if batch.is_empty() {
-                    return if self.queue.is_closed() {
+                    return if self.lane.queue.is_closed() {
                         WorkerStep::Done
                     } else {
                         WorkerStep::Idle
@@ -359,7 +568,7 @@ impl WorkerCore {
                 batch
             }
         } else {
-            self.queue.try_pop_batch(self.batch_window)
+            self.lane.queue.try_pop_batch(self.batch_window)
         };
         for message in fresh {
             self.shard.accept(message);
@@ -368,11 +577,20 @@ impl WorkerCore {
             return WorkerStep::Idle;
         }
         let run = self.shard.run_frame();
-        self.quarantined
-            .store(self.shard.is_quarantined(), Ordering::Release);
+        let quarantined = self.shard.is_quarantined();
+        if quarantined != self.quarantine_published {
+            self.quarantine_published = quarantined;
+            self.lane.quarantined.store(quarantined, Ordering::Release);
+        }
+        // One metrics publication per frame keeps live snapshots fresh
+        // without any per-message shared-state traffic. Publish *before*
+        // the gauge decrement: a snapshot that observes the gauge at zero
+        // is then guaranteed to see the metrics covering every completed
+        // frame, so quiescent live snapshots satisfy conservation exactly.
+        *self.lane.published.lock().expect("published metrics") = self.shard.metrics.clone();
         let completed = (run.delivered.len() + run.dropped.len()) as u64;
         if completed > 0 {
-            self.in_flight.fetch_sub(completed, Ordering::AcqRel);
+            self.lane.in_flight.fetch_sub(completed, Ordering::AcqRel);
             self.drain_frames = 0;
         } else {
             self.drain_frames += 1;
@@ -447,14 +665,32 @@ impl FabricService {
         self.core.submit_blocking(message)
     }
 
+    /// Submit a whole frame of routing requests from any thread with one
+    /// placement-cursor reservation, one ring publication per target
+    /// shard, and one in-flight adjustment per target shard. Under
+    /// [`Backpressure::Block`](crate::Backpressure) this blocks until the
+    /// whole frame is placed (or drain begins, which rejects the
+    /// remainder).
+    pub fn submit_batch(&self, messages: Vec<Message>) -> BatchSubmit {
+        self.core.submit_batch_blocking(messages)
+    }
+
     /// Messages currently in flight (queued or pending in a shard).
     pub fn in_flight(&self) -> u64 {
         self.core.in_flight()
     }
 
+    /// A live snapshot of the running service: each worker's last
+    /// published per-frame metrics, queue counters folded in exactly
+    /// once. See [`ServiceCore::snapshot`].
+    pub fn snapshot(&self) -> FabricSnapshot {
+        self.core.snapshot()
+    }
+
     /// Graceful shutdown: refuse new work, let every worker finish its
     /// backlog, join them, and merge queue-side counters into the
-    /// per-shard metrics.
+    /// per-shard metrics (exactly once per shard — the workers' own
+    /// metrics never include queue-side counts).
     pub fn drain(self) -> FabricReport {
         self.core.close();
         let mut shards = Vec::with_capacity(self.workers.len());
@@ -465,11 +701,21 @@ impl FabricService {
             completions.append(&mut result.deliveries);
             shards.push(result.metrics);
         }
+        let snapshot = FabricSnapshot {
+            shards,
+            in_flight: 0,
+        };
+        // The drain-time conservation identity — every offered message
+        // delivered, rejected, shed, or retry-dropped — holds exactly
+        // once the workers have joined; a double fold (or a missed one)
+        // trips this immediately.
+        debug_assert!(
+            snapshot.conserved(),
+            "drain snapshot violates conservation: {:?}",
+            snapshot.totals()
+        );
         FabricReport {
-            snapshot: FabricSnapshot {
-                shards,
-                in_flight: 0,
-            },
+            snapshot,
             completions,
         }
     }

@@ -21,8 +21,9 @@ use concentrator::faults::{ChipFault, FaultMode};
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::StagedSwitch;
 use fabric::{
-    drive_service, drive_sync, drive_sync_faulted, drive_sync_unbatched, Backpressure, Fabric,
-    FabricConfig, FabricService, FaultEvent, LoadPlan, Placement, RetryBudget,
+    drive_service, drive_service_batched, drive_sync, drive_sync_faulted, drive_sync_unbatched,
+    producer_script, producer_script_frames, Backpressure, Fabric, FabricConfig, FabricService,
+    FaultEvent, LoadPlan, Placement, RetryBudget,
 };
 use switchsim::traffic::TrafficGenerator;
 use switchsim::{simulate_frame, TrafficModel};
@@ -441,6 +442,115 @@ fn service_conservation_under_mid_run_faults() {
             "{policy:?}: the injected faults must be visible in metrics"
         );
     }
+}
+
+/// The frame-grouped producer script is exactly the per-message script
+/// with frame boundaries kept: the batched and per-message drive paths
+/// submit identical workloads.
+#[test]
+fn frame_grouped_script_flattens_to_the_per_message_script() {
+    let workload = plan(TrafficModel::Bernoulli { p: 0.6 }, 555, 12);
+    for producer in 0..3 {
+        let flat = producer_script(&workload, 16, producer);
+        let framed: Vec<_> = producer_script_frames(&workload, 16, producer)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(flat, framed, "producer {producer} scripts diverged");
+    }
+}
+
+/// Conservation and payload integrity through the frame-batched admission
+/// path (`submit_batch`), for every backpressure policy, with concurrent
+/// producers — the batched mirror of
+/// `service_conservation_for_all_backpressure_policies`.
+#[test]
+fn service_batched_conservation_for_all_backpressure_policies() {
+    for policy in [
+        Backpressure::Block,
+        Backpressure::ShedOldest,
+        Backpressure::Reject,
+    ] {
+        let mut config = FabricConfig::new(2);
+        config.queue_capacity = 16;
+        config.backpressure = policy;
+        let service = FabricService::start(staged(16, 8), config);
+        let workload = plan(TrafficModel::Bernoulli { p: 0.7 }, 99, 30);
+        let producers = 3;
+        let generated = drive_service_batched(&service, producers, &workload, 16);
+        let report = service.drain();
+        let totals = report.snapshot.totals();
+        assert!(
+            report.snapshot.conserved(),
+            "{policy:?}: conservation violated on the batched path: {totals:?}"
+        );
+        assert_eq!(
+            totals.offered, generated,
+            "{policy:?}: every generated message must be accounted as offered"
+        );
+        assert_eq!(
+            totals.delivered as usize,
+            report.completions.len(),
+            "{policy:?}: completion stream disagrees with the counters"
+        );
+        assert!(totals.delivered > 0, "{policy:?}: nothing delivered");
+        let mut originals: HashMap<u64, Vec<u8>> = HashMap::new();
+        for p in 0..producers {
+            for frame in producer_script_frames(&workload, 16, p) {
+                for msg in frame {
+                    originals.insert(msg.id, msg.payload.to_vec());
+                }
+            }
+        }
+        for delivery in &report.completions {
+            let original = originals
+                .get(&delivery.message.id)
+                .expect("delivered a message nobody generated");
+            assert_eq!(
+                &delivery.message.payload.to_vec(),
+                original,
+                "{policy:?}: payload corrupted through the batched path"
+            );
+        }
+    }
+}
+
+/// A live snapshot of a quiescent (but running) service satisfies the
+/// conservation identity: workers publish metrics before retiring a
+/// frame's in-flight count, so a snapshot observing the gauge at zero
+/// sees every completed frame.
+#[test]
+fn live_snapshot_is_conserved_once_quiescent() {
+    let mut config = FabricConfig::new(2);
+    config.queue_capacity = 16;
+    let service = FabricService::start(staged(16, 8), config);
+    let workload = plan(TrafficModel::Bernoulli { p: 0.6 }, 77, 10);
+    let generated = drive_service_batched(&service, 2, &workload, 16);
+    // Producers have joined; spin (no sleeping in tests) until the
+    // workers retire the backlog.
+    let mut spins = 0u64;
+    while service.in_flight() > 0 {
+        assert!(spins < 1 << 32, "service failed to quiesce");
+        spins += 1;
+        std::thread::yield_now();
+    }
+    let live = service.snapshot();
+    assert!(
+        live.conserved(),
+        "quiescent live snapshot violates conservation: {:?}",
+        live.totals()
+    );
+    assert_eq!(live.totals().offered, generated);
+    assert_eq!(live.in_flight, 0);
+    // Drain must agree with the quiescent live view on every counter
+    // that has settled.
+    let report = service.drain();
+    assert_eq!(report.snapshot.totals().offered, generated);
+    assert_eq!(
+        report.snapshot.totals().delivered,
+        live.totals().delivered,
+        "no new deliveries can appear after quiescence"
+    );
 }
 
 /// Hotspot traffic under source-hash placement skews load to the shards

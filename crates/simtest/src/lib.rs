@@ -36,7 +36,7 @@ pub use oracles::{
     analytic_floor, check_capacity, check_frame, check_lossless, conservation_ledger, Ledger,
     Violation,
 };
-pub use scenarios::{by_name, catalogue, shared_switch};
+pub use scenarios::{batched_admission, batched_shed, by_name, catalogue, shared_switch};
 pub use shrink::shrink;
 pub use sim::{run_scenario, Scenario, SimFaultEvent, SimRun, SubmitKind, TraceEvent};
 

@@ -8,6 +8,11 @@
 //! * [`drain_block`] — blocking backpressure over tiny queues, unlimited
 //!   retries: the lossless baseline. Producers park and resume; drain
 //!   must deliver every generated message bit-exactly.
+//! * [`batched_admission`] / [`batched_shed`] — producers submit whole
+//!   generation frames through the frame-batched admission path
+//!   (`try_submit_batch`), exploring the ring's batched publications
+//!   against worker consumption: losslessly under blocking backpressure,
+//!   and through the whole-ring-replacement shed path under shed-oldest.
 //! * [`drain_shed`] / [`drain_reject`] — the lossy backpressure policies
 //!   (plus a global admission cap on the reject variant): conservation
 //!   must absorb every shed and rejection at every tick.
@@ -75,6 +80,7 @@ fn base(name: &str, workload_seed: u64, frames: usize, p: f64) -> Scenario {
             frames,
         },
         faults: Vec::new(),
+        batched: false,
         lossless: false,
         max_ticks: 50_000,
     }
@@ -87,6 +93,33 @@ pub fn drain_block() -> Scenario {
     s.config.queue_capacity = 2;
     s.config.backpressure = Backpressure::Block;
     s.lossless = true;
+    s
+}
+
+/// Frame-batched admission over tiny queues under blocking backpressure:
+/// producers submit whole generation frames through
+/// [`ServiceCore::try_submit_batch`](fabric::ServiceCore), so the ring's
+/// batched publications, block-reserved round-robin placement, and
+/// blocked-suffix hand-backs all interleave with worker consumption.
+/// Lossless: every scripted message must still arrive exactly once.
+pub fn batched_admission() -> Scenario {
+    let mut s = base("batched-admission", 707, 5, 0.7);
+    s.config.queue_capacity = 3;
+    s.config.backpressure = Backpressure::Block;
+    s.batched = true;
+    s.lossless = true;
+    s
+}
+
+/// Frame-batched admission meeting shed-oldest backpressure: overlong
+/// frames against capacity-2 rings exercise the whole-ring-replacement
+/// shed path (`enqueued` and `shed` both counted in one publication)
+/// under every interleaving, with conservation checked each tick.
+pub fn batched_shed() -> Scenario {
+    let mut s = base("batched-shed", 808, 5, 0.8);
+    s.config.queue_capacity = 2;
+    s.config.backpressure = Backpressure::ShedOldest;
+    s.batched = true;
     s
 }
 
@@ -219,6 +252,8 @@ pub fn campaign() -> Scenario {
 pub fn catalogue() -> Vec<Scenario> {
     vec![
         drain_block(),
+        batched_admission(),
+        batched_shed(),
         drain_shed(),
         drain_reject(),
         midrun_fault(),

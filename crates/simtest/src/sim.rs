@@ -40,8 +40,8 @@ use concentrator::faults::ChipFault;
 use concentrator::verify::SplitMix64;
 use concentrator::StagedSwitch;
 use fabric::{
-    producer_script, Delivery, FabricConfig, FabricSnapshot, LoadPlan, ServiceCore, SubmitOutcome,
-    SubmitStep, WorkerCore, WorkerStep,
+    producer_script, producer_script_frames, Delivery, FabricConfig, FabricSnapshot, LoadPlan,
+    ServiceCore, SubmitOutcome, SubmitStep, WorkerCore, WorkerStep,
 };
 use switchsim::Message;
 
@@ -75,6 +75,11 @@ pub struct Scenario {
     pub plan: LoadPlan,
     /// Virtual-time fault schedule, sorted by `at_tick`.
     pub faults: Vec<SimFaultEvent>,
+    /// Whether producers submit whole generation frames through the
+    /// frame-batched admission path ([`ServiceCore::try_submit_batch`])
+    /// instead of single messages — explores the ring's batched
+    /// publication interleavings.
+    pub batched: bool,
     /// Whether the scenario guarantees every generated message is
     /// delivered (blocking backpressure, unlimited retries, no faults,
     /// no admission cap) — enables the delivery-set equivalence oracle.
@@ -165,6 +170,25 @@ pub enum TraceEvent {
         /// How the re-offer resolved.
         outcome: SubmitKind,
     },
+    /// A producer submitted a whole generation frame through the batched
+    /// admission path.
+    SubmitBatch {
+        /// Virtual tick of the step.
+        tick: u64,
+        /// Producer task index.
+        producer: usize,
+        /// Messages in the submitted frame.
+        offered: usize,
+        /// Messages that landed on a ring.
+        accepted: u64,
+        /// Queued messages shed to make room.
+        shed: u64,
+        /// Messages refused outright.
+        rejected: u64,
+        /// Messages handed back by full queues under blocking
+        /// backpressure (the producer parks and re-offers them).
+        blocked: usize,
+    },
     /// A worker executed one batched routing frame.
     Frame {
         /// Virtual tick of the step.
@@ -239,15 +263,48 @@ impl SimRun {
 }
 
 /// One producer task: the remainder of its scripted workload plus its
-/// parked state (a held message and the shard whose queue it waits on).
-struct ProducerTask {
-    script: VecDeque<Message>,
-    parked: Option<(Message, usize)>,
+/// parked state (held messages and the shards whose queues they wait
+/// on).
+enum ProducerTask {
+    /// Submits one message per step ([`ServiceCore::try_submit`]); parks
+    /// on at most one hand-back at a time.
+    PerMessage {
+        script: VecDeque<Message>,
+        parked: Option<(Message, usize)>,
+    },
+    /// Submits one whole generation frame per step
+    /// ([`ServiceCore::try_submit_batch`]); a full queue under blocking
+    /// backpressure hands back a *suffix* of placed messages, which the
+    /// task re-offers one per step, oldest first — exactly the order a
+    /// thread blocked inside `push_batch` lands them.
+    Batched {
+        frames: VecDeque<Vec<Message>>,
+        blocked: VecDeque<(Message, usize)>,
+    },
 }
 
 impl ProducerTask {
     fn done(&self) -> bool {
-        self.script.is_empty() && self.parked.is_none()
+        match self {
+            ProducerTask::PerMessage { script, parked } => script.is_empty() && parked.is_none(),
+            ProducerTask::Batched { frames, blocked } => frames.is_empty() && blocked.is_empty(),
+        }
+    }
+
+    fn parked(&self) -> bool {
+        match self {
+            ProducerTask::PerMessage { parked, .. } => parked.is_some(),
+            ProducerTask::Batched { blocked, .. } => !blocked.is_empty(),
+        }
+    }
+
+    /// The shard whose queue must make room before this task can run
+    /// again, if it is parked.
+    fn parked_shard(&self) -> Option<usize> {
+        match self {
+            ProducerTask::PerMessage { parked, .. } => parked.as_ref().map(|(_, shard)| *shard),
+            ProducerTask::Batched { blocked, .. } => blocked.front().map(|(_, shard)| *shard),
+        }
     }
 }
 
@@ -275,15 +332,28 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
         std::collections::HashMap::new();
     let mut producers: Vec<ProducerTask> = (0..scenario.producers)
         .map(|p| {
-            let script = producer_script(&scenario.plan, scenario.switch.n, p);
-            if scenario.lossless {
-                for message in &script {
-                    expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
+            if scenario.batched {
+                let frames = producer_script_frames(&scenario.plan, scenario.switch.n, p);
+                if scenario.lossless {
+                    for message in frames.iter().flatten() {
+                        expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
+                    }
                 }
-            }
-            ProducerTask {
-                script: script.into(),
-                parked: None,
+                ProducerTask::Batched {
+                    frames: frames.into_iter().filter(|f| !f.is_empty()).collect(),
+                    blocked: VecDeque::new(),
+                }
+            } else {
+                let script = producer_script(&scenario.plan, scenario.switch.n, p);
+                if scenario.lossless {
+                    for message in &script {
+                        expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
+                    }
+                }
+                ProducerTask::PerMessage {
+                    script: script.into(),
+                    parked: None,
+                }
             }
         })
         .collect();
@@ -328,11 +398,9 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
         // progress.
         let mut ready: Vec<Task> = Vec::new();
         for (p, task) in producers.iter().enumerate() {
-            let runnable = match &task.parked {
-                Some((_, shard)) => core
-                    .queue(*shard)
-                    .would_accept(scenario.config.backpressure),
-                None => !task.script.is_empty(),
+            let runnable = match task.parked_shard() {
+                Some(shard) => core.queue(shard).would_accept(scenario.config.backpressure),
+                None => !task.done(),
             };
             if runnable {
                 ready.push(Task::Producer(p));
@@ -350,7 +418,7 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
             if !finished {
                 violations.push(Violation::Deadlock {
                     tick,
-                    parked_producers: producers.iter().filter(|t| t.parked.is_some()).count(),
+                    parked_producers: producers.iter().filter(|t| t.parked()).count(),
                     unfinished_workers: worker_done.iter().filter(|&&d| !d).count(),
                 });
             }
@@ -362,9 +430,8 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
         clock.advance(1);
 
         match choice {
-            Task::Producer(p) => {
-                let task = &mut producers[p];
-                match task.parked.take() {
+            Task::Producer(p) => match &mut producers[p] {
+                ProducerTask::PerMessage { script, parked } => match parked.take() {
                     Some((message, shard)) => {
                         let id = message.id;
                         match core.retry_submit(message, shard) {
@@ -375,12 +442,12 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
                                 outcome: SubmitKind::from(&outcome),
                             }),
                             SubmitStep::Blocked { message, shard } => {
-                                task.parked = Some((message, shard));
+                                *parked = Some((message, shard));
                             }
                         }
                     }
                     None => {
-                        let message = task.script.pop_front().expect("ready producer has work");
+                        let message = script.pop_front().expect("ready producer has work");
                         let id = message.id;
                         match core.try_submit(message) {
                             SubmitStep::Done(outcome) => trace.push(TraceEvent::Submit {
@@ -396,12 +463,45 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
                                     id,
                                     shard,
                                 });
-                                task.parked = Some((message, shard));
+                                *parked = Some((message, shard));
                             }
                         }
                     }
+                },
+                ProducerTask::Batched { frames, blocked } => {
+                    if let Some((message, shard)) = blocked.pop_front() {
+                        // Re-offer the oldest hand-back, one per step —
+                        // the serial order a thread blocked inside
+                        // `push_batch` lands its remainder.
+                        let id = message.id;
+                        match core.retry_submit(message, shard) {
+                            SubmitStep::Done(outcome) => trace.push(TraceEvent::Resumed {
+                                tick,
+                                producer: p,
+                                id,
+                                outcome: SubmitKind::from(&outcome),
+                            }),
+                            SubmitStep::Blocked { message, shard } => {
+                                blocked.push_front((message, shard));
+                            }
+                        }
+                    } else {
+                        let frame = frames.pop_front().expect("ready producer has work");
+                        let offered = frame.len();
+                        let batch = core.try_submit_batch(frame);
+                        trace.push(TraceEvent::SubmitBatch {
+                            tick,
+                            producer: p,
+                            offered,
+                            accepted: batch.accepted,
+                            shed: batch.shed,
+                            rejected: batch.rejected,
+                            blocked: batch.blocked.len(),
+                        });
+                        blocked.extend(batch.blocked);
+                    }
                 }
-            }
+            },
             Task::Worker(w) => match workers[w].step() {
                 WorkerStep::Frame(run) => {
                     frames += 1;

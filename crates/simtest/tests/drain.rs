@@ -9,7 +9,7 @@
 //! blocking policy) bit-exact lossless delivery against the synchronous
 //! `Fabric` reference.
 
-use simtest::scenarios::{drain_block, drain_reject, drain_shed};
+use simtest::scenarios::{batched_admission, batched_shed, drain_block, drain_reject, drain_shed};
 use simtest::{analytic_floor, explore, shared_switch};
 
 const SEEDS: std::ops::RangeInclusive<u64> = 1..=100;
@@ -45,6 +45,58 @@ fn drain_under_reject_with_admission_cap_conserves_every_message() {
         report.passed(),
         "failing seeds: {:?}",
         report.failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn batched_admission_is_lossless_across_interleavings() {
+    let report = explore(&batched_admission(), SEEDS);
+    assert_eq!(report.runs, 100);
+    assert!(
+        report.passed(),
+        "failing seeds: {:?}",
+        report.failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+    );
+    // The scenario must actually exercise the batched path: whole-frame
+    // submissions, and (with capacity-3 rings under blocking
+    // backpressure) blocked-suffix hand-backs that later resume.
+    let run = simtest::run_scenario(&batched_admission(), 1);
+    assert!(run.passed(), "{:?}", run.violations);
+    let batches = run
+        .trace
+        .iter()
+        .filter(|e| matches!(e, simtest::TraceEvent::SubmitBatch { .. }))
+        .count();
+    assert!(batches > 0, "no frame-batched submissions in the trace");
+    let handed_back: usize = run
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            simtest::TraceEvent::SubmitBatch { blocked, .. } => Some(*blocked),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        handed_back > 0,
+        "tiny rings never handed back a blocked suffix"
+    );
+}
+
+#[test]
+fn batched_frames_through_shed_rings_conserve_every_message() {
+    let report = explore(&batched_shed(), SEEDS);
+    assert_eq!(report.runs, 100);
+    assert!(
+        report.passed(),
+        "failing seeds: {:?}",
+        report.failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+    );
+    // Overlong frames against capacity-2 rings must actually shed.
+    let run = simtest::run_scenario(&batched_shed(), 1);
+    assert!(run.passed(), "{:?}", run.violations);
+    assert!(
+        run.snapshot.totals().shed > 0,
+        "batched shed scenario never shed a message"
     );
 }
 
