@@ -33,7 +33,8 @@ commands:
           emit the flat control netlist as Verilog, or a sample frame as
           a VCD waveform
   fabric-bench [--design <spec>] [--frames <count>] [--shards <count>]
-          [--load <p>] [--payload <bytes>] [--seed <seed>]
+          [--load <p>] [--model bernoulli|zipf] [--population <users>]
+          [--exponent <s>] [--payload <bytes>] [--seed <seed>]
           [--policy block|shed|reject] [--placement rr|hash] [--json]
           drive the sharded serving fabric closed-loop and report the
           batched-vs-unbatched sweep counts, throughput, and wait
@@ -45,15 +46,24 @@ commands:
           1/2/4/8 chips (one thread-per-shard lane each) under constant
           offered load; reports per-shard msgs/s, utilization, and
           parallel efficiency at every rung
+  tier-bench [--leaves <count>] [--frames <count>] [--producers <count>]
+          [--sources <count>] [--load <p>] [--population <users>]
+          [--exponent <s>] [--payload <bytes>] [--seed <seed>] [--json]
+          [--out <file>]
+          drive the three-tier concentrator tree (leaves -> aggregation
+          -> spine hyperconcentrators) closed-loop under zipf-population
+          traffic; reports per-tier msgs/s, shed fraction, spine p99
+          wait, and the single-spine baseline the tree must beat
   fault-campaign [--design <spec>] [--frames <count>] [--seed <seed>]
           [--load <density>] [--permanent <rate>] [--intermittent <rate>]
           [--period <frames>] [--transient <rate>] [--json] [--out <file>]
           run a seeded chip-fault injection campaign on the compiled
           fault path and report degraded capacity vs a quiet baseline
-  sim     [--scenario <name>|all] [--seeds <count>] [--base <seed>]
+  sim     [--scenario <name>|tiers|all] [--seeds <count>] [--base <seed>]
           [--seed <seed>] [--trace] [--json] [--out <file>]
           deterministic simulation harness: explore seeded interleavings
-          of the serving fabric under model-based oracles, or replay one
+          of the serving fabric (and, for tier-* scenarios, the whole
+          concentrator tree) under model-based oracles, or replay one
           failing seed bit-for-bit (--seed, optionally --trace)
 
 design specs: revsort:<n>:<m> | columnsort:<r>x<s>:<m>
@@ -311,6 +321,34 @@ pub fn svg(args: &Parsed) -> Result<String, String> {
     Ok(format!("wrote {out_path} ({} bytes)\n", svg.len()))
 }
 
+/// The `--model` family of flags, shared by `fabric-bench` and
+/// `tier-bench`: `bernoulli` (default) or `zipf` with `--population`
+/// and `--exponent`.
+fn parse_traffic_model(args: &Parsed, load: f64) -> Result<switchsim::TrafficModel, String> {
+    use switchsim::TrafficModel;
+    match args.optional("model").unwrap_or("bernoulli") {
+        "bernoulli" => Ok(TrafficModel::Bernoulli { p: load }),
+        "zipf" => {
+            let population: u64 = args.parse_or("population", 1_000_000)?;
+            let exponent: f64 = args.parse_or("exponent", 1.1)?;
+            if population == 0 {
+                return Err("--population must be at least 1".into());
+            }
+            if !(exponent.is_finite() && exponent >= 0.0) {
+                return Err(format!(
+                    "--exponent must be finite and >= 0, got {exponent}"
+                ));
+            }
+            Ok(TrafficModel::Zipf {
+                p: load,
+                population,
+                exponent,
+            })
+        }
+        other => Err(format!("--model must be bernoulli|zipf, got `{other}`")),
+    }
+}
+
 /// `fabric-bench`: drive the sharded serving fabric closed-loop and
 /// compare the batching executor against the one-request-per-sweep
 /// baseline on the same workload. With `--scaling`, run the multichip
@@ -319,7 +357,6 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     use fabric::{drive_sync, drive_sync_unbatched, Fabric, FabricConfig, LoadPlan};
     use std::sync::Arc;
     use std::time::Instant;
-    use switchsim::TrafficModel;
 
     if args.has_flag("scaling") {
         return fabric_bench_scaling(args);
@@ -347,10 +384,11 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
         other => return Err(format!("--placement must be rr|hash, got `{other}`")),
     };
 
+    let model = parse_traffic_model(args, load)?;
     let switch = Arc::new(design.staged().clone());
     let n = switch.n;
     let workload = LoadPlan {
-        model: TrafficModel::Bernoulli { p: load },
+        model,
         payload_bytes: payload,
         seed,
         frames,
@@ -411,7 +449,8 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     .unwrap();
     writeln!(
         out,
-        "  workload: Bernoulli p = {load}, {frames} frames, {payload}-byte payloads, seed {seed}"
+        "  workload: {:?}, {frames} frames, {payload}-byte payloads, seed {seed}",
+        workload.model
     )
     .unwrap();
     writeln!(out, "  generated: {}", batched_report.generated).unwrap();
@@ -515,6 +554,7 @@ fn fabric_bench_scaling(args: &Parsed) -> Result<String, String> {
                     .collect();
                 object([
                     ("chips", (p.chips as u64).to_json()),
+                    ("threads", (p.threads as u64).to_json()),
                     ("chip_inputs", (p.chip_inputs as u64).to_json()),
                     ("chip_outputs", (p.chip_outputs as u64).to_json()),
                     ("generated", p.generated.to_json()),
@@ -523,6 +563,10 @@ fn fabric_bench_scaling(args: &Parsed) -> Result<String, String> {
                     ("sweeps", p.sweeps.to_json()),
                     ("msgs_per_sec", p.msgs_per_sec().to_json()),
                     ("scaling_efficiency", ladder.efficiency(i).to_json()),
+                    (
+                        "scaling_efficiency_normalized",
+                        ladder.normalized_efficiency(i).to_json(),
+                    ),
                     ("per_shard", per_shard.to_json()),
                 ])
             })
@@ -591,6 +635,124 @@ fn fabric_bench_scaling(args: &Parsed) -> Result<String, String> {
             .unwrap();
         }
     }
+    Ok(out)
+}
+
+/// `tier-bench`: drive the three-tier concentrator tree (leaf Revsort
+/// fabrics -> aggregation Revsort fabrics -> §6 full-Columnsort spine
+/// hyperconcentrators) closed-loop under zipf-population traffic through
+/// the threaded [`tiers::TierService`], and report per-tier throughput
+/// plus the single-spine baseline the tree must beat.
+pub fn tier_bench(args: &Parsed) -> Result<String, String> {
+    use tiers::{run_tree_bench, TierBenchOptions};
+
+    let mut options = TierBenchOptions::small();
+    options.leaves = args.parse_or("leaves", options.leaves)?;
+    options.producers = args.parse_or("producers", options.producers)?;
+    options.frames = args.parse_or("frames", options.frames)?;
+    options.ingress_sources = args.parse_or("sources", options.ingress_sources)?;
+    options.load = args.parse_or("load", options.load)?;
+    options.population = args.parse_or("population", options.population)?;
+    options.exponent = args.parse_or("exponent", options.exponent)?;
+    options.payload_bytes = args.parse_or("payload", options.payload_bytes)?;
+    options.seed = args.parse_or("seed", options.seed)?;
+    if !(options.leaves.is_power_of_two() && (2..=64).contains(&options.leaves)) {
+        return Err(format!(
+            "--leaves must be a power of two in 2..=64, got {}",
+            options.leaves
+        ));
+    }
+    if !(0.0..=1.0).contains(&options.load) {
+        return Err(format!("--load must be in [0, 1], got {}", options.load));
+    }
+    if options.population == 0 {
+        return Err("--population must be at least 1".into());
+    }
+    if !(options.exponent.is_finite() && options.exponent >= 0.0) {
+        return Err(format!(
+            "--exponent must be finite and >= 0, got {}",
+            options.exponent
+        ));
+    }
+    if options.producers == 0 || options.frames == 0 || options.ingress_sources == 0 {
+        return Err("--producers, --frames, and --sources must be positive".into());
+    }
+
+    let report = run_tree_bench(&options);
+
+    if args.has_flag("json") || args.optional("out").is_some() {
+        use serde_json::ToJson;
+        let text = format!(
+            "{}\n",
+            serde_json::to_string_pretty(&report.to_json()).unwrap()
+        );
+        if let Some(path) = args.optional("out") {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            return Ok(format!("wrote {path} ({} bytes)\n", text.len()));
+        }
+        return Ok(text);
+    }
+
+    let ledger = report.snapshot.ledger();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "tier bench: {} leaves -> {} aggregation -> {} spine fabrics ({} cores)",
+        options.leaves, report.per_tier[1].fabrics, report.per_tier[2].fabrics, report.cores
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  workload: zipf(p = {}, population = {}, s = {}) over {} sources, \
+         {} frames x {} producer(s), seed {}",
+        options.load,
+        options.population,
+        options.exponent,
+        options.ingress_sources,
+        options.frames,
+        options.producers,
+        options.seed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  generated {}, delivered {} ({:.1}% shed), {:.0} msgs/s end to end",
+        report.generated,
+        ledger.delivered,
+        100.0 * report.shed_fraction,
+        report.msgs_per_sec
+    )
+    .unwrap();
+    for tier in &report.per_tier {
+        writeln!(
+            out,
+            "    tier {} ({} fabric(s)): {:>8} delivered, {:>10.0} msgs/s",
+            tier.tier, tier.fabrics, tier.delivered, tier.msgs_per_sec
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  spine p99 wait: {} frame(s){}",
+        report.p99_wait_frames,
+        if report.p99_wait_is_lower_bound {
+            "+ (lower bound)"
+        } else {
+            ""
+        }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  slowest single spine alone: {:.0} msgs/s -> tree {} the baseline",
+        report.slowest_single_spine_msgs_per_sec,
+        if report.tree_beats_slowest_single_spine() {
+            "beats"
+        } else {
+            "TRAILS"
+        }
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -704,21 +866,38 @@ pub fn fault_campaign(args: &Parsed) -> Result<String, String> {
 /// replays a single failing seed bit-for-bit.
 pub fn sim(args: &Parsed) -> Result<String, String> {
     use serde_json::{object, ToJson, Value};
-    use simtest::{by_name, catalogue, explore, run_scenario, Scenario};
+    use simtest::{
+        by_name, catalogue, explore, explore_tree, run_scenario, tree_by_name, tree_catalogue,
+        Scenario, TreeScenario,
+    };
 
     let which = args.optional("scenario").unwrap_or("all");
-    let scenarios: Vec<Scenario> = if which == "all" {
-        catalogue()
-    } else {
-        let scenario = by_name(which).ok_or_else(|| {
-            let names: Vec<String> = catalogue().into_iter().map(|s| s.name).collect();
-            format!(
-                "unknown scenario `{which}` (available: {}, or all)",
-                names.join(", ")
-            )
-        })?;
-        vec![scenario]
-    };
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut trees: Vec<TreeScenario> = Vec::new();
+    match which {
+        "all" => {
+            scenarios = catalogue();
+            trees = tree_catalogue();
+        }
+        "tiers" => trees = tree_catalogue(),
+        name => {
+            if let Some(scenario) = by_name(name) {
+                scenarios.push(scenario);
+            } else if let Some(tree) = tree_by_name(name) {
+                trees.push(tree);
+            } else {
+                let names: Vec<String> = catalogue()
+                    .into_iter()
+                    .map(|s| s.name)
+                    .chain(tree_catalogue().into_iter().map(|s| s.name))
+                    .collect();
+                return Err(format!(
+                    "unknown scenario `{name}` (available: {}, or tiers, or all)",
+                    names.join(", ")
+                ));
+            }
+        }
+    }
 
     let (first, last) = match args.optional("seed") {
         Some(_) => {
@@ -734,8 +913,17 @@ pub fn sim(args: &Parsed) -> Result<String, String> {
             (base, base + (count - 1))
         }
     };
-    if args.has_flag("trace") && (scenarios.len() != 1 || first != last) {
-        return Err("--trace needs a single --scenario and a single --seed".into());
+    if args.has_flag("trace") {
+        if !trees.is_empty() {
+            return Err(
+                "--trace replays flat fabric scenarios only; tier-* tree scenarios replay \
+                 deterministically via --seed without a trace"
+                    .into(),
+            );
+        }
+        if scenarios.len() != 1 || first != last {
+            return Err("--trace needs a single --scenario and a single --seed".into());
+        }
     }
 
     let mut out = String::new();
@@ -781,7 +969,38 @@ pub fn sim(args: &Parsed) -> Result<String, String> {
             )
             .unwrap();
         }
-        reports.push(report);
+        reports.push(report.to_json());
+    }
+    for tree in &trees {
+        let report = explore_tree(tree, first..=last);
+        writeln!(
+            out,
+            "{}: seeds {first}..={last} runs={} ticks={} frames={} \
+             stall_backpressure={} failures={}",
+            report.scenario,
+            report.runs,
+            report.ticks,
+            report.frames,
+            report.stall_backpressure,
+            report.failures.len()
+        )
+        .unwrap();
+        for failure in &report.failures {
+            failing_seeds += 1;
+            writeln!(
+                out,
+                "  FAIL seed {}: {:?}",
+                failure.seed, failure.violations
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    replay: concentrator sim --scenario {} --seed {}",
+                report.scenario, failure.seed
+            )
+            .unwrap();
+        }
+        reports.push(report.to_json());
     }
 
     if args.has_flag("json") || args.optional("out").is_some() {
@@ -789,10 +1008,7 @@ pub fn sim(args: &Parsed) -> Result<String, String> {
             ("passed", (failing_seeds == 0).to_json()),
             ("first_seed", first.to_json()),
             ("last_seed", last.to_json()),
-            (
-                "reports",
-                Value::Array(reports.iter().map(ToJson::to_json).collect()),
-            ),
+            ("reports", Value::Array(reports)),
         ]);
         let text = format!("{}\n", serde_json::to_string_pretty(&value).unwrap());
         if let Some(path) = args.optional("out") {
@@ -808,7 +1024,8 @@ pub fn sim(args: &Parsed) -> Result<String, String> {
     if failing_seeds > 0 {
         return Err(format!(
             "{out}{failing_seeds} failing seed(s) — replay each with \
-             `concentrator sim --scenario <name> --seed <s> --trace`"
+             `concentrator sim --scenario <name> --seed <s>` (add --trace for \
+             flat fabric scenarios)"
         ));
     }
     Ok(out)
@@ -1027,6 +1244,181 @@ mod tests {
         assert_eq!(v["passed"], true);
         assert_eq!(v["reports"][0]["scenario"], "campaign");
         assert_eq!(v["reports"][0]["runs"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn sim_explores_the_tier_catalogue() {
+        let args = parse(&[
+            "--scenario",
+            "tiers",
+            "--seeds",
+            "2",
+            "--base",
+            "3",
+            "--json",
+        ]);
+        let text = sim(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["passed"], true);
+        let reports = v["reports"].as_array().expect("reports array");
+        assert_eq!(reports.len(), 3, "{text}");
+        let names: Vec<&str> = reports
+            .iter()
+            .map(|r| r["scenario"].as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"tier-spine-stall"), "{names:?}");
+        // Tree reports carry the backpressure counter flat reports lack.
+        assert!(reports[0]["stall_backpressure"].as_u64().is_some());
+    }
+
+    #[test]
+    fn sim_runs_a_single_tree_scenario_by_name() {
+        let args = parse(&["--scenario", "tier-leaf-burst", "--seed", "11"]);
+        let text = sim(&args).unwrap();
+        assert!(text.contains("tier-leaf-burst: seeds 11..=11"), "{text}");
+        assert!(text.contains("failures=0"), "{text}");
+    }
+
+    #[test]
+    fn sim_refuses_to_trace_tree_scenarios() {
+        let args = parse(&["--scenario", "tier-spine-stall", "--seed", "1", "--trace"]);
+        let err = sim(&args).unwrap_err();
+        assert!(err.contains("flat fabric scenarios only"), "{err}");
+    }
+
+    #[test]
+    fn sim_unknown_scenario_lists_tree_names_too() {
+        let args = parse(&["--scenario", "nope"]);
+        let err = sim(&args).unwrap_err();
+        assert!(err.contains("tier-spine-stall"), "{err}");
+        assert!(err.contains("drain-block"), "{err}");
+    }
+
+    #[test]
+    fn fabric_bench_accepts_zipf_model() {
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "8",
+            "--model",
+            "zipf",
+            "--population",
+            "100000",
+            "--exponent",
+            "1.2",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        assert!(text.contains("Zipf"), "{text}");
+        assert!(text.contains("sweep speedup"), "{text}");
+    }
+
+    #[test]
+    fn fabric_bench_rejects_bad_zipf_parameters() {
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--model",
+            "zipf",
+            "--population",
+            "0",
+        ]);
+        assert!(fabric_bench(&args).is_err());
+        let args = parse(&[
+            "--design",
+            "revsort:16:8",
+            "--model",
+            "zipf",
+            "--exponent",
+            "-1",
+        ]);
+        assert!(fabric_bench(&args).is_err());
+        let args = parse(&["--design", "revsort:16:8", "--model", "martian"]);
+        assert!(fabric_bench(&args).is_err());
+    }
+
+    #[test]
+    fn fabric_bench_scaling_json_records_thread_parallelism() {
+        let args = parse(&[
+            "--scaling",
+            "--n",
+            "128",
+            "--frames",
+            "1",
+            "--producers",
+            "1",
+            "--payload",
+            "2",
+            "--seed",
+            "5",
+            "--json",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        let points = v["points"].as_array().expect("points array");
+        for point in points {
+            let threads = point["threads"].as_u64().expect("threads recorded");
+            assert!(threads >= 1);
+            assert!(threads <= point["chips"].as_u64().unwrap());
+            let normalized = point["scaling_efficiency_normalized"]
+                .as_f64()
+                .expect("normalized efficiency recorded");
+            assert!(normalized > 0.0);
+        }
+    }
+
+    #[test]
+    fn tier_bench_text_reports_tiers_and_baseline() {
+        let args = parse(&[
+            "--leaves",
+            "2",
+            "--frames",
+            "2",
+            "--producers",
+            "1",
+            "--sources",
+            "32",
+        ]);
+        let text = tier_bench(&args).unwrap();
+        assert!(text.contains("tier bench: 2 leaves"), "{text}");
+        assert!(text.contains("tier 0"), "{text}");
+        assert!(text.contains("tier 2"), "{text}");
+        assert!(text.contains("slowest single spine"), "{text}");
+        assert!(text.contains("zipf"), "{text}");
+    }
+
+    #[test]
+    fn tier_bench_json_carries_the_release_gate() {
+        let args = parse(&[
+            "--leaves",
+            "2",
+            "--frames",
+            "2",
+            "--producers",
+            "1",
+            "--sources",
+            "32",
+            "--json",
+        ]);
+        let text = tier_bench(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["leaves"].as_u64(), Some(2));
+        let gate = &v["tree_beats_slowest_single_spine"];
+        assert!(matches!(gate, serde_json::Value::Bool(_)), "{gate:?}");
+        assert_eq!(v["per_tier"].as_array().unwrap().len(), 3);
+        assert_eq!(v["snapshot"]["ledger"]["holds"], true);
+    }
+
+    #[test]
+    fn tier_bench_rejects_bad_geometry() {
+        let args = parse(&["--leaves", "3"]);
+        assert!(tier_bench(&args).is_err());
+        let args = parse(&["--leaves", "128"]);
+        assert!(tier_bench(&args).is_err());
+        let args = parse(&["--load", "1.5"]);
+        assert!(tier_bench(&args).is_err());
+        let args = parse(&["--population", "0"]);
+        assert!(tier_bench(&args).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! concentrator package --design revsort:1024:512 [--dim 3d] [--json]
 //! concentrator svg     --design columnsort:8x4:18 --out layout.svg
 //! concentrator fabric-bench --frames 64 --shards 2
+//! concentrator tier-bench --leaves 8 --frames 12 --json
 //! concentrator fault-campaign --design revsort:64:32 --seed 7 --json
 //! concentrator sim --scenario flap --seed 31 --trace
 //! ```
@@ -49,6 +50,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "svg" => commands::svg(&rest),
         "export" => commands::export(&rest),
         "fabric-bench" => commands::fabric_bench(&rest),
+        "tier-bench" => commands::tier_bench(&rest),
         "fault-campaign" => commands::fault_campaign(&rest),
         "sim" => commands::sim(&rest),
         other => Err(format!("unknown command `{other}`")),
@@ -74,6 +76,7 @@ mod tests {
             "svg",
             "export",
             "fabric-bench",
+            "tier-bench",
             "fault-campaign",
             "sim",
         ] {

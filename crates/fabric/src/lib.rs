@@ -65,3 +65,6 @@ pub use service::{
     BatchSubmit, FabricReport, FabricService, ServiceCore, SubmitStep, WorkerCore, WorkerStep,
 };
 pub use shard::{Delivery, FrameRun, Shard};
+// The message type producers submit, re-exported so layered consumers
+// (the tier tree) can name the whole serving seam from one crate.
+pub use switchsim::Message;

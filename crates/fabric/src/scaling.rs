@@ -25,6 +25,17 @@
 //! `k ×` msgs/s at one chip — the classic parallel-efficiency ratio,
 //! deliberately pessimistic on a single core (its ceiling there is the
 //! algorithmic win alone, divided by `k`).
+//!
+//! That raw ratio is **host-dependent**: a rung whose chip count
+//! exceeds `available_parallelism` cannot physically speed up past the
+//! core count, so the same build shows different `scaling_efficiency`
+//! on a 4-core CI runner and a 64-core workstation. Every rung
+//! therefore records [`ScalingPoint::threads`] — the worker threads the
+//! host can actually run in parallel, `min(chips, cores)` — and
+//! [`ScalingLadder::normalized_efficiency`] divides by the *achievable*
+//! speedup (`threads_k / threads_1`) instead of the chip ratio, making
+//! the figure comparable across machines. BENCH_fabric.json carries
+//! both, plus the core count the run saw.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,6 +70,10 @@ pub struct ShardScaling {
 pub struct ScalingPoint {
     /// Chip (= shard) count.
     pub chips: usize,
+    /// Worker threads the host can actually run in parallel for this
+    /// rung: `min(chips, cores)`. The expected-speedup base for
+    /// [`ScalingLadder::normalized_efficiency`].
+    pub threads: usize,
     /// Inputs per chip (`aggregate_n / chips`).
     pub chip_inputs: usize,
     /// Outputs per chip.
@@ -102,10 +117,30 @@ pub struct ScalingLadder {
 
 impl ScalingLadder {
     /// Parallel efficiency of rung `i`: msgs/s at `k` chips over
-    /// `k ×` msgs/s at the first rung.
+    /// `k ×` msgs/s at the first rung. Host-dependent once `k` exceeds
+    /// the core count — prefer
+    /// [`ScalingLadder::normalized_efficiency`] for cross-machine
+    /// comparison.
     pub fn efficiency(&self, i: usize) -> f64 {
         let base = self.points[0].msgs_per_sec() * self.points[i].chips as f64
             / self.points[0].chips as f64;
+        if base > 0.0 {
+            self.points[i].msgs_per_sec() / base
+        } else {
+            0.0
+        }
+    }
+
+    /// Core-aware parallel efficiency of rung `i`: msgs/s at rung `i`
+    /// over the *achievable* speedup from the first rung —
+    /// `threads_i / threads_0` — instead of the raw chip ratio. On a
+    /// host with at least as many cores as chips this equals
+    /// [`ScalingLadder::efficiency`]; on a smaller host it stops
+    /// penalizing rungs for parallelism the machine never had, so the
+    /// figure is comparable across machines.
+    pub fn normalized_efficiency(&self, i: usize) -> f64 {
+        let base = self.points[0].msgs_per_sec() * self.points[i].threads as f64
+            / self.points[0].threads as f64;
         if base > 0.0 {
             self.points[i].msgs_per_sec() / base
         } else {
@@ -135,6 +170,7 @@ pub fn ladder(
     payload_bytes: usize,
     seed: u64,
 ) -> ScalingLadder {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let points = chip_counts
         .iter()
         .map(|&chips| {
@@ -187,6 +223,7 @@ pub fn ladder(
                 .collect();
             ScalingPoint {
                 chips,
+                threads: chips.min(cores),
                 chip_inputs: n,
                 chip_outputs: m,
                 generated,
@@ -201,7 +238,7 @@ pub fn ladder(
     ScalingLadder {
         aggregate_n,
         points,
-        cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        cores,
     }
 }
 
@@ -230,6 +267,16 @@ mod tests {
                 assert!((0.0..=1.0).contains(&shard.utilization));
             }
             assert!((0.0..=1.0).contains(&ladder.efficiency(i)) || i == 0);
+            assert_eq!(point.threads, point.chips.min(ladder.cores));
+            assert!(point.threads >= 1);
+        }
+        // Rung 0 is its own baseline under both normalizations.
+        assert!((ladder.normalized_efficiency(0) - 1.0).abs() < 1e-12);
+        // With every chip runnable in parallel the two ratios agree; the
+        // normalized one is otherwise the raw one relieved of the
+        // unachievable speedup, so it is never smaller.
+        for i in 0..ladder.points.len() {
+            assert!(ladder.normalized_efficiency(i) >= ladder.efficiency(i) - 1e-12);
         }
         // Both rungs offered the identical total workload.
         assert_eq!(ladder.points[0].generated, ladder.points[1].generated);

@@ -30,6 +30,7 @@ pub mod oracles;
 pub mod scenarios;
 pub mod shrink;
 pub mod sim;
+pub mod tree;
 
 pub use explore::{check_run, explore, lossless_reference, ExploreReport, FailureCase};
 pub use oracles::{
@@ -39,6 +40,11 @@ pub use oracles::{
 pub use scenarios::{batched_admission, batched_shed, by_name, catalogue, shared_switch};
 pub use shrink::shrink;
 pub use sim::{run_scenario, Scenario, SimFaultEvent, SimRun, SubmitKind, TraceEvent};
+pub use tree::{
+    explore_tree, run_tree_scenario, tier_leaf_burst, tier_spine_quarantine_mid_drain,
+    tier_spine_stall, tree_by_name, tree_catalogue, StallWindow, TreeExploreReport, TreeFaultEvent,
+    TreeRun, TreeScenario,
+};
 
 /// Parse a regression-seed corpus: one `<scenario-name> <seed>` pair per
 /// line, `#` comments and blank lines ignored.

@@ -5,7 +5,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use simtest::{by_name, catalogue, check_run, lossless_reference, parse_seed_corpus};
+use simtest::{
+    by_name, catalogue, check_run, lossless_reference, parse_seed_corpus, run_tree_scenario,
+    tree_by_name, tree_catalogue,
+};
 
 const CORPUS: &str = include_str!("../seeds.txt");
 
@@ -22,14 +25,34 @@ fn corpus_covers_every_scenario() {
             scenario.name
         );
     }
+    for scenario in tree_catalogue() {
+        assert!(
+            named.contains(&scenario.name),
+            "seeds.txt has no regression seed for tree scenario `{}`",
+            scenario.name
+        );
+    }
 }
 
 #[test]
 fn every_corpus_seed_passes_every_oracle() {
     let mut references: HashMap<String, HashMap<u64, Vec<u8>>> = HashMap::new();
     for (name, seed) in parse_seed_corpus(CORPUS) {
-        let scenario =
-            by_name(&name).unwrap_or_else(|| panic!("seeds.txt names unknown scenario `{name}`"));
+        let Some(scenario) = by_name(&name) else {
+            // Tree scenarios replay through the tree executor; every
+            // oracle (conservation, per-frame reference, capacity,
+            // lossless where declared) runs inside it.
+            let tree = tree_by_name(&name)
+                .unwrap_or_else(|| panic!("seeds.txt names unknown scenario `{name}`"));
+            let run = run_tree_scenario(&tree, seed);
+            assert!(
+                run.passed(),
+                "tree regression seed regressed — replay with \
+                 `cli sim --scenario {name} --seed {seed}`: {:?}",
+                run.violations
+            );
+            continue;
+        };
         let reference = scenario.lossless.then(|| {
             references
                 .entry(name.clone())

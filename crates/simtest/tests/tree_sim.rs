@@ -1,0 +1,88 @@
+//! The tree executor under its oracles: determinism, stall-window
+//! backpressure propagation, quarantine steering, and catalogue-wide
+//! conservation across seeds.
+
+use simtest::{
+    run_tree_scenario, tier_spine_quarantine_mid_drain, tier_spine_stall, tree_catalogue,
+};
+
+/// Same scenario, same seed ⇒ bit-identical run: snapshot, completions,
+/// tick count, frame count, and the stall counter all compare equal.
+#[test]
+fn tree_runs_are_deterministic() {
+    for scenario in tree_catalogue() {
+        let a = run_tree_scenario(&scenario, 17);
+        let b = run_tree_scenario(&scenario, 17);
+        assert_eq!(a, b, "{} replay diverged", scenario.name);
+    }
+}
+
+/// The load-bearing assertion of the stall scenario: while the spine is
+/// withheld from the scheduler, credit exhaustion must climb the tree —
+/// uplink holds starve leaf frames, leaf rings fill, and external
+/// producers get parked (or shed/rejected) *at leaf admission*. Every
+/// interleaving must both pass every oracle (the stall ends, the drain
+/// is lossless) and witness that admission-level backpressure.
+#[test]
+fn spine_stall_propagates_backpressure_to_leaf_admission() {
+    let scenario = tier_spine_stall();
+    for seed in 0..8u64 {
+        let run = run_tree_scenario(&scenario, seed);
+        assert!(run.passed(), "seed {seed}: {:?}", run.violations);
+        assert!(
+            run.stall_backpressure > 0,
+            "seed {seed}: spine stall never reached leaf admission \
+             (ticks {}, frames {})",
+            run.ticks,
+            run.frames
+        );
+        // The stall only delays delivery; blocking backpressure plus
+        // unlimited retries keep the run lossless (checked by the
+        // lossless oracle inside the run, re-asserted here on the
+        // ledger).
+        let ledger = run.snapshot.ledger();
+        assert_eq!(ledger.delivered, ledger.offered_external, "seed {seed}");
+    }
+}
+
+/// Killing one spine fabric's first sorting stage mid-run must flip its
+/// quarantine flag, and the finite retry budget must surface the dead
+/// spine's stranded messages as `retry_dropped` — while conservation
+/// holds at every tick (checked inside the run).
+#[test]
+fn spine_quarantine_engages_and_sheds_through_the_retry_budget() {
+    let scenario = tier_spine_quarantine_mid_drain();
+    let mut quarantined_seeds = 0u64;
+    for seed in 0..8u64 {
+        let run = run_tree_scenario(&scenario, seed);
+        assert!(run.passed(), "seed {seed}: {:?}", run.violations);
+        quarantined_seeds += u64::from(run.quarantines > 0);
+    }
+    assert!(
+        quarantined_seeds > 0,
+        "no interleaving ever quarantined the dead spine"
+    );
+}
+
+/// Every catalogue scenario passes every oracle over a spread of seeds
+/// (the CI smoke widens this to 32 per scenario).
+#[test]
+fn tree_catalogue_passes_oracles_across_seeds() {
+    for scenario in tree_catalogue() {
+        for seed in 0..4u64 {
+            let run = run_tree_scenario(&scenario, seed);
+            assert!(
+                run.passed(),
+                "{} seed {seed}: {:?}",
+                scenario.name,
+                run.violations
+            );
+            assert_eq!(
+                run.completions.len() as u64,
+                run.snapshot.ledger().delivered,
+                "{} seed {seed}",
+                scenario.name
+            );
+        }
+    }
+}

@@ -9,10 +9,16 @@
 //! all-inputs-fire pattern that pins the switch at its capacity bound.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{RngCore, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::message::Message;
+
+/// Ranks of the zipf distribution sampled exactly (inverse CDF over a
+/// cumulative table); the remaining tail is sampled by inverting the
+/// continuous power-law integral. Keeping the table bounded makes
+/// generator construction O(1) in the population size.
+const ZIPF_HEAD: u64 = 4096;
 
 /// Per-frame message generation model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +52,23 @@ pub enum TrafficModel {
     /// Every input offers a message every frame — the adversarial pattern
     /// that holds the switch at its congestion bound indefinitely.
     Adversarial,
+    /// A population of distinct sources (users) with zipf-distributed
+    /// activity, hashed onto the switch's input wires. Each frame draws
+    /// ~`p·n` active users from the power-law distribution
+    /// `P(rank) ∝ rank^-exponent` and maps each onto a wire by
+    /// multiplicative hashing; at most one offer per wire survives, so
+    /// hot-user collisions fold into a single offer and `p` is an upper
+    /// bound on the realized load. Models millions of users funneling
+    /// into a concentrator tier without materializing per-user state.
+    Zipf {
+        /// Target offered load per input per frame (upper bound — wire
+        /// collisions between users dedupe).
+        p: f64,
+        /// Distinct users in the population.
+        population: u64,
+        /// Zipf exponent (`0` = uniform; larger = more skew).
+        exponent: f64,
+    },
 }
 
 impl TrafficModel {
@@ -66,8 +89,101 @@ impl TrafficModel {
                 (hot as f64 * p_hot + (n - hot) as f64 * p_cold) / n as f64
             }
             TrafficModel::Adversarial => 1.0,
+            TrafficModel::Zipf { p, .. } => p,
         }
     }
+}
+
+/// An inverse-CDF sampler for `P(rank) ∝ (rank + 1)^-exponent` over
+/// ranks `0..population` (rank 0 is the hottest user). The first
+/// `ZIPF_HEAD` (4096) ranks are sampled exactly from a cumulative table; the
+/// tail is sampled by inverting the continuous integral of `x^-s`, an
+/// approximation that preserves the power-law shape while keeping
+/// construction cost independent of the population size.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    population: u64,
+    exponent: f64,
+    /// Cumulative (unnormalized) weights of ranks `0..head_cdf.len()`.
+    head_cdf: Vec<f64>,
+    /// Head mass plus the tail integral.
+    total: f64,
+}
+
+/// `∫ x^-s dx` over `[a, b]`, with the `s = 1` logarithm special case.
+fn power_integral(a: f64, b: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        (b / a).ln()
+    } else {
+        (b.powf(1.0 - s) - a.powf(1.0 - s)) / (1.0 - s)
+    }
+}
+
+/// Solve `∫ t^-s dt = mass` over `[a, x]` for `x`.
+fn power_integral_invert(a: f64, mass: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        a * mass.exp()
+    } else {
+        ((1.0 - s) * mass + a.powf(1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `population ≥ 1` users with `exponent ≥ 0`.
+    pub fn new(population: u64, exponent: f64) -> Self {
+        assert!(population >= 1, "zipf population must be at least 1");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
+        let head = population.min(ZIPF_HEAD);
+        let mut head_cdf = Vec::with_capacity(head as usize);
+        let mut acc = 0.0f64;
+        for rank in 1..=head {
+            acc += (rank as f64).powf(-exponent);
+            head_cdf.push(acc);
+        }
+        // Tail mass of ranks head..population via the midpoint-anchored
+        // continuous integral (empty when the head covers everyone).
+        let tail = if head < population {
+            power_integral(head as f64 + 0.5, population as f64 + 0.5, exponent)
+        } else {
+            0.0
+        };
+        ZipfSampler {
+            population,
+            exponent,
+            total: acc + tail,
+            head_cdf,
+        }
+    }
+
+    /// Users in the population.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Draw one user rank in `0..population` (0 = hottest).
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u = rng.random::<f64>() * self.total;
+        let head_mass = *self.head_cdf.last().expect("population >= 1");
+        let head = self.head_cdf.len() as u64;
+        if u < head_mass || head == self.population {
+            let rank = self.head_cdf.partition_point(|&c| c <= u) as u64;
+            return rank.min(head - 1);
+        }
+        let x = power_integral_invert(head as f64 + 0.5, u - head_mass, self.exponent);
+        (x.floor() as u64).clamp(head, self.population - 1)
+    }
+}
+
+/// SplitMix64 finalizer: the user-rank → input-wire hash. Spreads
+/// adjacent ranks (the hottest users) across the wire space.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A deterministic, seedable traffic generator over `n` inputs.
@@ -78,6 +194,7 @@ pub struct TrafficGenerator {
     payload_bytes: usize,
     rng: StdRng,
     on: Vec<bool>,
+    zipf: Option<ZipfSampler>,
     next_id: u64,
 }
 
@@ -101,13 +218,25 @@ impl TrafficGenerator {
                 assert!(hot_inputs <= n, "hot_inputs {hot_inputs} exceeds n = {n}");
             }
             TrafficModel::Adversarial => {}
+            TrafficModel::Zipf { p, .. } => {
+                assert!(unit.contains(&p), "offer probability must be in [0, 1]");
+            }
         }
+        let zipf = match model {
+            TrafficModel::Zipf {
+                population,
+                exponent,
+                ..
+            } => Some(ZipfSampler::new(population, exponent)),
+            _ => None,
+        };
         TrafficGenerator {
             model,
             n,
             payload_bytes,
             rng: StdRng::seed_from_u64(seed),
             on: vec![false; n],
+            zipf,
             next_id: 0,
         }
     }
@@ -119,6 +248,9 @@ impl TrafficGenerator {
 
     /// Generate the next frame's fresh offers (at most one per input).
     pub fn next_frame(&mut self) -> Vec<Message> {
+        if let TrafficModel::Zipf { p, .. } = self.model {
+            return self.next_frame_zipf(p);
+        }
         let mut offered = Vec::new();
         for source in 0..self.n {
             let offers = match self.model {
@@ -149,12 +281,38 @@ impl TrafficGenerator {
                     self.rng.random_bool(p)
                 }
                 TrafficModel::Adversarial => true,
+                TrafficModel::Zipf { .. } => unreachable!("handled by next_frame_zipf"),
             };
             if offers {
                 let payload: Vec<u8> = (0..self.payload_bytes).map(|_| self.rng.random()).collect();
                 offered.push(Message::new(self.next_id, source, payload));
                 self.next_id += 1;
             }
+        }
+        offered
+    }
+
+    /// The zipf-population frame: `n` Bernoulli(`p`) trials each draw an
+    /// active user and hash it onto a wire; later draws landing on an
+    /// occupied wire are folded away, preserving the at-most-one-offer-
+    /// per-input frame invariant.
+    fn next_frame_zipf(&mut self, p: f64) -> Vec<Message> {
+        let sampler = self.zipf.as_ref().expect("zipf model has a sampler");
+        let mut taken = vec![false; self.n];
+        let mut offered = Vec::new();
+        for _ in 0..self.n {
+            if !self.rng.random_bool(p) {
+                continue;
+            }
+            let user = sampler.sample(&mut self.rng);
+            let wire = (mix64(user) >> 32) as usize % self.n.max(1);
+            if taken[wire] {
+                continue;
+            }
+            taken[wire] = true;
+            let payload: Vec<u8> = (0..self.payload_bytes).map(|_| self.rng.random()).collect();
+            offered.push(Message::new(self.next_id, wire, payload));
+            self.next_id += 1;
         }
         offered
     }
@@ -256,6 +414,75 @@ mod tests {
             1,
             0,
         );
+    }
+
+    #[test]
+    fn zipf_load_is_bounded_and_skewed() {
+        let model = TrafficModel::Zipf {
+            p: 0.6,
+            population: 1_000_000,
+            exponent: 1.2,
+        };
+        assert!((model.offered_load(64) - 0.6).abs() < 1e-12);
+        let mut generator = TrafficGenerator::new(model, 64, 2, 11);
+        let mut per_wire = vec![0u64; 64];
+        let mut total = 0u64;
+        for _ in 0..2000 {
+            for msg in generator.next_frame() {
+                assert!(msg.source < 64);
+                per_wire[msg.source] += 1;
+                total += 1;
+            }
+        }
+        let load = total as f64 / (2000 * 64) as f64;
+        // p is an upper bound (collisions dedupe) but most offers land.
+        assert!(load <= 0.6 + 1e-9, "load {load} exceeds p");
+        assert!(load > 0.3, "load {load} implausibly low");
+        // Skew: the busiest wire (carrying the hottest hashed users) sees
+        // well above the mean per-wire traffic.
+        let max = *per_wire.iter().max().unwrap() as f64;
+        let mean = total as f64 / 64.0;
+        assert!(max > 1.5 * mean, "max {max} vs mean {mean}: no skew");
+    }
+
+    #[test]
+    fn zipf_sampler_head_ranks_dominate() {
+        let sampler = ZipfSampler::new(2_000_000, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws = 20_000;
+        let mut head = 0u64;
+        for _ in 0..draws {
+            let rank = sampler.sample(&mut rng);
+            assert!(rank < 2_000_000);
+            if rank < 100 {
+                head += 1;
+            }
+        }
+        // For s = 1.1 over 2M users, the top 100 ranks carry a large
+        // share of the mass; uniform sampling would give 100/2M ≈ 0.005%.
+        let share = head as f64 / draws as f64;
+        assert!(share > 0.2, "head share {share} not zipf-skewed");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_near_uniform() {
+        let sampler = ZipfSampler::new(10_000, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut below_half = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if sampler.sample(&mut rng) < 5_000 {
+                below_half += 1;
+            }
+        }
+        let share = below_half as f64 / draws as f64;
+        assert!((share - 0.5).abs() < 0.05, "uniform share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zipf_rejects_empty_population() {
+        ZipfSampler::new(0, 1.0);
     }
 
     #[test]

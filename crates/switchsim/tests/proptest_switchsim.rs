@@ -11,6 +11,25 @@ use switchsim::{
 };
 
 proptest! {
+    /// The zipf-population arrival stream is a pure function of its seed:
+    /// same (seed, population, exponent, load) ⇒ the identical message
+    /// sequence, frame for frame. The tier bench and fabric bench rely on
+    /// this to replay the same million-user workload across runs.
+    #[test]
+    fn zipf_stream_is_deterministic(
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+        population in 1u64..5_000_000,
+        exponent in 0.0f64..2.5,
+    ) {
+        let model = TrafficModel::Zipf { p, population, exponent };
+        let mut a = TrafficGenerator::new(model, 32, 2, seed);
+        let mut b = TrafficGenerator::new(model, 32, 2, seed);
+        for _ in 0..4 {
+            prop_assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+
     /// Wire serialization round-trips arbitrary payloads.
     #[test]
     fn payload_bits_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..32)) {

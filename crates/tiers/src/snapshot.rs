@@ -1,0 +1,136 @@
+//! Tree-wide metrics: per-tier snapshots and the end-to-end
+//! conservation ledger.
+
+use fabric::{FabricSnapshot, ShardMetrics};
+use serde_json::{object, ToJson, Value};
+
+/// The end-to-end conservation ledger of a concentrator tree. See
+/// [`crate::core::tree_ledger`] for how the per-tier identities
+/// telescope into this one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeLedger {
+    /// Messages offered at leaf admission (external traffic only).
+    pub offered_external: u64,
+    /// Messages delivered by the spine tier (the tree's completions).
+    pub delivered: u64,
+    /// Admission/queue rejections, summed over every tier.
+    pub rejected: u64,
+    /// Sheds (queue evictions and frame overflow), summed over every
+    /// tier.
+    pub shed: u64,
+    /// Retry-budget drops, summed over every tier.
+    pub retry_dropped: u64,
+    /// Messages in flight inside some fabric (queued or pending).
+    pub in_flight: u64,
+    /// Messages held on inter-tier links (remapped, awaiting downstream
+    /// credit).
+    pub held: u64,
+}
+
+impl TreeLedger {
+    /// The end-to-end identity: every external offer is accounted for.
+    pub fn holds(&self) -> bool {
+        self.offered_external
+            == self.delivered
+                + self.rejected
+                + self.shed
+                + self.retry_dropped
+                + self.in_flight
+                + self.held
+    }
+}
+
+/// Drain-time (or quiescent) state of the whole tree: per-fabric
+/// snapshots grouped by tier, plus the link holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSnapshot {
+    /// `tiers[t][f]` is tier `t` fabric `f`'s snapshot (queue counters
+    /// folded in exactly once).
+    pub tiers: Vec<Vec<FabricSnapshot>>,
+    /// Messages held on inter-tier links (zero once drained).
+    pub held: u64,
+}
+
+impl TreeSnapshot {
+    /// Summed metrics of one tier.
+    pub fn tier_totals(&self, tier: usize) -> ShardMetrics {
+        let mut totals = ShardMetrics::default();
+        for fabric in &self.tiers[tier] {
+            totals.merge(&fabric.totals());
+        }
+        totals
+    }
+
+    /// Messages in flight anywhere in the tree.
+    pub fn in_flight(&self) -> u64 {
+        self.tiers
+            .iter()
+            .flatten()
+            .map(|fabric| fabric.in_flight)
+            .sum()
+    }
+
+    /// The tree's conservation ledger, assembled from the per-tier
+    /// totals.
+    pub fn ledger(&self) -> TreeLedger {
+        let mut ledger = TreeLedger {
+            offered_external: self.tier_totals(0).offered,
+            held: self.held,
+            in_flight: self.in_flight(),
+            ..TreeLedger::default()
+        };
+        let spine = self.tiers.len() - 1;
+        ledger.delivered = self.tier_totals(spine).delivered;
+        for tier in 0..self.tiers.len() {
+            let totals = self.tier_totals(tier);
+            ledger.rejected += totals.rejected;
+            ledger.shed += totals.shed;
+            ledger.retry_dropped += totals.retry_dropped;
+        }
+        ledger
+    }
+
+    /// Whether the end-to-end conservation identity holds.
+    pub fn conserved_end_to_end(&self) -> bool {
+        self.ledger().holds()
+    }
+}
+
+impl ToJson for TreeLedger {
+    fn to_json(&self) -> Value {
+        object([
+            ("offered_external", self.offered_external.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("shed", self.shed.to_json()),
+            ("retry_dropped", self.retry_dropped.to_json()),
+            ("in_flight", self.in_flight.to_json()),
+            ("held", self.held.to_json()),
+            ("holds", Value::Bool(self.holds())),
+        ])
+    }
+}
+
+impl ToJson for TreeSnapshot {
+    fn to_json(&self) -> Value {
+        object([
+            (
+                "tiers",
+                Value::Array(
+                    (0..self.tiers.len())
+                        .map(|t| {
+                            let totals = self.tier_totals(t);
+                            object([
+                                ("tier", t.to_json()),
+                                ("fabrics", self.tiers[t].len().to_json()),
+                                ("totals", totals.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("held", self.held.to_json()),
+            ("ledger", self.ledger().to_json()),
+        ])
+    }
+}
