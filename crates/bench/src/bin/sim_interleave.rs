@@ -5,8 +5,11 @@
 //! This is the number that prices the CI smoke budget (64 seeds × the
 //! scenario catalogue) and the nightly deep-exploration budget: the
 //! harness only earns its keep if a full oracle-checked interleaving is
-//! cheap. Wall time is measured with the real clock *around* the runs —
-//! inside them, time is purely virtual.
+//! cheap. The catalogue includes the elastic-control-plane scenarios
+//! (live resize, switch swap, SLO-driven admission), so their extra
+//! oracle work — per-frame replay against whichever switch each shard
+//! had installed — is priced here too. Wall time is measured with the
+//! real clock *around* the runs — inside them, time is purely virtual.
 
 use std::time::Instant;
 
@@ -30,7 +33,12 @@ fn main() {
     ]);
     let mut total_runs = 0u64;
     let mut total_wall = 0.0f64;
-    for scenario in catalogue() {
+    let scenarios = catalogue();
+    assert!(
+        scenarios.iter().any(|s| s.name == "resize-under-drain"),
+        "the reconfig scenarios must be priced with the rest of the catalogue"
+    );
+    for scenario in scenarios {
         let start = Instant::now();
         let report = explore(&scenario, 1..=SEEDS);
         let wall = start.elapsed().as_secs_f64();

@@ -39,6 +39,12 @@ commands:
           drive the sharded serving fabric closed-loop and report the
           batched-vs-unbatched sweep counts, throughput, and wait
           percentiles
+  fabric-bench --reconfig [--design <spec>] [--frames <per-phase>]
+          [--producers <count>] [--load <p>] [--payload <bytes>]
+          [--seed <seed>] [--json]
+          live-reconfiguration soak: drive the threaded service while the
+          shard count changes 1 -> 4 -> 2 under load (epoch-based lane
+          add/remove) and prove the drain ledger is lossless
   fabric-bench --scaling [--n <aggregate>] [--frames <base>]
           [--producers <count>] [--load <p>] [--payload <bytes>]
           [--seed <seed>] [--json]
@@ -59,7 +65,7 @@ commands:
           [--period <frames>] [--transient <rate>] [--json] [--out <file>]
           run a seeded chip-fault injection campaign on the compiled
           fault path and report degraded capacity vs a quiet baseline
-  sim     [--scenario <name>|tiers|all] [--seeds <count>] [--base <seed>]
+  sim     [--scenario <name>|tiers|reconfig|all] [--seeds <count>] [--base <seed>]
           [--seed <seed>] [--trace] [--json] [--out <file>]
           deterministic simulation harness: explore seeded interleavings
           of the serving fabric (and, for tier-* scenarios, the whole
@@ -361,6 +367,9 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     if args.has_flag("scaling") {
         return fabric_bench_scaling(args);
     }
+    if args.has_flag("reconfig") {
+        return fabric_bench_reconfig(args);
+    }
 
     let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
     let shards: usize = args.parse_or("shards", 2)?;
@@ -488,6 +497,151 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
         out,
         "  dropped: {} rejected, {} shed, {} retry-exhausted",
         batched_totals.rejected, batched_totals.shed, batched_totals.retry_dropped
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `fabric-bench --reconfig`: the live-reconfiguration soak. One
+/// threaded [`fabric::FabricService`] is driven through three load
+/// phases while the control plane resizes it under the traffic — one
+/// shard, grown to four, shrunk back to two — with every boundary an
+/// epoch bump and every removed lane drained through the two-phase
+/// handoff. Blocking backpressure plus the elastic re-placement path
+/// make the run lossless by construction; the drain ledger proves it.
+fn fabric_bench_reconfig(args: &Parsed) -> Result<String, String> {
+    use fabric::{drive_service, FabricConfig, FabricService, LoadPlan};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
+    let frames: usize = args.parse_or("frames", 32)?;
+    let producers: usize = args.parse_or("producers", 3)?;
+    let payload: usize = args.parse_or("payload", 8)?;
+    let load: f64 = args.parse_or("load", 0.5)?;
+    let seed: u64 = args.parse_or("seed", 0xFAB)?;
+    if !(0.0..=1.0).contains(&load) {
+        return Err(format!("--load must be in [0, 1], got {load}"));
+    }
+    if producers == 0 {
+        return Err("--producers must be at least 1".into());
+    }
+    let model = parse_traffic_model(args, load)?;
+    let switch = Arc::new(design.staged().clone());
+    let n = switch.n;
+    let plan = |phase: u64| LoadPlan {
+        model,
+        payload_bytes: payload,
+        seed: seed.wrapping_add(phase),
+        frames,
+    };
+
+    let mut config = FabricConfig::new(1);
+    config.max_shards = 4;
+    config.backpressure = fabric::Backpressure::Block;
+    let service = FabricService::start(switch, config);
+
+    // Phase 1: a single lane. Phase 2: grown to four under load. Phase
+    // 3: lanes 1 and 2 drained and retired, traffic re-placing onto the
+    // survivors under the new epoch.
+    let mut phases: Vec<(&str, u64, u64, f64)> = Vec::new();
+    let mut generated = 0u64;
+    let mut drive = |label: &'static str, phase: u64, phases: &mut Vec<(&str, u64, u64, f64)>| {
+        let started = Instant::now();
+        let produced = drive_service(&service, producers, &plan(phase), n);
+        generated += produced;
+        phases.push((
+            label,
+            produced,
+            service.epoch(),
+            started.elapsed().as_secs_f64(),
+        ));
+    };
+    drive("1 shard", 1, &mut phases);
+    for expected in 1..4usize {
+        if service.add_shard() != Some(expected) {
+            return Err("lane pool exhausted early (service bug)".into());
+        }
+    }
+    drive("4 shards", 2, &mut phases);
+    if !service.remove_shard(1) || !service.remove_shard(2) {
+        return Err("shard removal refused (service bug)".into());
+    }
+    drive("2 shards", 3, &mut phases);
+
+    let report = service.drain();
+    let totals = report.snapshot.totals();
+    if !report.snapshot.conserved() {
+        return Err("conservation identity violated across reconfiguration (fabric bug)".into());
+    }
+    if totals.delivered != generated {
+        return Err(format!(
+            "lost messages across reconfiguration: generated {generated}, delivered {} (fabric bug)",
+            totals.delivered
+        ));
+    }
+
+    if args.has_flag("json") {
+        use serde_json::{object, ToJson, Value};
+        let value = object([
+            ("design", design.name().to_json()),
+            ("frames_per_phase", (frames as u64).to_json()),
+            ("producers", (producers as u64).to_json()),
+            ("generated", generated.to_json()),
+            ("delivered", totals.delivered.to_json()),
+            ("lossless", (totals.delivered == generated).to_json()),
+            (
+                "phases",
+                Value::Array(
+                    phases
+                        .iter()
+                        .map(|(label, produced, epoch, secs)| {
+                            object([
+                                ("shards", (*label).to_json()),
+                                ("generated", produced.to_json()),
+                                ("epoch", epoch.to_json()),
+                                (
+                                    "msgs_per_sec",
+                                    (*produced as f64 / secs.max(1e-9)).to_json(),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("snapshot", report.snapshot.to_json()),
+        ]);
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&value).unwrap()
+        ));
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fabric reconfig soak: {} resized 1 -> 4 -> 2 shards under load",
+        design.name()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  workload: {:?}, {frames} frames x {producers} producer(s) per phase, seed {seed}",
+        plan(1).model
+    )
+    .unwrap();
+    for (label, produced, epoch, secs) in &phases {
+        writeln!(
+            out,
+            "  {label:>9}: {produced} generated at {:.0} msgs/s (epoch {epoch})",
+            *produced as f64 / secs.max(1e-9)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  ledger: {} generated = {} delivered, {} still in flight — lossless",
+        generated, totals.delivered, report.snapshot.in_flight
     )
     .unwrap();
     Ok(out)
@@ -867,8 +1021,8 @@ pub fn fault_campaign(args: &Parsed) -> Result<String, String> {
 pub fn sim(args: &Parsed) -> Result<String, String> {
     use serde_json::{object, ToJson, Value};
     use simtest::{
-        by_name, catalogue, explore, explore_tree, run_scenario, tree_by_name, tree_catalogue,
-        Scenario, TreeScenario,
+        by_name, catalogue, explore, explore_tree, reconfig_catalogue, run_scenario, tree_by_name,
+        tree_catalogue, Scenario, TreeScenario,
     };
 
     let which = args.optional("scenario").unwrap_or("all");
@@ -880,6 +1034,7 @@ pub fn sim(args: &Parsed) -> Result<String, String> {
             trees = tree_catalogue();
         }
         "tiers" => trees = tree_catalogue(),
+        "reconfig" => scenarios = reconfig_catalogue(),
         name => {
             if let Some(scenario) = by_name(name) {
                 scenarios.push(scenario);
@@ -892,7 +1047,7 @@ pub fn sim(args: &Parsed) -> Result<String, String> {
                     .chain(tree_catalogue().into_iter().map(|s| s.name))
                     .collect();
                 return Err(format!(
-                    "unknown scenario `{name}` (available: {}, or tiers, or all)",
+                    "unknown scenario `{name}` (available: {}, or tiers, reconfig, all)",
                     names.join(", ")
                 ));
             }
@@ -1105,6 +1260,44 @@ mod tests {
     }
 
     #[test]
+    fn fabric_bench_reconfig_soak_is_lossless() {
+        let args = parse(&[
+            "--reconfig",
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "8",
+            "--producers",
+            "2",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        assert!(text.contains("1 -> 4 -> 2 shards"), "{text}");
+        assert!(text.contains("lossless"), "{text}");
+    }
+
+    #[test]
+    fn fabric_bench_reconfig_json_reports_phase_epochs() {
+        let args = parse(&[
+            "--reconfig",
+            "--design",
+            "revsort:16:8",
+            "--frames",
+            "6",
+            "--json",
+        ]);
+        let text = fabric_bench(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["lossless"], true);
+        assert_eq!(v["generated"], v["delivered"]);
+        let phases = v["phases"].as_array().unwrap();
+        assert_eq!(phases.len(), 3);
+        // Grow is three epoch bumps, shrink two more.
+        assert_eq!(phases[0]["epoch"].as_u64(), Some(0));
+        assert_eq!(phases[1]["epoch"].as_u64(), Some(3));
+        assert_eq!(phases[2]["epoch"].as_u64(), Some(5));
+    }
+
+    #[test]
     fn fabric_bench_scaling_reports_every_rung_with_shard_breakdown() {
         let args = parse(&[
             "--scaling",
@@ -1269,6 +1462,38 @@ mod tests {
         assert!(names.contains(&"tier-spine-stall"), "{names:?}");
         // Tree reports carry the backpressure counter flat reports lack.
         assert!(reports[0]["stall_backpressure"].as_u64().is_some());
+    }
+
+    #[test]
+    fn sim_explores_the_reconfig_group() {
+        let args = parse(&[
+            "--scenario",
+            "reconfig",
+            "--seeds",
+            "2",
+            "--base",
+            "5",
+            "--json",
+        ]);
+        let text = sim(&args).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["passed"], true);
+        let names: Vec<&str> = v["reports"]
+            .as_array()
+            .expect("reports array")
+            .iter()
+            .map(|r| r["scenario"].as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "resize-under-drain",
+                "swap-during-campaign",
+                "scale-down-while-quarantined",
+                "slo-shed-burst"
+            ],
+            "{text}"
+        );
     }
 
     #[test]

@@ -163,8 +163,14 @@ impl HealthPolicy {
 /// Full configuration of a fabric instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FabricConfig {
-    /// Independent switch-serving shards.
+    /// Independent switch-serving shards at startup.
     pub shards: usize,
+    /// Upper bound on concurrently pre-allocated shard lanes: the elastic
+    /// control plane ([`crate::reconfig`]) can grow the fabric up to this
+    /// many shards at runtime. Lanes are monotonic — a removed shard's
+    /// lane retires rather than being reused — so this also bounds the
+    /// number of `add_shard` operations over the service's lifetime.
+    pub max_shards: usize,
     /// Message → shard placement.
     pub placement: Placement,
     /// Per-shard ingress bound (messages queued awaiting a frame slot).
@@ -188,6 +194,7 @@ impl FabricConfig {
     pub fn new(shards: usize) -> FabricConfig {
         FabricConfig {
             shards,
+            max_shards: shards,
             placement: Placement::RoundRobin,
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
@@ -203,6 +210,10 @@ impl FabricConfig {
     /// If `shards` or `queue_capacity` is zero.
     pub fn validate(&self) {
         assert!(self.shards > 0, "need at least one shard");
+        assert!(
+            self.max_shards >= self.shards,
+            "max_shards must cover the startup shard count"
+        );
         assert!(self.queue_capacity > 0, "queue capacity must be positive");
         if let Some(limit) = self.admission_limit {
             assert!(limit > 0, "admission limit must be positive");
@@ -264,6 +275,15 @@ mod tests {
     fn zero_shards_rejected() {
         let mut config = FabricConfig::new(1);
         config.shards = 0;
+        config.max_shards = 0;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_shards must cover")]
+    fn max_shards_below_startup_rejected() {
+        let mut config = FabricConfig::new(4);
+        config.max_shards = 2;
         config.validate();
     }
 }

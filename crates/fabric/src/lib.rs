@@ -36,6 +36,12 @@
 //! traffic to healthy ones while the sick shard drains its backlog),
 //! and recovers them with hysteresis once repaired.
 //!
+//! The service is also *elastic* ([`reconfig`]): shards can be added
+//! and removed live, a recompiled switch can be hot-swapped under a
+//! two-phase epoch handoff, and an [`SloController`] can retarget the
+//! global admission limit from live wait histograms — all without
+//! violating the ledger.
+//!
 //! The conservation identity both modes guarantee at drain:
 //!
 //! ```text
@@ -47,6 +53,7 @@ pub mod engine;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
+pub mod reconfig;
 pub mod scaling;
 pub mod service;
 pub mod shard;
@@ -60,6 +67,7 @@ pub use loadgen::{
 };
 pub use metrics::{FabricSnapshot, LogHistogram, ShardMetrics};
 pub use queue::{BatchPush, IngressQueue, PushOutcome, TryPush};
+pub use reconfig::{LaneState, SloController, SloDecision, SloPolicy};
 pub use scaling::{ladder, ScalingLadder, ScalingPoint, ShardScaling};
 pub use service::{
     BatchSubmit, FabricReport, FabricService, ServiceCore, SubmitStep, WorkerCore, WorkerStep,

@@ -101,6 +101,20 @@ impl LogHistogram {
         }
         self.total = self.total.saturating_add(other.total);
     }
+
+    /// The bucket-wise difference `self - baseline`, saturating at zero:
+    /// the histogram of samples recorded *since* `baseline` was captured,
+    /// assuming `baseline` is an earlier snapshot of the same monotone
+    /// counters. The SLO controller uses this to read interval (not
+    /// lifetime) tail latency from cumulative wait histograms.
+    pub fn delta(&self, baseline: &LogHistogram) -> LogHistogram {
+        let mut out = LogHistogram::default();
+        for (bucket, (mine, theirs)) in self.buckets.iter().zip(&baseline.buckets).enumerate() {
+            out.buckets[bucket] = mine.saturating_sub(*theirs);
+        }
+        out.total = self.total.saturating_sub(baseline.total);
+        out
+    }
 }
 
 impl ToJson for LogHistogram {
@@ -323,6 +337,24 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.total, 106);
         assert_eq!(a.buckets[2], 2);
+    }
+
+    #[test]
+    fn delta_recovers_the_interval() {
+        let mut baseline = LogHistogram::default();
+        baseline.record(3);
+        baseline.record(100);
+        let mut later = baseline.clone();
+        later.record(7); // bucket 3
+        later.record(7);
+        let interval = later.delta(&baseline);
+        assert_eq!(interval.count(), 2);
+        assert_eq!(interval.total, 14);
+        assert_eq!(interval.buckets[3], 2);
+        assert_eq!(interval.percentile(99.0), (4, false));
+        // Delta against a *newer* snapshot saturates instead of wrapping.
+        let backwards = baseline.delta(&later);
+        assert_eq!(backwards.count(), 0);
     }
 
     #[test]

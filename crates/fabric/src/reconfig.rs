@@ -1,0 +1,318 @@
+//! The elastic control plane: epoch-based live reconfiguration of a
+//! running fabric.
+//!
+//! Production fabrics resize under load. This module defines the three
+//! control-plane primitives the service layer implements (see
+//! [`ServiceCore`](crate::ServiceCore)) and the deterministic simulation
+//! harness proves correct:
+//!
+//! 1. **Dynamic shard add/remove.** Every
+//!    [`ServiceCore`](crate::ServiceCore) pre-sizes its
+//!    lane array to [`FabricConfig::max_shards`](crate::FabricConfig)
+//!    and tracks each lane through the [`LaneState`] lifecycle:
+//!    `Unused → Active → Draining → Retired`. Adding a shard claims the
+//!    next unused lane under an epoch bump; removing one marks it
+//!    [`LaneState::Draining`] and closes its ingress ring, so producers
+//!    stop landing on it while its worker drains the residual backlog
+//!    and hands every outcome back to the ledger. A retired lane's
+//!    counters stay in every snapshot forever — conservation
+//!    (`offered = delivered + rejected + shed + retry_dropped +
+//!    in_flight`) holds across every epoch boundary, not just at drain.
+//!
+//! 2. **Live switch swap.** A recompiled
+//!    [`StagedSwitch`](concentrator::StagedSwitch) (larger n/m, or a
+//!    fault-pruned netlist after quarantine) is staged into every lane's
+//!    swap mailbox under an epoch bump (phase one). Each worker finishes
+//!    the frames it already accepted on the *old* switch, then installs
+//!    the new one the moment its pending queue is empty (phase two) —
+//!    no ring is flushed and no message is dropped, so the handoff is
+//!    zero-loss by construction. See `DESIGN.md` §13 for the full
+//!    protocol argument.
+//!
+//! 3. **SLO-driven admission.** [`SloController`] reads the fabric's
+//!    log₂ wait histograms ([`LogHistogram`]), extracts the p99 wait of
+//!    the *interval* since its last evaluation (histogram deltas — the
+//!    counters are monotone), and steps the global admission limit with
+//!    an AIMD rule to hold a p99 target: multiplicative shed when the
+//!    tail is over target, additive recovery when it is back under.
+//!    Decisions are emitted the same way fault mailboxes are — a state
+//!    change the data plane observes at its next step — and are pure
+//!    functions of the snapshots fed in, so the simulator can drive the
+//!    controller on the virtual clock and replay it bit-for-bit.
+
+use crate::metrics::{FabricSnapshot, LogHistogram};
+
+/// The lifecycle of one shard lane under the elastic control plane.
+///
+/// Lanes move strictly forward: a retired lane is never reused (its
+/// counters are history the conservation ledger still sums), so the
+/// total number of shard additions over a service's lifetime is bounded
+/// by [`FabricConfig::max_shards`](crate::FabricConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LaneState {
+    /// Pre-allocated but never activated: invisible to placement,
+    /// excluded from snapshots.
+    Unused = 0,
+    /// Serving: placement targets it, its worker runs.
+    Active = 1,
+    /// Removed from the placement ring; its ingress ring is closed and
+    /// its worker is draining the residual backlog.
+    Draining = 2,
+    /// Fully drained; the worker has exited. Counters remain part of
+    /// every snapshot.
+    Retired = 3,
+}
+
+impl LaneState {
+    /// Decode the atomic representation.
+    pub fn from_u8(raw: u8) -> LaneState {
+        match raw {
+            0 => LaneState::Unused,
+            1 => LaneState::Active,
+            2 => LaneState::Draining,
+            3 => LaneState::Retired,
+            _ => unreachable!("invalid lane state {raw}"),
+        }
+    }
+}
+
+/// The AIMD policy an [`SloController`] steps the admission limit with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// The p99 wait target, in frames: the controller sheds load until
+    /// the interval p99 (bucket floor — see
+    /// [`LogHistogram::percentile`]) is at or under this.
+    pub target_p99_wait: u64,
+    /// The admission limit never drops below this (starvation guard).
+    pub min_limit: usize,
+    /// The admission limit never rises above this; also the initial
+    /// limit.
+    pub max_limit: usize,
+    /// Multiplicative decrease factor applied when the tail is over
+    /// target, in `(0, 1)`.
+    pub decrease: f64,
+    /// Additive increase per evaluation when the tail is at or under
+    /// target.
+    pub increase: usize,
+    /// Deliveries an interval must contain before its p99 is trusted —
+    /// a near-empty interval says nothing about the tail.
+    pub min_samples: u64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            target_p99_wait: 2,
+            min_limit: 4,
+            max_limit: 1024,
+            decrease: 0.5,
+            increase: 8,
+            min_samples: 8,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// If the limit band is empty or the decrease factor is out of range.
+    pub fn validate(&self) {
+        assert!(self.min_limit > 0, "SLO minimum limit must be positive");
+        assert!(
+            self.max_limit >= self.min_limit,
+            "SLO limit band is empty: max < min"
+        );
+        assert!(
+            self.decrease > 0.0 && self.decrease < 1.0,
+            "SLO decrease factor must be in (0, 1)"
+        );
+    }
+}
+
+/// One evaluation's outcome: what the controller saw and what it set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloDecision {
+    /// The p99 wait (bucket floor) of deliveries completed since the
+    /// previous evaluation.
+    pub interval_p99: u64,
+    /// Deliveries in the interval.
+    pub samples: u64,
+    /// The admission limit after this evaluation.
+    pub limit: usize,
+    /// Whether the limit changed (only changed decisions need applying).
+    pub changed: bool,
+}
+
+/// The SLO-driven admission controller: feed it fabric snapshots at a
+/// fixed cadence, apply the limits it hands back (e.g. through
+/// [`ServiceCore::set_admission_limit`](crate::ServiceCore)).
+///
+/// Deterministic by construction: the controller keeps only the last
+/// wait histogram it saw, so its decisions are a pure function of the
+/// snapshot sequence. The simulation harness drives it on the virtual
+/// clock; the threaded service can drive it from any metronome.
+#[derive(Debug, Clone)]
+pub struct SloController {
+    policy: SloPolicy,
+    limit: usize,
+    last_waits: LogHistogram,
+}
+
+impl SloController {
+    /// A controller starting wide open at `policy.max_limit`.
+    ///
+    /// # Panics
+    /// If the policy is invalid (see [`SloPolicy::validate`]).
+    pub fn new(policy: SloPolicy) -> SloController {
+        policy.validate();
+        SloController {
+            policy,
+            limit: policy.max_limit,
+            last_waits: LogHistogram::default(),
+        }
+    }
+
+    /// The current admission limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// The policy this controller steps under.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Evaluate one snapshot: diff the merged wait histogram against the
+    /// previous evaluation, take the interval's p99, and step the limit.
+    /// Intervals with fewer than `min_samples` deliveries leave the
+    /// limit alone (no signal is not good news).
+    pub fn evaluate(&mut self, snapshot: &FabricSnapshot) -> SloDecision {
+        let waits = snapshot.totals().wait_frames;
+        let interval = waits.delta(&self.last_waits);
+        self.last_waits = waits;
+        let samples = interval.count();
+        let (interval_p99, _) = interval.percentile(99.0);
+        let previous = self.limit;
+        if samples >= self.policy.min_samples {
+            if interval_p99 > self.policy.target_p99_wait {
+                // Multiplicative decrease: shed hard while the tail is
+                // over target.
+                self.limit = ((self.limit as f64 * self.policy.decrease) as usize)
+                    .max(self.policy.min_limit);
+            } else {
+                // Additive recovery once the tail is back under target.
+                self.limit = self
+                    .limit
+                    .saturating_add(self.policy.increase)
+                    .min(self.policy.max_limit);
+            }
+        }
+        SloDecision {
+            interval_p99,
+            samples,
+            limit: self.limit,
+            changed: self.limit != previous,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ShardMetrics;
+
+    fn snapshot_with_waits(waits: &[(u64, u64)]) -> FabricSnapshot {
+        let mut shard = ShardMetrics::default();
+        for &(value, count) in waits {
+            for _ in 0..count {
+                shard.wait_frames.record(value);
+            }
+        }
+        FabricSnapshot {
+            shards: vec![shard],
+            in_flight: 0,
+        }
+    }
+
+    #[test]
+    fn lane_state_round_trips() {
+        for state in [
+            LaneState::Unused,
+            LaneState::Active,
+            LaneState::Draining,
+            LaneState::Retired,
+        ] {
+            assert_eq!(LaneState::from_u8(state as u8), state);
+        }
+    }
+
+    #[test]
+    fn over_target_tail_sheds_multiplicatively() {
+        let mut slo = SloController::new(SloPolicy {
+            target_p99_wait: 2,
+            min_limit: 4,
+            max_limit: 64,
+            decrease: 0.5,
+            increase: 8,
+            min_samples: 4,
+        });
+        assert_eq!(slo.limit(), 64);
+        let decision = slo.evaluate(&snapshot_with_waits(&[(8, 10)]));
+        assert!(decision.changed);
+        assert_eq!(decision.samples, 10);
+        assert!(decision.interval_p99 > 2);
+        assert_eq!(slo.limit(), 32);
+        // Still over target on each later interval (the cumulative
+        // histogram keeps growing, so every delta has fresh samples):
+        // halves again, and the floor stops the collapse.
+        for round in 2..=9 {
+            slo.evaluate(&snapshot_with_waits(&[(8, 10 * round)]));
+        }
+        assert_eq!(slo.limit(), 4, "limit is floored at min_limit");
+    }
+
+    #[test]
+    fn under_target_tail_recovers_additively_to_the_cap() {
+        let mut slo = SloController::new(SloPolicy {
+            target_p99_wait: 4,
+            min_limit: 4,
+            max_limit: 20,
+            decrease: 0.5,
+            increase: 8,
+            min_samples: 4,
+        });
+        slo.evaluate(&snapshot_with_waits(&[(32, 10)]));
+        assert_eq!(slo.limit(), 10);
+        let healthy = snapshot_with_waits(&[(32, 10), (0, 10)]);
+        let decision = slo.evaluate(&healthy);
+        assert_eq!(decision.samples, 10, "delta sees only the new interval");
+        assert_eq!(decision.interval_p99, 0);
+        assert_eq!(slo.limit(), 18);
+        slo.evaluate(&snapshot_with_waits(&[(32, 10), (0, 20)]));
+        assert_eq!(slo.limit(), 20, "limit is capped at max_limit");
+    }
+
+    #[test]
+    fn thin_intervals_leave_the_limit_alone() {
+        let mut slo = SloController::new(SloPolicy {
+            min_samples: 8,
+            ..SloPolicy::default()
+        });
+        let before = slo.limit();
+        let decision = slo.evaluate(&snapshot_with_waits(&[(100, 3)]));
+        assert!(!decision.changed);
+        assert_eq!(slo.limit(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit band is empty")]
+    fn inverted_limit_band_rejected() {
+        SloController::new(SloPolicy {
+            min_limit: 10,
+            max_limit: 4,
+            ..SloPolicy::default()
+        });
+    }
+}

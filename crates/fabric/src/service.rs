@@ -1,5 +1,5 @@
 //! The threaded fabric service: thread-per-shard workers behind bounded
-//! SPSC ingress rings.
+//! SPSC ingress rings, with an elastic epoch-based control plane.
 //!
 //! [`FabricService`] spawns one worker thread per shard. Producers call
 //! [`FabricService::submit`] (or the frame-batched
@@ -18,14 +18,33 @@
 //! All cross-thread state is sharded: each shard owns one cache-line-
 //! aligned `ShardLane` holding its ingress ring, its slice of the
 //! in-flight gauge, its admission counter, its quarantine flag, its
-//! fault mailbox, and its last published metrics. A producer touches
-//! only the lanes it submits to; a worker touches only its own lane —
-//! and only once per *frame*, not per message: the frame-batched
-//! admission path ([`ServiceCore::try_submit_batch`]) reserves a
-//! round-robin cursor block for the whole frame, groups messages by
-//! shard, and lands each group with a single ring publication and a
-//! single in-flight adjustment, while the worker retires a whole frame
-//! with one gauge decrement and one metrics publication.
+//! fault mailbox, its lane-lifecycle state, its switch-swap mailbox, and
+//! its last published metrics. A producer touches only the lanes it
+//! submits to; a worker touches only its own lane — and only once per
+//! *frame*, not per message: the frame-batched admission path
+//! ([`ServiceCore::try_submit_batch`]) reserves a round-robin cursor
+//! block for the whole frame, groups messages by shard, and lands each
+//! group with a single ring publication and a single in-flight
+//! adjustment, while the worker retires a whole frame with one gauge
+//! decrement and one metrics publication.
+//!
+//! # The elastic control plane
+//!
+//! The fabric resizes live (see [`crate::reconfig`] for the protocol
+//! and DESIGN.md §13 for the zero-loss argument). Lanes are
+//! pre-allocated to [`FabricConfig::max_shards`] and move monotonically
+//! through [`LaneState`]: [`ServiceCore::add_shard`] activates the next
+//! unused lane under an epoch bump; [`ServiceCore::remove_shard`] marks
+//! a lane draining and closes its ring, so placement stops targeting it
+//! while its worker drains the residual backlog and retires the lane;
+//! [`ServiceCore::swap_switch`] stages a recompiled switch into every
+//! live lane's swap mailbox, and each worker installs it the moment its
+//! old-epoch backlog completes. A retired lane's counters stay in every
+//! snapshot, so the conservation identity
+//! `offered = delivered + rejected + shed + retry_dropped + in_flight`
+//! holds across every epoch boundary. [`ServiceCore::set_admission_limit`]
+//! retargets the global admission cap at runtime — the knob the
+//! SLO controller ([`crate::reconfig::SloController`]) turns.
 //!
 //! # The scheduler seam
 //!
@@ -34,7 +53,8 @@
 //!
 //! * [`ServiceCore`] — the shared producer-side state with step-wise
 //!   submission ([`ServiceCore::try_submit`] /
-//!   [`ServiceCore::retry_submit`] / [`ServiceCore::try_submit_batch`]);
+//!   [`ServiceCore::retry_submit`] / [`ServiceCore::try_submit_batch`])
+//!   and the control-plane operations;
 //! * [`WorkerCore`] — one shard's serving loop body as a single-step
 //!   state machine ([`WorkerCore::step`]).
 //!
@@ -42,18 +62,19 @@
 //! [`WorkerCore::step_blocking`], and `submit` is
 //! [`ServiceCore::submit_blocking`]. The deterministic simulation
 //! harness drives the *same* cores through the non-blocking entry points
-//! under a seeded scheduler — ring publications and consumes are
-//! scheduler-visible steps — so every interleaving the simulator
-//! explores is an interleaving the threaded service could exhibit.
+//! under a seeded scheduler — ring publications, consumes, and
+//! reconfiguration operations are scheduler-visible steps — so every
+//! interleaving the simulator explores is an interleaving the threaded
+//! service could exhibit.
 //!
 //! Frame composition under real threads depends on OS scheduling, so
 //! per-run counters are *not* bit-reproducible — that is what the
 //! synchronous [`Fabric`](crate::Fabric) is for. What the service does
 //! guarantee (and the tests pin) is conservation — every offered message
-//! is delivered, rejected, shed, or retry-dropped by drain — and payload
-//! integrity end to end.
+//! is delivered, rejected, shed, or retry-dropped by drain, across any
+//! sequence of live reconfigurations — and payload integrity end to end.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -61,15 +82,19 @@ use concentrator::faults::ChipFault;
 use concentrator::StagedSwitch;
 use switchsim::Message;
 
-use crate::config::{steer_scan, FabricConfig};
+use crate::config::FabricConfig;
 use crate::engine::SubmitOutcome;
 use crate::metrics::{FabricSnapshot, ShardMetrics};
 use crate::queue::{IngressQueue, PushOutcome, TryPush};
+use crate::reconfig::LaneState;
 use crate::shard::{Delivery, FrameRun, Shard};
 
 /// Frames a worker may spend clearing its backlog after close before the
 /// service declares the switch unable to drain.
 const DRAIN_FRAME_LIMIT: u64 = 1 << 22;
+
+/// Sentinel for "no global admission cap" in the runtime limit atomic.
+const ADMISSION_UNCAPPED: u64 = u64::MAX;
 
 struct WorkerResult {
     metrics: ShardMetrics,
@@ -80,8 +105,9 @@ struct WorkerResult {
 /// [`FabricService::drain`].
 #[derive(Debug, Clone)]
 pub struct FabricReport {
-    /// Per-shard metrics (queue-side counters folded in); `in_flight` is
-    /// zero — drain completes the backlog.
+    /// Per-shard metrics (queue-side counters folded in), one entry per
+    /// lane ever activated; `in_flight` is zero — drain completes the
+    /// backlog.
     pub snapshot: FabricSnapshot,
     /// Every delivery, grouped by shard in shard order.
     pub completions: Vec<Delivery>,
@@ -105,27 +131,43 @@ struct ShardLane {
     /// Whether the shard's health monitor has quarantined it (published
     /// by the worker, read by placement).
     quarantined: AtomicBool,
+    /// Where the lane is in the `Unused → Active → Draining → Retired`
+    /// lifecycle (see [`LaneState`]). Written by the control plane (and
+    /// the worker's final retire), read by placement.
+    state: AtomicU8,
     /// Cheap flag producers of a fault-set change raise so the worker's
     /// hot path checks one relaxed load instead of taking a mutex.
     fault_pending: AtomicBool,
     /// The pending fault-set change (`None` = no change requested).
     fault_signal: Mutex<Option<Vec<ChipFault>>>,
+    /// Raised by [`ServiceCore::swap_switch`]; the worker installs the
+    /// staged switch (and lowers the flag) once its backlog completes.
+    swap_pending: AtomicBool,
+    /// The staged replacement switch (`None` = no swap requested).
+    swap_signal: Mutex<Option<Arc<StagedSwitch>>>,
     /// The worker's last published metrics, for live snapshots. Written
     /// once per frame by the worker, read by [`FabricService::snapshot`].
     published: Mutex<ShardMetrics>,
 }
 
 impl ShardLane {
-    fn new(queue_capacity: usize) -> ShardLane {
+    fn new(queue_capacity: usize, state: LaneState) -> ShardLane {
         ShardLane {
             queue: IngressQueue::new(queue_capacity),
             in_flight: AtomicU64::new(0),
             admission_rejected: AtomicU64::new(0),
             quarantined: AtomicBool::new(false),
+            state: AtomicU8::new(state as u8),
             fault_pending: AtomicBool::new(false),
             fault_signal: Mutex::new(None),
+            swap_pending: AtomicBool::new(false),
+            swap_signal: Mutex::new(None),
             published: Mutex::new(ShardMetrics::default()),
         }
+    }
+
+    fn state(&self) -> LaneState {
+        LaneState::from_u8(self.state.load(Ordering::Acquire))
     }
 }
 
@@ -139,7 +181,9 @@ pub enum SubmitStep {
     /// waits on the queue's condvar; a simulated producer parks until
     /// [`ServiceCore::queue`]`(shard).would_accept(..)` and then calls
     /// [`ServiceCore::retry_submit`] — placement and admission are *not*
-    /// re-run, exactly like the blocked thread.
+    /// re-run, exactly like the blocked thread (unless the shard was
+    /// removed while the producer was parked, in which case the retry
+    /// re-enters placement under the new epoch).
     Blocked {
         /// The handed-back message.
         message: Message,
@@ -173,15 +217,39 @@ pub struct BatchSubmit {
 /// The producer-facing half of the service, with no threads inside: the
 /// sharded state every submitter and worker touches, exposed as single
 /// non-blocking steps so a cooperative scheduler can own the
-/// interleaving.
+/// interleaving. Also the control plane: shard add/remove, live switch
+/// swap, and runtime admission retargeting, all under epoch bumps.
 pub struct ServiceCore {
     config: FabricConfig,
+    /// All `config.max_shards` lanes, pre-allocated; `allocated` bounds
+    /// the ever-activated prefix.
     lanes: Vec<Arc<ShardLane>>,
     rr_cursor: AtomicUsize,
+    /// Lanes ever activated: `lanes[..allocated]` have been part of the
+    /// fabric (Active, Draining, or Retired); the rest are Unused.
+    /// Monotone — retired lanes keep their slot and their counters.
+    allocated: AtomicUsize,
+    /// Bumped by every control-plane change (add, remove, swap, admission
+    /// retarget). Placement is always against the current epoch's lane
+    /// set; the counter itself is observability, not a lock.
+    epoch: AtomicU64,
+    /// The runtime global admission cap ([`ADMISSION_UNCAPPED`] = none);
+    /// seeded from `config.admission_limit`, retargeted live by
+    /// [`ServiceCore::set_admission_limit`].
+    admission_limit: AtomicU64,
+    /// Raised by [`ServiceCore::close`]: distinguishes a ring closed for
+    /// shutdown (reject producers) from one closed because its shard was
+    /// removed (re-place producers under the new epoch).
+    shutting_down: AtomicBool,
+    /// Serializes control-plane operations (add/remove/swap/close) so
+    /// lane-state transitions and the epoch counter stay coherent. Never
+    /// taken on the data path.
+    control: Mutex<()>,
 }
 
 impl ServiceCore {
-    /// Build the shared state for `config.shards` shards.
+    /// Build the shared state: `config.shards` active lanes, with room to
+    /// grow to `config.max_shards`.
     ///
     /// # Panics
     /// If the configuration is invalid (see [`FabricConfig::validate`]).
@@ -189,20 +257,39 @@ impl ServiceCore {
         config.validate();
         ServiceCore {
             config,
-            lanes: (0..config.shards)
-                .map(|_| Arc::new(ShardLane::new(config.queue_capacity)))
+            lanes: (0..config.max_shards)
+                .map(|id| {
+                    let state = if id < config.shards {
+                        LaneState::Active
+                    } else {
+                        LaneState::Unused
+                    };
+                    Arc::new(ShardLane::new(config.queue_capacity, state))
+                })
                 .collect(),
             rr_cursor: AtomicUsize::new(0),
+            allocated: AtomicUsize::new(config.shards),
+            epoch: AtomicU64::new(0),
+            admission_limit: AtomicU64::new(
+                config
+                    .admission_limit
+                    .map_or(ADMISSION_UNCAPPED, |limit| limit as u64),
+            ),
+            shutting_down: AtomicBool::new(false),
+            control: Mutex::new(()),
         }
     }
 
-    /// The active configuration.
+    /// The active configuration (startup shape; the live shard count and
+    /// admission limit are [`ServiceCore::active_shards`] and
+    /// [`ServiceCore::admission_limit`]).
     pub fn config(&self) -> &FabricConfig {
         &self.config
     }
 
     /// Shard `id`'s serving loop as a steppable state machine over the
-    /// shared `switch`. Call once per shard; each worker owns its core.
+    /// shared `switch`. Call once per activated shard; each worker owns
+    /// its core.
     pub fn worker(&self, id: usize, switch: Arc<StagedSwitch>) -> WorkerCore {
         let batch_window = switch.n.max(1);
         let shard =
@@ -227,12 +314,142 @@ impl ServiceCore {
     }
 
     /// Messages currently in flight (queued or pending in a shard),
-    /// summed over the per-shard gauges.
+    /// summed over the per-shard gauges of every lane ever activated.
     pub fn in_flight(&self) -> u64 {
-        self.lanes
+        self.lanes[..self.allocated_shards()]
             .iter()
             .map(|lane| lane.in_flight.load(Ordering::Acquire))
             .sum()
+    }
+
+    /// The reconfiguration epoch: bumped by every shard add/remove,
+    /// switch swap, and admission retarget.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Lanes ever activated (Active + Draining + Retired). Lane ids below
+    /// this are valid for [`ServiceCore::queue`] and friends.
+    pub fn allocated_shards(&self) -> usize {
+        self.allocated.load(Ordering::Acquire)
+    }
+
+    /// Lanes currently serving (placement targets).
+    pub fn active_shards(&self) -> usize {
+        self.lanes[..self.allocated_shards()]
+            .iter()
+            .filter(|lane| lane.state() == LaneState::Active)
+            .count()
+    }
+
+    /// Where lane `shard` is in its lifecycle.
+    pub fn shard_state(&self, shard: usize) -> LaneState {
+        self.lanes[shard].state()
+    }
+
+    /// Whether [`ServiceCore::close`] has begun (every ring closed for
+    /// shutdown, not for removal).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// The current global admission cap (`None` = uncapped).
+    pub fn admission_limit(&self) -> Option<usize> {
+        match self.admission_limit.load(Ordering::Acquire) {
+            ADMISSION_UNCAPPED => None,
+            limit => Some(limit as usize),
+        }
+    }
+
+    /// Retarget the global admission cap at runtime (`None` = uncapped).
+    /// Takes effect on the next submission; a change bumps the epoch.
+    /// This is the knob [`crate::reconfig::SloController`] turns.
+    pub fn set_admission_limit(&self, limit: Option<usize>) {
+        let raw = limit.map_or(ADMISSION_UNCAPPED, |limit| limit as u64);
+        if self.admission_limit.swap(raw, Ordering::AcqRel) != raw {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Activate the next unused lane and admit it to the placement ring
+    /// under an epoch bump. Returns the new shard's id — the caller owns
+    /// spawning (or cooperatively stepping) a worker for it — or `None`
+    /// if every lane is already allocated or the service is shutting
+    /// down.
+    pub fn add_shard(&self) -> Option<usize> {
+        let _control = self.control.lock().expect("control plane");
+        if self.shutting_down.load(Ordering::Acquire) {
+            return None;
+        }
+        let allocated = self.allocated.load(Ordering::Acquire);
+        if allocated == self.lanes.len() {
+            return None;
+        }
+        // State first, then the allocated publication (release): a
+        // producer that observes the grown prefix sees an Active lane.
+        self.lanes[allocated]
+            .state
+            .store(LaneState::Active as u8, Ordering::Release);
+        self.allocated.store(allocated + 1, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        Some(allocated)
+    }
+
+    /// Remove shard `shard` from the placement ring under an epoch bump:
+    /// its lane turns [`LaneState::Draining`] and its ring closes, so
+    /// producers stop landing on it (parked ones re-place under the new
+    /// epoch — see [`ServiceCore::retry_submit`]) while its worker drains
+    /// the residual backlog and retires the lane. Returns `false` if the
+    /// lane is not currently active, it is the last active lane (a fabric
+    /// must keep serving), or the service is shutting down.
+    pub fn remove_shard(&self, shard: usize) -> bool {
+        let _control = self.control.lock().expect("control plane");
+        if self.shutting_down.load(Ordering::Acquire) {
+            return false;
+        }
+        let allocated = self.allocated.load(Ordering::Acquire);
+        if shard >= allocated || self.lanes[shard].state() != LaneState::Active {
+            return false;
+        }
+        let active = self.lanes[..allocated]
+            .iter()
+            .filter(|lane| lane.state() == LaneState::Active)
+            .count();
+        if active <= 1 {
+            return false;
+        }
+        self.lanes[shard]
+            .state
+            .store(LaneState::Draining as u8, Ordering::Release);
+        self.lanes[shard].queue.close();
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Stage a recompiled replacement switch into every live lane's swap
+    /// mailbox under an epoch bump — phase one of the two-phase swap.
+    /// Each worker performs phase two itself: it finishes the frames it
+    /// already accepted on the old switch, then installs the replacement
+    /// the moment its pending queue is empty
+    /// (see [`Shard::install_switch`]). Returns how many lanes were
+    /// signalled. The replacement's `n` must cover every live switch's
+    /// (checked at install).
+    pub fn swap_switch(&self, switch: Arc<StagedSwitch>) -> usize {
+        let _control = self.control.lock().expect("control plane");
+        let allocated = self.allocated.load(Ordering::Acquire);
+        let mut signalled = 0;
+        for lane in &self.lanes[..allocated] {
+            match lane.state() {
+                LaneState::Active | LaneState::Draining => {
+                    *lane.swap_signal.lock().expect("swap signal") = Some(Arc::clone(&switch));
+                    lane.swap_pending.store(true, Ordering::Release);
+                    signalled += 1;
+                }
+                LaneState::Unused | LaneState::Retired => {}
+            }
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        signalled
     }
 
     /// Request chip faults on one shard's switch (an empty vector clears
@@ -249,29 +466,48 @@ impl ServiceCore {
         self.lanes[shard].quarantined.load(Ordering::Acquire)
     }
 
-    /// Close every ingress queue: producers are refused from now on,
-    /// workers drain their backlogs and then report
+    /// Close every ingress queue for shutdown: producers are refused from
+    /// now on, workers drain their backlogs and then report
     /// [`WorkerStep::Done`].
     pub fn close(&self) {
-        for lane in &self.lanes {
+        let _control = self.control.lock().expect("control plane");
+        self.shutting_down.store(true, Ordering::Release);
+        let allocated = self.allocated.load(Ordering::Acquire);
+        for lane in &self.lanes[..allocated] {
             lane.queue.close();
         }
     }
 
-    /// Steer a preferred placement away from quarantined shards.
-    fn steer(&self, preferred: usize) -> usize {
-        steer_scan(preferred, self.config.shards, |idx| {
-            self.lanes[idx].quarantined.load(Ordering::Acquire)
-        })
+    /// Steer a preferred placement (an index below `allocated`) onto a
+    /// serving lane: keep it when it is active and healthy, otherwise
+    /// take the next active unquarantined lane in a deterministic
+    /// wrapping scan, falling back to any active lane (degraded service
+    /// beats none). Draining and retired lanes never receive new traffic.
+    fn route(&self, preferred: usize, allocated: usize) -> usize {
+        for quarantine_matters in [true, false] {
+            for step in 0..allocated {
+                let idx = (preferred + step) % allocated;
+                let lane = &self.lanes[idx];
+                if lane.state() == LaneState::Active
+                    && !(quarantine_matters && lane.quarantined.load(Ordering::Acquire))
+                {
+                    return idx;
+                }
+            }
+        }
+        // Unreachable while an active lane exists (the control plane
+        // refuses to drain the last one); kept total for the transient
+        // threaded race where a scan straddles a state flip.
+        preferred
     }
 
     /// Place a message and advance the round-robin cursor.
     fn place(&self, source: usize) -> usize {
+        let allocated = self.allocated_shards();
         let cursor = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
-        self.steer(
-            self.config
-                .placement
-                .place(source, cursor, self.config.shards),
+        self.route(
+            self.config.placement.place(source, cursor, allocated),
+            allocated,
         )
     }
 
@@ -279,22 +515,28 @@ impl ServiceCore {
     /// then a [`TryPush`] on the chosen queue.
     pub fn try_submit(&self, message: Message) -> SubmitStep {
         let shard = self.place(message.source);
-        if let Some(limit) = self.config.admission_limit {
-            if self.in_flight() >= limit as u64 {
-                self.lanes[shard]
-                    .admission_rejected
-                    .fetch_add(1, Ordering::Relaxed);
-                return SubmitStep::Done(SubmitOutcome::Rejected);
-            }
+        let limit = self.admission_limit.load(Ordering::Acquire);
+        if limit != ADMISSION_UNCAPPED && self.in_flight() >= limit {
+            self.lanes[shard]
+                .admission_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return SubmitStep::Done(SubmitOutcome::Rejected);
         }
         self.offer(message, shard)
     }
 
     /// Re-offer a message a previous step handed back as
-    /// [`SubmitStep::Blocked`]. Skips placement and admission — the
-    /// message already holds a slot on `shard`'s queue order, exactly as
-    /// a producer blocked on the queue's condvar does.
+    /// [`SubmitStep::Blocked`]. Ordinarily skips placement and admission —
+    /// the message already holds a slot on `shard`'s queue order, exactly
+    /// as a producer blocked on the queue's condvar does. If `shard` was
+    /// *removed* while the producer was parked (ring closed without a
+    /// shutdown), the retry re-enters placement under the current epoch
+    /// instead: a live reconfiguration must never turn a parked producer's
+    /// message into a loss.
     pub fn retry_submit(&self, message: Message, shard: usize) -> SubmitStep {
+        if self.lanes[shard].queue.is_closed() && !self.is_shutting_down() {
+            return self.try_submit(message);
+        }
         self.offer(message, shard)
     }
 
@@ -342,18 +584,22 @@ impl ServiceCore {
         // whole frame (the per-message path re-reads per message; both
         // are races against concurrent completions, and conservation
         // charges refusals identically).
-        let admitted = match self.config.admission_limit {
-            Some(limit) => ((limit as u64).saturating_sub(self.in_flight()) as usize).min(len),
-            None => len,
+        let limit = self.admission_limit.load(Ordering::Acquire);
+        let admitted = if limit == ADMISSION_UNCAPPED {
+            len
+        } else {
+            (limit.saturating_sub(self.in_flight()) as usize).min(len)
         };
+        let allocated = self.allocated_shards();
         let cursor = self.rr_cursor.fetch_add(len, Ordering::Relaxed);
-        let mut groups: Vec<Vec<Message>> = vec![Vec::new(); self.config.shards];
+        let mut groups: Vec<Vec<Message>> = vec![Vec::new(); allocated];
         for (i, message) in messages.into_iter().enumerate() {
-            let shard = self.steer(self.config.placement.place(
-                message.source,
-                cursor.wrapping_add(i),
-                self.config.shards,
-            ));
+            let shard = self.route(
+                self.config
+                    .placement
+                    .place(message.source, cursor.wrapping_add(i), allocated),
+                allocated,
+            );
             if i < admitted {
                 groups[shard].push(message);
             } else {
@@ -393,19 +639,48 @@ impl ServiceCore {
     pub fn submit_blocking(&self, message: Message) -> SubmitOutcome {
         match self.try_submit(message) {
             SubmitStep::Done(outcome) => outcome,
-            SubmitStep::Blocked { message, shard } => {
-                let lane = &self.lanes[shard];
-                lane.in_flight.fetch_add(1, Ordering::AcqRel);
-                match lane.queue.push(message, self.config.backpressure) {
-                    PushOutcome::Enqueued => SubmitOutcome::Accepted,
-                    PushOutcome::EnqueuedAfterShed => {
-                        lane.in_flight.fetch_sub(1, Ordering::AcqRel);
-                        SubmitOutcome::AcceptedAfterShed
+            SubmitStep::Blocked { message, shard } => self.park_and_push(message, shard),
+        }
+    }
+
+    /// The threaded slow path behind a [`SubmitStep::Blocked`] hand-back:
+    /// block on `shard`'s ring until the message lands — and if the ring
+    /// closes because the shard was *removed* (not a shutdown), re-enter
+    /// placement under the new epoch instead of reporting a loss. The
+    /// closed ring's rejection count and the fresh placement's offer
+    /// balance, so conservation holds through the epoch boundary.
+    fn park_and_push(&self, message: Message, shard: usize) -> SubmitOutcome {
+        let mut message = message;
+        let mut shard = shard;
+        loop {
+            let lane = &self.lanes[shard];
+            if lane.queue.is_closed() && !self.is_shutting_down() {
+                match self.try_submit(message) {
+                    SubmitStep::Done(outcome) => return outcome,
+                    SubmitStep::Blocked {
+                        message: held,
+                        shard: placed,
+                    } => {
+                        message = held;
+                        shard = placed;
+                        continue;
                     }
-                    PushOutcome::Rejected => {
-                        lane.in_flight.fetch_sub(1, Ordering::AcqRel);
-                        SubmitOutcome::Rejected
+                }
+            }
+            lane.in_flight.fetch_add(1, Ordering::AcqRel);
+            match lane.queue.push(message.clone(), self.config.backpressure) {
+                PushOutcome::Enqueued => return SubmitOutcome::Accepted,
+                PushOutcome::EnqueuedAfterShed => {
+                    lane.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    return SubmitOutcome::AcceptedAfterShed;
+                }
+                PushOutcome::Rejected => {
+                    lane.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    if self.is_shutting_down() {
+                        return SubmitOutcome::Rejected;
                     }
+                    // The ring closed under us: the shard was removed
+                    // while we were parked. Loop back and re-place.
                 }
             }
         }
@@ -413,33 +688,26 @@ impl ServiceCore {
 
     /// Submit a whole frame, blocking under
     /// [`Backpressure::Block`](crate::Backpressure) until every message
-    /// is placed (or the queues close, which rejects the remainder). The
-    /// threaded service's `submit_batch`; [`BatchSubmit::blocked`] is
-    /// always empty on return.
+    /// is placed (or the queues close for shutdown, which rejects the
+    /// remainder). The threaded service's `submit_batch`;
+    /// [`BatchSubmit::blocked`] is always empty on return.
     pub fn submit_batch_blocking(&self, messages: Vec<Message>) -> BatchSubmit {
         let mut result = self.try_submit_batch(messages);
-        if result.blocked.is_empty() {
-            return result;
-        }
-        let mut groups: Vec<Vec<Message>> = vec![Vec::new(); self.config.shards];
+        // The blocked remainder takes the per-message slow path: it can
+        // re-enter placement if its shard is removed mid-park, which a
+        // whole-group blocking push could not express.
         for (message, shard) in std::mem::take(&mut result.blocked) {
-            groups[shard].push(message);
-        }
-        for (shard, group) in groups.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
+            match self.park_and_push(message, shard) {
+                SubmitOutcome::Accepted => result.accepted += 1,
+                SubmitOutcome::AcceptedAfterShed => {
+                    result.accepted += 1;
+                    result.shed += 1;
+                }
+                SubmitOutcome::Rejected => result.rejected += 1,
+                SubmitOutcome::Backpressured(_) => {
+                    unreachable!("blocking push never hands back")
+                }
             }
-            let submitted = group.len() as u64;
-            let lane = &self.lanes[shard];
-            lane.in_flight.fetch_add(submitted, Ordering::AcqRel);
-            let push = lane.queue.push_batch(group, self.config.backpressure);
-            let undo = submitted - push.enqueued as u64 + push.shed;
-            if undo > 0 {
-                lane.in_flight.fetch_sub(undo, Ordering::AcqRel);
-            }
-            result.accepted += push.enqueued as u64;
-            result.shed += push.shed;
-            result.rejected += push.rejected as u64;
         }
         result
     }
@@ -462,15 +730,20 @@ impl ServiceCore {
         metrics.shed += shed;
     }
 
-    /// A live snapshot: each worker's last *published* per-frame metrics
-    /// with the queue-side counters folded in (exactly once — see
+    /// A live snapshot: each activated lane's last *published* per-frame
+    /// metrics with the queue-side counters folded in (exactly once — see
     /// [`ServiceCore::fold_queue_counters`]), plus the summed in-flight
-    /// gauge. Counter reads are not mutually atomic while workers run, so
-    /// a live snapshot's conservation identity may be off by the frames
-    /// in progress; the drain-time snapshot is exact.
+    /// gauge. Draining and retired lanes stay in the snapshot — their
+    /// counters are history the conservation identity still needs — so a
+    /// snapshot taken mid-reconfiguration neither double-counts nor drops
+    /// a draining shard's in-flight messages. Counter reads are not
+    /// mutually atomic while workers run, so a live snapshot's
+    /// conservation identity may be off by the frames in progress; the
+    /// drain-time snapshot is exact.
     pub fn snapshot(&self) -> FabricSnapshot {
-        let mut shards = Vec::with_capacity(self.lanes.len());
-        for (i, lane) in self.lanes.iter().enumerate() {
+        let allocated = self.allocated_shards();
+        let mut shards = Vec::with_capacity(allocated);
+        for (i, lane) in self.lanes[..allocated].iter().enumerate() {
             let mut metrics = lane.published.lock().expect("published metrics").clone();
             self.fold_queue_counters(i, &mut metrics);
             shards.push(metrics);
@@ -491,12 +764,14 @@ pub enum WorkerStep {
     /// simulated worker is re-stepped when work arrives; a threaded one
     /// never sees this (it blocks instead).
     Idle,
-    /// Queue closed and drained, backlog empty: the worker is finished.
+    /// Queue closed and drained, backlog empty: the worker is finished
+    /// (and its lane, if draining, is retired).
     Done,
 }
 
 /// One shard's serving loop as a single-step state machine: apply any
-/// pending fault signal, drain the ring in one frame-sized burst, run
+/// pending fault signal, install a staged switch swap once the old-epoch
+/// backlog has completed, drain the ring in one frame-sized burst, run
 /// one batched frame, and retire the frame against the lane — one gauge
 /// decrement, one metrics publication, a quarantine store only on
 /// transitions. Between the burst pop and the frame retirement the hot
@@ -517,12 +792,14 @@ impl WorkerCore {
         &self.shard
     }
 
-    /// Whether a step right now would make progress: a fault signal is
-    /// pending, messages are queued or pending, or close has been
-    /// requested (so the step would resolve to [`WorkerStep::Done`]).
-    /// The simulation scheduler's readiness predicate for a worker.
+    /// Whether a step right now would make progress: a fault signal or
+    /// switch swap is pending, messages are queued or pending, or close
+    /// has been requested (so the step would resolve to
+    /// [`WorkerStep::Done`]). The simulation scheduler's readiness
+    /// predicate for a worker.
     pub fn ready(&self) -> bool {
         self.lane.fault_pending.load(Ordering::Acquire)
+            || self.lane.swap_pending.load(Ordering::Acquire)
             || self.shard.pending_len() > 0
             || !self.lane.queue.is_empty()
             || self.lane.queue.is_closed()
@@ -542,6 +819,37 @@ impl WorkerCore {
         self.step_inner(true)
     }
 
+    /// Phase two of the live switch swap: install the staged replacement
+    /// once (and only once) the pending queue is empty, so every frame
+    /// admitted under the old epoch completed on the old switch. Messages
+    /// still in the ingress ring route on whichever switch is installed
+    /// when they are popped — safe, because the replacement covers the
+    /// old input range (asserted by [`Shard::install_switch`]).
+    fn maybe_install_switch(&mut self) {
+        if !self.lane.swap_pending.load(Ordering::Acquire) {
+            return;
+        }
+        if self.shard.pending_len() > 0 {
+            return;
+        }
+        if let Some(switch) = self.lane.swap_signal.lock().expect("swap signal").take() {
+            self.batch_window = switch.n.max(1);
+            self.shard.install_switch(switch);
+        }
+        self.lane.swap_pending.store(false, Ordering::Release);
+    }
+
+    /// Mark the lane retired if it was draining: the backlog is done and
+    /// the worker is exiting.
+    fn retire_lane(&self) {
+        let _ = self.lane.state.compare_exchange(
+            LaneState::Draining as u8,
+            LaneState::Retired as u8,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
     fn step_inner(&mut self, block: bool) -> WorkerStep {
         if self.lane.fault_pending.load(Ordering::Acquire) {
             if let Some(faults) = self.lane.fault_signal.lock().expect("fault signal").take() {
@@ -549,17 +857,22 @@ impl WorkerCore {
             }
             self.lane.fault_pending.store(false, Ordering::Release);
         }
+        self.maybe_install_switch();
         let fresh = if self.shard.pending_len() == 0 {
             if block {
                 match self.lane.queue.pop_batch_blocking(self.batch_window) {
                     Some(batch) => batch,
                     // Closed and empty, nothing pending: done.
-                    None => return WorkerStep::Done,
+                    None => {
+                        self.retire_lane();
+                        return WorkerStep::Done;
+                    }
                 }
             } else {
                 let batch = self.lane.queue.try_pop_batch(self.batch_window);
                 if batch.is_empty() {
                     return if self.lane.queue.is_closed() {
+                        self.retire_lane();
                         WorkerStep::Done
                     } else {
                         WorkerStep::Idle
@@ -567,9 +880,19 @@ impl WorkerCore {
                 }
                 batch
             }
+        } else if self.lane.swap_pending.load(Ordering::Acquire) {
+            // A swap is staged: finish the old-epoch backlog before
+            // accepting new-epoch traffic, so the install point (pending
+            // empty) arrives within a bounded number of frames even under
+            // sustained load.
+            Vec::new()
         } else {
             self.lane.queue.try_pop_batch(self.batch_window)
         };
+        // A blocking pop can park across a swap request: install now,
+        // before the freshly popped (new-epoch) messages enter the
+        // pending queue.
+        self.maybe_install_switch();
         for message in fresh {
             self.shard.accept(message);
         }
@@ -605,10 +928,17 @@ impl WorkerCore {
 }
 
 /// A concurrent sharded switch-serving engine: [`ServiceCore`] plus one
-/// OS thread per shard looping [`WorkerCore::step_blocking`].
+/// OS thread per active shard looping [`WorkerCore::step_blocking`], with
+/// live shard add/remove, switch swap, and admission retargeting.
 pub struct FabricService {
     core: Arc<ServiceCore>,
-    workers: Vec<JoinHandle<WorkerResult>>,
+    /// Worker threads with the shard ids they serve. Removed shards'
+    /// workers exit early and are joined (trivially) at drain.
+    workers: Mutex<Vec<(usize, JoinHandle<WorkerResult>)>>,
+    /// The switch future workers start on — updated by
+    /// [`FabricService::swap_switch`] so a later
+    /// [`FabricService::add_shard`] begins on the current topology.
+    switch: Mutex<Arc<StagedSwitch>>,
 }
 
 impl FabricService {
@@ -619,28 +949,86 @@ impl FabricService {
     pub fn start(switch: Arc<StagedSwitch>, config: FabricConfig) -> FabricService {
         let core = Arc::new(ServiceCore::new(config));
         let workers = (0..config.shards)
-            .map(|id| {
-                let mut worker = core.worker(id, Arc::clone(&switch));
-                std::thread::Builder::new()
-                    .name(format!("fabric-shard-{id}"))
-                    .spawn(move || {
-                        let mut deliveries = Vec::new();
-                        loop {
-                            match worker.step_blocking() {
-                                WorkerStep::Frame(run) => deliveries.extend(run.delivered),
-                                WorkerStep::Idle => {}
-                                WorkerStep::Done => break,
-                            }
-                        }
-                        WorkerResult {
-                            metrics: worker.shard().metrics.clone(),
-                            deliveries,
-                        }
-                    })
-                    .expect("spawn fabric worker")
-            })
+            .map(|id| (id, Self::spawn_worker(&core, id, Arc::clone(&switch))))
             .collect();
-        FabricService { core, workers }
+        FabricService {
+            core,
+            workers: Mutex::new(workers),
+            switch: Mutex::new(switch),
+        }
+    }
+
+    fn spawn_worker(
+        core: &Arc<ServiceCore>,
+        id: usize,
+        switch: Arc<StagedSwitch>,
+    ) -> JoinHandle<WorkerResult> {
+        let mut worker = core.worker(id, switch);
+        std::thread::Builder::new()
+            .name(format!("fabric-shard-{id}"))
+            .spawn(move || {
+                let mut deliveries = Vec::new();
+                loop {
+                    match worker.step_blocking() {
+                        WorkerStep::Frame(run) => deliveries.extend(run.delivered),
+                        WorkerStep::Idle => {}
+                        WorkerStep::Done => break,
+                    }
+                }
+                WorkerResult {
+                    metrics: worker.shard().metrics.clone(),
+                    deliveries,
+                }
+            })
+            .expect("spawn fabric worker")
+    }
+
+    /// Grow the fabric by one shard: activate the next unused lane under
+    /// an epoch bump and spawn its worker on the current switch. Returns
+    /// the new shard's id, or `None` once `config.max_shards` lanes are
+    /// allocated (or drain has begun).
+    pub fn add_shard(&self) -> Option<usize> {
+        let switch = Arc::clone(&self.switch.lock().expect("service switch"));
+        let id = self.core.add_shard()?;
+        let handle = Self::spawn_worker(&self.core, id, switch);
+        self.workers
+            .lock()
+            .expect("service workers")
+            .push((id, handle));
+        Some(id)
+    }
+
+    /// Shrink the fabric by one shard: the lane stops admitting, its
+    /// worker drains the residual backlog, hands every message back to
+    /// the ledger, and exits. Producers parked on the removed shard
+    /// re-place under the new epoch. Returns `false` if the shard is not
+    /// active or is the last one.
+    pub fn remove_shard(&self, shard: usize) -> bool {
+        self.core.remove_shard(shard)
+    }
+
+    /// Live switch swap: stage a recompiled replacement into every live
+    /// lane (two-phase — see [`ServiceCore::swap_switch`]) and make it
+    /// the switch future [`FabricService::add_shard`] workers start on.
+    /// Returns how many lanes were signalled.
+    pub fn swap_switch(&self, switch: Arc<StagedSwitch>) -> usize {
+        *self.switch.lock().expect("service switch") = Arc::clone(&switch);
+        self.core.swap_switch(switch)
+    }
+
+    /// Retarget the global admission cap at runtime (`None` = uncapped).
+    pub fn set_admission_limit(&self, limit: Option<usize>) {
+        self.core.set_admission_limit(limit);
+    }
+
+    /// The reconfiguration epoch (bumped by every control-plane change).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Lanes currently serving (placement targets).
+    pub fn active_shards(&self) -> usize {
+        self.core.active_shards()
     }
 
     /// Request chip faults on one shard's switch (an empty vector clears
@@ -690,17 +1078,31 @@ impl FabricService {
     /// Graceful shutdown: refuse new work, let every worker finish its
     /// backlog, join them, and merge queue-side counters into the
     /// per-shard metrics (exactly once per shard — the workers' own
-    /// metrics never include queue-side counts).
+    /// metrics never include queue-side counts). The report has one
+    /// entry per lane ever activated, in lane order, whether or not the
+    /// lane was removed mid-run.
     pub fn drain(self) -> FabricReport {
         self.core.close();
-        let mut shards = Vec::with_capacity(self.workers.len());
+        let workers = self
+            .workers
+            .into_inner()
+            .expect("service workers")
+            .into_iter();
+        let allocated = self.core.allocated_shards();
+        let mut shards = vec![ShardMetrics::default(); allocated];
+        let mut joined = vec![false; allocated];
         let mut completions = Vec::new();
-        for (i, worker) in self.workers.into_iter().enumerate() {
+        for (id, worker) in workers {
             let mut result = worker.join().expect("fabric worker panicked");
-            self.core.fold_queue_counters(i, &mut result.metrics);
+            self.core.fold_queue_counters(id, &mut result.metrics);
             completions.append(&mut result.deliveries);
-            shards.push(result.metrics);
+            shards[id] = result.metrics;
+            joined[id] = true;
         }
+        debug_assert!(
+            joined.iter().all(|&j| j),
+            "every activated lane must have had a worker"
+        );
         let snapshot = FabricSnapshot {
             shards,
             in_flight: 0,

@@ -185,6 +185,52 @@ impl Shard {
         &self.switch
     }
 
+    /// Install a recompiled replacement switch — the worker-side half of
+    /// the live swap protocol (see [`crate::reconfig`]). The caller (the
+    /// worker core) invokes this only once its pending queue is empty, so
+    /// every frame admitted under the old epoch has completed on the old
+    /// switch; messages still in the ingress ring route on the new switch
+    /// from their first frame. The replacement must cover the old input
+    /// range (`n` may only grow) so no queued message's source wire
+    /// disappears — that is what makes the swap zero-loss by construction.
+    ///
+    /// Installing clears any injected fault overlay: the faults were
+    /// compiled against the *old* topology, and swapping in a
+    /// fault-recompiled netlist is exactly how a quarantined shard is
+    /// repaired. Health history likewise judged the old switch, so the
+    /// EWMA restarts trusted and the existing hysteresis re-quarantines
+    /// the shard only if the new switch underperforms.
+    ///
+    /// # Panics
+    /// If the pending queue is non-empty, or the replacement's `n` is
+    /// smaller than the old switch's.
+    pub fn install_switch(&mut self, switch: Arc<StagedSwitch>) {
+        assert!(
+            self.pending.is_empty(),
+            "shard {}: switch install requires an empty pending queue \
+             (old-epoch frames must complete on the old switch first)",
+            self.id
+        );
+        assert!(
+            switch.n >= self.switch.n,
+            "shard {}: replacement switch must cover the old input range \
+             (new n = {} < old n = {})",
+            self.id,
+            switch.n,
+            self.switch.n
+        );
+        let elab = switch.datapath_logic(false);
+        self.scratch = elab.compiled.scratch();
+        self.word_in = vec![0u64; elab.compiled.input_count()];
+        self.word_out = vec![0u64; elab.compiled.output_count()];
+        self.elab = elab;
+        self.switch = switch;
+        self.fault = None;
+        self.metrics.faults_active = 0;
+        self.health_ewma = 1.0;
+        self.metrics.health_milli = 1000;
+    }
+
     /// The analytic per-frame capacity bound this shard's health monitor
     /// judges frames against: `⌊α·m⌋` for a partial concentrator of
     /// guarantee `α` (Lemma 2's capacity floor), `m` otherwise, and at
@@ -580,5 +626,57 @@ mod tests {
         }
         assert!(shard.health() > 0.85);
         assert_eq!(shard.metrics.quarantines, 1, "no re-entry after recovery");
+    }
+
+    #[test]
+    fn install_switch_serves_wider_traffic_and_clears_faults() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        shard.set_faults(vec![ChipFault {
+            stage: 0,
+            chip: 0,
+            mode: FaultMode::StuckInvalid,
+        }]);
+        shard.accept(Message::new(1, 1, vec![0x5A]));
+        shard.drain(100);
+        let bigger = Arc::new(
+            RevsortSwitch::new(64, 16, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        );
+        shard.install_switch(Arc::clone(&bigger));
+        assert!(Arc::ptr_eq(shard.switch(), &bigger));
+        assert!(shard.active_faults().is_empty());
+        assert_eq!(shard.metrics.faults_active, 0);
+        assert_eq!(shard.health(), 1.0);
+        // Sources beyond the old n = 16 route on the new switch, payloads
+        // intact through the freshly compiled datapath.
+        for src in [3usize, 17, 45] {
+            shard.accept(Message::new(src as u64, src, vec![0xC0 | src as u8]));
+        }
+        let run = shard.run_frame();
+        assert_eq!(run.delivered.len(), 3);
+        for d in &run.delivered {
+            assert_eq!(d.message.payload[0], 0xC0 | d.message.source as u8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pending queue")]
+    fn install_with_old_epoch_backlog_is_refused() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        shard.accept(Message::new(1, 1, vec![1]));
+        shard.install_switch(test_switch());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the old input range")]
+    fn install_of_a_narrower_switch_is_refused() {
+        let mut shard = Shard::new(0, test_switch(), RetryBudget::UNLIMITED);
+        let narrower = Arc::new(
+            RevsortSwitch::new(4, 4, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        );
+        shard.install_switch(narrower);
     }
 }

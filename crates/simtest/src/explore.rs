@@ -30,6 +30,8 @@ pub struct FailureCase {
     pub violations: Vec<Violation>,
     /// Fault events surviving the shrink (scenario had more).
     pub shrunk_faults: usize,
+    /// Reconfiguration events surviving the shrink.
+    pub shrunk_reconfig: usize,
     /// Workload frames surviving the shrink.
     pub shrunk_frames: usize,
     /// Producers surviving the shrink.
@@ -83,6 +85,7 @@ impl ToJson for ExploreReport {
                                     ),
                                 ),
                                 ("shrunk_faults", f.shrunk_faults.to_json()),
+                                ("shrunk_reconfig", f.shrunk_reconfig.to_json()),
                                 ("shrunk_frames", f.shrunk_frames.to_json()),
                                 ("shrunk_producers", f.shrunk_producers.to_json()),
                             ])
@@ -175,6 +178,7 @@ pub fn explore(scenario: &Scenario, seeds: impl IntoIterator<Item = u64>) -> Exp
                 seed,
                 violations: run.violations,
                 shrunk_faults: minimal.faults.len(),
+                shrunk_reconfig: minimal.reconfig.len(),
                 shrunk_frames: minimal.plan.frames,
                 shrunk_producers: minimal.producers,
             });

@@ -37,9 +37,16 @@ pub use oracles::{
     analytic_floor, check_capacity, check_frame, check_lossless, conservation_ledger, Ledger,
     Violation,
 };
-pub use scenarios::{batched_admission, batched_shed, by_name, catalogue, shared_switch};
+pub use scenarios::{
+    batched_admission, batched_shed, by_name, catalogue, reconfig_catalogue, resize_under_drain,
+    scale_down_while_quarantined, shared_switch, slo_shed_burst, swap_during_campaign,
+    swap_target_switch,
+};
 pub use shrink::shrink;
-pub use sim::{run_scenario, Scenario, SimFaultEvent, SimRun, SubmitKind, TraceEvent};
+pub use sim::{
+    run_scenario, ReconfigAction, Scenario, SimFaultEvent, SimReconfigEvent, SimRun, SloPlan,
+    SubmitKind, TraceEvent,
+};
 pub use tree::{
     explore_tree, run_tree_scenario, tier_leaf_burst, tier_spine_quarantine_mid_drain,
     tier_spine_stall, tree_by_name, tree_catalogue, StallWindow, TreeExploreReport, TreeFaultEvent,

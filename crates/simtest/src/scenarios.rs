@@ -27,6 +27,20 @@
 //!   through the virtual clock ([`FaultCampaign::faults_at_clock`]):
 //!   permanent, intermittent, and transient chip faults land as
 //!   virtual-time events.
+//!
+//! The elastic-control-plane scenarios ([`reconfig_catalogue`]) exercise
+//! live reconfiguration (see [`fabric::reconfig`]):
+//!
+//! * [`resize_under_drain`] — the fabric grows and shrinks (1 → 3 → 4
+//!   shards with two removals) under blocking backpressure, losslessly.
+//! * [`swap_during_campaign`] — a recompiled 64→16 switch
+//!   ([`swap_target_switch`]) replaces the shared switch mid-fault-
+//!   campaign under the two-phase epoch handoff.
+//! * [`scale_down_while_quarantined`] — the quarantined shard itself is
+//!   removed while its backlog cannot deliver.
+//! * [`slo_shed_burst`] — an [`SloController`](fabric::SloController)
+//!   governs admission against a six-producer burst on the virtual
+//!   clock.
 
 use std::sync::{Arc, OnceLock};
 
@@ -34,10 +48,10 @@ use concentrator::clock::VirtualClock;
 use concentrator::faults::{CampaignSpec, ChipFault, FaultCampaign, FaultMode};
 use concentrator::revsort_switch::{RevsortLayout, RevsortSwitch};
 use concentrator::StagedSwitch;
-use fabric::{Backpressure, FabricConfig, HealthPolicy, LoadPlan, RetryBudget};
+use fabric::{Backpressure, FabricConfig, HealthPolicy, LoadPlan, RetryBudget, SloPolicy};
 use switchsim::TrafficModel;
 
-use crate::sim::{Scenario, SimFaultEvent};
+use crate::sim::{ReconfigAction, Scenario, SimFaultEvent, SimReconfigEvent, SloPlan};
 
 /// The switch every scenario serves: 16→8 Revsort, two-dimensional
 /// layout. Process-wide so its datapath compiles exactly once no matter
@@ -47,6 +61,21 @@ pub fn shared_switch() -> Arc<StagedSwitch> {
     Arc::clone(SWITCH.get_or_init(|| {
         Arc::new(
             RevsortSwitch::new(16, 8, RevsortLayout::TwoDee)
+                .staged()
+                .clone(),
+        )
+    }))
+}
+
+/// The replacement switch the live-swap scenarios install mid-run: a
+/// 64→16 Revsort concentrator — four times the input range, so it
+/// strictly covers the shared 16→8 switch. Process-wide so its datapath
+/// also compiles exactly once.
+pub fn swap_target_switch() -> Arc<StagedSwitch> {
+    static SWITCH: OnceLock<Arc<StagedSwitch>> = OnceLock::new();
+    Arc::clone(SWITCH.get_or_init(|| {
+        Arc::new(
+            RevsortSwitch::new(64, 16, RevsortLayout::TwoDee)
                 .staged()
                 .clone(),
         )
@@ -80,6 +109,8 @@ fn base(name: &str, workload_seed: u64, frames: usize, p: f64) -> Scenario {
             frames,
         },
         faults: Vec::new(),
+        reconfig: Vec::new(),
+        slo: None,
         batched: false,
         lossless: false,
         max_ticks: 50_000,
@@ -248,9 +279,155 @@ pub fn campaign() -> Scenario {
     s
 }
 
+/// The fabric resizes 1 → 3 → 4 shards with two removals riding the
+/// drain, under blocking backpressure over tiny rings — lossless: every
+/// scripted message must arrive exactly once even though producers park
+/// on rings that later close, removed shards drain mid-load, and the
+/// conservation ledger is checked at every tick across five epoch
+/// boundaries.
+pub fn resize_under_drain() -> Scenario {
+    let mut s = base("resize-under-drain", 111, 6, 0.6);
+    s.config.shards = 1;
+    s.config.max_shards = 4;
+    s.config.queue_capacity = 2;
+    s.config.backpressure = Backpressure::Block;
+    s.lossless = true;
+    s.reconfig = vec![
+        SimReconfigEvent {
+            at_tick: 5,
+            action: ReconfigAction::AddShard,
+        },
+        SimReconfigEvent {
+            at_tick: 12,
+            action: ReconfigAction::AddShard,
+        },
+        SimReconfigEvent {
+            at_tick: 30,
+            action: ReconfigAction::RemoveShard { shard: 1 },
+        },
+        SimReconfigEvent {
+            at_tick: 45,
+            action: ReconfigAction::AddShard,
+        },
+        SimReconfigEvent {
+            at_tick: 70,
+            action: ReconfigAction::RemoveShard { shard: 2 },
+        },
+    ];
+    s
+}
+
+/// A live switch swap in the middle of a fault campaign: a chip dies on
+/// shard 0, the whole fabric is swapped onto the recompiled 64→16
+/// replacement (which clears the fault overlay — the recompile *is* the
+/// repair), then shard 1 takes a hit on the new switch and is repaired.
+/// The per-frame oracle replays every frame against whichever switch the
+/// shard had installed at execution time.
+pub fn swap_during_campaign() -> Scenario {
+    let mut s = base("swap-during-campaign", 222, 8, 0.6);
+    s.config.queue_capacity = 8;
+    s.config.retry = RetryBudget::limited(1);
+    s.faults = vec![
+        SimFaultEvent {
+            at_tick: 30,
+            shard: 0,
+            faults: vec![ChipFault {
+                stage: 0,
+                chip: 0,
+                mode: FaultMode::StuckInvalid,
+            }],
+        },
+        SimFaultEvent {
+            at_tick: 160,
+            shard: 1,
+            faults: vec![ChipFault {
+                stage: 0,
+                chip: 1,
+                mode: FaultMode::StuckValid,
+            }],
+        },
+        SimFaultEvent {
+            at_tick: 220,
+            shard: 1,
+            faults: Vec::new(),
+        },
+    ];
+    s.reconfig = vec![SimReconfigEvent {
+        at_tick: 100,
+        action: ReconfigAction::SwapSwitch {
+            switch: swap_target_switch(),
+        },
+    }];
+    s
+}
+
+/// Scale-down races quarantine: shard 1's first stage dies at tick 0 and
+/// quarantine engages, a third shard joins mid-run, then the *sick* shard
+/// is removed — its worker drains a backlog that mostly cannot deliver
+/// (bounded retries) and retires, with every drop on the ledger.
+pub fn scale_down_while_quarantined() -> Scenario {
+    let mut s = base("scale-down-while-quarantined", 333, 8, 0.7);
+    s.config.max_shards = 3;
+    s.config.retry = RetryBudget::limited(1);
+    s.config.health = HealthPolicy {
+        alpha: 0.5,
+        ..HealthPolicy::default()
+    };
+    s.faults = vec![SimFaultEvent {
+        at_tick: 0,
+        shard: 1,
+        faults: dead_first_stage(),
+    }];
+    s.reconfig = vec![
+        SimReconfigEvent {
+            at_tick: 40,
+            action: ReconfigAction::AddShard,
+        },
+        SimReconfigEvent {
+            at_tick: 80,
+            action: ReconfigAction::RemoveShard { shard: 1 },
+        },
+    ];
+    s
+}
+
+/// A burst (six producers at p = 0.9 against two shards) governed by the
+/// SLO controller: every 16 virtual ticks it reads the wait histograms
+/// and AIMD-steps the admission limit toward a p99 wait of 1 frame.
+/// Admission rejections absorb the overload; conservation holds at every
+/// tick and the limit never leaves the policy band.
+pub fn slo_shed_burst() -> Scenario {
+    let mut s = base("slo-shed-burst", 444, 6, 0.9);
+    s.producers = 6;
+    s.config.queue_capacity = 8;
+    s.config.backpressure = Backpressure::Reject;
+    s.slo = Some(SloPlan {
+        every_ticks: 16,
+        policy: SloPolicy {
+            target_p99_wait: 1,
+            min_limit: 4,
+            max_limit: 64,
+            decrease: 0.5,
+            increase: 8,
+            min_samples: 4,
+        },
+    });
+    s
+}
+
+/// The elastic-control-plane scenarios, in catalogue order.
+pub fn reconfig_catalogue() -> Vec<Scenario> {
+    vec![
+        resize_under_drain(),
+        swap_during_campaign(),
+        scale_down_while_quarantined(),
+        slo_shed_burst(),
+    ]
+}
+
 /// Every scenario, in catalogue order.
 pub fn catalogue() -> Vec<Scenario> {
-    vec![
+    let mut all = vec![
         drain_block(),
         batched_admission(),
         batched_shed(),
@@ -259,7 +436,9 @@ pub fn catalogue() -> Vec<Scenario> {
         midrun_fault(),
         flap(),
         campaign(),
-    ]
+    ];
+    all.extend(reconfig_catalogue());
+    all
 }
 
 /// Look a scenario up by its CLI name.

@@ -3,11 +3,12 @@
 //!
 //! Given a scenario, a seed, and a failure predicate, [`shrink`] greedily
 //! removes whatever it can while the re-run (same seed) still fails:
-//! individual fault events first, then workload frames (halving), then
-//! producers. The result is a local minimum — removing any single
-//! remaining fault event, halving the workload again, or dropping
-//! another producer makes the failure disappear — which is what a human
-//! debugging the seed actually wants to stare at.
+//! individual fault events first, then individual reconfiguration events
+//! and the SLO plan, then workload frames (halving), then producers.
+//! The result is a local minimum — removing any single remaining event,
+//! halving the workload again, or dropping another producer makes the
+//! failure disappear — which is what a human debugging the seed actually
+//! wants to stare at.
 //!
 //! Shrinking re-runs the simulator, so it inherits its determinism: the
 //! same `(scenario, seed, predicate)` always shrinks to the same
@@ -37,6 +38,31 @@ pub fn shrink(scenario: &Scenario, seed: u64, fails: &dyn Fn(&SimRun) -> bool) -
                 reduced = true;
             } else {
                 i += 1;
+            }
+        }
+
+        // Drop reconfiguration events the same way: operations the
+        // control plane would refuse after an earlier removal are skipped
+        // silently by the executor, so every candidate schedule is valid.
+        let mut i = 0;
+        while i < current.reconfig.len() {
+            let mut candidate = current.clone();
+            candidate.reconfig.remove(i);
+            if fails(&run_scenario(&candidate, seed)) {
+                current = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Drop the SLO plan if the failure survives without it.
+        if current.slo.is_some() {
+            let mut candidate = current.clone();
+            candidate.slo = None;
+            if fails(&run_scenario(&candidate, seed)) {
+                current = candidate;
+                reduced = true;
             }
         }
 

@@ -4,7 +4,10 @@
 //! A [`Scenario`] fixes everything about a run except the interleaving:
 //! the switch, the fabric configuration, the producer workload (via
 //! [`fabric::producer_script`] — the same message sequences the threaded
-//! driver submits), a virtual-time fault schedule, and a tick budget.
+//! driver submits), a virtual-time fault schedule, a virtual-time
+//! *reconfiguration* schedule (shard add/remove, live switch swaps,
+//! admission retargeting — see [`ReconfigAction`]), an optional
+//! SLO-admission plan, and a tick budget.
 //! [`run_scenario`] then executes the scenario's producers and shard
 //! workers as *cooperative tasks*: each scheduler step picks one ready
 //! task uniformly with a [`SplitMix64`] stream seeded by the run's `u64`
@@ -41,7 +44,7 @@ use concentrator::verify::SplitMix64;
 use concentrator::StagedSwitch;
 use fabric::{
     producer_script, producer_script_frames, Delivery, FabricConfig, FabricSnapshot, LoadPlan,
-    ServiceCore, SubmitOutcome, SubmitStep, WorkerCore, WorkerStep,
+    ServiceCore, SloController, SloPolicy, SubmitOutcome, SubmitStep, WorkerCore, WorkerStep,
 };
 use switchsim::Message;
 
@@ -60,6 +63,55 @@ pub struct SimFaultEvent {
     pub faults: Vec<ChipFault>,
 }
 
+/// A control-plane operation (see [`fabric::reconfig`]) the executor
+/// performs on the live core. Operations the control plane refuses —
+/// removing the last active shard, growing past the lane pool — are
+/// skipped silently: schedules stay valid under shrinking.
+#[derive(Debug, Clone)]
+pub enum ReconfigAction {
+    /// Activate the next unused lane and start a worker for it on the
+    /// current switch (the original, or the last swapped-in one).
+    AddShard,
+    /// Drain and retire one shard's lane.
+    RemoveShard {
+        /// The lane to remove.
+        shard: usize,
+    },
+    /// Stage a recompiled switch into every live lane (two-phase epoch
+    /// handoff); later-added shards start on it.
+    SwapSwitch {
+        /// The replacement; its `n` must cover the current switch's.
+        switch: Arc<StagedSwitch>,
+    },
+    /// Retarget the global admission cap (`None` = uncapped).
+    SetAdmissionLimit {
+        /// The new cap.
+        limit: Option<usize>,
+    },
+}
+
+/// A control-plane operation at a point in virtual time — the reconfig
+/// analogue of [`SimFaultEvent`].
+#[derive(Debug, Clone)]
+pub struct SimReconfigEvent {
+    /// Virtual tick at which the operation runs.
+    pub at_tick: u64,
+    /// What the control plane does.
+    pub action: ReconfigAction,
+}
+
+/// Drive an [`SloController`] on the virtual clock: evaluate a live
+/// snapshot every `every_ticks` ticks and apply the limit it hands back
+/// through [`ServiceCore::set_admission_limit`]. Pure function of the
+/// run, so SLO-controlled runs replay bit-for-bit like everything else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPlan {
+    /// Evaluation cadence in virtual ticks.
+    pub every_ticks: u64,
+    /// The AIMD policy.
+    pub policy: SloPolicy,
+}
+
 /// Everything that defines a simulated run except the interleaving seed.
 #[derive(Clone)]
 pub struct Scenario {
@@ -73,8 +125,13 @@ pub struct Scenario {
     pub producers: usize,
     /// Per-producer workload (seeded off `plan.seed + producer`).
     pub plan: LoadPlan,
-    /// Virtual-time fault schedule, sorted by `at_tick`.
+    /// Virtual-time fault schedule, sorted by `at_tick`. May target any
+    /// lane below `config.max_shards`, including shards added mid-run.
     pub faults: Vec<SimFaultEvent>,
+    /// Virtual-time control-plane schedule, sorted by `at_tick`.
+    pub reconfig: Vec<SimReconfigEvent>,
+    /// SLO-driven admission control on the virtual clock, if any.
+    pub slo: Option<SloPlan>,
     /// Whether producers submit whole generation frames through the
     /// frame-batched admission path ([`ServiceCore::try_submit_batch`])
     /// instead of single messages — explores the ring's batched
@@ -100,9 +157,26 @@ impl Scenario {
             "fault schedule must be sorted by tick"
         );
         assert!(
-            self.faults.iter().all(|e| e.shard < self.config.shards),
+            self.faults.iter().all(|e| e.shard < self.config.max_shards),
             "fault event names a missing shard"
         );
+        assert!(
+            self.reconfig
+                .windows(2)
+                .all(|w| w[0].at_tick <= w[1].at_tick),
+            "reconfig schedule must be sorted by tick"
+        );
+        assert!(
+            self.reconfig.iter().all(|e| match &e.action {
+                ReconfigAction::RemoveShard { shard } => *shard < self.config.max_shards,
+                _ => true,
+            }),
+            "reconfig event names a lane outside the pool"
+        );
+        if let Some(plan) = &self.slo {
+            assert!(plan.every_ticks > 0, "SLO cadence must be positive");
+            plan.policy.validate();
+        }
     }
 }
 
@@ -219,6 +293,50 @@ pub enum TraceEvent {
         shard: usize,
         /// New flag value.
         on: bool,
+    },
+    /// A shard joined the placement ring ([`ReconfigAction::AddShard`]).
+    ShardAdded {
+        /// Virtual tick of the epoch bump.
+        tick: u64,
+        /// The new lane's id.
+        shard: usize,
+    },
+    /// A shard left the placement ring and began draining
+    /// ([`ReconfigAction::RemoveShard`]).
+    ShardRemoved {
+        /// Virtual tick of the epoch bump.
+        tick: u64,
+        /// The draining lane's id.
+        shard: usize,
+    },
+    /// A replacement switch was staged into every live lane
+    /// ([`ReconfigAction::SwapSwitch`]); each worker installs it once its
+    /// old-epoch backlog completes.
+    SwitchSwapped {
+        /// Virtual tick of the epoch bump.
+        tick: u64,
+        /// Lanes signalled.
+        lanes: usize,
+    },
+    /// The global admission cap was retargeted
+    /// ([`ReconfigAction::SetAdmissionLimit`]).
+    AdmissionLimitSet {
+        /// Virtual tick of the change.
+        tick: u64,
+        /// The new cap (`None` = uncapped).
+        limit: Option<usize>,
+    },
+    /// The SLO controller changed the admission limit after an
+    /// evaluation.
+    SloAdjust {
+        /// Virtual tick of the evaluation.
+        tick: u64,
+        /// The interval's p99 wait (bucket floor).
+        p99: u64,
+        /// Deliveries in the interval.
+        samples: u64,
+        /// The limit the controller set.
+        limit: usize,
     },
     /// All producers finished; the queues were closed (drain begins).
     Closed {
@@ -363,7 +481,14 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
     let mut completions: Vec<Delivery> = Vec::new();
     let mut frames = 0u64;
     let mut next_fault = 0usize;
+    let mut next_reconfig = 0usize;
     let mut closed = false;
+    // The switch newly added shards start on: the scenario's, until a
+    // SwapSwitch event replaces it.
+    let mut current_switch = Arc::clone(&scenario.switch);
+    let mut slo = scenario
+        .slo
+        .map(|plan| (plan, SloController::new(plan.policy)));
 
     loop {
         let tick = clock.now();
@@ -383,6 +508,66 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
                 faults: event.faults.len(),
             });
             next_fault += 1;
+        }
+
+        // Virtual-time control-plane schedule: epoch-bumping operations
+        // land between scheduler steps, exactly like a control thread's
+        // calls land between data-plane steps. Refused operations (last
+        // active shard, exhausted lane pool, drain already begun) are
+        // skipped without a trace entry.
+        while next_reconfig < scenario.reconfig.len()
+            && scenario.reconfig[next_reconfig].at_tick <= tick
+        {
+            match &scenario.reconfig[next_reconfig].action {
+                ReconfigAction::AddShard => {
+                    if let Some(shard) = core.add_shard() {
+                        workers.push(core.worker(shard, Arc::clone(&current_switch)));
+                        worker_done.push(false);
+                        quarantine_flags.push(false);
+                        trace.push(TraceEvent::ShardAdded { tick, shard });
+                    }
+                }
+                ReconfigAction::RemoveShard { shard } => {
+                    if core.remove_shard(*shard) {
+                        trace.push(TraceEvent::ShardRemoved {
+                            tick,
+                            shard: *shard,
+                        });
+                    }
+                }
+                ReconfigAction::SwapSwitch { switch } => {
+                    current_switch = Arc::clone(switch);
+                    let lanes = core.swap_switch(Arc::clone(switch));
+                    trace.push(TraceEvent::SwitchSwapped { tick, lanes });
+                }
+                ReconfigAction::SetAdmissionLimit { limit } => {
+                    core.set_admission_limit(*limit);
+                    trace.push(TraceEvent::AdmissionLimitSet {
+                        tick,
+                        limit: *limit,
+                    });
+                }
+            }
+            next_reconfig += 1;
+        }
+
+        // SLO-driven admission on the virtual clock: evaluate a live
+        // snapshot at the plan's cadence and keep the core's limit in
+        // lockstep with the controller (the set is idempotent; only
+        // changes bump the epoch or the trace).
+        if let Some((plan, controller)) = &mut slo {
+            if tick > 0 && tick.is_multiple_of(plan.every_ticks) {
+                let decision = controller.evaluate(&core.snapshot());
+                core.set_admission_limit(Some(decision.limit));
+                if decision.changed {
+                    trace.push(TraceEvent::SloAdjust {
+                        tick,
+                        p99: decision.interval_p99,
+                        samples: decision.samples,
+                        limit: decision.limit,
+                    });
+                }
+            }
         }
 
         // Graceful drain starts the moment the offered load ends.
@@ -513,8 +698,11 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
                         dropped: run.dropped.len(),
                     });
                     let shard = workers[w].shard();
+                    // The frame oracle replays against the shard's
+                    // *installed* switch — after a live swap that is the
+                    // replacement, not the scenario's original.
                     if let Some(v) =
-                        check_frame(&scenario.switch, shard.active_faults(), &run, w, tick)
+                        check_frame(shard.switch(), shard.active_faults(), &run, w, tick)
                     {
                         violations.push(v);
                     }
