@@ -75,6 +75,49 @@ fn full_revsort_hyperconcentrator_n16_truth_table() {
 }
 
 #[test]
+fn revsort_n16_truth_table_every_lane_width_and_thread_count() {
+    // Pin the instruction-stream emulator at every lane width (64/256/512
+    // vectors per fetch) and thread count (1/2/4), plus the level-parallel
+    // team sweep, against the scalar interpreter over the entire 2^16
+    // truth table. One scalar sweep establishes the expected table; every
+    // configuration must then be bit-identical to it.
+    let switch = RevsortSwitch::new(16, 12, RevsortLayout::TwoDee);
+    let elab = switch.staged().control_logic(true);
+    let n = 16usize;
+    let total = 1usize << n;
+    let inputs = BitMatrix::from_fn(n, total, |row, v| v >> row & 1 == 1);
+
+    let baseline = elab.compiled.eval_matrix_lanes(&inputs, 64, 1);
+    assert!(baseline.tail_is_clear());
+    let mut scratch = Vec::new();
+    for pattern in (0..total).step_by(523) {
+        scratch.clear();
+        scratch.extend((0..n).map(|i| pattern >> i & 1 == 1));
+        let expected = elab.netlist.eval(&scratch);
+        for (o, &bit) in expected.iter().enumerate() {
+            assert_eq!(
+                baseline.get(o, pattern),
+                bit,
+                "pattern {pattern:#06x} output {o}"
+            );
+        }
+    }
+
+    for lanes in [64usize, 256, 512] {
+        for threads in [1usize, 2, 4] {
+            let out = elab.compiled.eval_matrix_lanes(&inputs, lanes, threads);
+            assert!(out.tail_is_clear(), "lanes {lanes} threads {threads}");
+            assert_eq!(out, baseline, "lanes {lanes} threads {threads}");
+        }
+    }
+    for threads in [1usize, 2, 4] {
+        let out = elab.compiled.eval_matrix_level_threads(&inputs, threads);
+        assert!(out.tail_is_clear(), "level threads {threads}");
+        assert_eq!(out, baseline, "level threads {threads}");
+    }
+}
+
+#[test]
 fn trace_netlist_n16_truth_table_sampled_lanes() {
     // The trace netlist marks the whole final-stage wire vector; check the
     // compiled batch agrees with the scalar trace on every pattern.

@@ -1,34 +1,44 @@
-//! Compiled netlist engine: levelized schedule, flattened literal arena,
-//! and multi-word batch evaluation.
+//! Compiled netlist engine: a two-phase compiler→emulator in the style of
+//! hardware emulation engines.
 //!
 //! [`Netlist::eval`] and [`Netlist::eval_block`] walk the builder's data
 //! structures directly: every gate dereferences a `Vec<Literal>` of its own,
 //! and every wire dispatches through the driver table. That is fine for
-//! one vector, but Monte Carlo verification and load-ratio sweeps push
-//! millions of vectors through the same circuit, so this module compiles a
-//! netlist **once** into a form built for throughput:
+//! one vector, but Monte Carlo verification, fault campaigns, and the
+//! serving fabric push millions of vectors through the same circuit, so
+//! this module compiles a netlist **once**, in two phases:
 //!
-//! * the gate list is **levelized** using the existing depth machinery
-//!   ([`Netlist::depth_report`]): gates are re-ordered level by level, so the
-//!   schedule makes the circuit's parallel structure explicit and each
-//!   level's gates may be evaluated in any order (or concurrently),
-//! * every gate's fan-in literals are flattened into **one contiguous
-//!   arena** (`lits`), indexed by a prefix-offset table — no per-gate `Vec`,
-//!   no pointer chasing, and
-//! * evaluation is **bit-parallel over arbitrarily many vectors**: a
-//!   [`BitMatrix`] carries `vectors` test patterns as ⌈vectors/64⌉ machine
-//!   words per signal, and [`CompiledNetlist::eval_matrix`] sweeps the
-//!   compiled schedule once per word, optionally fanning word-chunks out to
-//!   scoped threads (each with a private scratch buffer).
+//! 1. **Schedule** (phase 1, this file): the gate list is levelized via
+//!    the depth machinery and every gate's fan-in literals are flattened
+//!    into one contiguous arena. The schedule is the fault-injection
+//!    surface — [`CompiledNetlist::with_faults`] edits opcodes, literal
+//!    inversion bits, and input forces here — and doubles as a slow
+//!    reference interpreter ([`CompiledNetlist::eval_word_reference`])
+//!    for differential testing.
+//! 2. **Instruction stream** (phase 2, [`crate::insn`]): the schedule is
+//!    lowered onto a chip partition ([`crate::partition`]) as a dense
+//!    stream of fixed-width op/src-a/src-b/dst records over
+//!    liveness-recycled value slots, and the emulator sweeps it over a
+//!    [`BitMatrix`] in lane groups of 64, 256, or 512 test vectors
+//!    (portable unrolled u64, AVX2, or AVX-512 kernels), either splitting
+//!    lanes across threads or splitting each level's instruction range
+//!    across a barrier-synchronized team.
 //!
 //! Literal semantics are shared with the interpreters through
-//! [`Literal::apply`] / [`Literal::apply_word`], so all three paths agree by
-//! construction; the equivalence is additionally enforced by truth-table and
-//! property tests.
+//! [`Literal::apply`] / [`Literal::apply_word`], so all paths agree by
+//! construction; the equivalence is additionally enforced by truth-table
+//! and property tests at every lane width and thread count.
 
 use crate::builder::Netlist;
 use crate::gate::GateKind;
+use crate::insn::{detect_simd, lower, InsnStream, Simd};
+pub use crate::matrix::BitMatrix;
+use crate::partition::{partition_schedule, report, Partition, PartitionReport};
 use crate::wire::{Literal, Wire};
+
+/// Chips the default compilation partitions onto — enough for the level-
+/// parallel sweep to feed eight workers, cheap to ignore on fewer.
+pub const DEFAULT_CHIPS: usize = 8;
 
 /// How a faulted wire misbehaves (see [`CompiledNetlist::with_faults`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,10 +82,10 @@ impl WireFault {
     }
 }
 
-/// Compiled gate opcode. [`GateKind::Const`] splits into two opcodes so the
-/// hot loop never touches a payload.
+/// Compiled gate opcode. [`GateKind::Const`] splits into two opcodes so
+/// no evaluator ever touches a payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
+pub(crate) enum Op {
     And,
     Or,
     Xor,
@@ -86,66 +96,59 @@ enum Op {
 
 /// A literal packed into one word: wire index in the high bits, inversion
 /// flag in bit 0.
-type PackedLit = u32;
+pub(crate) type PackedLit = u32;
 
 #[inline]
-fn pack(lit: Literal) -> PackedLit {
+pub(crate) fn pack(lit: Literal) -> PackedLit {
     let w = lit.wire.index() as u32;
     assert!(w < (1 << 31), "netlist exceeds 2^31 wires");
     (w << 1) | lit.inverted as u32
 }
 
 #[inline]
-fn unpack(packed: PackedLit) -> Literal {
+pub(crate) fn unpack(packed: PackedLit) -> Literal {
     Literal {
         wire: Wire(packed >> 1),
         inverted: packed & 1 == 1,
     }
 }
 
-/// A netlist compiled for batch evaluation.
+/// Phase-1 compilation output: the levelized, arena-flattened schedule.
 ///
-/// Construction is `O(wires + literals)` after one depth pass; the compiled
-/// form is immutable and holds no reference to the source [`Netlist`], so it
-/// can be cached and shared across verification, simulation, and search.
+/// This is the IR faults are lowered onto, the input to the partitioner
+/// and the phase-2 lowering, and — via [`Schedule::eval_word`] — a slow
+/// reference evaluator the instruction stream is differentially tested
+/// against.
 #[derive(Debug, Clone)]
-pub struct CompiledNetlist {
-    /// Total wire count (scratch buffer size).
-    wire_count: usize,
+pub(crate) struct Schedule {
+    /// Total wire count.
+    pub wire_count: usize,
     /// Wire index of each primary input, in input-ordinal order.
-    input_wires: Vec<u32>,
+    pub input_wires: Vec<u32>,
     /// Opcode per scheduled gate, in levelized order.
-    ops: Vec<Op>,
+    pub ops: Vec<Op>,
     /// Output wire index per scheduled gate.
-    outs: Vec<u32>,
+    pub outs: Vec<u32>,
     /// Prefix offsets into `lits`: gate `g` reads `lits[bounds[g]..bounds[g+1]]`.
-    lit_bounds: Vec<u32>,
+    pub lit_bounds: Vec<u32>,
     /// Flattened fan-in literal arena.
-    lits: Vec<PackedLit>,
+    pub lits: Vec<PackedLit>,
     /// Level boundaries over the scheduled gate list: level `l` is the gate
     /// range `levels[l]..levels[l+1]`. Within a level no gate reads another's
     /// output, so a level is a parallel-safe unit of work.
-    levels: Vec<u32>,
+    pub levels: Vec<u32>,
     /// Packed primary-output literals, in marking order.
-    outputs: Vec<PackedLit>,
+    pub outputs: Vec<PackedLit>,
     /// Stuck-at values applied to *non-gate* wires (primary inputs) after
     /// the input words are loaded and before the sweep: `(wire, value)`.
-    /// Empty for healthy circuits, so the hot path never pays for the
-    /// fault machinery. Gate-output stucks are compiled into the opcode
-    /// stream instead (see [`CompiledNetlist::with_faults`]).
-    forces: Vec<(u32, bool)>,
+    /// Empty for healthy circuits. Gate-output stucks are compiled into
+    /// the opcode stream instead.
+    pub forces: Vec<(u32, bool)>,
 }
 
-impl Netlist {
-    /// Compile this netlist for batch evaluation.
-    pub fn compile(&self) -> CompiledNetlist {
-        CompiledNetlist::new(self)
-    }
-}
-
-impl CompiledNetlist {
-    /// Compile `nl`: levelize via the depth report, then flatten.
-    pub fn new(nl: &Netlist) -> Self {
+impl Schedule {
+    /// Levelize `nl` via the depth report, then flatten.
+    fn new(nl: &Netlist) -> Self {
         let depth = nl.depth_report();
         // Stable sort by output-wire depth keeps builder order within a
         // level, so compilation is deterministic.
@@ -186,7 +189,7 @@ impl CompiledNetlist {
         }
         levels.push(order.len() as u32);
 
-        CompiledNetlist {
+        Schedule {
             wire_count: nl.wire_count(),
             input_wires: nl.inputs().iter().map(|w| w.index() as u32).collect(),
             ops,
@@ -199,30 +202,15 @@ impl CompiledNetlist {
         }
     }
 
-    /// Derive a *faulted* copy of this compiled netlist: the returned
-    /// engine evaluates the same schedule with the given wire faults
-    /// permanently injected, at the same batch-evaluation speed.
-    ///
-    /// Injection strategy, chosen so the sweep hot loop is untouched:
-    ///
-    /// * **stuck-at on a gate-output wire** — the driving gate's opcode is
-    ///   replaced with `ConstTrue`/`ConstFalse` in the schedule;
-    /// * **stuck-at on a primary-input wire** — recorded in a force list
-    ///   applied once per sweep, right after the input words are loaded;
-    /// * **flip** — every reader literal of the wire (fan-in arena and
-    ///   primary outputs) has its inversion bit toggled, which is exactly
-    ///   "every consumer sees the complement".
-    ///
-    /// Faults are applied in order; flipping the same wire twice cancels,
-    /// and a stuck-at composed with a flip yields the complemented
-    /// constant at every reader — the physical semantics of a shorted
-    /// line feeding an inverting receiver.
-    ///
-    /// Cost is `O(gates + literals)` for the copy plus `O(literals)` per
-    /// flip — negligible next to one evaluation sweep — and the source
-    /// engine is untouched, so cached healthy elaborations stay clean.
-    pub fn with_faults(&self, faults: &[WireFault]) -> CompiledNetlist {
-        let mut faulted = self.clone();
+    /// Fan-in literal span of scheduled gate `g`.
+    #[inline]
+    pub(crate) fn gate_lits(&self, g: usize) -> &[PackedLit] {
+        &self.lits[self.lit_bounds[g] as usize..self.lit_bounds[g + 1] as usize]
+    }
+
+    /// Apply `faults` in place (see [`CompiledNetlist::with_faults`] for
+    /// the injection strategy and composition semantics).
+    fn apply_faults(&mut self, faults: &[WireFault]) {
         // Map wire index -> schedule slot of the gate driving it.
         let mut driver_slot: Vec<Option<u32>> = vec![None; self.wire_count];
         for (slot, &w) in self.outs.iter().enumerate() {
@@ -236,19 +224,19 @@ impl CompiledNetlist {
                     let value = fault.kind == WireFaultKind::Stuck1;
                     match driver_slot[w] {
                         Some(slot) => {
-                            faulted.ops[slot as usize] =
+                            self.ops[slot as usize] =
                                 if value { Op::ConstTrue } else { Op::ConstFalse };
                         }
-                        None => faulted.forces.push((w as u32, value)),
+                        None => self.forces.push((w as u32, value)),
                     }
                 }
                 WireFaultKind::Flip => {
-                    for lit in &mut faulted.lits {
+                    for lit in &mut self.lits {
                         if (*lit >> 1) as usize == w {
                             *lit ^= 1;
                         }
                     }
-                    for out in &mut faulted.outputs {
+                    for out in &mut self.outputs {
                         if (*out >> 1) as usize == w {
                             *out ^= 1;
                         }
@@ -256,65 +244,14 @@ impl CompiledNetlist {
                 }
             }
         }
-        faulted
     }
 
-    /// Whether this engine carries injected faults that force primary
-    /// input wires (gate-level faults are invisible here by design).
-    pub fn has_input_forces(&self) -> bool {
-        !self.forces.is_empty()
-    }
-
-    /// Number of primary inputs.
-    #[inline]
-    pub fn input_count(&self) -> usize {
-        self.input_wires.len()
-    }
-
-    /// Number of primary outputs.
-    #[inline]
-    pub fn output_count(&self) -> usize {
-        self.outputs.len()
-    }
-
-    /// Number of scheduled gates.
-    #[inline]
-    pub fn gate_count(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// Number of wires (scratch words per 64-vector word).
-    #[inline]
-    pub fn wire_count(&self) -> usize {
-        self.wire_count
-    }
-
-    /// Number of levels in the schedule.
-    #[inline]
-    pub fn level_count(&self) -> usize {
-        self.levels.len() - 1
-    }
-
-    /// Total fan-in literals in the arena.
-    #[inline]
-    pub fn literal_count(&self) -> usize {
-        self.lits.len()
-    }
-
-    /// A fresh scratch buffer sized for this circuit.
-    pub fn scratch(&self) -> EvalScratch {
-        EvalScratch {
-            wires: vec![0u64; self.wire_count],
-        }
-    }
-
-    /// One levelized sweep over 64 lanes. Input wires must already be
-    /// written into `wires`; all gate-output wires are overwritten.
-    #[inline]
+    /// One levelized 64-lane sweep over the schedule itself — the
+    /// reference semantics the instruction stream must reproduce.
     fn sweep(&self, wires: &mut [u64]) {
         for level in self.levels.windows(2) {
             for g in level[0] as usize..level[1] as usize {
-                let span = &self.lits[self.lit_bounds[g] as usize..self.lit_bounds[g + 1] as usize];
+                let span = self.gate_lits(g);
                 let fetch = |&packed: &PackedLit| -> u64 {
                     let lit = unpack(packed);
                     lit.apply_word(wires[lit.wire.index()])
@@ -332,89 +269,312 @@ impl CompiledNetlist {
         }
     }
 
-    /// Evaluate 64 vectors: bit `j` of `inputs[i]` is primary input `i` in
-    /// vector `j`. Compiled counterpart of [`Netlist::eval_block`], writing
-    /// one word per output into `out`.
-    pub fn eval_word_into(&self, inputs: &[u64], scratch: &mut EvalScratch, out: &mut [u64]) {
+    /// Evaluate 64 vectors against the schedule directly (one word per
+    /// wire, no slot recycling).
+    pub(crate) fn eval_word(&self, inputs: &[u64]) -> Vec<u64> {
         assert_eq!(
             inputs.len(),
             self.input_wires.len(),
             "wrong number of input blocks"
         );
-        assert_eq!(
-            out.len(),
-            self.outputs.len(),
-            "wrong number of output blocks"
-        );
-        assert_eq!(
-            scratch.wires.len(),
-            self.wire_count,
-            "scratch sized for another circuit"
-        );
-        let wires = &mut scratch.wires[..];
+        let mut wires = vec![0u64; self.wire_count];
         for (ord, &w) in self.input_wires.iter().enumerate() {
             wires[w as usize] = inputs[ord];
         }
         for &(w, value) in &self.forces {
             wires[w as usize] = if value { !0u64 } else { 0u64 };
         }
-        self.sweep(wires);
-        for (o, &packed) in self.outputs.iter().enumerate() {
-            let lit = unpack(packed);
-            out[o] = lit.apply_word(wires[lit.wire.index()]);
+        self.sweep(&mut wires);
+        self.outputs
+            .iter()
+            .map(|&packed| {
+                let lit = unpack(packed);
+                lit.apply_word(wires[lit.wire.index()])
+            })
+            .collect()
+    }
+}
+
+/// A netlist compiled for batch evaluation: the phase-1 `Schedule`, its
+/// chip partition, and the phase-2 instruction stream the emulator
+/// actually runs.
+///
+/// Construction is `O(wires + literals)` after one depth pass; the
+/// compiled form is immutable and holds no reference to the source
+/// [`Netlist`], so it can be cached and shared across verification,
+/// simulation, serving, and search.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    schedule: Schedule,
+    partition: Partition,
+    stream: InsnStream,
+    simd: Simd,
+}
+
+impl Netlist {
+    /// Compile this netlist for batch evaluation, partitioned onto
+    /// [`DEFAULT_CHIPS`] chips.
+    pub fn compile(&self) -> CompiledNetlist {
+        self.compile_partitioned(DEFAULT_CHIPS)
+    }
+
+    /// Compile with an explicit chip count (≥ 1). The partition bounds
+    /// both the level-parallel sweep's useful worker count and the
+    /// chips/pins packaging table.
+    pub fn compile_partitioned(&self, chips: usize) -> CompiledNetlist {
+        CompiledNetlist::new_partitioned(self, chips)
+    }
+}
+
+impl CompiledNetlist {
+    /// Compile `nl` onto [`DEFAULT_CHIPS`] chips.
+    pub fn new(nl: &Netlist) -> Self {
+        Self::new_partitioned(nl, DEFAULT_CHIPS)
+    }
+
+    /// Compile `nl` onto `chips` chips: levelize, partition, lower.
+    pub fn new_partitioned(nl: &Netlist, chips: usize) -> Self {
+        let schedule = Schedule::new(nl);
+        let partition = partition_schedule(&schedule, chips.max(1));
+        let stream = lower(&schedule, &partition);
+        CompiledNetlist {
+            schedule,
+            partition,
+            stream,
+            simd: detect_simd(),
+        }
+    }
+
+    /// Derive a *faulted* copy of this compiled netlist: the returned
+    /// engine evaluates the same schedule with the given wire faults
+    /// permanently injected, at the same batch-evaluation speed.
+    ///
+    /// Injection strategy, chosen so the emulator hot loop is untouched:
+    ///
+    /// * **stuck-at on a gate-output wire** — the driving gate's opcode is
+    ///   replaced with `ConstTrue`/`ConstFalse` in the schedule;
+    /// * **stuck-at on a primary-input wire** — recorded in a force list
+    ///   applied once per sweep, right after the input words are loaded;
+    /// * **flip** — every reader literal of the wire (fan-in arena and
+    ///   primary outputs) has its inversion bit toggled, which is exactly
+    ///   "every consumer sees the complement".
+    ///
+    /// Faults are applied in order; flipping the same wire twice cancels,
+    /// and a stuck-at composed with a flip yields the complemented
+    /// constant at every reader — the physical semantics of a shorted
+    /// line feeding an inverting receiver.
+    ///
+    /// The edited schedule is then **re-lowered** onto the same chip
+    /// partition, so the faulted engine runs the identical instruction
+    /// format, slot layout discipline, and SIMD kernels as the healthy
+    /// one. Cost is `O(gates + literals)` — negligible next to one
+    /// evaluation sweep — and the source engine is untouched, so cached
+    /// healthy elaborations stay clean.
+    pub fn with_faults(&self, faults: &[WireFault]) -> CompiledNetlist {
+        let mut schedule = self.schedule.clone();
+        schedule.apply_faults(faults);
+        let stream = lower(&schedule, &self.partition);
+        CompiledNetlist {
+            schedule,
+            partition: self.partition.clone(),
+            stream,
+            simd: self.simd,
+        }
+    }
+
+    /// Whether this engine carries injected faults that force primary
+    /// input wires (gate-level faults are invisible here by design).
+    pub fn has_input_forces(&self) -> bool {
+        !self.schedule.forces.is_empty()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.schedule.input_wires.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn output_count(&self) -> usize {
+        self.schedule.outputs.len()
+    }
+
+    /// Number of scheduled gates.
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.schedule.ops.len()
+    }
+
+    /// Number of wires in the source netlist.
+    #[inline]
+    pub fn wire_count(&self) -> usize {
+        self.schedule.wire_count
+    }
+
+    /// Number of levels in the schedule.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.schedule.levels.len() - 1
+    }
+
+    /// Total fan-in literals in the arena.
+    #[inline]
+    pub fn literal_count(&self) -> usize {
+        self.schedule.lits.len()
+    }
+
+    /// Number of emulator instructions in the lowered stream.
+    #[inline]
+    pub fn insn_count(&self) -> usize {
+        self.stream.insns.len()
+    }
+
+    /// Value slots the emulator sweeps over — peak live wires after
+    /// level-blocked recycling, and the scratch words per lane. For the
+    /// switch netlists this is a small fraction of [`Self::wire_count`],
+    /// which is what keeps wide sweeps cache-resident.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.stream.slot_count
+    }
+
+    /// Number of chips the schedule is partitioned onto.
+    #[inline]
+    pub fn chip_count(&self) -> usize {
+        self.partition.chips
+    }
+
+    /// Price this compilation's chip partition in the paper's packaging
+    /// currency: gates, pins, and cut wires per chip.
+    pub fn partition_report(&self) -> PartitionReport {
+        report(&self.schedule, &self.partition)
+    }
+
+    /// Validate the lowered stream's slot bounds and per-level cross-chip
+    /// write/read disjointness. Cheap relative to compilation; runs
+    /// automatically in debug builds, callable from tests and benches.
+    pub fn self_check(&self) {
+        self.stream.self_check();
+    }
+
+    /// A fresh scratch buffer sized for this circuit (64-lane sweeps).
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch {
+            vals: vec![0u64; self.stream.slot_count],
+        }
+    }
+
+    /// Evaluate 64 vectors: bit `j` of `inputs[i]` is primary input `i` in
+    /// vector `j`. Compiled counterpart of [`Netlist::eval_block`], writing
+    /// one word per output into `out`.
+    pub fn eval_word_into(&self, inputs: &[u64], scratch: &mut EvalScratch, out: &mut [u64]) {
+        assert_eq!(
+            inputs.len(),
+            self.stream.input_slots.len(),
+            "wrong number of input blocks"
+        );
+        assert_eq!(
+            out.len(),
+            self.stream.outputs.len(),
+            "wrong number of output blocks"
+        );
+        assert_eq!(
+            scratch.vals.len(),
+            self.stream.slot_count,
+            "scratch sized for another circuit"
+        );
+        let vals = &mut scratch.vals[..];
+        for (ord, &slot) in self.stream.input_slots.iter().enumerate() {
+            vals[slot as usize] = inputs[ord];
+        }
+        for &(slot, value) in &self.stream.forces {
+            vals[slot as usize] = if value { !0u64 } else { 0u64 };
+        }
+        self.stream.sweep(1, vals, self.simd);
+        for (o, &(slot, inverted)) in self.stream.outputs.iter().enumerate() {
+            out[o] = vals[slot as usize] ^ (inverted as u64).wrapping_neg();
         }
     }
 
     /// Allocating convenience over [`CompiledNetlist::eval_word_into`].
     pub fn eval_word(&self, inputs: &[u64]) -> Vec<u64> {
         let mut scratch = self.scratch();
-        let mut out = vec![0u64; self.outputs.len()];
+        let mut out = vec![0u64; self.stream.outputs.len()];
         self.eval_word_into(inputs, &mut scratch, &mut out);
         out
     }
 
+    /// Evaluate 64 vectors against the phase-1 schedule instead of the
+    /// instruction stream — the "old" compiled engine, kept as a
+    /// reference implementation for differential tests. Slow path:
+    /// allocates a full wire-indexed buffer per call.
+    pub fn eval_word_reference(&self, inputs: &[u64]) -> Vec<u64> {
+        self.schedule.eval_word(inputs)
+    }
+
     /// Evaluate every vector of `inputs` (one row per primary input).
     ///
-    /// Unused lanes in the final word of every output row are zeroed, so
-    /// row popcounts are exact over the matrix's `vectors` columns.
+    /// Picks a strategy from the batch shape: wide batches split lanes
+    /// across threads (no synchronization inside a sweep); narrow batches
+    /// over large circuits run the level-parallel team sweep. Results are
+    /// bit-identical either way. Unused lanes in the final word of every
+    /// output row are zeroed, so row popcounts are exact over the
+    /// matrix's `vectors` columns.
     pub fn eval_matrix(&self, inputs: &BitMatrix) -> BitMatrix {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        self.eval_matrix_threads(inputs, threads)
+        let words = inputs.words_per_row();
+        if threads > 1 && words < 2 * threads && self.insn_count() >= 1 << 15 {
+            self.eval_matrix_level_threads(inputs, threads)
+        } else {
+            self.eval_matrix_threads(inputs, threads)
+        }
     }
 
-    /// [`CompiledNetlist::eval_matrix`] with an explicit worker count.
-    ///
-    /// Word-chunks of the matrix fan out to `threads` scoped threads, each
-    /// with a private scratch buffer; with one thread (or few words) the
+    /// [`CompiledNetlist::eval_matrix`] with an explicit worker count,
+    /// splitting the lane dimension: word-chunks of the matrix fan out to
+    /// `threads` scoped threads, each sweeping its chunk in 512-lane
+    /// groups with a private scratch. With one thread (or few words) the
     /// sweep runs inline. Results are identical either way.
     pub fn eval_matrix_threads(&self, inputs: &BitMatrix, threads: usize) -> BitMatrix {
+        self.eval_matrix_lanes(inputs, 512, threads)
+    }
+
+    /// Lane-splitting evaluation with an explicit maximum lane-group
+    /// width (64, 256, or 512 test vectors per instruction fetch) — the
+    /// ablation and equivalence-test surface for the emulator's width.
+    pub fn eval_matrix_lanes(
+        &self,
+        inputs: &BitMatrix,
+        max_lanes: usize,
+        threads: usize,
+    ) -> BitMatrix {
         assert_eq!(
             inputs.rows(),
-            self.input_wires.len(),
+            self.stream.input_slots.len(),
             "wrong number of input rows"
         );
+        let max_lw = match max_lanes {
+            64 => 1,
+            256 => 4,
+            512 => 8,
+            _ => panic!("lane width must be 64, 256, or 512"),
+        };
         let words = inputs.words_per_row();
-        let mut out = BitMatrix::zeroed(self.outputs.len(), inputs.vectors());
+        let mut out = BitMatrix::zeroed(self.stream.outputs.len(), inputs.vectors());
         let threads = threads.clamp(1, words.max(1));
         if threads <= 1 || words < 2 {
-            let mut scratch = self.scratch();
-            let mut word_out = vec![0u64; self.outputs.len()];
-            let mut word_in = vec![0u64; self.input_wires.len()];
-            for w in 0..words {
-                for (ord, slot) in word_in.iter_mut().enumerate() {
-                    *slot = inputs.word(ord, w);
-                }
-                self.eval_word_into(&word_in, &mut scratch, &mut word_out);
-                for (o, &v) in word_out.iter().enumerate() {
-                    *out.word_mut(o, w) = v;
-                }
-            }
+            let mut vals = vec![0u64; self.stream.slot_count * max_lw];
+            let mut sink = |o: usize, w: usize, v: u64| *out.word_mut(o, w) = v;
+            self.stream
+                .sweep_word_range(inputs, 0, words, max_lw, &mut vals, self.simd, &mut sink);
         } else {
             // Chunk the word range; each worker owns disjoint columns and a
             // private scratch, and returns its output slab for stitching.
             let chunk = words.div_ceil(threads);
+            let outputs = self.stream.outputs.len();
             let slabs = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -428,19 +588,14 @@ impl CompiledNetlist {
                         lo,
                         hi,
                         scope.spawn(move || {
-                            let mut scratch = self.scratch();
-                            let mut word_in = vec![0u64; self.input_wires.len()];
-                            let mut slab = vec![0u64; self.outputs.len() * (hi - lo)];
-                            let mut word_out = vec![0u64; self.outputs.len()];
-                            for w in lo..hi {
-                                for (ord, slot) in word_in.iter_mut().enumerate() {
-                                    *slot = inputs.word(ord, w);
-                                }
-                                self.eval_word_into(&word_in, &mut scratch, &mut word_out);
-                                for (o, &v) in word_out.iter().enumerate() {
-                                    slab[o * (hi - lo) + (w - lo)] = v;
-                                }
-                            }
+                            let mut vals = vec![0u64; self.stream.slot_count * max_lw];
+                            let mut slab = vec![0u64; outputs * (hi - lo)];
+                            let width = hi - lo;
+                            let mut sink =
+                                |o: usize, w: usize, v: u64| slab[o * width + (w - lo)] = v;
+                            self.stream.sweep_word_range(
+                                inputs, lo, hi, max_lw, &mut vals, self.simd, &mut sink,
+                            );
                             slab
                         }),
                     ));
@@ -451,7 +606,7 @@ impl CompiledNetlist {
                     .collect::<Vec<_>>()
             });
             for (lo, hi, slab) in slabs {
-                for o in 0..self.outputs.len() {
+                for o in 0..outputs {
                     for w in lo..hi {
                         *out.word_mut(o, w) = slab[o * (hi - lo) + (w - lo)];
                     }
@@ -459,148 +614,40 @@ impl CompiledNetlist {
             }
         }
         out.mask_tail();
+        debug_assert!(out.tail_is_clear());
+        out
+    }
+
+    /// Level-parallel evaluation: instead of splitting lanes, a
+    /// barrier-synchronized team of `threads` workers executes each
+    /// level's instruction range concurrently, chips striped across
+    /// workers — the emulator-side use of the chip partition. Profitable
+    /// when the circuit is much wider than the batch; bit-identical to
+    /// the lane-splitting path.
+    pub fn eval_matrix_level_threads(&self, inputs: &BitMatrix, threads: usize) -> BitMatrix {
+        assert_eq!(
+            inputs.rows(),
+            self.stream.input_slots.len(),
+            "wrong number of input rows"
+        );
+        let mut out = BitMatrix::zeroed(self.stream.outputs.len(), inputs.vectors());
+        self.stream
+            .eval_level_parallel(inputs, &mut out, threads, self.simd);
+        out.mask_tail();
+        debug_assert!(out.tail_is_clear());
         out
     }
 }
 
-/// Reusable per-evaluation scratch: one 64-lane word per wire.
+/// Reusable per-evaluation scratch: one 64-lane word per value slot.
 ///
 /// Allocated once via [`CompiledNetlist::scratch`] and reused across calls
 /// (e.g. across clock cycles of a frame simulation) to keep the hot loop
-/// allocation-free.
+/// allocation-free. Sweeps overwrite every slot they read, so no state
+/// leaks between calls.
 #[derive(Debug, Clone)]
 pub struct EvalScratch {
-    wires: Vec<u64>,
-}
-
-/// A rows × vectors bit matrix: `rows` signals, each carrying `vectors`
-/// independent boolean test patterns packed 64 per machine word.
-///
-/// Row-major storage: row `r` occupies `words_per_row` consecutive words,
-/// vector `j` living in word `j / 64` bit `j % 64`. Inputs to
-/// [`CompiledNetlist::eval_matrix`] use one row per primary input; outputs
-/// come back with one row per primary output.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BitMatrix {
-    rows: usize,
-    vectors: usize,
-    words: usize,
-    data: Vec<u64>,
-}
-
-impl BitMatrix {
-    /// All-zero matrix carrying `vectors` patterns over `rows` signals.
-    pub fn zeroed(rows: usize, vectors: usize) -> Self {
-        let words = vectors.div_ceil(crate::eval::WORD_BITS);
-        BitMatrix {
-            rows,
-            vectors,
-            words,
-            data: vec![0u64; rows * words],
-        }
-    }
-
-    /// Build from a per-bit function: `f(row, vector)`.
-    pub fn from_fn(rows: usize, vectors: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
-        let mut m = BitMatrix::zeroed(rows, vectors);
-        for r in 0..rows {
-            for v in 0..vectors {
-                if f(r, v) {
-                    m.set(r, v, true);
-                }
-            }
-        }
-        m
-    }
-
-    /// Number of signal rows.
-    #[inline]
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Number of test vectors (columns).
-    #[inline]
-    pub fn vectors(&self) -> usize {
-        self.vectors
-    }
-
-    /// Words per row (`⌈vectors/64⌉`).
-    #[inline]
-    pub fn words_per_row(&self) -> usize {
-        self.words
-    }
-
-    /// Bit of `row` in test vector `vector`.
-    #[inline]
-    pub fn get(&self, row: usize, vector: usize) -> bool {
-        assert!(
-            row < self.rows && vector < self.vectors,
-            "bit matrix index out of range"
-        );
-        let w = self.data[row * self.words + vector / 64];
-        (w >> (vector % 64)) & 1 == 1
-    }
-
-    /// Set the bit of `row` in test vector `vector`.
-    #[inline]
-    pub fn set(&mut self, row: usize, vector: usize, value: bool) {
-        assert!(
-            row < self.rows && vector < self.vectors,
-            "bit matrix index out of range"
-        );
-        let slot = &mut self.data[row * self.words + vector / 64];
-        let mask = 1u64 << (vector % 64);
-        if value {
-            *slot |= mask;
-        } else {
-            *slot &= !mask;
-        }
-    }
-
-    /// The `w`-th 64-lane word of `row`.
-    #[inline]
-    pub fn word(&self, row: usize, w: usize) -> u64 {
-        self.data[row * self.words + w]
-    }
-
-    /// Mutable access to the `w`-th 64-lane word of `row`.
-    #[inline]
-    pub fn word_mut(&mut self, row: usize, w: usize) -> &mut u64 {
-        &mut self.data[row * self.words + w]
-    }
-
-    /// The words of one row.
-    #[inline]
-    pub fn row_words(&self, row: usize) -> &[u64] {
-        &self.data[row * self.words..(row + 1) * self.words]
-    }
-
-    /// Extract test vector `vector` as one bit per row.
-    pub fn column(&self, vector: usize) -> Vec<bool> {
-        (0..self.rows).map(|r| self.get(r, vector)).collect()
-    }
-
-    /// Count set bits in `row` across all vectors.
-    pub fn row_popcount(&self, row: usize) -> usize {
-        self.row_words(row)
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
-    }
-
-    /// Zero the lanes past `vectors` in the final word of every row, so
-    /// popcounts never see garbage from inverted or constant signals.
-    pub(crate) fn mask_tail(&mut self) {
-        let used = self.vectors % 64;
-        if used == 0 || self.words == 0 {
-            return;
-        }
-        let mask = (1u64 << used) - 1;
-        for r in 0..self.rows {
-            self.data[r * self.words + self.words - 1] &= mask;
-        }
-    }
+    vals: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -620,8 +667,8 @@ mod tests {
         nl
     }
 
-    /// A circuit hitting every opcode, inverted fan-ins, and an inverted
-    /// output literal.
+    /// A circuit hitting every opcode, inverted fan-ins, wide fan-in
+    /// (accumulator chains), and an inverted output literal.
     fn kitchen_sink() -> Netlist {
         let mut nl = Netlist::new();
         let a = nl.input();
@@ -634,9 +681,11 @@ mod tests {
         let x2 = nl.and([x1, Literal::pos(c), f.complement()]);
         let x3 = nl.or([x2, Literal::neg(d), x1.complement()]);
         let x4 = nl.buf(x3);
+        let x5 = nl.and([x1, x2, x3, x4, Literal::neg(a)]);
         nl.mark_output(x4);
         nl.mark_output(x3.complement());
         nl.mark_output(f);
+        nl.mark_output(x5);
         nl
     }
 
@@ -644,6 +693,7 @@ mod tests {
         let n = nl.input_count();
         assert!(n <= 16, "truth-table check limited to 16 inputs");
         let compiled = nl.compile();
+        compiled.self_check();
         let vectors = 1usize << n;
         let m = BitMatrix::from_fn(n, vectors, |row, vector| (vector >> row) & 1 == 1);
         let out = compiled.eval_matrix(&m);
@@ -665,7 +715,7 @@ mod tests {
     }
 
     #[test]
-    fn eval_word_matches_eval_block() {
+    fn eval_word_matches_eval_block_and_reference() {
         let nl = kitchen_sink();
         let compiled = nl.compile();
         let mut state = 0x1234_5678_9ABC_DEF0u64;
@@ -677,6 +727,10 @@ mod tests {
                 })
                 .collect();
             assert_eq!(compiled.eval_word(&blocks), nl.eval_block(&blocks));
+            assert_eq!(
+                compiled.eval_word(&blocks),
+                compiled.eval_word_reference(&blocks)
+            );
         }
     }
 
@@ -684,20 +738,19 @@ mod tests {
     fn levels_respect_dependencies() {
         let nl = kitchen_sink();
         let compiled = nl.compile();
+        let sched = &compiled.schedule;
         assert!(compiled.level_count() >= 3);
         // Every gate's fan-in wires must be written by an earlier level or
         // be primary inputs.
         let mut written_level = vec![0usize; compiled.wire_count()];
-        for (l, level) in compiled.levels.windows(2).enumerate() {
+        for (l, level) in sched.levels.windows(2).enumerate() {
             for g in level[0] as usize..level[1] as usize {
-                written_level[compiled.outs[g] as usize] = l + 1;
+                written_level[sched.outs[g] as usize] = l + 1;
             }
         }
-        for (l, level) in compiled.levels.windows(2).enumerate() {
+        for (l, level) in sched.levels.windows(2).enumerate() {
             for g in level[0] as usize..level[1] as usize {
-                let span = &compiled.lits
-                    [compiled.lit_bounds[g] as usize..compiled.lit_bounds[g + 1] as usize];
-                for &p in span {
+                for &p in sched.gate_lits(g) {
                     let src = unpack(p).wire.index();
                     assert!(
                         written_level[src] <= l,
@@ -711,10 +764,37 @@ mod tests {
     }
 
     #[test]
+    fn slot_recycling_shrinks_the_working_set() {
+        // The kitchen sink is tiny, so check on a deliberately deep
+        // chain: n stages, each reading only the previous one, should
+        // need O(1) slots, not O(n).
+        let mut nl = Netlist::new();
+        let mut cur = Literal::pos(nl.input());
+        for i in 0..200 {
+            cur = if i % 2 == 0 {
+                nl.and([cur, cur.complement()])
+            } else {
+                nl.or([cur, cur])
+            };
+        }
+        nl.mark_output(cur);
+        let compiled = nl.compile();
+        compiled.self_check();
+        assert!(
+            compiled.slot_count() <= 8,
+            "deep chain should recycle slots, used {}",
+            compiled.slot_count()
+        );
+        assert_eq!(compiled.wire_count(), 201);
+        // Function survives the recycling.
+        assert_eq!(compiled.eval_word(&[!0u64])[0], nl.eval_block(&[!0u64])[0]);
+    }
+
+    #[test]
     fn eval_matrix_handles_ragged_vector_counts() {
         let nl = kitchen_sink();
         let compiled = nl.compile();
-        for vectors in [1usize, 63, 64, 65, 127, 130, 257] {
+        for vectors in [1usize, 63, 64, 65, 127, 130, 257, 300, 530] {
             let m = BitMatrix::from_fn(nl.input_count(), vectors, |row, v| {
                 (v.wrapping_mul(2654435761) >> row) & 1 == 1
             });
@@ -724,6 +804,7 @@ mod tests {
                 assert_eq!(out.column(v), nl.eval(&m.column(v)), "vector {v}");
             }
             // Tail lanes must be masked: popcounts bounded by vectors.
+            assert!(out.tail_is_clear());
             for o in 0..out.rows() {
                 assert!(out.row_popcount(o) <= vectors);
             }
@@ -731,13 +812,39 @@ mod tests {
     }
 
     #[test]
-    fn eval_matrix_threads_matches_inline() {
+    fn eval_matrix_threads_matches_inline_at_every_lane_width() {
         let nl = majority3();
         let compiled = nl.compile();
         let m = BitMatrix::from_fn(3, 1000, |row, v| (v >> row) & 1 == 1);
         let inline = compiled.eval_matrix_threads(&m, 1);
-        for threads in [2usize, 3, 7, 16] {
-            assert_eq!(compiled.eval_matrix_threads(&m, threads), inline);
+        for lanes in [64usize, 256, 512] {
+            for threads in [1usize, 2, 3, 7, 16] {
+                assert_eq!(
+                    compiled.eval_matrix_lanes(&m, lanes, threads),
+                    inline,
+                    "lanes {lanes} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matrix_level_threads_matches_lane_split() {
+        let nl = kitchen_sink();
+        for chips in [1usize, 2, 4, 8] {
+            let compiled = nl.compile_partitioned(chips);
+            compiled.self_check();
+            let m = BitMatrix::from_fn(nl.input_count(), 530, |row, v| {
+                (v.wrapping_mul(0x9E37_79B9) >> (row % 31)) & 1 == 1
+            });
+            let inline = compiled.eval_matrix_threads(&m, 1);
+            for threads in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    compiled.eval_matrix_level_threads(&m, threads),
+                    inline,
+                    "chips {chips} threads {threads}"
+                );
+            }
         }
     }
 
@@ -758,6 +865,7 @@ mod tests {
     fn empty_netlist_compiles() {
         let compiled = Netlist::new().compile();
         assert_eq!(compiled.gate_count(), 0);
+        assert_eq!(compiled.insn_count(), 0);
         assert_eq!(compiled.level_count(), 1);
         let out = compiled.eval_matrix(&BitMatrix::zeroed(0, 0));
         assert_eq!(out.rows(), 0);
@@ -777,23 +885,25 @@ mod tests {
     }
 
     #[test]
-    fn bit_matrix_set_get_round_trip() {
-        let mut m = BitMatrix::zeroed(2, 130);
-        m.set(0, 0, true);
-        m.set(0, 129, true);
-        m.set(1, 64, true);
-        assert!(m.get(0, 0) && m.get(0, 129) && m.get(1, 64));
-        assert!(!m.get(0, 1) && !m.get(1, 0));
-        assert_eq!(m.row_popcount(0), 2);
-        m.set(0, 129, false);
-        assert_eq!(m.row_popcount(0), 1);
-        assert_eq!(m.words_per_row(), 3);
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn bit_matrix_get_bounds_checked() {
-        BitMatrix::zeroed(1, 64).get(0, 64);
+    fn partition_report_is_consistent() {
+        let nl = kitchen_sink();
+        for chips in [1usize, 2, 4] {
+            let compiled = nl.compile_partitioned(chips);
+            let report = compiled.partition_report();
+            assert_eq!(report.chips, chips);
+            assert_eq!(report.total_gates, compiled.gate_count());
+            assert_eq!(
+                report.chip_gates.iter().sum::<usize>(),
+                compiled.gate_count()
+            );
+            if chips == 1 {
+                // Everything on one chip: nothing is cut, and the only
+                // pins are primary I/O.
+                assert_eq!(report.cut_wires, 0);
+                assert_eq!(report.chip_in_pins[0], compiled.input_count());
+            }
+            assert!(report.max_gates() >= compiled.gate_count() / chips);
+        }
     }
 
     /// Reference model of a wire fault: re-evaluate the interpreter with

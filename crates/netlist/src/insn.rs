@@ -1,0 +1,767 @@
+//! Phase 2 of the compiler: lowering a levelized [`Schedule`] to a dense
+//! instruction stream, and the wide-lane emulator that sweeps it.
+//!
+//! The phase-1 schedule is faithful but pointer-heavy: evaluating a gate
+//! means indexing a prefix-offset table, walking a variable-length literal
+//! span, and folding through a closure — per gate, per 64-lane word. This
+//! module compiles the schedule **once** into the form hardware emulation
+//! engines use:
+//!
+//! * **Dense instructions.** Every gate lowers to one or more fixed-width
+//!   16-byte records (`op/src-a/src-b/dst`, inversion flags packed into the
+//!   opcode word). Fan-in-k gates become a seeded accumulator chain of k−1
+//!   binary ops into the destination, so the emulator's hot loop is a
+//!   single linear pass with no indirection: fetch, two loads, op, store.
+//! * **Level-blocked slot allocation.** Wire values live in *slots*
+//!   assigned by a liveness pass: a wire's slot is recycled once its last
+//!   reader level has run. Peak live wires is far below total wires in a
+//!   levelized sorting network, so the working set drops from
+//!   `wires × lanes` to `slots × lanes` — small enough to stay cache
+//!   resident while the instruction stream streams past it. Frees are
+//!   deferred to level boundaries, which also makes every level's
+//!   instructions write-disjoint across chips (see below).
+//! * **Wide lanes.** The emulator sweeps lane *groups* of 1, 4, or 8
+//!   64-bit words (64 / 256 / 512 test vectors per instruction fetch),
+//!   monomorphized per width, with explicit AVX2/AVX-512 kernels selected
+//!   at runtime on x86-64. One instruction fetch is amortized over up to
+//!   512 vectors.
+//! * **Chip-partitioned levels.** Gates are assigned to chips by the
+//!   partitioner pass ([`crate::partition`]); the stream is ordered
+//!   (level, chip, gate), and per-(level, chip) instruction ranges are
+//!   recorded so a thread team can execute one level concurrently —
+//!   barrier between levels, chips striped across threads. Slot recycling
+//!   deferred to level boundaries guarantees no two chips touch the same
+//!   slot within a level (checked by [`InsnStream::self_check`]).
+
+use crate::compile::{unpack, Op, Schedule};
+use crate::matrix::BitMatrix;
+use crate::partition::Partition;
+use std::sync::Barrier;
+
+/// Opcode field of [`Insn::opword`] (bits 0..3).
+pub(crate) const OP_AND: u32 = 0;
+pub(crate) const OP_OR: u32 = 1;
+pub(crate) const OP_XOR: u32 = 2;
+pub(crate) const OP_COPY: u32 = 3;
+pub(crate) const OP_CONST0: u32 = 4;
+pub(crate) const OP_CONST1: u32 = 5;
+/// Inversion flag of source a (bit 3) / source b (bit 4) of `opword`.
+pub(crate) const INV_A: u32 = 1 << 3;
+pub(crate) const INV_B: u32 = 1 << 4;
+
+const OP_MASK: u32 = 7;
+
+/// One emulator instruction: `dst = a op b` over a whole lane group.
+///
+/// 16 bytes, fixed width: the stream is a flat `Vec<Insn>` the sweep walks
+/// front to back, so instruction fetch is a linear prefetch-friendly scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub(crate) struct Insn {
+    /// Source slot a (ignored by const ops).
+    pub a: u32,
+    /// Source slot b (ignored by const and copy ops).
+    pub b: u32,
+    /// Destination slot.
+    pub dst: u32,
+    /// Opcode plus inversion flags: bits 0..3 opcode, bit 3 invert a,
+    /// bit 4 invert b.
+    pub opword: u32,
+}
+
+/// The compiled instruction stream plus everything the emulator needs to
+/// run it: slot bindings for primary inputs and outputs, stuck-input
+/// forces, level boundaries, and per-(level, chip) ranges.
+#[derive(Debug, Clone)]
+pub(crate) struct InsnStream {
+    pub insns: Vec<Insn>,
+    /// Instruction-index boundaries per level: level `l` is
+    /// `insns[level_bounds[l]..level_bounds[l+1]]`.
+    pub level_bounds: Vec<u32>,
+    /// Per-(level, chip) instruction subranges, flattened row-major:
+    /// level `l`, chip `c` at `chip_ranges[l * chips + c]`.
+    pub chip_ranges: Vec<(u32, u32)>,
+    /// Number of chips the stream is partitioned into.
+    pub chips: usize,
+    /// Value slots required (scratch words per lane).
+    pub slot_count: usize,
+    /// Slot of each primary input, in input-ordinal order.
+    pub input_slots: Vec<u32>,
+    /// Stuck-input forces: `(slot, value)` written after input load.
+    pub forces: Vec<(u32, bool)>,
+    /// Primary outputs: `(slot, inverted)` in marking order.
+    pub outputs: Vec<(u32, bool)>,
+}
+
+/// Lower `sched` onto `part`'s chips: liveness-allocate slots, emit the
+/// instruction stream in (level, chip, gate) order, and record the
+/// per-level chip ranges.
+pub(crate) fn lower(sched: &Schedule, part: &Partition) -> InsnStream {
+    let num_levels = sched.levels.len() - 1;
+    let chips = part.chips.max(1);
+    let gate_count = sched.ops.len();
+
+    // Gates regrouped by (level, chip), stable within a group.
+    let mut by_level_chip: Vec<Vec<u32>> = vec![Vec::new(); num_levels * chips];
+    for (l, level) in sched.levels.windows(2).enumerate() {
+        for g in level[0]..level[1] {
+            let c = part.chip_of_gate[g as usize] as usize;
+            by_level_chip[l * chips + c].push(g);
+        }
+    }
+
+    // Liveness: the last level (1-based; inputs are level 0) at which each
+    // wire is read. Output wires are pinned — their slot never recycles,
+    // so the post-sweep output read always sees the final value.
+    let mut last_use = vec![0u32; sched.wire_count];
+    for (l, level) in sched.levels.windows(2).enumerate() {
+        for g in level[0] as usize..level[1] as usize {
+            for &packed in sched.gate_lits(g) {
+                let w = (packed >> 1) as usize;
+                last_use[w] = last_use[w].max(l as u32 + 1);
+            }
+        }
+    }
+    let mut pinned = vec![false; sched.wire_count];
+    for &packed in &sched.outputs {
+        pinned[(packed >> 1) as usize] = true;
+    }
+
+    // Slot allocation with frees deferred to level boundaries: a slot
+    // last read at level `r` re-enters the free list only when level
+    // `r + 1` starts, so within any single level the set of slots written
+    // is disjoint from the slots any other chip reads or writes.
+    let mut slot_of = vec![u32::MAX; sched.wire_count];
+    let mut free: Vec<u32> = Vec::new();
+    let mut pending: Vec<Vec<u32>> = vec![Vec::new(); num_levels + 2];
+    let mut next_slot = 0u32;
+    let mut alloc = |free: &mut Vec<u32>| -> u32 {
+        free.pop().unwrap_or_else(|| {
+            let s = next_slot;
+            next_slot += 1;
+            s
+        })
+    };
+
+    // Level 0: primary inputs.
+    let mut input_slots = Vec::with_capacity(sched.input_wires.len());
+    for &w in &sched.input_wires {
+        let s = alloc(&mut free);
+        slot_of[w as usize] = s;
+        input_slots.push(s);
+        if !pinned[w as usize] {
+            pending[last_use[w as usize] as usize].push(s);
+        }
+    }
+
+    let mut insns: Vec<Insn> = Vec::with_capacity(gate_count + gate_count / 4);
+    let mut level_bounds = vec![0u32];
+    let mut chip_ranges = Vec::with_capacity(num_levels * chips);
+    let mut drained = 0usize;
+
+    for l in 0..num_levels {
+        // Def level of this schedule level is l + 1: recycle every slot
+        // whose last read is at level ≤ l.
+        while drained <= l {
+            free.append(&mut pending[drained]);
+            drained += 1;
+        }
+        let def_level = (l + 1) as u32;
+        for c in 0..chips {
+            let start = insns.len() as u32;
+            for &g in &by_level_chip[l * chips + c] {
+                let g = g as usize;
+                let w = sched.outs[g] as usize;
+                let dst = alloc(&mut free);
+                slot_of[w] = dst;
+                if !pinned[w] {
+                    pending[last_use[w].max(def_level) as usize].push(dst);
+                }
+                emit_gate(sched, g, dst, &slot_of, &mut insns);
+            }
+            chip_ranges.push((start, insns.len() as u32));
+        }
+        level_bounds.push(insns.len() as u32);
+    }
+
+    let forces = sched
+        .forces
+        .iter()
+        .map(|&(w, v)| {
+            let s = slot_of[w as usize];
+            debug_assert_ne!(s, u32::MAX, "force names an unallocated wire");
+            (s, v)
+        })
+        .collect();
+    let outputs = sched
+        .outputs
+        .iter()
+        .map(|&packed| {
+            let lit = unpack(packed);
+            let s = slot_of[lit.wire.index()];
+            assert_ne!(s, u32::MAX, "output reads an undriven wire");
+            (s, lit.inverted)
+        })
+        .collect();
+
+    let stream = InsnStream {
+        insns,
+        level_bounds,
+        chip_ranges,
+        chips,
+        slot_count: next_slot as usize,
+        input_slots,
+        forces,
+        outputs,
+    };
+    #[cfg(debug_assertions)]
+    stream.self_check();
+    stream
+}
+
+/// Emit the instruction(s) computing schedule gate `g` into `dst`.
+fn emit_gate(sched: &Schedule, g: usize, dst: u32, slot_of: &[u32], insns: &mut Vec<Insn>) {
+    let slot = |packed: u32| -> (u32, bool) {
+        let lit = unpack(packed);
+        let s = slot_of[lit.wire.index()];
+        debug_assert_ne!(s, u32::MAX, "gate reads an unallocated wire");
+        (s, lit.inverted)
+    };
+    let konst = |value: bool| Insn {
+        a: 0,
+        b: 0,
+        dst,
+        opword: if value { OP_CONST1 } else { OP_CONST0 },
+    };
+    let lits = sched.gate_lits(g);
+    let op2 = match sched.ops[g] {
+        Op::ConstTrue => {
+            insns.push(konst(true));
+            return;
+        }
+        Op::ConstFalse => {
+            insns.push(konst(false));
+            return;
+        }
+        Op::Buf => {
+            let (a, inv) = slot(lits[0]);
+            insns.push(Insn {
+                a,
+                b: 0,
+                dst,
+                opword: OP_COPY | if inv { INV_A } else { 0 },
+            });
+            return;
+        }
+        Op::And => OP_AND,
+        Op::Or => OP_OR,
+        Op::Xor => OP_XOR,
+    };
+    match lits {
+        // Fold identities of the interpreters: empty AND is true, empty
+        // OR/XOR are false.
+        [] => insns.push(konst(op2 == OP_AND)),
+        [only] => {
+            let (a, inv) = slot(*only);
+            insns.push(Insn {
+                a,
+                b: 0,
+                dst,
+                opword: OP_COPY | if inv { INV_A } else { 0 },
+            });
+        }
+        [first, second, rest @ ..] => {
+            let (a, ia) = slot(*first);
+            let (b, ib) = slot(*second);
+            insns.push(Insn {
+                a,
+                b,
+                dst,
+                opword: op2 | if ia { INV_A } else { 0 } | if ib { INV_B } else { 0 },
+            });
+            // Accumulator chain: dst = dst op next, same level and chip,
+            // executed sequentially by the owning worker.
+            for &packed in rest {
+                let (b, ib) = slot(packed);
+                insns.push(Insn {
+                    a: dst,
+                    b,
+                    dst,
+                    opword: op2 | if ib { INV_B } else { 0 },
+                });
+            }
+        }
+    }
+}
+
+/// SIMD kernel selection, probed once at compile time and carried by the
+/// engine so cached compilations never re-probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Simd {
+    /// Portable unrolled u64 loops (auto-vectorized by the compiler).
+    Scalar,
+    /// 256-bit AVX2 kernels for the 4- and 8-word lane groups.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// 512-bit AVX-512F kernel for the 8-word lane group (AVX2 for 4).
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+pub(crate) fn detect_simd() -> Simd {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Simd::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Simd::Avx2;
+        }
+    }
+    Simd::Scalar
+}
+
+/// Execute one instruction over a lane group of `LW` words.
+///
+/// # Safety
+/// `vals` must point to at least `slot_count * LW` words and the
+/// instruction's slots must be `< slot_count` ([`InsnStream::self_check`]
+/// validates the stream once at compile time).
+#[inline(always)]
+unsafe fn exec<const LW: usize>(vals: *mut u64, i: Insn) {
+    let ma = (((i.opword >> 3) & 1) as u64).wrapping_neg();
+    let mb = (((i.opword >> 4) & 1) as u64).wrapping_neg();
+    let a = vals.add(i.a as usize * LW);
+    let b = vals.add(i.b as usize * LW);
+    let d = vals.add(i.dst as usize * LW);
+    match i.opword & OP_MASK {
+        OP_AND => {
+            for k in 0..LW {
+                *d.add(k) = (*a.add(k) ^ ma) & (*b.add(k) ^ mb);
+            }
+        }
+        OP_OR => {
+            for k in 0..LW {
+                *d.add(k) = (*a.add(k) ^ ma) | (*b.add(k) ^ mb);
+            }
+        }
+        OP_XOR => {
+            for k in 0..LW {
+                *d.add(k) = (*a.add(k) ^ ma) ^ (*b.add(k) ^ mb);
+            }
+        }
+        OP_COPY => {
+            for k in 0..LW {
+                *d.add(k) = *a.add(k) ^ ma;
+            }
+        }
+        OP_CONST0 => {
+            for k in 0..LW {
+                *d.add(k) = 0;
+            }
+        }
+        _ => {
+            for k in 0..LW {
+                *d.add(k) = !0;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Explicit 256/512-bit kernels. The portable `exec` loops already
+    //! auto-vectorize to the baseline 128-bit SSE2; these widen one
+    //! instruction's lane group to one or two native vector ops.
+    use super::{Insn, OP_AND, OP_CONST0, OP_COPY, OP_MASK, OP_OR, OP_XOR};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller guarantees AVX2, `vals` covers `slot_count * 4` words, and
+    /// instruction slots are in range.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn exec_w4(vals: *mut u64, i: Insn) {
+        let ma = _mm256_set1_epi64x((((i.opword >> 3) & 1) as i64).wrapping_neg());
+        let mb = _mm256_set1_epi64x((((i.opword >> 4) & 1) as i64).wrapping_neg());
+        let a = vals.add(i.a as usize * 4) as *const __m256i;
+        let b = vals.add(i.b as usize * 4) as *const __m256i;
+        let d = vals.add(i.dst as usize * 4) as *mut __m256i;
+        let r = match i.opword & OP_MASK {
+            OP_AND => _mm256_and_si256(
+                _mm256_xor_si256(_mm256_loadu_si256(a), ma),
+                _mm256_xor_si256(_mm256_loadu_si256(b), mb),
+            ),
+            OP_OR => _mm256_or_si256(
+                _mm256_xor_si256(_mm256_loadu_si256(a), ma),
+                _mm256_xor_si256(_mm256_loadu_si256(b), mb),
+            ),
+            OP_XOR => _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_loadu_si256(a), ma),
+                _mm256_xor_si256(_mm256_loadu_si256(b), mb),
+            ),
+            OP_COPY => _mm256_xor_si256(_mm256_loadu_si256(a), ma),
+            OP_CONST0 => _mm256_setzero_si256(),
+            _ => _mm256_set1_epi64x(-1),
+        };
+        _mm256_storeu_si256(d, r);
+    }
+
+    /// # Safety
+    /// As [`exec_w4`], over two 256-bit halves of an 8-word group.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn exec_w8_avx2(vals: *mut u64, i: Insn) {
+        let ma = _mm256_set1_epi64x((((i.opword >> 3) & 1) as i64).wrapping_neg());
+        let mb = _mm256_set1_epi64x((((i.opword >> 4) & 1) as i64).wrapping_neg());
+        let a = vals.add(i.a as usize * 8) as *const __m256i;
+        let b = vals.add(i.b as usize * 8) as *const __m256i;
+        let d = vals.add(i.dst as usize * 8) as *mut __m256i;
+        for h in 0..2 {
+            let r = match i.opword & OP_MASK {
+                OP_AND => _mm256_and_si256(
+                    _mm256_xor_si256(_mm256_loadu_si256(a.add(h)), ma),
+                    _mm256_xor_si256(_mm256_loadu_si256(b.add(h)), mb),
+                ),
+                OP_OR => _mm256_or_si256(
+                    _mm256_xor_si256(_mm256_loadu_si256(a.add(h)), ma),
+                    _mm256_xor_si256(_mm256_loadu_si256(b.add(h)), mb),
+                ),
+                OP_XOR => _mm256_xor_si256(
+                    _mm256_xor_si256(_mm256_loadu_si256(a.add(h)), ma),
+                    _mm256_xor_si256(_mm256_loadu_si256(b.add(h)), mb),
+                ),
+                OP_COPY => _mm256_xor_si256(_mm256_loadu_si256(a.add(h)), ma),
+                OP_CONST0 => _mm256_setzero_si256(),
+                _ => _mm256_set1_epi64x(-1),
+            };
+            _mm256_storeu_si256(d.add(h), r);
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX-512F, `vals` covers `slot_count * 8` words,
+    /// and instruction slots are in range.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn exec_w8_avx512(vals: *mut u64, i: Insn) {
+        let ma = _mm512_set1_epi64((((i.opword >> 3) & 1) as i64).wrapping_neg());
+        let mb = _mm512_set1_epi64((((i.opword >> 4) & 1) as i64).wrapping_neg());
+        let a = vals.add(i.a as usize * 8) as *const __m512i;
+        let b = vals.add(i.b as usize * 8) as *const __m512i;
+        let d = vals.add(i.dst as usize * 8) as *mut __m512i;
+        let r = match i.opword & OP_MASK {
+            OP_AND => _mm512_and_si512(
+                _mm512_xor_si512(_mm512_loadu_si512(a), ma),
+                _mm512_xor_si512(_mm512_loadu_si512(b), mb),
+            ),
+            OP_OR => _mm512_or_si512(
+                _mm512_xor_si512(_mm512_loadu_si512(a), ma),
+                _mm512_xor_si512(_mm512_loadu_si512(b), mb),
+            ),
+            OP_XOR => _mm512_xor_si512(
+                _mm512_xor_si512(_mm512_loadu_si512(a), ma),
+                _mm512_xor_si512(_mm512_loadu_si512(b), mb),
+            ),
+            OP_COPY => _mm512_xor_si512(_mm512_loadu_si512(a), ma),
+            OP_CONST0 => _mm512_setzero_si512(),
+            _ => _mm512_set1_epi64(-1),
+        };
+        _mm512_storeu_si512(d, r);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_w4(insns: &[Insn], vals: *mut u64) {
+        for &i in insns {
+            exec_w4(vals, i);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_w8_avx2(insns: &[Insn], vals: *mut u64) {
+        for &i in insns {
+            exec_w8_avx2(vals, i);
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn run_w8_avx512(insns: &[Insn], vals: *mut u64) {
+        for &i in insns {
+            exec_w8_avx512(vals, i);
+        }
+    }
+}
+
+impl InsnStream {
+    /// Number of levels.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.level_bounds.len() - 1
+    }
+
+    /// Execute instructions `[lo, hi)` over lane groups of `lw` words.
+    ///
+    /// # Safety
+    /// `vals` must cover `slot_count * lw` words; `lw ∈ {1, 4, 8}`.
+    unsafe fn run_range(&self, lo: usize, hi: usize, lw: usize, vals: *mut u64, simd: Simd) {
+        let insns = &self.insns[lo..hi];
+        match lw {
+            1 => {
+                for &i in insns {
+                    exec::<1>(vals, i);
+                }
+            }
+            4 => match simd {
+                #[cfg(target_arch = "x86_64")]
+                Simd::Avx2 | Simd::Avx512 => x86::run_w4(insns, vals),
+                _ => {
+                    for &i in insns {
+                        exec::<4>(vals, i);
+                    }
+                }
+            },
+            8 => match simd {
+                #[cfg(target_arch = "x86_64")]
+                Simd::Avx512 => x86::run_w8_avx512(insns, vals),
+                #[cfg(target_arch = "x86_64")]
+                Simd::Avx2 => x86::run_w8_avx2(insns, vals),
+                _ => {
+                    for &i in insns {
+                        exec::<8>(vals, i);
+                    }
+                }
+            },
+            _ => unreachable!("lane group width must be 1, 4, or 8 words"),
+        }
+    }
+
+    /// One full sequential sweep over a lane group of `lw` words. Inputs
+    /// and forces must already be loaded into `vals`.
+    pub(crate) fn sweep(&self, lw: usize, vals: &mut [u64], simd: Simd) {
+        assert!(vals.len() >= self.slot_count * lw, "vals buffer too small");
+        // SAFETY: buffer length checked above; slot bounds validated by
+        // self_check at construction.
+        unsafe { self.run_range(0, self.insns.len(), lw, vals.as_mut_ptr(), simd) }
+    }
+
+    /// Load the lane group starting at word `w0` (width `lw`) from
+    /// `inputs` into `vals`, then apply stuck-input forces.
+    pub(crate) fn load_group(&self, inputs: &BitMatrix, w0: usize, lw: usize, vals: &mut [u64]) {
+        for (ord, &slot) in self.input_slots.iter().enumerate() {
+            let src = &inputs.row_words(ord)[w0..w0 + lw];
+            vals[slot as usize * lw..slot as usize * lw + lw].copy_from_slice(src);
+        }
+        for &(slot, value) in &self.forces {
+            let fill = if value { !0u64 } else { 0u64 };
+            vals[slot as usize * lw..slot as usize * lw + lw].fill(fill);
+        }
+    }
+
+    /// Read the output lane group back out of `vals` into `sink(output,
+    /// word-within-group, value)`.
+    pub(crate) fn store_group(
+        &self,
+        lw: usize,
+        vals: &[u64],
+        mut sink: impl FnMut(usize, usize, u64),
+    ) {
+        for (o, &(slot, inverted)) in self.outputs.iter().enumerate() {
+            let m = (inverted as u64).wrapping_neg();
+            for k in 0..lw {
+                sink(o, k, vals[slot as usize * lw + k] ^ m);
+            }
+        }
+    }
+
+    /// Sweep an entire word range `[lo, hi)` of `inputs` into `sink`,
+    /// choosing the widest lane group that fits at each step (bounded by
+    /// `max_lw`). `vals` must cover `slot_count * max_lw` words.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sweep_word_range(
+        &self,
+        inputs: &BitMatrix,
+        lo: usize,
+        hi: usize,
+        max_lw: usize,
+        vals: &mut [u64],
+        simd: Simd,
+        sink: &mut impl FnMut(usize, usize, u64),
+    ) {
+        let mut w = lo;
+        while w < hi {
+            let left = hi - w;
+            let lw = if left >= 8 && max_lw >= 8 {
+                8
+            } else if left >= 4 && max_lw >= 4 {
+                4
+            } else {
+                1
+            };
+            self.load_group(inputs, w, lw, vals);
+            self.sweep(lw, &mut vals[..self.slot_count * lw], simd);
+            let base = w;
+            self.store_group(lw, vals, |o, k, v| sink(o, base + k, v));
+            w += lw;
+        }
+    }
+
+    /// Validate the stream: every slot index in range, and every level's
+    /// instructions parallel-safe across chips — no slot written by two
+    /// chips in one level, and no slot read by one chip while another
+    /// writes it in the same level (same-chip read-after-write is the
+    /// sequential accumulator chain and is allowed).
+    pub(crate) fn self_check(&self) {
+        use std::collections::HashMap;
+        let n = self.slot_count as u32;
+        for i in &self.insns {
+            assert!(
+                i.a < n && i.b < n && i.dst < n,
+                "instruction slot out of range"
+            );
+        }
+        for &(s, _) in &self.forces {
+            assert!(s < n, "force slot out of range");
+        }
+        for &(s, _) in &self.outputs {
+            assert!(s < n, "output slot out of range");
+        }
+        assert_eq!(self.chip_ranges.len(), self.level_count() * self.chips);
+        for l in 0..self.level_count() {
+            let mut writer: HashMap<u32, usize> = HashMap::new();
+            for c in 0..self.chips {
+                let (lo, hi) = self.chip_ranges[l * self.chips + c];
+                assert!(
+                    self.level_bounds[l] <= lo && hi <= self.level_bounds[l + 1],
+                    "chip range escapes its level"
+                );
+                for i in &self.insns[lo as usize..hi as usize] {
+                    if let Some(&prev) = writer.get(&i.dst) {
+                        assert_eq!(
+                            prev, c,
+                            "slot {} written by chips {} and {} in level {}",
+                            i.dst, prev, c, l
+                        );
+                    }
+                    writer.insert(i.dst, c);
+                }
+            }
+            for c in 0..self.chips {
+                let (lo, hi) = self.chip_ranges[l * self.chips + c];
+                for i in &self.insns[lo as usize..hi as usize] {
+                    let op = i.opword & OP_MASK;
+                    let reads: &[u32] = match op {
+                        OP_CONST0 | OP_CONST1 => &[],
+                        OP_COPY => std::slice::from_ref(&i.a),
+                        _ => &[i.a, i.b],
+                    };
+                    for &r in reads {
+                        if let Some(&wc) = writer.get(&r) {
+                            assert_eq!(
+                                wc, c,
+                                "chip {c} reads slot {r} written by chip {wc} in level {l}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Level-parallel evaluation: a team of `threads` workers sweeps every
+    /// lane group of `inputs` cooperatively — chips striped across
+    /// workers, one barrier per level — instead of splitting lanes.
+    /// Profitable when the circuit is large but the batch is narrow.
+    pub(crate) fn eval_level_parallel(
+        &self,
+        inputs: &BitMatrix,
+        out: &mut BitMatrix,
+        threads: usize,
+        simd: Simd,
+    ) {
+        let words = inputs.words_per_row();
+        let team = threads.clamp(1, self.chips.max(1));
+        let mut vals = vec![0u64; self.slot_count * 8];
+        if team <= 1 || words == 0 {
+            let mut sink = |o: usize, w: usize, v: u64| *out.word_mut(o, w) = v;
+            self.sweep_word_range(inputs, 0, words, 8, &mut vals, simd, &mut sink);
+            return;
+        }
+
+        // Group plan shared by every worker: (start word, group width).
+        let mut groups = Vec::new();
+        let mut w = 0usize;
+        while w < words {
+            let lw = if words - w >= 8 {
+                8
+            } else if words - w >= 4 {
+                4
+            } else {
+                1
+            };
+            groups.push((w, lw));
+            w += lw;
+        }
+
+        struct ValsPtr(*mut u64);
+        // SAFETY: workers write disjoint slots within a level (checked by
+        // self_check) and synchronize between levels with a barrier.
+        unsafe impl Send for ValsPtr {}
+        unsafe impl Sync for ValsPtr {}
+        impl ValsPtr {
+            // Accessor rather than field reads in closures: 2021 disjoint
+            // capture would otherwise capture the raw `*mut u64` field
+            // itself, bypassing the wrapper's Send/Sync.
+            #[inline]
+            fn get(&self) -> *mut u64 {
+                self.0
+            }
+        }
+        let shared = ValsPtr(vals.as_mut_ptr());
+        let barrier = Barrier::new(team);
+        let levels = self.level_count();
+
+        let run_levels = |tid: usize, lw: usize| {
+            for l in 0..levels {
+                let mut c = tid;
+                while c < self.chips {
+                    let (lo, hi) = self.chip_ranges[l * self.chips + c];
+                    // SAFETY: slot indices validated at compile; chips are
+                    // write-disjoint within a level; barrier below orders
+                    // cross-level reads after writes.
+                    unsafe { self.run_range(lo as usize, hi as usize, lw, shared.get(), simd) };
+                    c += team;
+                }
+                barrier.wait();
+            }
+        };
+
+        std::thread::scope(|scope| {
+            for tid in 1..team {
+                let barrier = &barrier;
+                let groups = &groups;
+                scope.spawn(move || {
+                    for &(_, lw) in groups {
+                        barrier.wait(); // leader finished loading inputs
+                        run_levels(tid, lw);
+                        barrier.wait(); // leader may now store outputs
+                    }
+                });
+            }
+            // The caller's thread is worker 0 and owns load/store phases;
+            // between the closing and opening barriers the other workers
+            // are parked, so touching `vals` directly is race-free.
+            for &(w0, lw) in &groups {
+                // SAFETY: no worker touches vals outside run_levels.
+                let vals =
+                    unsafe { std::slice::from_raw_parts_mut(shared.get(), self.slot_count * 8) };
+                self.load_group(inputs, w0, lw, &mut vals[..self.slot_count * lw]);
+                barrier.wait();
+                run_levels(0, lw);
+                barrier.wait();
+                self.store_group(lw, &vals[..self.slot_count * lw], |o, k, v| {
+                    *out.word_mut(o, w0 + k) = v;
+                });
+            }
+        });
+    }
+}

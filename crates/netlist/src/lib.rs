@@ -40,15 +40,20 @@ mod depth;
 mod eval;
 mod fold;
 mod gate;
+mod insn;
 pub mod json;
+mod matrix;
+mod partition;
 mod stats;
 mod verilog;
 mod wire;
 
 pub use builder::Netlist;
-pub use compile::{BitMatrix, CompiledNetlist, EvalScratch, WireFault, WireFaultKind};
+pub use compile::{CompiledNetlist, EvalScratch, WireFault, WireFaultKind, DEFAULT_CHIPS};
 pub use depth::DepthReport;
 pub use eval::{BitBlock, WORD_BITS};
 pub use gate::{Gate, GateKind};
+pub use matrix::BitMatrix;
+pub use partition::PartitionReport;
 pub use stats::AreaReport;
 pub use wire::{Literal, Wire};
