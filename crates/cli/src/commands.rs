@@ -45,6 +45,12 @@ commands:
           live-reconfiguration soak: drive the threaded service while the
           shard count changes 1 -> 4 -> 2 under load (epoch-based lane
           add/remove) and prove the drain ledger is lossless
+  fabric-bench --trace <file|model> [--design <spec>] [--shards <count>]
+          [--policy block|shed|reject] [--placement rr|hash] [--json]
+          replay a workload trace through the serving fabric — a path to
+          a trace file replays it byte-faithfully; a model name
+          (bernoulli|diurnal|mmpp|zipf-population|adversarial) generates
+          one in memory from the trace-gen flags
   fabric-bench --scaling [--n <aggregate>] [--frames <base>]
           [--producers <count>] [--load <p>] [--payload <bytes>]
           [--seed <seed>] [--json]
@@ -52,6 +58,17 @@ commands:
           1/2/4/8 chips (one thread-per-shard lane each) under constant
           offered load; reports per-shard msgs/s, utilization, and
           parallel efficiency at every rung
+  trace-gen --out <file> [--model bernoulli|diurnal|mmpp|zipf-population|adversarial]
+          [--sources <wires>] [--ticks <count>] [--load <p>] [--class <c>]
+          [--seed <seed>] [--jsonl] [--json]
+          [--amplitude <a>] [--period <ticks>]          (diurnal)
+          [--burst <mean>] [--rate-on <p>] [--rate-off <p>]
+          [--on-to-off <p>] [--off-to-on <p>]           (mmpp)
+          [--population <users>] [--exponent <s>]       (zipf-population)
+          [--design <spec>] [--restarts <n>] [--rounds <n>] (adversarial)
+          generate a replayable workload trace (binary CTRC, or
+          JSON-lines with --jsonl) and print its checksum; replay it with
+          fabric-bench --trace <file>
   tier-bench [--leaves <count>] [--frames <count>] [--producers <count>]
           [--sources <count>] [--load <p>] [--population <users>]
           [--exponent <s>] [--payload <bytes>] [--seed <seed>] [--json]
@@ -358,7 +375,8 @@ fn parse_traffic_model(args: &Parsed, load: f64) -> Result<switchsim::TrafficMod
 /// `fabric-bench`: drive the sharded serving fabric closed-loop and
 /// compare the batching executor against the one-request-per-sweep
 /// baseline on the same workload. With `--scaling`, run the multichip
-/// scaling ladder instead ([`fabric::scaling`]).
+/// scaling ladder instead ([`fabric::scaling`]); with `--trace`, replay
+/// a workload trace ([`fabric_bench_trace`]).
 pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     use fabric::{drive_sync, drive_sync_unbatched, Fabric, FabricConfig, LoadPlan};
     use std::sync::Arc;
@@ -369,6 +387,9 @@ pub fn fabric_bench(args: &Parsed) -> Result<String, String> {
     }
     if args.has_flag("reconfig") {
         return fabric_bench_reconfig(args);
+    }
+    if let Some(spec) = args.optional("trace") {
+        return fabric_bench_trace(args, spec);
     }
 
     let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
@@ -789,6 +810,286 @@ fn fabric_bench_scaling(args: &Parsed) -> Result<String, String> {
             .unwrap();
         }
     }
+    Ok(out)
+}
+
+/// Parse a `trace-gen`/`fabric-bench --trace` workload model name into
+/// a [`fabric::TraceModel`]. `adversarial` is handled by the callers —
+/// it needs a switch to attack, not just flags.
+fn parse_trace_gen_model(
+    args: &Parsed,
+    name: &str,
+    load: f64,
+) -> Result<fabric::TraceModel, String> {
+    use fabric::TraceModel;
+    match name {
+        "bernoulli" => Ok(TraceModel::Bernoulli { p: load }),
+        "diurnal" => Ok(TraceModel::Diurnal {
+            base: load,
+            amplitude: args.parse_or("amplitude", 0.3)?,
+            period: args.parse_or("period", 64)?,
+        }),
+        "mmpp" => {
+            // --burst picks the Bursty-compatible corner; the four
+            // explicit rate flags override any component of it.
+            let burst: f64 = args.parse_or("burst", 4.0)?;
+            let TraceModel::Mmpp {
+                rate_on,
+                rate_off,
+                on_to_off,
+                off_to_on,
+            } = TraceModel::mmpp_from_bursty(load, burst)
+            else {
+                unreachable!("mmpp_from_bursty returns Mmpp")
+            };
+            Ok(TraceModel::Mmpp {
+                rate_on: args.parse_or("rate-on", rate_on)?,
+                rate_off: args.parse_or("rate-off", rate_off)?,
+                on_to_off: args.parse_or("on-to-off", on_to_off)?,
+                off_to_on: args.parse_or("off-to-on", off_to_on)?,
+            })
+        }
+        "zipf-population" => Ok(TraceModel::ZipfPopulation {
+            p: load,
+            population: args.parse_or("population", 1_000_000)?,
+            exponent: args.parse_or("exponent", 1.1)?,
+        }),
+        other => Err(format!(
+            "--model must be bernoulli|diurnal|mmpp|zipf-population|adversarial, got `{other}`"
+        )),
+    }
+}
+
+/// Generate a trace for `model_name` from the shared generator flags
+/// (`--load --sources --ticks --class --seed`, plus the per-model
+/// knobs). `adversarial` runs the ε-attack against `switch` and returns
+/// the search report alongside the lowered trace.
+fn generate_trace(
+    args: &Parsed,
+    model_name: &str,
+    switch: &concentrator::staged::StagedSwitch,
+) -> Result<(fabric::Trace, Option<concentrator::search::SearchReport>), String> {
+    let load: f64 = args.parse_or("load", 0.5)?;
+    if !(0.0..=1.0).contains(&load) {
+        return Err(format!("--load must be in [0, 1], got {load}"));
+    }
+    let ticks: u64 = args.parse_or("ticks", 256)?;
+    let size_class: u8 = args.parse_or("class", 3)?;
+    if size_class > fabric::trace::MAX_SIZE_CLASS {
+        return Err(format!(
+            "--class must be at most {}, got {size_class}",
+            fabric::trace::MAX_SIZE_CLASS
+        ));
+    }
+    let seed: u64 = args.parse_or("seed", 0x7ACE)?;
+    if model_name == "adversarial" {
+        let plan = fabric::AdversarialPlan {
+            restarts: args.parse_or("restarts", 4)?,
+            rounds: args.parse_or("rounds", 24)?,
+            seed,
+            ticks,
+            size_class,
+        };
+        let (trace, report) = fabric::adversarial_trace(switch, &plan);
+        return Ok((trace, Some(report)));
+    }
+    let sources: usize = args.parse_or("sources", switch.n)?;
+    if sources == 0 {
+        return Err("--sources must be at least 1".into());
+    }
+    let model = parse_trace_gen_model(args, model_name, load)?;
+    Ok((
+        fabric::trace::generate(model, sources, ticks, size_class, seed),
+        None,
+    ))
+}
+
+/// `trace-gen`: generate a replayable workload trace and write it to
+/// disk — binary `CTRC` by default, JSON-lines with `--jsonl`. The
+/// printed FNV-1a checksum identifies the exact trace bytes; `cli
+/// fabric-bench --trace <file>` and [`tiers::drive_tree_trace`] replay
+/// the file bit-for-bit.
+pub fn trace_gen(args: &Parsed) -> Result<String, String> {
+    let out_path = args.required("out")?;
+    let model_name = args.optional("model").unwrap_or("mmpp");
+    let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
+    let switch = design.staged().clone();
+    let (trace, search) = generate_trace(args, model_name, &switch)?;
+    let flavor = if args.has_flag("jsonl") {
+        fabric::TraceFlavor::Jsonl
+    } else {
+        fabric::TraceFlavor::Binary
+    };
+    let bytes = fabric::trace::encode(&trace, flavor);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+    let checksum = fabric::trace::fnv1a(&bytes);
+    let wires = args.parse_or("sources", switch.n)?;
+
+    if args.has_flag("json") {
+        use serde_json::{object, ToJson, Value};
+        let value = object([
+            ("path", out_path.to_json()),
+            ("model", model_name.to_json()),
+            ("flavor", format!("{flavor:?}").to_lowercase().to_json()),
+            ("space", trace.space.label().to_json()),
+            ("records", (trace.len() as u64).to_json()),
+            ("ticks", trace.ticks().to_json()),
+            ("offered_load", trace.offered_load(wires).to_json()),
+            ("bytes", (bytes.len() as u64).to_json()),
+            ("fnv1a", format!("{checksum:016x}").to_json()),
+            (
+                "attack_score",
+                match &search {
+                    Some(report) => (report.best_score as u64).to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ]);
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&value).unwrap()
+        ));
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "trace-gen: {model_name} -> {out_path} ({} bytes, {flavor:?})",
+        bytes.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {} record(s) over {} tick(s), {} source space, offered load {:.3}/wire",
+        trace.len(),
+        trace.ticks(),
+        trace.space.label(),
+        trace.offered_load(wires)
+    )
+    .unwrap();
+    if let Some(report) = &search {
+        writeln!(
+            out,
+            "  attack: score {} in {} evaluation(s)",
+            report.best_score, report.evaluations
+        )
+        .unwrap();
+    }
+    writeln!(out, "  fnv1a: {checksum:016x}").unwrap();
+    writeln!(
+        out,
+        "  replay: concentrator fabric-bench --trace {out_path}"
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `fabric-bench --trace <file|model>`: replay a trace through the
+/// sharded serving fabric. A path to an existing `.ctrc`/`.jsonl` file
+/// is loaded and replayed byte-faithfully; otherwise the spec names a
+/// generator model (`bernoulli|diurnal|mmpp|zipf-population|adversarial`)
+/// and the trace is generated in memory from the shared flags.
+fn fabric_bench_trace(args: &Parsed, spec: &str) -> Result<String, String> {
+    use fabric::{drive_sync_trace, Fabric, FabricConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let design = Design::parse(args.optional("design").unwrap_or("revsort:256:128"))?;
+    let shards: usize = args.parse_or("shards", 2)?;
+    let mut config = FabricConfig::new(shards.max(1));
+    config.backpressure = match args.optional("policy").unwrap_or("block") {
+        "block" => fabric::Backpressure::Block,
+        "shed" => fabric::Backpressure::ShedOldest,
+        "reject" => fabric::Backpressure::Reject,
+        other => return Err(format!("--policy must be block|shed|reject, got `{other}`")),
+    };
+    config.placement = match args.optional("placement").unwrap_or("rr") {
+        "rr" => fabric::Placement::RoundRobin,
+        "hash" => fabric::Placement::SourceHash,
+        other => return Err(format!("--placement must be rr|hash, got `{other}`")),
+    };
+
+    let switch = Arc::new(design.staged().clone());
+    let n = switch.n;
+    let trace = if std::path::Path::new(spec).is_file() {
+        fabric::trace::load(std::path::Path::new(spec))
+            .map_err(|e| format!("loading trace {spec}: {e}"))?
+    } else {
+        generate_trace(args, spec, &switch)
+            .map_err(|e| format!("--trace `{spec}` is neither a file nor a model: {e}"))?
+            .0
+    };
+
+    let mut fabric = Fabric::new(Arc::clone(&switch), config);
+    let started = Instant::now();
+    let report = drive_sync_trace(&mut fabric, n, &trace);
+    let secs = started.elapsed().as_secs_f64();
+    let totals = report.snapshot.totals();
+    if !report.snapshot.conserved() {
+        return Err("conservation identity violated (fabric bug)".into());
+    }
+    let (p50, p50_lb) = totals.wait_frames.percentile(50.0);
+    let (p99, p99_lb) = totals.wait_frames.percentile(99.0);
+
+    if args.has_flag("json") {
+        use serde_json::{object, ToJson};
+        let value = object([
+            ("design", design.name().to_json()),
+            ("shards", (shards as u64).to_json()),
+            ("trace", spec.to_json()),
+            ("space", trace.space.label().to_json()),
+            ("records", (trace.len() as u64).to_json()),
+            ("ticks", trace.ticks().to_json()),
+            ("offered_load", trace.offered_load(n).to_json()),
+            ("generated", report.generated.to_json()),
+            ("snapshot", report.snapshot.to_json()),
+            ("msgs_per_sec", (totals.delivered as f64 / secs).to_json()),
+        ]);
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&value).unwrap()
+        ));
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fabric trace replay: {} over {} shard(s)",
+        design.name(),
+        shards
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  trace: {spec} — {} record(s), {} tick(s), {} space, offered {:.3}/wire",
+        trace.len(),
+        trace.ticks(),
+        trace.space.label(),
+        trace.offered_load(n)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  delivered: {} of {} in {} sweeps ({:.0} msgs/s)",
+        totals.delivered,
+        report.generated,
+        totals.sweeps,
+        totals.delivered as f64 / secs
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  wait frames: p50 = {p50}{} p99 = {p99}{}",
+        if p50_lb { "+ (lower bound)" } else { "" },
+        if p99_lb { "+ (lower bound)" } else { "" }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  dropped: {} rejected, {} shed, {} retry-exhausted",
+        totals.rejected, totals.shed, totals.retry_dropped
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -1257,6 +1558,106 @@ mod tests {
     fn fabric_bench_rejects_bad_policy() {
         let args = parse(&["--design", "revsort:16:8", "--policy", "nope"]);
         assert!(fabric_bench(&args).is_err());
+    }
+
+    #[test]
+    fn trace_gen_writes_a_replayable_trace() {
+        let path = std::env::temp_dir().join(format!("cli-trace-gen-{}.ctrc", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        let text = trace_gen(&parse(&[
+            "--out",
+            path_s,
+            "--model",
+            "mmpp",
+            "--design",
+            "revsort:16:8",
+            "--ticks",
+            "12",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert!(text.contains("fnv1a"), "{text}");
+        let bench = fabric_bench(&parse(&[
+            "--trace",
+            path_s,
+            "--design",
+            "revsort:16:8",
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&bench).expect("valid json");
+        assert_eq!(
+            v["generated"], v["records"],
+            "wire-space replay offers one message per record: {bench}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_gen_jsonl_flavor_is_json_lines() {
+        let path =
+            std::env::temp_dir().join(format!("cli-trace-jsonl-{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        trace_gen(&parse(&[
+            "--out",
+            path_s,
+            "--model",
+            "bernoulli",
+            "--design",
+            "revsort:16:8",
+            "--ticks",
+            "6",
+            "--jsonl",
+        ]))
+        .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            bytes.first(),
+            Some(&b'{'),
+            "jsonl flavor starts with a header object"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fabric_bench_trace_accepts_model_names_and_rejects_noise() {
+        let text = fabric_bench(&parse(&[
+            "--trace",
+            "zipf-population",
+            "--design",
+            "revsort:16:8",
+            "--ticks",
+            "10",
+            "--population",
+            "1000",
+        ]))
+        .unwrap();
+        assert!(text.contains("trace replay"), "{text}");
+        assert!(fabric_bench(&parse(&["--trace", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn trace_gen_adversarial_reports_the_attack_score() {
+        let path = std::env::temp_dir().join(format!("cli-trace-adv-{}.ctrc", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        let text = trace_gen(&parse(&[
+            "--out",
+            path_s,
+            "--model",
+            "adversarial",
+            "--design",
+            "revsort:16:8",
+            "--restarts",
+            "2",
+            "--rounds",
+            "6",
+            "--ticks",
+            "4",
+        ]))
+        .unwrap();
+        assert!(text.contains("attack: score"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

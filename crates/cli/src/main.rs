@@ -8,6 +8,8 @@
 //! concentrator package --design revsort:1024:512 [--dim 3d] [--json]
 //! concentrator svg     --design columnsort:8x4:18 --out layout.svg
 //! concentrator fabric-bench --frames 64 --shards 2
+//! concentrator trace-gen --model mmpp --ticks 256 --out workload.ctrc
+//! concentrator fabric-bench --trace workload.ctrc
 //! concentrator tier-bench --leaves 8 --frames 12 --json
 //! concentrator fault-campaign --design revsort:64:32 --seed 7 --json
 //! concentrator sim --scenario flap --seed 31 --trace
@@ -50,6 +52,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "svg" => commands::svg(&rest),
         "export" => commands::export(&rest),
         "fabric-bench" => commands::fabric_bench(&rest),
+        "trace-gen" => commands::trace_gen(&rest),
         "tier-bench" => commands::tier_bench(&rest),
         "fault-campaign" => commands::fault_campaign(&rest),
         "sim" => commands::sim(&rest),
@@ -76,6 +79,7 @@ mod tests {
             "svg",
             "export",
             "fabric-bench",
+            "trace-gen",
             "tier-bench",
             "fault-campaign",
             "sim",

@@ -57,6 +57,7 @@ pub mod reconfig;
 pub mod scaling;
 pub mod service;
 pub mod shard;
+pub mod trace;
 
 pub use concentrator::clock::{Clock, VirtualClock, WallClock};
 pub use config::{steer_scan, Backpressure, FabricConfig, HealthPolicy, Placement, RetryBudget};
@@ -73,6 +74,11 @@ pub use service::{
     BatchSubmit, FabricReport, FabricService, ServiceCore, SubmitStep, WorkerCore, WorkerStep,
 };
 pub use shard::{Delivery, FrameRun, Shard};
+pub use trace::{
+    adversarial_trace, drive_service_trace, drive_sync_trace, AdversarialPlan, SourceSpace, Trace,
+    TraceCursor, TraceError, TraceFeeder, TraceFlavor, TraceModel, TraceReader, TraceRecord,
+    TraceWriter,
+};
 // The message type producers submit, re-exported so layered consumers
 // (the tier tree) can name the whole serving seam from one crate.
 pub use switchsim::Message;

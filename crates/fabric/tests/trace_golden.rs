@@ -1,0 +1,95 @@
+//! Golden-trace format pin: a committed 1000-record trace in both
+//! flavors, checksummed, so the on-disk encoding can never drift
+//! silently. If an intentional format change lands, regenerate with
+//!
+//! ```text
+//! cargo test -p fabric --test trace_golden regenerate_golden_fixtures -- --ignored
+//! ```
+//!
+//! and update the checksum constants below to the values the failing
+//! test prints.
+
+use std::path::PathBuf;
+
+use fabric::trace::{decode, encode, fnv1a, generate, Trace, TraceFlavor, TraceModel};
+
+/// The fixture workload: a zipf population over 2^40 users (ids far
+/// beyond 2^32, so the JSONL flavor's digit-exact integer parsing is
+/// pinned too), truncated to exactly 1000 records.
+fn golden_trace() -> Trace {
+    generate(
+        TraceModel::ZipfPopulation {
+            p: 0.5,
+            population: 1 << 40,
+            exponent: 1.05,
+        },
+        64,
+        40,
+        1,
+        0xC0FFEE,
+    )
+    .truncated(1000)
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data")).join(name)
+}
+
+/// FNV-1a of the committed binary fixture.
+const GOLDEN_BINARY_FNV: u64 = 0x2aae_f613_d623_46c3;
+/// FNV-1a of the committed JSONL fixture.
+const GOLDEN_JSONL_FNV: u64 = 0x0e8b_fec3_bb98_504d;
+
+#[test]
+fn golden_binary_checksum_and_decode_are_pinned() {
+    let bytes = std::fs::read(fixture_path("golden_1k.ctrc")).expect("committed binary fixture");
+    assert_eq!(
+        fnv1a(&bytes),
+        GOLDEN_BINARY_FNV,
+        "binary trace format drifted: fixture checksum is now {:#018x}",
+        fnv1a(&bytes)
+    );
+    let trace = decode(&bytes).expect("golden binary decodes");
+    assert_eq!(trace.len(), 1000);
+    // Decode → re-encode is byte-identical (no lossy fields).
+    assert_eq!(encode(&trace, TraceFlavor::Binary), bytes);
+    // And the generator still reproduces the committed workload.
+    assert_eq!(trace, golden_trace());
+}
+
+#[test]
+fn golden_jsonl_checksum_and_decode_are_pinned() {
+    let bytes = std::fs::read(fixture_path("golden_1k.jsonl")).expect("committed jsonl fixture");
+    assert_eq!(
+        fnv1a(&bytes),
+        GOLDEN_JSONL_FNV,
+        "jsonl trace format drifted: fixture checksum is now {:#018x}",
+        fnv1a(&bytes)
+    );
+    let trace = decode(&bytes).expect("golden jsonl decodes");
+    assert_eq!(trace.len(), 1000);
+    assert_eq!(encode(&trace, TraceFlavor::Jsonl), bytes);
+    assert_eq!(trace, golden_trace());
+}
+
+#[test]
+fn golden_flavors_agree() {
+    let binary = decode(&std::fs::read(fixture_path("golden_1k.ctrc")).unwrap()).unwrap();
+    let jsonl = decode(&std::fs::read(fixture_path("golden_1k.jsonl")).unwrap()).unwrap();
+    assert_eq!(binary, jsonl);
+}
+
+/// Writes the fixture files. Ignored: run explicitly only when the
+/// format version changes, then update the checksum constants.
+#[test]
+#[ignore]
+fn regenerate_golden_fixtures() {
+    let trace = golden_trace();
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    let binary = encode(&trace, TraceFlavor::Binary);
+    let jsonl = encode(&trace, TraceFlavor::Jsonl);
+    std::fs::write(fixture_path("golden_1k.ctrc"), &binary).unwrap();
+    std::fs::write(fixture_path("golden_1k.jsonl"), &jsonl).unwrap();
+    println!("binary fnv1a: {:#018x}", fnv1a(&binary));
+    println!("jsonl  fnv1a: {:#018x}", fnv1a(&jsonl));
+}

@@ -36,6 +36,9 @@ pub struct FailureCase {
     pub shrunk_frames: usize,
     /// Producers surviving the shrink.
     pub shrunk_producers: usize,
+    /// Trace records surviving the shrink (`None` when the scenario is
+    /// not trace-driven).
+    pub shrunk_trace_records: Option<usize>,
 }
 
 /// The outcome of exploring one scenario across many seeds.
@@ -88,6 +91,13 @@ impl ToJson for ExploreReport {
                                 ("shrunk_reconfig", f.shrunk_reconfig.to_json()),
                                 ("shrunk_frames", f.shrunk_frames.to_json()),
                                 ("shrunk_producers", f.shrunk_producers.to_json()),
+                                (
+                                    "shrunk_trace_records",
+                                    match f.shrunk_trace_records {
+                                        Some(records) => records.to_json(),
+                                        None => Value::Null,
+                                    },
+                                ),
                             ])
                         })
                         .collect(),
@@ -111,9 +121,19 @@ pub fn lossless_reference(scenario: &Scenario) -> HashMap<u64, Vec<u8>> {
         "reference only defined for lossless runs"
     );
     let mut fabric = Fabric::new(Arc::clone(&scenario.switch), scenario.config);
-    let mut scripts: Vec<VecDeque<Message>> = (0..scenario.producers)
-        .map(|p| producer_script(&scenario.plan, scenario.switch.n, p).into())
-        .collect();
+    // Trace scenarios have one producer — the trace's frames, flattened
+    // into the same closed-loop re-offer discipline.
+    let mut scripts: Vec<VecDeque<Message>> = match &scenario.trace {
+        Some(workload) => vec![
+            fabric::trace::frames(&workload.effective(), scenario.switch.n)
+                .into_iter()
+                .flat_map(|(_, frame)| frame)
+                .collect(),
+        ],
+        None => (0..scenario.producers)
+            .map(|p| producer_script(&scenario.plan, scenario.switch.n, p).into())
+            .collect(),
+    };
     let mut generated = 0usize;
     let mut held: VecDeque<Message> = VecDeque::new();
     loop {
@@ -181,6 +201,7 @@ pub fn explore(scenario: &Scenario, seeds: impl IntoIterator<Item = u64>) -> Exp
                 shrunk_reconfig: minimal.reconfig.len(),
                 shrunk_frames: minimal.plan.frames,
                 shrunk_producers: minimal.producers,
+                shrunk_trace_records: minimal.trace.as_ref().map(|w| w.records()),
             });
         }
     }

@@ -38,14 +38,14 @@ pub use oracles::{
     Violation,
 };
 pub use scenarios::{
-    batched_admission, batched_shed, by_name, catalogue, reconfig_catalogue, resize_under_drain,
-    scale_down_while_quarantined, shared_switch, slo_shed_burst, swap_during_campaign,
-    swap_target_switch,
+    adversarial_trace, batched_admission, batched_shed, by_name, catalogue, reconfig_catalogue,
+    resize_under_drain, scale_down_while_quarantined, shared_switch, slo_shed_burst,
+    swap_during_campaign, swap_target_switch, trace_catalogue, trace_replay,
 };
 pub use shrink::shrink;
 pub use sim::{
     run_scenario, ReconfigAction, Scenario, SimFaultEvent, SimReconfigEvent, SimRun, SloPlan,
-    SubmitKind, TraceEvent,
+    SubmitKind, TraceEvent, TraceWorkload,
 };
 pub use tree::{
     explore_tree, run_tree_scenario, tier_leaf_burst, tier_spine_quarantine_mid_drain,

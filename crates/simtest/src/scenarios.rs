@@ -41,6 +41,16 @@
 //! * [`slo_shed_burst`] — an [`SloController`](fabric::SloController)
 //!   governs admission against a six-producer burst on the virtual
 //!   clock.
+//!
+//! The trace-driven scenarios ([`trace_catalogue`]) replay
+//! [`fabric::trace`] workloads through the batched admission path:
+//!
+//! * [`trace_replay`] — a seeded MMPP trace played losslessly under
+//!   blocking backpressure; every oracle runs over trace-driven load
+//!   and every record must arrive bit-exactly.
+//! * [`adversarial_trace`] — the `search::epsilon_attack` worst-case
+//!   input subset, lowered to a sustained trace through lossy
+//!   shed-oldest queues.
 
 use std::sync::{Arc, OnceLock};
 
@@ -51,7 +61,9 @@ use concentrator::StagedSwitch;
 use fabric::{Backpressure, FabricConfig, HealthPolicy, LoadPlan, RetryBudget, SloPolicy};
 use switchsim::TrafficModel;
 
-use crate::sim::{ReconfigAction, Scenario, SimFaultEvent, SimReconfigEvent, SloPlan};
+use crate::sim::{
+    ReconfigAction, Scenario, SimFaultEvent, SimReconfigEvent, SloPlan, TraceWorkload,
+};
 
 /// The switch every scenario serves: 16→8 Revsort, two-dimensional
 /// layout. Process-wide so its datapath compiles exactly once no matter
@@ -108,6 +120,7 @@ fn base(name: &str, workload_seed: u64, frames: usize, p: f64) -> Scenario {
             seed: workload_seed,
             frames,
         },
+        trace: None,
         faults: Vec::new(),
         reconfig: Vec::new(),
         slo: None,
@@ -415,6 +428,63 @@ pub fn slo_shed_burst() -> Scenario {
     s
 }
 
+/// Trace replay under every oracle: a seeded MMPP trace (the bursty
+/// generalization from [`fabric::trace`]) is lowered to frames and
+/// submitted by a single trace-producer through the batched admission
+/// path, under blocking backpressure over tiny queues — lossless, so
+/// every trace record's message must arrive exactly once, bit-exact,
+/// in every interleaving. The same trace the CLI replays from disk.
+pub fn trace_replay() -> Scenario {
+    let mut s = base("trace-replay", 0, 1, 0.0);
+    s.producers = 1;
+    s.config.queue_capacity = 3;
+    s.config.backpressure = fabric::Backpressure::Block;
+    s.lossless = true;
+    s.trace = Some(TraceWorkload::full(fabric::trace::generate(
+        fabric::TraceModel::mmpp_from_bursty(0.6, 4.0),
+        16,
+        20,
+        1,
+        0x7ACE,
+    )));
+    s
+}
+
+/// The ε-attack in the serving path: `search::epsilon_attack` runs
+/// against the shared switch once per process, and the discovered
+/// worst-case input subset plays as a sustained trace through lossy
+/// shed-oldest queues with a bounded retry budget. Conservation and the
+/// capacity bound must absorb the adversarial pattern's concentrated
+/// contention at every tick; the frame oracle confirms the routed sets
+/// against the reference on exactly the attacked wires.
+pub fn adversarial_trace() -> Scenario {
+    static TRACE: OnceLock<Arc<fabric::Trace>> = OnceLock::new();
+    let trace = Arc::clone(TRACE.get_or_init(|| {
+        let plan = fabric::AdversarialPlan {
+            restarts: 2,
+            rounds: 12,
+            seed: 0xA77A,
+            ticks: 10,
+            size_class: 1,
+        };
+        let (trace, _report) = fabric::adversarial_trace(&shared_switch(), &plan);
+        Arc::new(trace)
+    }));
+    let mut s = base("adversarial-trace", 0, 1, 0.0);
+    s.producers = 1;
+    s.config.queue_capacity = 4;
+    s.config.backpressure = fabric::Backpressure::ShedOldest;
+    s.config.retry = RetryBudget::limited(1);
+    let limit = trace.len();
+    s.trace = Some(TraceWorkload { trace, limit });
+    s
+}
+
+/// The trace-driven scenarios, in catalogue order.
+pub fn trace_catalogue() -> Vec<Scenario> {
+    vec![trace_replay(), adversarial_trace()]
+}
+
 /// The elastic-control-plane scenarios, in catalogue order.
 pub fn reconfig_catalogue() -> Vec<Scenario> {
     vec![
@@ -438,6 +508,7 @@ pub fn catalogue() -> Vec<Scenario> {
         campaign(),
     ];
     all.extend(reconfig_catalogue());
+    all.extend(trace_catalogue());
     all
 }
 

@@ -2,9 +2,11 @@
 //! reproducer.
 //!
 //! Given a scenario, a seed, and a failure predicate, [`shrink`] greedily
-//! removes whatever it can while the re-run (same seed) still fails:
-//! individual fault events first, then individual reconfiguration events
-//! and the SLO plan, then workload frames (halving), then producers.
+//! removes whatever it can while the re-run (same seed) still fails: the
+//! trace suffix first (halving the record prefix that plays — a shorter
+//! workload usually subsumes schedule reductions), then individual fault
+//! events, then individual reconfiguration events and the SLO plan, then
+//! workload frames (halving), then producers.
 //! The result is a local minimum — removing any single remaining event,
 //! halving the workload again, or dropping another producer makes the
 //! failure disappear — which is what a human debugging the seed actually
@@ -26,6 +28,21 @@ pub fn shrink(scenario: &Scenario, seed: u64, fails: &dyn Fn(&SimRun) -> bool) -
     let mut current = scenario.clone();
     loop {
         let mut reduced = false;
+
+        // Truncate the trace suffix while the failure survives — before
+        // any schedule shrinking, so the minimal reproducer replays the
+        // shortest workload prefix that still fails.
+        while current.trace.as_ref().is_some_and(|w| w.records() > 1) {
+            let mut candidate = current.clone();
+            let workload = candidate.trace.as_mut().expect("guard checked");
+            workload.limit = workload.records() / 2;
+            if fails(&run_scenario(&candidate, seed)) {
+                current = candidate;
+                reduced = true;
+            } else {
+                break;
+            }
+        }
 
         // Drop fault events one at a time, keeping each removal that
         // still fails.

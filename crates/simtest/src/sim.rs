@@ -112,6 +112,46 @@ pub struct SloPlan {
     pub policy: SloPolicy,
 }
 
+/// A trace-driven workload: the scenario's producer is the trace itself
+/// (see [`fabric::trace`]). The trace is lowered to per-tick frames
+/// over the switch's inputs and submitted through the frame-batched
+/// admission path by a single producer task — the deterministic
+/// analogue of the [`fabric::TraceFeeder`] ingest worker, whose pop
+/// order is exactly the frame order this task submits in.
+///
+/// `limit` is the shrinker's knob: only the first `limit` records play.
+/// Shrinking truncates the trace suffix *before* touching the fault or
+/// reconfiguration schedule, so minimal reproducers carry the shortest
+/// workload prefix that still fails.
+#[derive(Clone)]
+pub struct TraceWorkload {
+    /// The trace (shared so scenario clones during shrinking are cheap).
+    pub trace: Arc<fabric::Trace>,
+    /// Records of the trace that play (prefix length).
+    pub limit: usize,
+}
+
+impl TraceWorkload {
+    /// Wrap a whole trace (no truncation).
+    pub fn full(trace: fabric::Trace) -> Self {
+        let limit = trace.len();
+        TraceWorkload {
+            trace: Arc::new(trace),
+            limit,
+        }
+    }
+
+    /// Records that actually play.
+    pub fn records(&self) -> usize {
+        self.limit.min(self.trace.len())
+    }
+
+    /// The effective (truncated) trace.
+    pub fn effective(&self) -> fabric::Trace {
+        self.trace.truncated(self.limit)
+    }
+}
+
 /// Everything that defines a simulated run except the interleaving seed.
 #[derive(Clone)]
 pub struct Scenario {
@@ -124,7 +164,12 @@ pub struct Scenario {
     /// Concurrent producer tasks.
     pub producers: usize,
     /// Per-producer workload (seeded off `plan.seed + producer`).
+    /// Ignored when [`Scenario::trace`] is set.
     pub plan: LoadPlan,
+    /// Trace-driven workload: when set, the inline `plan` is replaced by
+    /// one producer task replaying the trace's frames through the
+    /// batched admission path.
+    pub trace: Option<TraceWorkload>,
     /// Virtual-time fault schedule, sorted by `at_tick`. May target any
     /// lane below `config.max_shards`, including shards added mid-run.
     pub faults: Vec<SimFaultEvent>,
@@ -176,6 +221,16 @@ impl Scenario {
         if let Some(plan) = &self.slo {
             assert!(plan.every_ticks > 0, "SLO cadence must be positive");
             plan.policy.validate();
+        }
+        if let Some(workload) = &self.trace {
+            workload
+                .trace
+                .validate()
+                .expect("scenario trace must be well-formed");
+            assert_eq!(
+                self.producers, 1,
+                "trace scenarios have exactly one producer (the trace)"
+            );
         }
     }
 }
@@ -448,33 +503,55 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimRun {
     let mut quarantine_flags = vec![false; workers.len()];
     let mut expected_lossless: std::collections::HashMap<u64, Vec<u8>> =
         std::collections::HashMap::new();
-    let mut producers: Vec<ProducerTask> = (0..scenario.producers)
-        .map(|p| {
-            if scenario.batched {
-                let frames = producer_script_frames(&scenario.plan, scenario.switch.n, p);
-                if scenario.lossless {
-                    for message in frames.iter().flatten() {
-                        expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
-                    }
-                }
-                ProducerTask::Batched {
-                    frames: frames.into_iter().filter(|f| !f.is_empty()).collect(),
-                    blocked: VecDeque::new(),
-                }
-            } else {
-                let script = producer_script(&scenario.plan, scenario.switch.n, p);
-                if scenario.lossless {
-                    for message in &script {
-                        expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
-                    }
-                }
-                ProducerTask::PerMessage {
-                    script: script.into(),
-                    parked: None,
+    let mut producers: Vec<ProducerTask> = if let Some(workload) = &scenario.trace {
+        // The trace is the producer: its per-tick frames go through the
+        // batched admission path in trace order, exactly the frames a
+        // TraceFeeder ring would hand the threaded service.
+        let frames = fabric::trace::frames(&workload.effective(), scenario.switch.n);
+        if scenario.lossless {
+            for (_, frame) in &frames {
+                for message in frame {
+                    expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
                 }
             }
-        })
-        .collect();
+        }
+        vec![ProducerTask::Batched {
+            frames: frames
+                .into_iter()
+                .map(|(_, frame)| frame)
+                .filter(|f| !f.is_empty())
+                .collect(),
+            blocked: VecDeque::new(),
+        }]
+    } else {
+        (0..scenario.producers)
+            .map(|p| {
+                if scenario.batched {
+                    let frames = producer_script_frames(&scenario.plan, scenario.switch.n, p);
+                    if scenario.lossless {
+                        for message in frames.iter().flatten() {
+                            expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
+                        }
+                    }
+                    ProducerTask::Batched {
+                        frames: frames.into_iter().filter(|f| !f.is_empty()).collect(),
+                        blocked: VecDeque::new(),
+                    }
+                } else {
+                    let script = producer_script(&scenario.plan, scenario.switch.n, p);
+                    if scenario.lossless {
+                        for message in &script {
+                            expected_lossless.insert(message.id, message.payload.as_ref().to_vec());
+                        }
+                    }
+                    ProducerTask::PerMessage {
+                        script: script.into(),
+                        parked: None,
+                    }
+                }
+            })
+            .collect()
+    };
 
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut violations: Vec<Violation> = Vec::new();

@@ -41,5 +41,5 @@ pub use message::Message;
 pub use multistage::{regular_tree, CompiledCascade, MultistageNetwork};
 pub use network::{ConcentrationStage, SimulationReport};
 pub use stats::Stats;
-pub use traffic::{TrafficModel, ZipfSampler};
+pub use traffic::{mix64, TrafficModel, ZipfSampler};
 pub use vcd::{frame_vcd, VcdBuilder};

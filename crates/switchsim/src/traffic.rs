@@ -31,7 +31,10 @@ pub enum TrafficModel {
     /// Two-state on/off sources: an *on* source offers every frame and
     /// falls back off with probability `1/mean_burst`; an *off* source
     /// turns on with probability chosen so the long-run offered load is
-    /// `p`.
+    /// `p`. This is the degenerate corner of the trace layer's 2-state
+    /// MMPP model (`fabric::trace::TraceModel::Mmpp` with
+    /// `rate_on = 1, rate_off = 0` — see `mmpp_from_bursty`); it stays
+    /// here as the inline special case, pinned equivalent by test.
     Bursty {
         /// Long-run offered load per input.
         p: f64,
@@ -178,8 +181,11 @@ impl ZipfSampler {
 }
 
 /// SplitMix64 finalizer: the user-rank → input-wire hash. Spreads
-/// adjacent ranks (the hottest users) across the wire space.
-fn mix64(mut z: u64) -> u64 {
+/// adjacent ranks (the hottest users) across the wire space. Public so
+/// the trace replay layer (`fabric::trace`) maps user-space source ids
+/// onto wires with exactly this hash — a trace generated here and one
+/// replayed there land the same users on the same wires.
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

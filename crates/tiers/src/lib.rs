@@ -49,5 +49,5 @@ pub use bench::{
 };
 pub use service::{TierReport, TierService};
 pub use snapshot::{TreeLedger, TreeSnapshot};
-pub use sync::{drive_tree, TreeReport};
+pub use sync::{drive_tree, drive_tree_trace, TreeReport};
 pub use topology::{TierSpec, TierTopology};

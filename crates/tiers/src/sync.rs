@@ -5,7 +5,7 @@
 //! conservation matrix test and the bench's determinism assertion run
 //! through this; the seeded-interleaving explorer lives in `simtest`.
 
-use fabric::{producer_script, Delivery, LoadPlan};
+use fabric::{producer_script, Delivery, LoadPlan, Trace};
 
 use crate::core::{tree_ledger, tree_snapshot, TierCore, TierStep, TierSubmit};
 use crate::snapshot::TreeSnapshot;
@@ -51,6 +51,37 @@ pub fn drive_tree(
     producers: usize,
     ingress_sources: usize,
 ) -> TreeReport {
+    let scripts = (0..producers)
+        .map(|p| producer_script(plan, ingress_sources, p))
+        .collect();
+    drive_tree_scripts(topology, scripts)
+}
+
+/// Drive a tree closed-loop from a replayable [`Trace`]: the trace is
+/// lowered to leaf-admission frames by [`fabric::trace::frames`] (the
+/// exact lowering `cli fabric-bench --trace` and the simtest trace
+/// scenarios use) over `ingress_sources` leaf wires, flattened in frame
+/// order, and played by a single scripted external source. Same trace,
+/// same topology ⇒ bit-identical [`TreeReport`].
+///
+/// # Panics
+/// As [`drive_tree`]: on any conservation violation or a wedged tree.
+pub fn drive_tree_trace(
+    topology: &TierTopology,
+    trace: &Trace,
+    ingress_sources: usize,
+) -> TreeReport {
+    let script = fabric::trace::frames(trace, ingress_sources)
+        .into_iter()
+        .flat_map(|(_, frame)| frame)
+        .collect();
+    drive_tree_scripts(topology, vec![script])
+}
+
+/// The shared closed-loop engine behind [`drive_tree`] and
+/// [`drive_tree_trace`]: each script is one external producer, stepped
+/// round-robin against the full topology, then a cascaded drain.
+fn drive_tree_scripts(topology: &TierTopology, scripts: Vec<Vec<fabric::Message>>) -> TreeReport {
     let core = TierCore::new(topology.clone());
     let mut workers = core.workers();
     let mut done = vec![false; workers.len()];
@@ -58,9 +89,9 @@ pub fn drive_tree(
     let mut closed = vec![false; depth];
 
     let mut generated = 0u64;
-    let mut sources: Vec<Producer> = (0..producers)
-        .map(|p| {
-            let script = producer_script(plan, ingress_sources, p);
+    let mut sources: Vec<Producer> = scripts
+        .into_iter()
+        .map(|script| {
             generated += script.len() as u64;
             Producer {
                 script: script.into_iter(),
